@@ -1,0 +1,21 @@
+"""Bench E1: regenerate Figure 1 / Proposition 1, plus construction cost."""
+
+from conftest import regenerate
+
+from repro.core.lower_bound import (FastReadProtocol, RULE_MAJORITY,
+                                    run_lower_bound)
+
+
+def test_e01_regenerate(benchmark):
+    regenerate(benchmark, "E1")
+
+
+def test_e01_single_construction_cost(benchmark):
+    """Time of one full five-run staging at t=2, b=1 (S=6)."""
+
+    def stage():
+        return run_lower_bound(lambda: FastReadProtocol(RULE_MAJORITY),
+                               t=2, b=1)
+
+    report = benchmark(stage)
+    assert report.violated

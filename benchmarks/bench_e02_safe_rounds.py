@@ -1,0 +1,27 @@
+"""Bench E2: round complexity of the safe storage + op micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.core.safe import SafeStorageProtocol
+from repro.system import StorageSystem
+
+
+def test_e02_regenerate(benchmark):
+    regenerate(benchmark, "E2")
+
+
+def test_e02_write_read_pair_cost(benchmark):
+    """Simulated cost of one WRITE + one READ at t=2, b=1 (S=6)."""
+    config = SystemConfig.optimal(t=2, b=1, num_readers=1)
+    system = StorageSystem(SafeStorageProtocol(), config,
+                           trace_enabled=False)
+    counter = [0]
+
+    def pair():
+        counter[0] += 1
+        system.write(f"v{counter[0]}")
+        return system.read(0)
+
+    value = benchmark(pair)
+    assert value.startswith("v")

@@ -1,0 +1,30 @@
+"""Bench E4: wait-freedom sweep + concurrent-workload micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.core.safe import SafeStorageProtocol
+from repro.harness import WorkloadSpec, run_concurrent
+from repro.sim import RandomScheduler
+from repro.system import StorageSystem
+
+
+def test_e04_regenerate(benchmark):
+    regenerate(benchmark, "E4")
+
+
+def test_e04_concurrent_workload_cost(benchmark):
+    """A 4-writer-op / 2x4-read concurrent workload at t=2, b=1."""
+    seeds = iter(range(10_000))
+
+    def workload():
+        config = SystemConfig.optimal(t=2, b=1, num_readers=2)
+        system = StorageSystem(SafeStorageProtocol(), config,
+                               scheduler=RandomScheduler(next(seeds)),
+                               trace_enabled=False)
+        history = run_concurrent(
+            system, WorkloadSpec(num_writes=4, reads_per_reader=4, seed=1))
+        return history
+
+    history = benchmark(workload)
+    assert all(record.complete for record in history.operations())

@@ -1,0 +1,23 @@
+"""Bench E5: regular storage correctness sweep + read micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.core.regular import RegularStorageProtocol
+from repro.system import StorageSystem
+
+
+def test_e05_regenerate(benchmark):
+    regenerate(benchmark, "E5")
+
+
+def test_e05_regular_read_cost_long_history(benchmark):
+    """Full-history READ after 100 writes (the cost §5.1 attacks)."""
+    config = SystemConfig.optimal(t=1, b=1, num_readers=1)
+    system = StorageSystem(RegularStorageProtocol(), config,
+                           trace_enabled=False)
+    for k in range(100):
+        system.write(f"v{k}")
+
+    value = benchmark(lambda: system.read(0))
+    assert value == "v99"

@@ -1,0 +1,24 @@
+"""Bench E6: §5.1 suffix optimization + cached-read micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.core.regular import CachedRegularStorageProtocol
+from repro.system import StorageSystem
+
+
+def test_e06_regenerate(benchmark):
+    regenerate(benchmark, "E6")
+
+
+def test_e06_cached_read_cost_long_history(benchmark):
+    """Suffix READ after 100 writes -- compare with bench_e05's reader."""
+    config = SystemConfig.optimal(t=1, b=1, num_readers=1)
+    system = StorageSystem(CachedRegularStorageProtocol(), config,
+                           trace_enabled=False)
+    for k in range(100):
+        system.write(f"v{k}")
+    system.read(0)  # warm the cache
+
+    value = benchmark(lambda: system.read(0))
+    assert value == "v99"

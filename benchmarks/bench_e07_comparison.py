@@ -1,0 +1,32 @@
+"""Bench E7: protocol comparison table + per-protocol read micro-bench."""
+
+import pytest
+from conftest import regenerate
+
+from repro.baselines import (AbdRegularProtocol, AuthenticatedProtocol,
+                             PassiveReaderProtocol)
+from repro.config import SystemConfig
+from repro.core.regular import RegularStorageProtocol
+from repro.core.safe import SafeStorageProtocol
+from repro.system import StorageSystem
+
+
+def test_e07_regenerate(benchmark):
+    regenerate(benchmark, "E7")
+
+
+@pytest.mark.parametrize("name,factory,b", [
+    ("abd", AbdRegularProtocol, 0),
+    ("passive", PassiveReaderProtocol, 1),
+    ("auth", AuthenticatedProtocol, 1),
+    ("gv-safe", SafeStorageProtocol, 1),
+    ("gv-regular", RegularStorageProtocol, 1),
+])
+def test_e07_read_cost(benchmark, name, factory, b):
+    config = SystemConfig.with_objects(
+        t=2, b=b, num_objects=factory().min_objects(2, b), num_readers=1)
+    system = StorageSystem(factory(), config, trace_enabled=False)
+    system.write("payload")
+
+    value = benchmark(lambda: system.read(0))
+    assert value == "payload"

@@ -1,0 +1,30 @@
+"""Bench E8: latency distributions + delay-model simulation micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.core.safe import SafeStorageProtocol
+from repro.sim import EarliestDeliveryScheduler, ExponentialDelay
+from repro.system import StorageSystem
+
+
+def test_e08_regenerate(benchmark):
+    regenerate(benchmark, "E8")
+
+
+def test_e08_metric_simulation_cost(benchmark):
+    """Cost of a 10-read latency simulation under a metric delay model."""
+
+    def simulate():
+        config = SystemConfig.optimal(t=2, b=1, num_readers=1)
+        system = StorageSystem(SafeStorageProtocol(), config,
+                               scheduler=EarliestDeliveryScheduler(),
+                               delay_model=ExponentialDelay(0.2, 0.5, seed=1),
+                               trace_enabled=False)
+        system.write("v")
+        for _ in range(10):
+            system.read(0)
+        return system.kernel.now
+
+    virtual_time = benchmark(simulate)
+    assert virtual_time > 0

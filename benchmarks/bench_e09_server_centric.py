@@ -1,0 +1,21 @@
+"""Bench E9: server-centric lower bound + push-enabled read micro-bench."""
+
+from conftest import regenerate
+
+from repro.config import SystemConfig
+from repro.sim.server_centric import ServerCentricFastProtocol
+from repro.system import StorageSystem
+
+
+def test_e09_regenerate(benchmark):
+    regenerate(benchmark, "E9")
+
+
+def test_e09_push_enabled_read_cost(benchmark):
+    config = SystemConfig.at_impossibility_threshold(2, 1)
+    system = StorageSystem(ServerCentricFastProtocol("threshold"), config,
+                           trace_enabled=False)
+    system.write("pushed")
+
+    value = benchmark(lambda: system.read(0))
+    assert value == "pushed"

@@ -1,0 +1,15 @@
+"""Bench E10: resilience boundary + buried-write attack micro-bench."""
+
+from conftest import regenerate
+
+from repro.harness.experiments.e10_resilience import _stale_write_attack
+
+
+def test_e10_regenerate(benchmark):
+    regenerate(benchmark, "E10")
+
+
+def test_e10_attack_staging_cost(benchmark):
+    """Cost of staging one buried-write attack below the bound."""
+    violated = benchmark(lambda: _stale_write_attack(2, 1, 5))
+    assert violated

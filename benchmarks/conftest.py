@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_eXX_*.py`` regenerates one paper artifact: the full
+experiment runs exactly once under timing (``benchmark.pedantic``), its
+table is printed into the benchmark log, and its verdict is asserted --
+so ``pytest benchmarks/ --benchmark-only`` is the single command that
+re-derives every number in EXPERIMENTS.md.  Files also carry
+micro-benchmarks of the underlying operations so protocol-level
+performance regressions are visible.
+"""
+
+import pytest
+
+from repro.harness.experiments import REGISTRY, run_all
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _populate_registry():
+    """Importing any experiment populates the registry for all."""
+    run_all(ids=["E2"])
+
+
+def regenerate(benchmark, experiment_id: str):
+    """Run one experiment once (timed); print its table; assert its claim."""
+    result = benchmark.pedantic(REGISTRY[experiment_id], rounds=1,
+                                iterations=1)
+    print()
+    print(result.render())
+    assert result.ok, f"{experiment_id} did not reproduce the paper's claim"
+    return result

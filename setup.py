@@ -1,0 +1,8 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 / wheel.
+
+``pip install -e .`` uses pyproject.toml metadata; this file only enables
+the legacy ``python setup.py develop`` fallback on old toolchains.
+"""
+from setuptools import setup
+
+setup()

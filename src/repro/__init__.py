@@ -1,0 +1,65 @@
+"""repro -- "How Fast Can a Very Robust Read Be?" (PODC 2006), reproduced.
+
+A production-quality Python library implementing the robust register
+emulations of Guerraoui & Vukolić (PODC'06 / EPFL LPD-REPORT-2006-008):
+
+* the optimally resilient (``S = 2t + b + 1``) **safe** SWMR storage with
+  2-round READ and WRITE (Section 4);
+* the **regular** variant with full histories and its cached-suffix
+  optimization (Section 5);
+* the mechanized **lower-bound adversary** showing no fast (1-round) READ
+  exists with ``S <= 2t + 2b`` objects (Section 3, Figure 1);
+* crash-only (ABD), passive-reader and authenticated **baselines**;
+* a deterministic **simulation kernel** of the paper's model plus an
+  asyncio runtime, consistency checkers, Byzantine behaviour library and a
+  full experiment harness.
+
+Quickstart::
+
+    from repro import SafeStorageProtocol, StorageSystem, SystemConfig
+
+    system = StorageSystem(SafeStorageProtocol(),
+                           SystemConfig.optimal(t=2, b=1, num_readers=2))
+    system.write("hello")
+    assert system.read(reader_index=0) == "hello"
+"""
+
+from .config import (SystemConfig, fast_read_impossibility_threshold,
+                     optimal_resilience)
+from .core.safe import SafeStorageProtocol
+from .errors import (ConfigurationError, ProtocolError, ReproError,
+                     ResilienceError, SimulationError,
+                     SpecificationViolation)
+from .protocols import ATOMIC, REGULAR, SAFE, StorageProtocol
+from .system import StorageSystem
+from .types import (BOTTOM, ProcessId, TimestampValue, TsrArray, WRITER,
+                    WriteTuple, obj, reader)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "optimal_resilience",
+    "fast_read_impossibility_threshold",
+    "StorageSystem",
+    "StorageProtocol",
+    "SafeStorageProtocol",
+    "SAFE",
+    "REGULAR",
+    "ATOMIC",
+    "BOTTOM",
+    "ProcessId",
+    "TimestampValue",
+    "TsrArray",
+    "WriteTuple",
+    "WRITER",
+    "obj",
+    "reader",
+    "ReproError",
+    "ConfigurationError",
+    "ResilienceError",
+    "SimulationError",
+    "ProtocolError",
+    "SpecificationViolation",
+]

@@ -1,0 +1,32 @@
+"""Fault injection: crash schedules and Byzantine object behaviours."""
+
+from .byzantine import (AckFlooder, ByzantineWrapper, Equivocator,
+                        GarbageByzantine, HistoryForger, MuteByzantine,
+                        StaleReplier, TsrInflater, ValueForger)
+from .plans import (FaultPlan, adversarial_suite, all_fault_assignments,
+                    forger, garbage, max_byzantine, max_crashes, mute,
+                    no_faults, random_plan, stale, tsr_inflater)
+
+__all__ = [
+    "ByzantineWrapper",
+    "MuteByzantine",
+    "StaleReplier",
+    "ValueForger",
+    "HistoryForger",
+    "TsrInflater",
+    "Equivocator",
+    "AckFlooder",
+    "GarbageByzantine",
+    "FaultPlan",
+    "no_faults",
+    "max_crashes",
+    "max_byzantine",
+    "adversarial_suite",
+    "random_plan",
+    "all_fault_assignments",
+    "mute",
+    "stale",
+    "forger",
+    "tsr_inflater",
+    "garbage",
+]

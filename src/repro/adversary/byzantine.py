@@ -1,0 +1,313 @@
+"""A library of Byzantine base-object behaviours.
+
+The model (Section 2.1) lets a malicious object change state arbitrarily
+and put arbitrary messages into its channels.  Each class here is one
+*strategy* -- a drop-in :class:`~repro.automata.base.ObjectAutomaton` that
+usually wraps the honest automaton and distorts its behaviour.  They fall
+into three families:
+
+* **omission-flavoured**: :class:`MuteByzantine` (never answers),
+  :class:`StaleReplier` (answers from a frozen pre-write state);
+* **fabrication-flavoured**: :class:`ValueForger` (invents a high-timestamp
+  value), :class:`HistoryForger` (plants forged history entries),
+  :class:`GarbageByzantine` (random but well-typed junk),
+  :class:`AckFlooder` (spams conflicting acknowledgments);
+* **protocol-aware attacks** on the paper's mechanisms:
+  :class:`TsrInflater` fabricates write tuples whose ``tsrarray`` accuses
+  honest objects of reporting future reader timestamps (the attack the
+  *conflict* predicate of Figure 4 exists to absorb), and
+  :class:`Equivocator` shows different states to different readers.
+
+Strategies never get to forge their *identity*: the kernel stamps envelope
+senders, matching authenticated point-to-point channels.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Any, List, Optional
+
+from ..automata.base import ObjectAutomaton, Outgoing
+from ..config import SystemConfig
+from ..messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
+                        ReadRequest, W, WriteAck)
+from ..types import ProcessId, TimestampValue, TsrArray, WriteTuple
+
+
+class ByzantineWrapper(ObjectAutomaton):
+    """Base class: run the honest automaton, distort its replies."""
+
+    def __init__(self, inner: ObjectAutomaton):
+        super().__init__(inner.object_index)
+        self.inner = inner
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        replies = self.inner.on_message(sender, message)
+        return self.transform(sender, message, replies)
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        """Override: distort the honest replies."""
+        return replies
+
+
+class MuteByzantine(ByzantineWrapper):
+    """Receives everything, acknowledges nothing.
+
+    Behaviourally identical to an initially crashed object, but counted
+    against ``b``; useful to check protocols do not over-trust silence.
+    """
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        return []
+
+
+class StaleReplier(ByzantineWrapper):
+    """Answers READs from a state frozen at corruption time.
+
+    WRITE-protocol messages are swallowed (the object pretends to be
+    partitioned from the writer), so its READ acks advertise an old value
+    forever.  A classic "stale mirror" failure.
+    """
+
+    def __init__(self, inner: ObjectAutomaton):
+        super().__init__(inner)
+        self._frozen = copy.deepcopy(inner)
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, (Pw, W)):
+            return []  # never learn new values
+        # Reads are served by the frozen replica (whose tsr advances, so
+        # its acks stay fresh enough to be accepted).
+        return self._frozen.on_message(sender, message)
+
+
+class TwoFaced(ByzantineWrapper):
+    """Acknowledges the writer like an honest object, serves readers from
+    a state frozen at corruption time.
+
+    The nastiest stale strategy: unlike :class:`StaleReplier` it lets
+    writes *complete* (its acks count toward the writer's quorum) while
+    denying those writes to every reader.  Below optimal resilience this
+    single behaviour breaks safety outright -- experiment E10 uses it to
+    show what the ``S >= 2t + b + 1`` guard is protecting against.
+    """
+
+    def __init__(self, inner: ObjectAutomaton):
+        super().__init__(inner)
+        self._frozen = copy.deepcopy(inner)
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, (Pw, W)):
+            # Honest-looking write path: real acks, real state updates --
+            # on the hidden replica only.
+            return self.inner.on_message(sender, message)
+        return self._frozen.on_message(sender, message)
+
+
+class ValueForger(ByzantineWrapper):
+    """Forges a never-written value with an inflated timestamp in acks.
+
+    Against a correct protocol at optimal resilience the forgery can gather
+    at most ``b < b + 1`` confirmations, so ``safe(c)`` never holds for it
+    -- the safety theorem in action.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 forged_value: Any = "FORGED", ts_boost: int = 1000):
+        super().__init__(inner)
+        self.config = config
+        self.forged_value = forged_value
+        self.ts_boost = ts_boost
+
+    def _forged_tuple(self, base_ts: int) -> WriteTuple:
+        tsval = TimestampValue(base_ts + self.ts_boost, self.forged_value)
+        return WriteTuple(tsval, TsrArray.empty(self.config.num_objects,
+                                                self.config.num_readers))
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = []
+        for receiver, payload in replies:
+            if isinstance(payload, ReadAck):
+                forged = self._forged_tuple(payload.pw.ts)
+                payload = ReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    pw=forged.tsval,
+                    w=forged,
+                )
+            elif isinstance(payload, HistoryReadAck):
+                forged = self._forged_tuple(
+                    max(payload.history) if payload.history else 0)
+                history = dict(payload.history)
+                history[forged.ts] = HistoryEntry(pw=forged.tsval, w=forged)
+                payload = HistoryReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    history=history,
+                )
+            out.append((receiver, payload))
+        return out
+
+
+class HistoryForger(ByzantineWrapper):
+    """Rewrites a *specific* history slot in regular-protocol acks.
+
+    Used to attack the ``invalid``/``safe`` predicates of Figure 6: the
+    forger claims write ``target_ts`` installed ``forged_value``.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 target_ts: int, forged_value: Any = "REWRITTEN"):
+        super().__init__(inner)
+        self.config = config
+        self.target_ts = target_ts
+        self.forged_value = forged_value
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = []
+        for receiver, payload in replies:
+            if isinstance(payload, HistoryReadAck):
+                tsval = TimestampValue(self.target_ts, self.forged_value)
+                tup = WriteTuple(tsval, TsrArray.empty(
+                    self.config.num_objects, self.config.num_readers))
+                history = dict(payload.history)
+                history[self.target_ts] = HistoryEntry(pw=tsval, w=tup)
+                payload = HistoryReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    history=history,
+                )
+            out.append((receiver, payload))
+        return out
+
+
+class TsrInflater(ByzantineWrapper):
+    """Accuses honest objects via fabricated ``tsrarray`` entries.
+
+    Takes the honest ack and replaces its write tuple with one whose
+    ``tsrarray`` claims that ``accused`` objects reported a reader
+    timestamp far in the future.  Every honest responder named in the
+    forgery lands in a *conflict* with this object (Figure 4, line 1) --
+    the round-1 condition must route around the pair without blocking
+    forever (Lemma 2 territory).
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 accused: Optional[List[int]] = None, inflation: int = 10**6):
+        super().__init__(inner)
+        self.config = config
+        self.accused = (list(accused) if accused is not None
+                        else list(range(config.num_objects)))
+        self.inflation = inflation
+
+    def _inflate(self, w: WriteTuple, reader_index: int) -> WriteTuple:
+        tsr = w.tsrarray
+        for i in self.accused:
+            tsr = tsr.with_entry(i, reader_index, self.inflation)
+        return WriteTuple(w.tsval, tsr)
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        if not isinstance(message, ReadRequest):
+            return replies
+        out: Outgoing = []
+        for receiver, payload in replies:
+            if isinstance(payload, ReadAck):
+                payload = ReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    pw=payload.pw,
+                    w=self._inflate(payload.w, message.reader_index),
+                )
+            out.append((receiver, payload))
+        return out
+
+
+class Equivocator(ByzantineWrapper):
+    """Shows honest state to even readers, a frozen state to odd ones."""
+
+    def __init__(self, inner: ObjectAutomaton):
+        super().__init__(inner)
+        self._stale = copy.deepcopy(inner)
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, ReadRequest) and message.reader_index % 2 == 1:
+            return self._stale.on_message(sender, message)
+        return self.inner.on_message(sender, message)
+
+
+class AckFlooder(ByzantineWrapper):
+    """Sends ``copies`` differently-forged acks per read request.
+
+    Exercises the reader's set semantics: duplicate evidence from one
+    object must never be double counted toward ``b + 1`` confirmations.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 copies: int = 3):
+        super().__init__(inner)
+        self.config = config
+        self.copies = copies
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = list(replies)
+        for receiver, payload in replies:
+            if not isinstance(payload, ReadAck):
+                continue
+            for n in range(1, self.copies):
+                tsval = TimestampValue(payload.pw.ts + n, f"flood-{n}")
+                forged = WriteTuple(tsval, TsrArray.empty(
+                    self.config.num_objects, self.config.num_readers))
+                out.append((receiver, ReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    pw=tsval,
+                    w=forged,
+                )))
+        return out
+
+
+class GarbageByzantine(ByzantineWrapper):
+    """Seeded random but type-correct distortions of every reply."""
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 seed: int = 0):
+        super().__init__(inner)
+        self.config = config
+        self._rng = random.Random(seed)
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = []
+        for receiver, payload in replies:
+            if isinstance(payload, ReadAck) and self._rng.random() < 0.8:
+                ts = self._rng.randint(1, 50)
+                tsval = TimestampValue(ts, f"junk-{self._rng.randint(0, 9)}")
+                payload = ReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    pw=tsval,
+                    w=WriteTuple(tsval, TsrArray.empty(
+                        self.config.num_objects, self.config.num_readers)),
+                )
+            elif isinstance(payload, PwAck) and self._rng.random() < 0.5:
+                payload = PwAck(
+                    ts=payload.ts,
+                    object_index=payload.object_index,
+                    tsr=tuple(self._rng.randint(0, 5)
+                              for _ in range(self.config.num_readers)),
+                )
+            out.append((receiver, payload))
+        return out

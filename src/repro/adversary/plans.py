@@ -1,0 +1,179 @@
+"""Fault plans: declarative assignments of crashes and corruptions.
+
+A :class:`FaultPlan` names which objects crash and which turn Byzantine
+(and with what strategy), validates the assignment against the system's
+``(t, b)`` budget, and applies itself to a :class:`~repro.system.
+StorageSystem`.  Experiments sweep fault plans the way they sweep
+schedulers: a plan is data, so the harness can enumerate the interesting
+corner cases (all-crash, all-Byzantine, mixed, maximal) mechanically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..automata.base import ObjectAutomaton
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..system import StorageSystem
+from ..types import obj
+from .byzantine import (ByzantineWrapper, GarbageByzantine, MuteByzantine,
+                        StaleReplier, TsrInflater, ValueForger)
+
+#: A strategy factory: (honest automaton, config) -> Byzantine automaton.
+StrategyFactory = Callable[[ObjectAutomaton, SystemConfig], ObjectAutomaton]
+
+
+def mute() -> StrategyFactory:
+    return lambda inner, config: MuteByzantine(inner)
+
+
+def stale() -> StrategyFactory:
+    return lambda inner, config: StaleReplier(inner)
+
+
+def forger(value="FORGED", ts_boost: int = 1000) -> StrategyFactory:
+    return lambda inner, config: ValueForger(inner, config, value, ts_boost)
+
+
+def tsr_inflater(accused: Optional[List[int]] = None) -> StrategyFactory:
+    return lambda inner, config: TsrInflater(inner, config, accused)
+
+
+def garbage(seed: int = 0) -> StrategyFactory:
+    return lambda inner, config: GarbageByzantine(inner, config, seed)
+
+
+@dataclass
+class FaultPlan:
+    """Which objects fail and how."""
+
+    crash_indices: List[int] = field(default_factory=list)
+    byzantine: Dict[int, StrategyFactory] = field(default_factory=dict)
+    label: str = ""
+
+    def validate(self, config: SystemConfig) -> None:
+        crash = set(self.crash_indices)
+        byz = set(self.byzantine)
+        if crash & byz:
+            raise ConfigurationError(
+                f"objects {sorted(crash & byz)} assigned both crash and "
+                "Byzantine faults; pick one")
+        for i in crash | byz:
+            if not 0 <= i < config.num_objects:
+                raise ConfigurationError(f"object index {i} out of range")
+        if len(byz) > config.b:
+            raise ConfigurationError(
+                f"{len(byz)} Byzantine objects exceed b={config.b}")
+        if len(crash) + len(byz) > config.t:
+            raise ConfigurationError(
+                f"{len(crash) + len(byz)} faults exceed t={config.t}")
+
+    def apply(self, system: StorageSystem) -> None:
+        """Install the faults into a system (before or during a run)."""
+        self.validate(system.config)
+        for i in self.crash_indices:
+            system.kernel.crash(obj(i))
+        for i, factory in self.byzantine.items():
+            honest = system.kernel.object_automaton(obj(i))
+            corrupted = factory(honest, system.config)
+            system.kernel.make_byzantine(obj(i), corrupted,
+                                         note=type(corrupted).__name__)
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        parts = []
+        if self.crash_indices:
+            parts.append("crash " + ",".join(
+                f"s{i + 1}" for i in sorted(self.crash_indices)))
+        if self.byzantine:
+            parts.append("byz " + ",".join(
+                f"s{i + 1}" for i in sorted(self.byzantine)))
+        return "; ".join(parts) or "no faults"
+
+
+# ---------------------------------------------------------------------------
+# Plan generators
+# ---------------------------------------------------------------------------
+
+
+def no_faults() -> FaultPlan:
+    return FaultPlan(label="fault-free")
+
+
+def max_crashes(config: SystemConfig) -> FaultPlan:
+    """Crash exactly ``t`` objects (the leading ones)."""
+    return FaultPlan(crash_indices=list(range(config.t)),
+                     label=f"crash {config.t} objects")
+
+
+def max_byzantine(config: SystemConfig,
+                  strategy: Optional[StrategyFactory] = None) -> FaultPlan:
+    """Corrupt ``b`` objects, crash the remaining ``t - b``."""
+    strategy = strategy or forger()
+    byz = {i: strategy for i in range(config.b)}
+    crash = list(range(config.b, config.t))
+    return FaultPlan(crash_indices=crash, byzantine=byz,
+                     label=f"byz {config.b} + crash {config.t - config.b}")
+
+
+def adversarial_suite(config: SystemConfig) -> List[FaultPlan]:
+    """The canonical sweep the correctness experiments iterate over."""
+    plans = [no_faults(), max_crashes(config)]
+    if config.b > 0:
+        for name, strategy in [
+            ("mute", mute()),
+            ("stale", stale()),
+            ("forger", forger()),
+            ("tsr-inflater", tsr_inflater()),
+            ("garbage", garbage(seed=7)),
+        ]:
+            plan = max_byzantine(config, strategy)
+            plan.label = f"{plan.label} ({name})"
+            plans.append(plan)
+    return plans
+
+
+def random_plan(config: SystemConfig, seed: int) -> FaultPlan:
+    """A seeded random legal fault assignment (for fuzzing)."""
+    rng = random.Random(seed)
+    num_byz = rng.randint(0, config.b)
+    num_crash = rng.randint(0, config.t - num_byz)
+    indices = list(range(config.num_objects))
+    rng.shuffle(indices)
+    byz_indices = indices[:num_byz]
+    crash_indices = indices[num_byz:num_byz + num_crash]
+    strategies: List[StrategyFactory] = [
+        mute(), stale(), forger(), tsr_inflater(), garbage(seed)
+    ]
+    byz = {i: rng.choice(strategies) for i in byz_indices}
+    return FaultPlan(crash_indices=crash_indices, byzantine=byz,
+                     label=f"random(seed={seed})")
+
+
+def all_fault_assignments(config: SystemConfig,
+                          strategy: Optional[StrategyFactory] = None,
+                          limit: int = 100) -> Iterator[FaultPlan]:
+    """Enumerate (up to ``limit``) exact fault-location assignments.
+
+    Useful for exhaustively checking small configurations: every way of
+    choosing ``b`` Byzantine and ``t - b`` crashed objects.
+    """
+    strategy = strategy or forger()
+    count = 0
+    indices = range(config.num_objects)
+    for byz_set in itertools.combinations(indices, config.b):
+        rest = [i for i in indices if i not in byz_set]
+        for crash_set in itertools.combinations(rest, config.t - config.b):
+            yield FaultPlan(
+                crash_indices=list(crash_set),
+                byzantine={i: strategy for i in byz_set},
+                label=f"byz={byz_set} crash={crash_set}",
+            )
+            count += 1
+            if count >= limit:
+                return

@@ -1,0 +1,6 @@
+"""Protocol automaton interfaces shared by the simulator and runtimes."""
+
+from .base import ClientOperation, ObjectAutomaton, Outgoing
+from .rounds import RoundCollector
+
+__all__ = ["ClientOperation", "ObjectAutomaton", "Outgoing", "RoundCollector"]

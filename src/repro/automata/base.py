@@ -1,0 +1,110 @@
+"""Transport-agnostic protocol automata.
+
+Every protocol in this library is written against two small interfaces, so
+the same code runs unchanged on the deterministic simulator
+(:mod:`repro.sim`) and on the asyncio runtime (:mod:`repro.runtime`):
+
+* :class:`ObjectAutomaton` -- a base storage object.  It is a *reactive*
+  state machine: the model (Section 2.1) only lets non-malicious objects
+  send messages in the very step in which they receive one, so the whole
+  interface is ``on_message -> replies``.
+
+* :class:`ClientOperation` -- one invocation of READ or WRITE.  It emits an
+  initial batch of messages (:meth:`start`), consumes replies
+  (:meth:`on_message`), may emit further batches (subsequent rounds), and
+  eventually sets :attr:`result`.  Round accounting is explicit: protocols
+  call :meth:`begin_round` so the harness can verify worst-case round
+  complexity *structurally* instead of trusting counters sprinkled in
+  protocol code.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..types import ProcessId, fresh_operation_id
+
+#: Outgoing messages: ``(receiver, payload)`` pairs.
+Outgoing = List[Tuple[ProcessId, Any]]
+
+
+class ObjectAutomaton(ABC):
+    """A base storage object ``s_i``.
+
+    Subclasses keep all protocol state in instance attributes and implement
+    :meth:`on_message`.  State snapshot/restore is generic (deep copy of
+    ``__dict__``) and exists so the lower-bound adversary can capture a
+    state ``σ`` from one partial run and force a malicious object to forge
+    it in another -- precisely the move in the Proposition 1 proof.
+    """
+
+    def __init__(self, object_index: int):
+        self.object_index = object_index
+
+    @abstractmethod
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        """Process one message, return replies (usually to ``sender``)."""
+
+    # -- state capture (lower-bound machinery) ------------------------------
+    def snapshot_state(self) -> Any:
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, state: Any) -> None:
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
+
+    def describe_state(self) -> str:
+        """Human-readable state summary for traces and diagrams."""
+        return repr({k: v for k, v in sorted(self.__dict__.items())})
+
+
+class ClientOperation(ABC):
+    """One READ or WRITE invocation, as a resumable state machine."""
+
+    #: Subclasses set this: "READ" or "WRITE" (used by history recording).
+    kind: str = "OP"
+
+    def __init__(self, client_id: ProcessId):
+        self.client_id = client_id
+        self.operation_id = fresh_operation_id()
+        self.done = False
+        self._result: Any = None
+        self.rounds_used = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- protocol surface ----------------------------------------------------
+    @abstractmethod
+    def start(self) -> Outgoing:
+        """Invocation step: produce the first round's messages."""
+
+    @abstractmethod
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        """Consume a reply; possibly emit the next round's messages."""
+
+    # -- round & completion accounting ----------------------------------------
+    def begin_round(self) -> None:
+        """Protocols call this when they broadcast a new round."""
+        self.rounds_used += 1
+
+    def complete(self, result: Any) -> Outgoing:
+        """Mark the operation finished; convenience returns no messages."""
+        if self.done:
+            raise ProtocolError(
+                f"operation {self.operation_id} completed twice")
+        self.done = True
+        self._result = result
+        return []
+
+    @property
+    def result(self) -> Any:
+        if not self.done:
+            raise ProtocolError(
+                f"operation {self.operation_id} has not completed")
+        return self._result
+
+    def describe(self) -> str:
+        return f"{self.kind}#{self.operation_id} by {self.client_id!r}"

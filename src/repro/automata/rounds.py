@@ -1,0 +1,63 @@
+"""Round bookkeeping shared by quorum-based client operations.
+
+A *communication round-trip* (Section 2.3) is: broadcast to all objects,
+collect acknowledgments, terminate once a protocol-specific predicate over
+the collected acks holds (at the latest when ``S - t`` correct objects have
+answered).  :class:`RoundCollector` implements the bookkeeping every
+protocol repeats: which objects already answered this round, with stale
+replies (earlier rounds, earlier operations) filtered out by a
+freshness key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, List, Optional, Set, TypeVar
+
+AckT = TypeVar("AckT")
+
+
+class RoundCollector(Generic[AckT]):
+    """Collects one round's acknowledgments, keyed by object index.
+
+    ``freshness`` is the value (typically the reader/writer timestamp the
+    round was tagged with) that a genuine ack for this round must echo;
+    acks echoing anything else are counted as stale and ignored.  Duplicate
+    acks from the same object are ignored too -- a Byzantine object must
+    not be able to inflate counts by spamming.
+    """
+
+    def __init__(self, round_index: int, freshness: Any):
+        self.round_index = round_index
+        self.freshness = freshness
+        self.acks: Dict[int, AckT] = {}
+        self.stale = 0
+        self.duplicates = 0
+
+    def offer(self, object_index: int, echoed_freshness: Any,
+              ack: AckT) -> bool:
+        """Record an ack; returns True if it was fresh and new."""
+        if echoed_freshness != self.freshness:
+            self.stale += 1
+            return False
+        if object_index in self.acks:
+            self.duplicates += 1
+            return False
+        self.acks[object_index] = ack
+        return True
+
+    @property
+    def responders(self) -> Set[int]:
+        return set(self.acks)
+
+    def count(self) -> int:
+        return len(self.acks)
+
+    def has_quorum(self, quorum: int) -> bool:
+        return len(self.acks) >= quorum
+
+    def ack_of(self, object_index: int) -> Optional[AckT]:
+        return self.acks.get(object_index)
+
+    def __repr__(self) -> str:
+        return (f"RoundCollector(round={self.round_index}, "
+                f"acks={sorted(self.acks)}, stale={self.stale})")

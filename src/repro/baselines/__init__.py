@@ -1,0 +1,24 @@
+"""Baseline storage protocols the paper compares against.
+
+* :class:`~repro.baselines.abd.AbdRegularProtocol` /
+  :class:`~repro.baselines.abd.AbdAtomicProtocol` -- crash-only majority
+  storage [3] (``b = 0``);
+* :class:`~repro.baselines.passive_reader.PassiveReaderProtocol` -- safe
+  storage whose readers never write, needing ``b + 1`` read rounds in the
+  worst case [1];
+* :class:`~repro.baselines.authenticated.AuthenticatedProtocol` -- signed
+  data, one-round reads and writes [15];
+* the deliberately unsafe fast-read victims live with the lower-bound
+  machinery in :mod:`repro.core.lower_bound.victims`.
+"""
+
+from .abd import AbdAtomicProtocol, AbdRegularProtocol
+from .authenticated import AuthenticatedProtocol
+from .passive_reader import PassiveReaderProtocol
+
+__all__ = [
+    "AbdRegularProtocol",
+    "AbdAtomicProtocol",
+    "PassiveReaderProtocol",
+    "AuthenticatedProtocol",
+]

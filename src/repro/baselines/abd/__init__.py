@@ -1,0 +1,24 @@
+"""ABD crash-only storage (Attiya, Bar-Noy & Dolev [3]).
+
+The historical starting point of the storage-emulation literature and the
+``b = 0`` column of the comparison experiment (E7): with only crash
+failures, ``S = 2t + 1`` objects suffice, the WRITE is one round, and the
+READ is one round for *regular* semantics (two -- read plus write-back --
+for atomic semantics in the multi-reader case).
+
+The contrast with the paper is the point: the moment ``b > 0`` (and data
+is unauthenticated), one-round reads become impossible below
+``2t + 2b + 1`` objects, and the best possible at optimal resilience is
+the paper's two rounds.
+"""
+
+from .protocol import (AbdAtomicProtocol, AbdObject, AbdReadOperation,
+                       AbdRegularProtocol, AbdWriteOperation)
+
+__all__ = [
+    "AbdRegularProtocol",
+    "AbdAtomicProtocol",
+    "AbdObject",
+    "AbdReadOperation",
+    "AbdWriteOperation",
+]

@@ -1,0 +1,240 @@
+"""ABD protocol automata (crash-only majority storage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...errors import ConfigurationError, ProtocolError
+from ...messages import Message
+from ...protocols import ATOMIC, REGULAR, StorageProtocol
+from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
+                      WRITER, _Bottom, obj, reader)
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbdStore(Message):
+    """Install <ts, v> (used by the writer and by read write-backs)."""
+
+    tsval: TimestampValue
+    nonce: int
+
+
+@dataclass(frozen=True)
+class AbdStoreAck(Message):
+    nonce: int
+    ts: int
+
+
+@dataclass(frozen=True)
+class AbdQuery(Message):
+    nonce: int
+
+
+@dataclass(frozen=True)
+class AbdQueryAck(Message):
+    nonce: int
+    tsval: TimestampValue
+
+
+# ---------------------------------------------------------------------------
+# Object
+# ---------------------------------------------------------------------------
+
+
+class AbdObject(ObjectAutomaton):
+    """Latest timestamp-value pair, monotone in the timestamp."""
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        self.tsval: TimestampValue = INITIAL_TSVAL
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, AbdStore):
+            if message.tsval.ts > self.tsval.ts:
+                self.tsval = message.tsval
+            return [(sender, AbdStoreAck(nonce=message.nonce,
+                                         ts=self.tsval.ts))]
+        if isinstance(message, AbdQuery):
+            return [(sender, AbdQueryAck(nonce=message.nonce,
+                                         tsval=self.tsval))]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Client operations
+# ---------------------------------------------------------------------------
+
+
+class AbdWriterState:
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.ts = 0
+        self._nonce = 0
+
+    def next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+
+class AbdReaderState:
+    def __init__(self, config: SystemConfig, reader_index: int):
+        self.config = config
+        self.reader_index = reader_index
+        self._nonce = 0
+
+    def next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+
+class AbdWriteOperation(ClientOperation):
+    """One-round write: store <ts, v> at a majority."""
+
+    kind = "WRITE"
+
+    def __init__(self, state: AbdWriterState, value: Any):
+        super().__init__(WRITER)
+        if isinstance(value, _Bottom):
+            raise ProtocolError("⊥ is not a valid input value for WRITE")
+        self.state = state
+        self.config = state.config
+        self.value = value
+        self.nonce = 0
+        self._ackers: Set[int] = set()
+
+    def start(self) -> Outgoing:
+        self.state.ts += 1
+        self.nonce = self.state.next_nonce()
+        message = AbdStore(tsval=TimestampValue(self.state.ts, self.value),
+                           nonce=self.nonce)
+        self.begin_round()
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, AbdStoreAck):
+            return []
+        if message.nonce != self.nonce:
+            return []
+        self._ackers.add(sender.index)
+        if len(self._ackers) >= self.config.quorum_size:
+            return self.complete("OK")
+        return []
+
+
+class AbdReadOperation(ClientOperation):
+    """Query a majority; atomically write back before returning if asked."""
+
+    kind = "READ"
+
+    def __init__(self, state: AbdReaderState, write_back: bool):
+        super().__init__(reader(state.reader_index))
+        self.state = state
+        self.config = state.config
+        self.write_back = write_back
+        self.phase = "query"
+        self.nonce = 0
+        self.wb_nonce = 0
+        self._answers: Dict[int, TimestampValue] = {}
+        self._wb_ackers: Set[int] = set()
+        self._chosen: TimestampValue = INITIAL_TSVAL
+
+    def start(self) -> Outgoing:
+        self.nonce = self.state.next_nonce()
+        self.begin_round()
+        message = AbdQuery(nonce=self.nonce)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done:
+            return []
+        if (self.phase == "query" and isinstance(message, AbdQueryAck)
+                and message.nonce == self.nonce):
+            if sender.index in self._answers:
+                return []
+            self._answers[sender.index] = message.tsval
+            if len(self._answers) >= self.config.quorum_size:
+                self._chosen = max(self._answers.values(),
+                                   key=lambda tv: tv.ts)
+                if not self.write_back or self._chosen.ts == 0:
+                    return self.complete(self._chosen.value)
+                return self._start_write_back()
+            return []
+        if (self.phase == "write-back" and isinstance(message, AbdStoreAck)
+                and message.nonce == self.wb_nonce):
+            self._wb_ackers.add(sender.index)
+            if len(self._wb_ackers) >= self.config.quorum_size:
+                return self.complete(self._chosen.value)
+        return []
+
+    def _start_write_back(self) -> Outgoing:
+        """Atomicity: install the chosen value at a majority first."""
+        self.phase = "write-back"
+        self.wb_nonce = self.state.next_nonce()
+        self.begin_round()
+        message = AbdStore(tsval=self._chosen, nonce=self.wb_nonce)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+
+# ---------------------------------------------------------------------------
+# Protocol plug-ins
+# ---------------------------------------------------------------------------
+
+
+class AbdRegularProtocol(StorageProtocol):
+    """ABD with one-round reads: regular semantics, crash-only."""
+
+    name = "abd-regular"
+    semantics = REGULAR
+    write_rounds_worst_case = 1
+    read_rounds_worst_case = 1
+    requires_authentication = False
+    readers_write = False
+
+    write_back = False
+
+    def min_objects(self, t: int, b: int) -> int:
+        return 2 * t + 1
+
+    def validate_config(self, config: SystemConfig) -> None:
+        super().validate_config(config)
+        if config.b != 0:
+            raise ConfigurationError(
+                f"{self.name} tolerates crash failures only (b=0); "
+                f"got b={config.b}")
+
+    def make_objects(self, config: SystemConfig) -> List[AbdObject]:
+        self.validate_config(config)
+        return [AbdObject(i, config) for i in range(config.num_objects)]
+
+    def make_writer_state(self, config: SystemConfig) -> AbdWriterState:
+        return AbdWriterState(config)
+
+    def make_reader_state(self, config: SystemConfig,
+                          reader_index: int) -> AbdReaderState:
+        return AbdReaderState(config, reader_index)
+
+    def make_write(self, writer_state: AbdWriterState,
+                   value: Any) -> AbdWriteOperation:
+        return AbdWriteOperation(writer_state, value)
+
+    def make_read(self, reader_state: AbdReaderState) -> AbdReadOperation:
+        return AbdReadOperation(reader_state, write_back=self.write_back)
+
+
+class AbdAtomicProtocol(AbdRegularProtocol):
+    """ABD with write-back reads: atomic semantics, 2-round reads."""
+
+    name = "abd-atomic"
+    semantics = ATOMIC
+    read_rounds_worst_case = 2
+    readers_write = True  # the write-back mutates object state
+    write_back = True

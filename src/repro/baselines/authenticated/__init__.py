@@ -1,0 +1,24 @@
+"""Authenticated regular storage (à la Malkhi & Reiter [15]).
+
+The counterpoint the paper name-checks in Section 1: *if* data can be
+authenticated, a regular storage with optimal resilience, one-round writes
+**and one-round reads** is straightforward -- which is exactly why the
+lower bound insists on unauthenticated data.  The writer signs each
+``<ts, v>`` pair with :mod:`repro.crypto_sim`; readers verify and return
+the highest validly-signed pair among ``S - t`` replies.  Byzantine
+objects can withhold or replay old signed values, but they cannot mint new
+ones, so one genuine reply from the quorum-intersection suffices.
+
+Cost: signatures (cycles + trust infrastructure), which the paper's
+protocols avoid entirely.  E7 shows the three-way trade-off.
+"""
+
+from .protocol import (AuthObject, AuthenticatedProtocol, AuthReadOperation,
+                       AuthWriteOperation)
+
+__all__ = [
+    "AuthenticatedProtocol",
+    "AuthObject",
+    "AuthReadOperation",
+    "AuthWriteOperation",
+]

@@ -1,0 +1,210 @@
+"""Automata of the authenticated one-round storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...crypto_sim import PublicKey, SignedValue, Signer
+from ...errors import ProtocolError
+from ...messages import Message
+from ...protocols import REGULAR, StorageProtocol
+from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
+                      WRITER, _Bottom, obj, reader)
+
+
+@dataclass(frozen=True)
+class AuthStore(Message):
+    signed: SignedValue  # signed TimestampValue
+    nonce: int
+
+
+@dataclass(frozen=True)
+class AuthStoreAck(Message):
+    nonce: int
+
+
+@dataclass(frozen=True)
+class AuthQuery(Message):
+    nonce: int
+
+
+@dataclass(frozen=True)
+class AuthQueryAck(Message):
+    nonce: int
+    signed: Optional[SignedValue]
+
+
+class AuthObject(ObjectAutomaton):
+    """Stores the signed pair with the highest timestamp it has seen.
+
+    The object does *not* need to verify signatures itself (a Byzantine
+    object would skip verification anyway); readers verify.
+    """
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        self.signed: Optional[SignedValue] = None
+
+    def _current_ts(self) -> int:
+        if self.signed is None:
+            return 0
+        payload = self.signed.payload
+        return payload.ts if isinstance(payload, TimestampValue) else 0
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, AuthStore):
+            payload = message.signed.payload
+            if (isinstance(payload, TimestampValue)
+                    and payload.ts > self._current_ts()):
+                self.signed = message.signed
+            return [(sender, AuthStoreAck(nonce=message.nonce))]
+        if isinstance(message, AuthQuery):
+            return [(sender, AuthQueryAck(nonce=message.nonce,
+                                          signed=self.signed))]
+        return []
+
+
+class AuthWriterState:
+    def __init__(self, config: SystemConfig, signer: Signer):
+        self.config = config
+        self.signer = signer
+        self.ts = 0
+        self._nonce = 0
+
+    def next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+
+class AuthReaderState:
+    def __init__(self, config: SystemConfig, reader_index: int,
+                 public_key: PublicKey):
+        self.config = config
+        self.reader_index = reader_index
+        self.public_key = public_key
+        self._nonce = 0
+
+    def next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+
+class AuthWriteOperation(ClientOperation):
+    """One round: sign <ts, v>, install at ``S - t`` objects."""
+
+    kind = "WRITE"
+
+    def __init__(self, state: AuthWriterState, value: Any):
+        super().__init__(WRITER)
+        if isinstance(value, _Bottom):
+            raise ProtocolError("⊥ is not a valid input value for WRITE")
+        self.state = state
+        self.config = state.config
+        self.value = value
+        self.nonce = 0
+        self._ackers: Set[int] = set()
+
+    def start(self) -> Outgoing:
+        self.state.ts += 1
+        self.nonce = self.state.next_nonce()
+        signed = self.state.signer.sign(
+            TimestampValue(self.state.ts, self.value))
+        self.begin_round()
+        message = AuthStore(signed=signed, nonce=self.nonce)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, AuthStoreAck):
+            return []
+        if message.nonce != self.nonce:
+            return []
+        self._ackers.add(sender.index)
+        if len(self._ackers) >= self.config.quorum_size:
+            return self.complete("OK")
+        return []
+
+
+class AuthReadOperation(ClientOperation):
+    """One round: highest *validly signed* pair among ``S - t`` replies."""
+
+    kind = "READ"
+
+    def __init__(self, state: AuthReaderState):
+        super().__init__(reader(state.reader_index))
+        self.state = state
+        self.config = state.config
+        self.nonce = 0
+        self._answers: Dict[int, Optional[SignedValue]] = {}
+        self.rejected_forgeries = 0
+
+    def start(self) -> Outgoing:
+        self.nonce = self.state.next_nonce()
+        self.begin_round()
+        message = AuthQuery(nonce=self.nonce)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, AuthQueryAck):
+            return []
+        if message.nonce != self.nonce or sender.index in self._answers:
+            return []
+        self._answers[sender.index] = message.signed
+        if len(self._answers) >= self.config.quorum_size:
+            return self.complete(self._select())
+        return []
+
+    def _select(self) -> Any:
+        best: Optional[TimestampValue] = None
+        for signed in self._answers.values():
+            if signed is None:
+                continue
+            if not self.state.public_key.verify(signed):
+                self.rejected_forgeries += 1
+                continue
+            payload = signed.payload
+            if not isinstance(payload, TimestampValue):
+                self.rejected_forgeries += 1
+                continue
+            if best is None or payload.ts > best.ts:
+                best = payload
+        return best.value if best is not None else BOTTOM
+
+
+class AuthenticatedProtocol(StorageProtocol):
+    """Signed data: fast reads *and* writes at optimal resilience."""
+
+    name = "authenticated"
+    semantics = REGULAR
+    write_rounds_worst_case = 1
+    read_rounds_worst_case = 1
+    requires_authentication = True
+    readers_write = False
+
+    def __init__(self, key_seed: int = 0):
+        self._signer = Signer("writer", seed=key_seed)
+
+    def min_objects(self, t: int, b: int) -> int:
+        return 2 * t + b + 1
+
+    def make_objects(self, config: SystemConfig) -> List[AuthObject]:
+        self.validate_config(config)
+        return [AuthObject(i, config) for i in range(config.num_objects)]
+
+    def make_writer_state(self, config: SystemConfig) -> AuthWriterState:
+        return AuthWriterState(config, self._signer)
+
+    def make_reader_state(self, config: SystemConfig,
+                          reader_index: int) -> AuthReaderState:
+        return AuthReaderState(config, reader_index,
+                               self._signer.public_key())
+
+    def make_write(self, writer_state: AuthWriterState,
+                   value: Any) -> AuthWriteOperation:
+        return AuthWriteOperation(writer_state, value)
+
+    def make_read(self, reader_state: AuthReaderState) -> AuthReadOperation:
+        return AuthReadOperation(reader_state)

@@ -1,0 +1,32 @@
+"""Passive-reader safe storage (the pre-paper state of the art, à la [1]).
+
+Readers of this baseline do **not** modify base-object state -- the design
+point of Abraham, Chockler, Keidar & Malkhi's Byzantine Disk Paxos [1],
+whose lower bound says such readers need ``b + 1`` rounds in the worst
+case whenever fewer than ``2t + 2b + 1`` objects are available.  The
+protocol here is a simplified accumulate-until-confirmed emulation:
+
+* the WRITE is the paper's two-round pre-write/write (Figure 2) so that
+  written values carry the same durability invariant (``b + 1``
+  non-malicious objects hold the pre-write before any write completes);
+* the READ broadcasts query rounds and accumulates evidence across *all*
+  rounds; it returns the highest candidate confirmed by ``b + 1`` distinct
+  objects, eliminates candidates contradicted by ``t + b + 1`` objects,
+  and opens another round whenever a full quorum answered without a
+  verdict.
+
+Fault-free it returns in one round; each Byzantine forgery costs roughly
+one extra elimination round, and the adversarial experiments drive it to
+``b + 1`` rounds -- the shape [1] proves optimal for passive readers.
+This is the ablation for the paper's central design move (readers writing
+``tsr`` timestamps), quantified in E7/E8.
+"""
+
+from .protocol import (PassiveObject, PassiveReaderProtocol,
+                       PassiveReadOperation)
+
+__all__ = [
+    "PassiveReaderProtocol",
+    "PassiveObject",
+    "PassiveReadOperation",
+]

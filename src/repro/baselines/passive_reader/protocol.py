@@ -1,0 +1,176 @@
+"""Automata of the passive-reader baseline."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...core.safe.predicates import CandidateTracker
+from ...core.safe.writer import SafeWriterState, SafeWriteOperation
+from ...errors import SimulationError
+from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
+from ...protocols import SAFE, StorageProtocol
+from ...quorums import confirmation_threshold, elimination_threshold
+from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
+                      WriteTuple, initial_write_tuple, obj, reader)
+
+
+class PassiveObject(ObjectAutomaton):
+    """Like :class:`~repro.core.safe.object.SafeObject` minus the ``tsr``
+    fields: reads leave no trace in the object."""
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        self.ts: int = 0
+        self.pw: TimestampValue = INITIAL_TSVAL
+        self.w: WriteTuple = initial_write_tuple(config.num_objects,
+                                                 config.num_readers)
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, Pw):
+            if message.ts > self.ts:
+                self.ts = message.ts
+                self.pw = message.pw
+                self.w = message.w
+                # No reader timestamps to report: an all-zero row.
+                return [(sender, PwAck(
+                    ts=self.ts, object_index=self.object_index,
+                    tsr=(0,) * self.config.num_readers))]
+            return []
+        if isinstance(message, W):
+            if message.ts >= self.ts:
+                self.ts = message.ts
+                self.pw = message.pw
+                self.w = message.w
+                return [(sender, WriteAck(ts=self.ts,
+                                          object_index=self.object_index))]
+            return []
+        if isinstance(message, ReadRequest):
+            # Stateless with respect to readers: always answer, echoing the
+            # request nonce so the reader can match rounds.
+            return [(sender, ReadAck(round_index=message.round_index,
+                                     tsr=message.tsr,
+                                     object_index=self.object_index,
+                                     pw=self.pw, w=self.w))]
+        return []
+
+
+class PassiveReaderState:
+    def __init__(self, config: SystemConfig, reader_index: int):
+        self.config = config
+        self.reader_index = reader_index
+        self._nonce = 0
+
+    def next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+
+class PassiveReadOperation(ClientOperation):
+    """Accumulating multi-round read; rounds grow with Byzantine effort."""
+
+    kind = "READ"
+
+    def __init__(self, state: PassiveReaderState, max_rounds: int = 64):
+        super().__init__(reader(state.reader_index))
+        self.state = state
+        self.config = state.config
+        self.max_rounds = max_rounds
+        self.tracker = CandidateTracker(
+            elimination_threshold=elimination_threshold(self.config),
+            confirmation_threshold=confirmation_threshold(self.config),
+        )
+        self.round_index = 0
+        self._round_nonce: Dict[int, int] = {}
+        self._round_acks: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> Outgoing:
+        return self._broadcast_round()
+
+    def _broadcast_round(self) -> Outgoing:
+        self.round_index += 1
+        if self.round_index > self.max_rounds:
+            raise SimulationError(
+                f"passive read exceeded {self.max_rounds} rounds; the "
+                "schedule starves correct objects' replies indefinitely")
+        nonce = self.state.next_nonce()
+        self._round_nonce[self.round_index] = nonce
+        self._round_acks[self.round_index] = set()
+        self.begin_round()
+        request = ReadRequest(round_index=self.round_index, tsr=nonce,
+                              reader_index=self.state.reader_index)
+        return [(obj(i), request) for i in range(self.config.num_objects)]
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, ReadAck):
+            return []
+        rnd = message.round_index
+        if rnd not in self._round_nonce:
+            return []
+        if message.tsr != self._round_nonce[rnd]:
+            return []
+        i = sender.index
+        # Evidence accumulates across every round (passive readers have
+        # nothing else); candidates enter C in any round.
+        self.tracker.record_first_round(i, message.pw, message.w)
+        self._round_acks[rnd].add(i)
+        self._maybe_return()
+        if self.done:
+            return []
+        # A full quorum answered the *current* round with no verdict: the
+        # only remaining move is another round.
+        if (rnd == self.round_index
+                and len(self._round_acks[rnd]) >= self.config.quorum_size):
+            return self._broadcast_round()
+        return []
+
+    def _maybe_return(self) -> None:
+        candidate = self.tracker.returnable()
+        if candidate is not None:
+            self.complete(candidate.tsval.value)
+            return
+        if (self.tracker._candidates  # has ever seen candidates
+                and self.tracker.candidates_empty()):
+            self.complete(BOTTOM)
+
+
+class PassiveReaderProtocol(StorageProtocol):
+    """Safe storage with passive readers (E7's ``b + 1``-round row)."""
+
+    name = "passive-reader"
+    semantics = SAFE
+    write_rounds_worst_case = 2
+    #: worst case proven by [1] for S < 2t + 2b + 1; see the module doc.
+    read_rounds_worst_case = -1  # "b + 1": depends on b; see reads_bound()
+    requires_authentication = False
+    readers_write = False
+
+    @staticmethod
+    def read_rounds_bound(b: int) -> int:
+        return b + 1
+
+    def min_objects(self, t: int, b: int) -> int:
+        return 2 * t + b + 1
+
+    def make_objects(self, config: SystemConfig) -> List[PassiveObject]:
+        self.validate_config(config)
+        return [PassiveObject(i, config) for i in range(config.num_objects)]
+
+    def make_writer_state(self, config: SystemConfig) -> SafeWriterState:
+        return SafeWriterState(config)
+
+    def make_reader_state(self, config: SystemConfig,
+                          reader_index: int) -> PassiveReaderState:
+        return PassiveReaderState(config, reader_index)
+
+    def make_write(self, writer_state: SafeWriterState,
+                   value: Any) -> SafeWriteOperation:
+        return SafeWriteOperation(writer_state, value)
+
+    def make_read(self, reader_state: PassiveReaderState
+                  ) -> PassiveReadOperation:
+        return PassiveReadOperation(reader_state)

@@ -1,0 +1,1 @@
+"""The paper's contributions: safe storage, regular storage, lower bound."""

@@ -1,0 +1,38 @@
+"""Proposition 1 machinery: the mechanized fast-read impossibility proof.
+
+Public surface:
+
+* :func:`run_lower_bound` / :class:`LowerBoundDriver` -- stage the
+  five-run indistinguishability construction against any protocol;
+* :class:`FastReadProtocol` and its three selection rules -- the victims;
+* :func:`figure1` -- ASCII rendering of the paper's Figure 1;
+* :class:`BlockPartition`, :class:`ReplayResponder` -- the building blocks.
+"""
+
+from .blocks import BlockPartition
+from .diagram import figure1
+from .driver import (LowerBoundDriver, LowerBoundReport, RunOutcome,
+                     STALLED, run_lower_bound)
+from .replay import ReplayResponder
+from .victims import (ALL_RULES, FastObject, FastReadOperation,
+                      FastReadProtocol, FastWriteOperation, RULE_HIGHEST_TS,
+                      RULE_MAJORITY, RULE_THRESHOLD)
+
+__all__ = [
+    "BlockPartition",
+    "figure1",
+    "LowerBoundDriver",
+    "LowerBoundReport",
+    "RunOutcome",
+    "STALLED",
+    "run_lower_bound",
+    "ReplayResponder",
+    "FastReadProtocol",
+    "FastObject",
+    "FastReadOperation",
+    "FastWriteOperation",
+    "ALL_RULES",
+    "RULE_HIGHEST_TS",
+    "RULE_MAJORITY",
+    "RULE_THRESHOLD",
+]

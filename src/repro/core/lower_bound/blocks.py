@@ -1,0 +1,83 @@
+"""The block partition {T1, T2, B1, B2} of the Proposition 1 proof.
+
+The proof partitions the ``S <= 2t + 2b`` base objects into four blocks:
+``T1`` and ``T2`` of size exactly ``t`` (candidates for crashing /
+being slow), and ``B1``, ``B2`` of size between 1 and ``b`` (candidates
+for Byzantine corruption).  At the impossibility threshold ``S = 2t + 2b``
+the Byzantine blocks have size exactly ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...config import SystemConfig
+from ...errors import ConfigurationError
+from ...types import ProcessId, obj
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Index sets of the four proof blocks."""
+
+    t1: List[int]
+    t2: List[int]
+    b1: List[int]
+    b2: List[int]
+
+    @classmethod
+    def for_config(cls, config: SystemConfig) -> "BlockPartition":
+        t, b, S = config.t, config.b, config.num_objects
+        if b < 1:
+            raise ConfigurationError(
+                "the lower bound needs b >= 1 (with b = 0 fast reads exist)")
+        if S > 2 * t + 2 * b:
+            raise ConfigurationError(
+                f"S={S} exceeds 2t+2b={2 * t + 2 * b}: Proposition 1 does "
+                "not apply (fast reads are possible)")
+        if S < 2 * t + 2:
+            raise ConfigurationError(
+                f"S={S} < 2t+2: the proof needs non-empty B1 and B2 "
+                "(the optimal-resilience bound already forces S >= 2t+b+1)")
+        # Sizes: |T1| = |T2| = t; the rest split between B1 and B2, each
+        # capped at b and at least 1.
+        rest = S - 2 * t
+        size_b1 = min(b, rest - 1)
+        size_b1 = max(size_b1, 1)
+        size_b2 = rest - size_b1
+        if not (1 <= size_b2 <= b):
+            raise ConfigurationError(
+                f"cannot split {rest} non-T objects into 1..{b} + 1..{b}")
+        cursor = 0
+
+        def take(n: int) -> List[int]:
+            nonlocal cursor
+            block = list(range(cursor, cursor + n))
+            cursor += n
+            return block
+
+        return cls(t1=take(t), t2=take(t), b1=take(size_b1),
+                   b2=take(size_b2))
+
+    # -- helpers ----------------------------------------------------------
+    def pids(self, block: List[int]) -> List[ProcessId]:
+        return [obj(i) for i in block]
+
+    @property
+    def all_blocks(self) -> List[List[int]]:
+        return [self.t1, self.t2, self.b1, self.b2]
+
+    def block_name(self, index: int) -> str:
+        for name, block in (("T1", self.t1), ("T2", self.t2),
+                            ("B1", self.b1), ("B2", self.b2)):
+            if index in block:
+                return name
+        raise KeyError(index)
+
+    def describe(self) -> str:
+        def fmt(block: List[int]) -> str:
+            return "{" + ",".join(f"s{i + 1}" for i in block) + "}"
+
+        return (f"T1={fmt(self.t1)} T2={fmt(self.t2)} "
+                f"B1={fmt(self.b1)} B2={fmt(self.b2)}")

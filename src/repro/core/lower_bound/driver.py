@@ -1,0 +1,403 @@
+"""The mechanized Proposition 1 adversary (Section 3, Figure 1).
+
+Given *any* storage protocol instantiated with ``S <= 2t + 2b`` base
+objects, the driver executes the five-run indistinguishability argument of
+the proof **against the protocol's real code**:
+
+* **run1** -- the reader invokes READ ``rd1``; only block ``B1`` receives
+  the request and answers (acks held in transit).
+* **run2** -- extends run1: the writer completes ``WRITE(v1)`` while all
+  writer messages to ``T1`` stay in transit (the write *skips* ``T1``).
+* **run3** -- the read continues: ``T1`` and ``B2`` now receive the (old)
+  read request and answer; every object-to-reader ack is released except
+  ``T2``'s traffic, which stays in transit.  A *fast* read must return
+  after these ``S - t`` acks; call its value ``v_R``.
+* **run4** -- a fresh system where ``WRITE(v1)`` fully precedes the READ,
+  but ``B1`` is malicious and replays its run1 (pre-write) acks.  The
+  reader receives byte-identical information to run3, so a deterministic
+  reader returns ``v_R`` -- which safety requires to be ``v1``.
+* **run5** -- a fresh system where *no write ever happens*, but ``B2`` is
+  malicious and replays its run3 (post-write) acks.  Again byte-identical
+  to run3/run4 from the reader's seat, so the read returns ``v_R`` -- which
+  safety requires to be ``⊥``.
+
+Since ``v1 != ⊥``, any protocol whose reads complete in all three staged
+runs violates safety in run4 or run5; a protocol that avoids violation can
+only do so by *not completing* some read fast (the driver reports which
+run blocked).  Both outcomes are exactly Proposition 1.
+
+The driver also *verifies* the indistinguishability claims rather than
+assuming them: it checks that run4 and run5 deliver the reader the same
+acknowledgment multiset as run3 and that the returned values match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...config import SystemConfig
+from ...errors import ConfigurationError
+from ...protocols import StorageProtocol
+from ...sim import tracing
+from ...sim.schedulers import FifoScheduler
+from ...system import StorageSystem
+from ...types import BOTTOM, ProcessId, WRITER, _Bottom, obj, reader
+from .blocks import BlockPartition
+from .replay import ReplayResponder
+
+#: Sentinel result for a read that never completed under the schedule.
+STALLED = "<read did not complete fast>"
+
+
+@dataclass
+class RunOutcome:
+    """What one staged run produced."""
+
+    name: str
+    completed: bool
+    value: Any = None
+    rounds_used: int = 0
+    acks_to_reader: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if not self.completed:
+            return f"{self.name}: READ blocked (not fast under this schedule)"
+        return (f"{self.name}: READ returned {self.value!r} "
+                f"after {self.rounds_used} round(s)")
+
+
+@dataclass
+class LowerBoundReport:
+    """Verdict of the five-run construction against one protocol."""
+
+    protocol_name: str
+    config: SystemConfig
+    partition: BlockPartition
+    written_value: Any
+    runs: Dict[str, RunOutcome] = field(default_factory=dict)
+    violated: bool = False
+    violation_run: Optional[str] = None
+    survived_by_blocking: bool = False
+    blocked_run: Optional[str] = None
+    indistinguishable: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def v_r(self) -> Any:
+        run3 = self.runs.get("run3")
+        return run3.value if run3 and run3.completed else STALLED
+
+    def render(self) -> str:
+        lines = [
+            f"Lower-bound construction vs {self.protocol_name} "
+            f"(S={self.config.num_objects}, t={self.config.t}, "
+            f"b={self.config.b})",
+            f"  blocks: {self.partition.describe()}",
+        ]
+        for name in ("run3", "run4", "run5"):
+            if name in self.runs:
+                lines.append("  " + self.runs[name].describe())
+        if self.violated:
+            lines.append(
+                f"  => SAFETY VIOLATED in {self.violation_run}: "
+                + (f"read after WRITE({self.written_value!r}) returned "
+                   f"{self.runs['run4'].value!r}"
+                   if self.violation_run == "run4" else
+                   f"read with no WRITE invoked returned "
+                   f"{self.runs['run5'].value!r} != ⊥"))
+        elif self.survived_by_blocking:
+            lines.append(
+                f"  => protocol survived: READ in {self.blocked_run} did "
+                "not complete fast (it is not a fast-READ implementation)")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+class LowerBoundDriver:
+    """Stages run1..run5 of the Proposition 1 proof."""
+
+    def __init__(self, protocol_factory, config: SystemConfig,
+                 written_value: Any = "v1", max_steps: int = 200_000,
+                 extra_hold=None, record_filter=None):
+        """``protocol_factory``: zero-argument callable returning a fresh
+        :class:`StorageProtocol` (each staged system needs pristine
+        protocol state).
+
+        ``extra_hold``: optional payload predicate; matching messages stay
+        in transit in *every* staged run.  The server-centric experiment
+        (Section 6) uses it to keep unsolicited pushes in transit, which is
+        how the asynchronous adversary treats them in the extended proof.
+
+        ``record_filter``: optional payload predicate restricting which of
+        the reference run's object-to-reader sends are replayed as
+        forgeries (defaults to all; server-centric runs exclude pushes,
+        since held pushes were never part of the reader's view).
+        """
+        self.protocol_factory = protocol_factory
+        self.config = config
+        self.partition = BlockPartition.for_config(config)
+        self.written_value = written_value
+        self.max_steps = max_steps
+        self.extra_hold = extra_hold
+        self.record_filter = record_filter or (lambda payload: True)
+
+    # ------------------------------------------------------------------
+    def execute(self) -> LowerBoundReport:
+        protocol = self.protocol_factory()
+        report = LowerBoundReport(
+            protocol_name=protocol.name,
+            config=self.config,
+            partition=self.partition,
+            written_value=self.written_value,
+        )
+        recorded = self._phase_a(protocol, report)
+        if report.survived_by_blocking:
+            return report
+        self._phase_b(report, recorded)
+        if report.survived_by_blocking:
+            return report
+        self._phase_c(report, recorded)
+        if report.survived_by_blocking:
+            return report
+        self._verdict(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _fresh_system(self) -> StorageSystem:
+        system = StorageSystem(self.protocol_factory(), self.config,
+                               scheduler=FifoScheduler())
+        self._install_extra_hold(system)
+        return system
+
+    def _install_extra_hold(self, system: StorageSystem) -> None:
+        if self.extra_hold is None:
+            return
+        predicate = self.extra_hold
+        system.kernel.network.hold(
+            "extra", lambda env: predicate(env.payload))
+
+    def _hold_t2_bidirectional(self, system: StorageSystem,
+                               tag: str) -> None:
+        """All traffic between the reader and T2 stays in transit.
+
+        In the data-centric model T2 only ever answers reader requests, so
+        holding the reader->T2 direction suffices; in the server-centric
+        model T2 may push, hence both directions."""
+        rpid = reader(0)
+        t2 = {obj(i) for i in self.partition.t2}
+
+        def predicate(env) -> bool:
+            if env.sender == rpid and env.receiver in t2:
+                return True
+            return env.sender in t2 and env.receiver == rpid
+
+        system.kernel.network.hold(tag, predicate)
+
+    def _hold_links(self, system: StorageSystem, tag: str,
+                    sender: Optional[ProcessId],
+                    receiver_indices: List[int]) -> None:
+        receivers = {obj(i) for i in receiver_indices}
+
+        def predicate(env) -> bool:
+            if sender is not None and env.sender != sender:
+                return False
+            return env.receiver in receivers
+
+        system.kernel.network.hold(tag, predicate)
+
+    def _hold_reader_inbound(self, system: StorageSystem, tag: str,
+                             from_indices: Optional[List[int]] = None
+                             ) -> None:
+        rpid = reader(0)
+        senders = (None if from_indices is None
+                   else {obj(i) for i in from_indices})
+
+        def predicate(env) -> bool:
+            if env.receiver != rpid:
+                return False
+            return senders is None or env.sender in senders
+
+        system.kernel.network.hold(tag, predicate)
+
+    def _reader_ack_log(self, system: StorageSystem) -> List[str]:
+        rpid = reader(0)
+        return [
+            f"{event.peer!r}:{event.detail}"
+            for event in system.kernel.trace.events(kind=tracing.DELIVER,
+                                                    process=rpid)
+        ]
+
+    def _object_sends_to_reader(self, system: StorageSystem,
+                                index: int) -> List[Any]:
+        rpid = reader(0)
+        return [
+            event.payload
+            for event in system.kernel.trace.events(
+                kind=tracing.SEND, process=obj(index),
+                predicate=lambda e: e.peer == rpid)
+            if self.record_filter(event.payload)
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase A: run1 -> run2 -> run3 on one system
+    # ------------------------------------------------------------------
+    def _phase_a(self, protocol: StorageProtocol,
+                 report: LowerBoundReport) -> Dict[int, List[Any]]:
+        part = self.partition
+        system = StorageSystem(protocol, self.config,
+                               scheduler=FifoScheduler())
+        self._install_extra_hold(system)
+        rpid = reader(0)
+        net = system.kernel.network
+
+        # run1: rd1 skips B2, T1, T2 -- their copies of the read request
+        # stay in transit; every object->reader ack is held too.
+        self._hold_links(system, "rd->T1", rpid, part.t1)
+        self._hold_t2_bidirectional(system, "rd<->T2")
+        self._hold_links(system, "rd->B2", rpid, part.b2)
+        self._hold_reader_inbound(system, "acks->r1")
+
+        rd1 = system.invoke_read(0)
+        system.kernel.run_to_quiescence(self.max_steps)  # B1 answers; held
+
+        # run2: WRITE(v1) completes while skipping T1.
+        self._hold_links(system, "w->T1", WRITER, part.t1)
+        wr1 = system.invoke_write(self.written_value)
+        system.kernel.run_until(lambda: wr1.done, self.max_steps)
+
+        # run3: T1 and B2 receive the old read request and answer from
+        # their current states (σ0 and σ2); all acks except T2's reach the
+        # reader.  T2's traffic stays in transit throughout.
+        net.release("rd->T1")
+        net.release("rd->B2")
+        system.kernel.run_to_quiescence(self.max_steps)
+        net.release("acks->r1")
+        system.kernel.run_to_quiescence(self.max_steps)
+
+        outcome = RunOutcome(
+            name="run3",
+            completed=rd1.done,
+            value=rd1.result if rd1.done else None,
+            rounds_used=rd1.rounds_used,
+            acks_to_reader=self._reader_ack_log(system),
+        )
+        report.runs["run3"] = outcome
+        if not rd1.done:
+            report.survived_by_blocking = True
+            report.blocked_run = "run3"
+            return {}
+
+        # Record every ack each B1/B2 object sent to the reader: the σ1
+        # and σ2 forgeries of runs 4 and 5.
+        recorded: Dict[int, List[Any]] = {}
+        for i in part.b1 + part.b2:
+            recorded[i] = self._object_sends_to_reader(system, i)
+        return recorded
+
+    # ------------------------------------------------------------------
+    # Phase B: run4 -- write precedes read; B1 forges σ1.
+    # ------------------------------------------------------------------
+    def _phase_b(self, report: LowerBoundReport,
+                 recorded: Dict[int, List[Any]]) -> None:
+        part = self.partition
+        system = self._fresh_system()
+        for i in part.b1:
+            honest = system.kernel.object_automaton(obj(i))
+            system.kernel.make_byzantine(
+                obj(i), ReplayResponder(honest, recorded.get(i, [])),
+                note="forges σ1 (replays pre-write acks)")
+
+        self._hold_links(system, "w->T1", WRITER, part.t1)
+        wr1 = system.invoke_write(self.written_value)
+        system.kernel.run_until(lambda: wr1.done, self.max_steps)
+
+        # rd1 invoked strictly after wr1 completed; T2 stays in transit.
+        self._hold_t2_bidirectional(system, "rd<->T2")
+        rd1 = system.invoke_read(0)
+        system.kernel.run_to_quiescence(self.max_steps)
+
+        report.runs["run4"] = RunOutcome(
+            name="run4",
+            completed=rd1.done,
+            value=rd1.result if rd1.done else None,
+            rounds_used=rd1.rounds_used,
+            acks_to_reader=self._reader_ack_log(system),
+        )
+        if not rd1.done:
+            report.survived_by_blocking = True
+            report.blocked_run = "run4"
+
+    # ------------------------------------------------------------------
+    # Phase C: run5 -- no write at all; B2 forges σ2.
+    # ------------------------------------------------------------------
+    def _phase_c(self, report: LowerBoundReport,
+                 recorded: Dict[int, List[Any]]) -> None:
+        part = self.partition
+        system = self._fresh_system()
+        for i in part.b2:
+            honest = system.kernel.object_automaton(obj(i))
+            system.kernel.make_byzantine(
+                obj(i), ReplayResponder(honest, recorded.get(i, [])),
+                note="forges σ2 (replays post-write acks)")
+
+        self._hold_t2_bidirectional(system, "rd<->T2")
+        rd1 = system.invoke_read(0)
+        system.kernel.run_to_quiescence(self.max_steps)
+
+        report.runs["run5"] = RunOutcome(
+            name="run5",
+            completed=rd1.done,
+            value=rd1.result if rd1.done else None,
+            rounds_used=rd1.rounds_used,
+            acks_to_reader=self._reader_ack_log(system),
+        )
+        if not rd1.done:
+            report.survived_by_blocking = True
+            report.blocked_run = "run5"
+
+    # ------------------------------------------------------------------
+    def _verdict(self, report: LowerBoundReport) -> None:
+        v_r = report.runs["run3"].value
+        v4 = report.runs["run4"].value
+        v5 = report.runs["run5"].value
+
+        def same(a: Any, b: Any) -> bool:
+            if isinstance(a, _Bottom) and isinstance(b, _Bottom):
+                return True
+            return a == b
+
+        if not (same(v4, v_r) and same(v5, v_r)):
+            report.indistinguishable = False
+            report.notes.append(
+                f"reader distinguished the runs (v_R={v_r!r}, v4={v4!r}, "
+                f"v5={v5!r}); the protocol is not deterministic in its "
+                "received messages")
+        # Safety clauses (Section 2.2): run4's read succeeds wr1 and must
+        # return v1; run5 has no write and must return ⊥.
+        if not same(v4, self.written_value):
+            report.violated = True
+            report.violation_run = "run4"
+        elif not isinstance(v5, _Bottom):
+            report.violated = True
+            report.violation_run = "run5"
+
+
+def run_lower_bound(protocol_factory, t: int, b: int,
+                    num_objects: Optional[int] = None,
+                    written_value: Any = "v1") -> LowerBoundReport:
+    """Convenience wrapper: stage the construction at ``S = 2t + 2b``.
+
+    ``num_objects`` may be lowered (the proof covers any ``S <= 2t + 2b``
+    with ``S >= 2t + 2``); raising it above ``2t + 2b`` is rejected --
+    that is fast-read territory (see :func:`~repro.config.
+    fast_read_impossibility_threshold`).
+    """
+    S = num_objects if num_objects is not None else 2 * t + 2 * b
+    config = SystemConfig.with_objects(t=t, b=b, num_objects=S,
+                                       num_readers=1)
+    driver = LowerBoundDriver(protocol_factory, config, written_value)
+    return driver.execute()

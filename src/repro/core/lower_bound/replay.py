@@ -1,0 +1,44 @@
+"""State-forging Byzantine objects used by the lower-bound driver.
+
+The Proposition 1 proof makes malicious objects "forge their state to σ"
+-- behave toward the reader exactly as if their state were one captured in
+a *different* partial run.  :class:`ReplayResponder` implements that move
+operationally: it records the acknowledgment payloads the honest object
+sent in the reference run and replays them verbatim, one batch per
+incoming READ request, while serving the write protocol honestly (the
+writer must not be able to distinguish the runs either).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ...automata.base import ObjectAutomaton, Outgoing
+from ...messages import ReadRequest
+from ...types import ProcessId
+
+
+class ReplayResponder(ObjectAutomaton):
+    """Replays recorded read acks; handles writer traffic honestly."""
+
+    def __init__(self, inner: ObjectAutomaton,
+                 recorded_acks: Sequence[Any]):
+        super().__init__(inner.object_index)
+        self.inner = inner
+        self._recorded: List[Any] = list(recorded_acks)
+        self._cursor = 0
+        self.replayed = 0
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, ReadRequest):
+            # Keep the honest automaton's clock in sync (it must still
+            # accept later requests if the recording runs out)...
+            self.inner.on_message(sender, message)
+            # ...but answer from the recording: the forged state σ.
+            if self._cursor < len(self._recorded):
+                payload = self._recorded[self._cursor]
+                self._cursor += 1
+                self.replayed += 1
+                return [(sender, payload)]
+            return []
+        return self.inner.on_message(sender, message)

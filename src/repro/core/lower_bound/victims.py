@@ -1,0 +1,210 @@
+"""Fast-READ storage protocols for the lower-bound adversary to attack.
+
+Proposition 1 says *every* fast-READ implementation with ``S <= 2t + 2b``
+objects violates safety.  To demonstrate the proof mechanically we need
+concrete victims: plausible one-round-read protocols that a practitioner
+might actually write.  All three share the same trivial object (latest
+timestamp-value pair) and one-round writer, differing only in how the
+reader condenses its ``S - t`` acknowledgments into a return value:
+
+* :data:`RULE_HIGHEST_TS` -- trust the highest timestamp seen (optimistic;
+  killed in *run5*: a Byzantine block forges a high-timestamp value and
+  the read returns a value that was never written);
+* :data:`RULE_MAJORITY` -- plurality vote (killed in *run4*: the stale
+  majority out-votes the fresh value and the read misses a completed
+  write);
+* :data:`RULE_THRESHOLD` -- highest timestamp with ``>= b + 1`` identical
+  confirmations, else ``⊥`` (the textbook Byzantine-quorum rule; killed in
+  *run4* at ``S = 2t + 2b``, yet **provably safe at** ``S = 2t + 2b + 1``,
+  which is exactly the tightness frontier of the proposition).
+
+The writer is single-round on purpose: the lower bound is independent of
+write complexity, and the driver verifies the violation regardless.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...errors import ProtocolError
+from ...messages import ReadAck, ReadRequest, W, WriteAck
+from ...protocols import SAFE, StorageProtocol
+from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
+                      TsrArray, WRITER, WriteTuple, _Bottom, obj, reader)
+
+RULE_HIGHEST_TS = "highest-ts"
+RULE_MAJORITY = "majority"
+RULE_THRESHOLD = "threshold"
+
+ALL_RULES = (RULE_HIGHEST_TS, RULE_MAJORITY, RULE_THRESHOLD)
+
+
+class FastObject(ObjectAutomaton):
+    """Latest timestamp-value pair; answers reads in one hop."""
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        self.tsval: TimestampValue = INITIAL_TSVAL
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, W):
+            if message.ts > self.tsval.ts:
+                self.tsval = message.pw
+            return [(sender, WriteAck(ts=message.ts,
+                                      object_index=self.object_index))]
+        if isinstance(message, ReadRequest):
+            w = WriteTuple(self.tsval, TsrArray.empty(
+                self.config.num_objects, self.config.num_readers))
+            return [(sender, ReadAck(round_index=message.round_index,
+                                     tsr=message.tsr,
+                                     object_index=self.object_index,
+                                     pw=self.tsval, w=w))]
+        return []
+
+
+class FastWriterState:
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.ts = 0
+
+
+class FastWriteOperation(ClientOperation):
+    """One-round write: install <ts, v>, wait for ``S - t`` acks."""
+
+    kind = "WRITE"
+
+    def __init__(self, state: FastWriterState, value: Any):
+        super().__init__(WRITER)
+        if isinstance(value, _Bottom):
+            raise ProtocolError("⊥ is not a valid input value for WRITE")
+        self.state = state
+        self.config = state.config
+        self.value = value
+        self.ts = 0
+        self._ackers: set = set()
+
+    def start(self) -> Outgoing:
+        self.state.ts += 1
+        self.ts = self.state.ts
+        pw = TimestampValue(self.ts, self.value)
+        w = WriteTuple(pw, TsrArray.empty(self.config.num_objects,
+                                          self.config.num_readers))
+        self.begin_round()
+        message = W(ts=self.ts, pw=pw, w=w)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, WriteAck):
+            return []
+        if message.ts != self.ts:
+            return []
+        self._ackers.add(sender.index)
+        if len(self._ackers) >= self.config.quorum_size:
+            return self.complete("OK")
+        return []
+
+
+class FastReaderState:
+    def __init__(self, config: SystemConfig, reader_index: int):
+        self.config = config
+        self.reader_index = reader_index
+        self.tsr = 0
+
+
+class FastReadOperation(ClientOperation):
+    """One-round read: collect ``S - t`` acks, condense with ``rule``."""
+
+    kind = "READ"
+
+    def __init__(self, state: FastReaderState, rule: str):
+        super().__init__(reader(state.reader_index))
+        if rule not in ALL_RULES:
+            raise ProtocolError(f"unknown selection rule {rule!r}")
+        self.state = state
+        self.config = state.config
+        self.rule = rule
+        self.tsr = 0
+        self._acks: Dict[int, TimestampValue] = {}
+
+    def start(self) -> Outgoing:
+        self.state.tsr += 1
+        self.tsr = self.state.tsr
+        self.begin_round()
+        request = ReadRequest(round_index=1, tsr=self.tsr,
+                              reader_index=self.state.reader_index)
+        return [(obj(i), request) for i in range(self.config.num_objects)]
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not isinstance(message, ReadAck):
+            return []
+        if message.tsr != self.tsr or sender.index in self._acks:
+            return []
+        self._acks[sender.index] = message.pw
+        if len(self._acks) >= self.config.quorum_size:
+            return self.complete(self._select())
+        return []
+
+    # -- selection rules ----------------------------------------------------
+    def _select(self) -> Any:
+        pairs = list(self._acks.values())
+        if self.rule == RULE_HIGHEST_TS:
+            best = max(pairs, key=lambda p: p.ts)
+            return best.value
+        if self.rule == RULE_MAJORITY:
+            counts = Counter((p.ts, repr(p.value)) for p in pairs)
+            # plurality; ties broken toward the higher timestamp
+            best_key = max(counts,
+                           key=lambda key: (counts[key], key[0]))
+            for p in pairs:
+                if (p.ts, repr(p.value)) == best_key:
+                    return p.value
+        if self.rule == RULE_THRESHOLD:
+            counts = Counter(pairs)
+            confirmed = [p for p, n in counts.items()
+                         if n >= self.config.b + 1]
+            if not confirmed:
+                return BOTTOM
+            return max(confirmed, key=lambda p: p.ts).value
+        raise ProtocolError(f"unhandled rule {self.rule!r}")
+
+
+class FastReadProtocol(StorageProtocol):
+    """A 1-round-read / 1-round-write protocol, parameterized by rule."""
+
+    semantics = SAFE  # *claimed*; Proposition 1 is about breaking this
+    write_rounds_worst_case = 1
+    read_rounds_worst_case = 1
+    requires_authentication = False
+    readers_write = False
+
+    def __init__(self, rule: str = RULE_THRESHOLD):
+        if rule not in ALL_RULES:
+            raise ProtocolError(f"unknown selection rule {rule!r}")
+        self.rule = rule
+        self.name = f"fast-read[{rule}]"
+
+    def min_objects(self, t: int, b: int) -> int:
+        # Any meaningful quorum system needs overlapping read/write quorums.
+        return 2 * t + 1
+
+    def make_objects(self, config: SystemConfig) -> List[FastObject]:
+        self.validate_config(config)
+        return [FastObject(i, config) for i in range(config.num_objects)]
+
+    def make_writer_state(self, config: SystemConfig) -> FastWriterState:
+        return FastWriterState(config)
+
+    def make_reader_state(self, config: SystemConfig,
+                          reader_index: int) -> FastReaderState:
+        return FastReaderState(config, reader_index)
+
+    def make_write(self, writer_state: FastWriterState,
+                   value: Any) -> FastWriteOperation:
+        return FastWriteOperation(writer_state, value)
+
+    def make_read(self, reader_state: FastReaderState) -> FastReadOperation:
+        return FastReadOperation(reader_state, self.rule)

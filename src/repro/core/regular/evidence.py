@@ -1,0 +1,126 @@
+"""Reader-side evidence sets of the regular protocol (Figure 6, lines 1-5).
+
+Mirrors :mod:`repro.core.safe.predicates` for the history-based protocol:
+
+* candidates ``C`` are every write tuple appearing in a *first-round*
+  history (line 20);
+* ``invalid(c)`` (line 2) -- at least ``t + b + 1`` objects answered, in
+  some round, with a history slot for ``c``'s timestamp that is missing or
+  contradicts ``c``;
+* ``safe(c)`` (line 3) -- at least ``b + 1`` objects answered, in some
+  round, with a matching ``pw`` or ``w`` at ``c``'s slot;
+* ``conflict`` (line 1) reuses the same accusation structure as the safe
+  protocol, with accusers drawn from round-1 histories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from ...messages import HistoryEntry
+from ...types import TimestampValue, WriteTuple
+
+
+class RegularEvidence:
+    """Histories received per round, plus the Figure 6 predicates."""
+
+    def __init__(self, elimination_threshold: int,
+                 confirmation_threshold: int):
+        self.elimination_threshold = elimination_threshold
+        self.confirmation_threshold = confirmation_threshold
+        #: history[rnd][i] -> {ts: HistoryEntry}; first ack per round wins
+        self.round_histories: Dict[int, Dict[int, Mapping[int, HistoryEntry]]]
+        self.round_histories = {1: {}, 2: {}}
+        self._candidates: Set[WriteTuple] = set()
+
+    # -- ingestion ---------------------------------------------------------
+    def record(self, round_index: int, object_index: int,
+               history: Mapping[int, HistoryEntry]) -> bool:
+        """Store a round's history for an object (dedup: first ack wins).
+
+        Round-1 histories contribute their non-nil ``w`` entries to the
+        candidate set (line 20).
+        """
+        per_round = self.round_histories[round_index]
+        if object_index in per_round:
+            return False
+        per_round[object_index] = dict(history)
+        if round_index == 1:
+            for entry in history.values():
+                if entry.w is not None:
+                    self._candidates.add(entry.w)
+        return True
+
+    def responded_first(self) -> Set[int]:
+        return set(self.round_histories[1])
+
+    def first_round_accusers(self) -> Dict[WriteTuple, Set[int]]:
+        """``FirstRW``-equivalent: who exhibited each candidate in round 1."""
+        accusers: Dict[WriteTuple, Set[int]] = {}
+        for i, history in self.round_histories[1].items():
+            for entry in history.values():
+                if entry.w is not None:
+                    accusers.setdefault(entry.w, set()).add(i)
+        return accusers
+
+    # -- per-object slot lookup -----------------------------------------------
+    def _slot(self, round_index: int, object_index: int,
+              ts: int) -> Optional[HistoryEntry]:
+        history = self.round_histories[round_index].get(object_index)
+        if history is None:
+            return None  # no response in this round (no opinion)
+        return history.get(ts, HistoryEntry(pw=None, w=None))
+
+    # -- predicates --------------------------------------------------------------
+    def invalid_voters(self, c: WriteTuple) -> Set[int]:
+        """Objects counted by ``invalid(c)``: some round's response
+        contradicts ``c`` at slot ``c.ts``."""
+        voters: Set[int] = set()
+        for round_index in (1, 2):
+            for i in self.round_histories[round_index]:
+                entry = self._slot(round_index, i, c.ts)
+                if entry is None:
+                    continue
+                if entry.w is None or entry.pw != c.tsval or entry.w != c:
+                    voters.add(i)
+        return voters
+
+    def is_invalid(self, c: WriteTuple) -> bool:
+        return len(self.invalid_voters(c)) >= self.elimination_threshold
+
+    def safe_voters(self, c: WriteTuple) -> Set[int]:
+        """Objects counted by ``safe(c)``: a matching pw or w at the slot."""
+        voters: Set[int] = set()
+        for round_index in (1, 2):
+            for i in self.round_histories[round_index]:
+                entry = self._slot(round_index, i, c.ts)
+                if entry is None:
+                    continue
+                if entry.pw == c.tsval or entry.w == c:
+                    voters.add(i)
+        return voters
+
+    def is_safe(self, c: WriteTuple) -> bool:
+        return len(self.safe_voters(c)) >= self.confirmation_threshold
+
+    # -- candidate queries ----------------------------------------------------------
+    def candidates(self) -> Set[WriteTuple]:
+        """Current ``C``: round-1 candidates not (yet) invalid."""
+        return {c for c in self._candidates if not self.is_invalid(c)}
+
+    def candidates_empty(self) -> bool:
+        return not self.candidates()
+
+    def high_candidates(self) -> Set[WriteTuple]:
+        current = self.candidates()
+        if not current:
+            return set()
+        top = max(c.ts for c in current)
+        return {c for c in current if c.ts == top}
+
+    def returnable(self) -> Optional[WriteTuple]:
+        """Line 14: a safe candidate with the highest timestamp, if any."""
+        for c in self.high_candidates():
+            if self.is_safe(c):
+                return c
+        return None

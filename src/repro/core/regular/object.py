@@ -1,0 +1,100 @@
+"""Base-object automaton of the regular storage (Figure 5).
+
+Unlike the safe protocol's object, which keeps only the latest ``pw``/``w``
+pair, the regular object records *every* value it receives from the writer
+in an indexed ``history``: ``history[ts] = <pw, w>``.  On a PW for write
+``ts'`` it provisionally records ``history[ts'] = <pw', nil>`` and
+back-fills the previous write's complete tuple at ``history[ts' - 1]``
+(PW messages carry the previous ``w``); on a W it completes
+``history[ts']``.
+
+READ requests are answered with the history -- in full, or (Section 5.1)
+only the suffix from the reader's cached timestamp ``from_ts`` onward,
+which is the optimization experiment E6 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...automata.base import ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...messages import (HistoryEntry, HistoryReadAck, Pw, ReadRequest, PwAck,
+                         W, WriteAck)
+from ...types import INITIAL_TSVAL, ProcessId, initial_write_tuple
+
+
+class RegularObject(ObjectAutomaton):
+    """Figure 5: ``code of object s_i`` for the regular storage."""
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        # Initialization (lines 1-3): history[0] = <pw_0, w_0>.
+        w0 = initial_write_tuple(config.num_objects, config.num_readers)
+        self.ts: int = 0
+        self.history: Dict[int, HistoryEntry] = {
+            0: HistoryEntry(pw=INITIAL_TSVAL, w=w0),
+        }
+        self.tsr: List[int] = [0] * config.num_readers
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, Pw):
+            return self._on_pw(sender, message)
+        if isinstance(message, W):
+            return self._on_w(sender, message)
+        if isinstance(message, ReadRequest):
+            return self._on_read(sender, message)
+        return []
+
+    # -- lines 4-9 -------------------------------------------------------
+    def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
+        if message.ts > self.ts:
+            # Record the new pre-write and back-fill the previous write's
+            # complete tuple carried by the PW message.
+            self.history[message.ts] = HistoryEntry(pw=message.pw, w=None)
+            self.history[message.w.ts] = HistoryEntry(pw=message.w.tsval,
+                                                      w=message.w)
+            self.ts = message.ts
+            return [(sender, PwAck(ts=self.ts,
+                                   object_index=self.object_index,
+                                   tsr=tuple(self.tsr)))]
+        return []
+
+    # -- lines 10-14 -----------------------------------------------------
+    def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
+        if message.ts >= self.ts:
+            self.ts = message.ts
+            self.history[message.ts] = HistoryEntry(pw=message.pw,
+                                                    w=message.w)
+            return [(sender, WriteAck(ts=self.ts,
+                                      object_index=self.object_index))]
+        return []
+
+    # -- lines 15-19 -----------------------------------------------------
+    def _on_read(self, sender: ProcessId, message: ReadRequest) -> Outgoing:
+        j = message.reader_index
+        if not 0 <= j < self.config.num_readers:
+            return []
+        if message.tsr > self.tsr[j]:
+            self.tsr[j] = message.tsr
+            history = self.history
+            if message.from_ts is not None:
+                # Section 5.1: ship only the suffix from the reader's
+                # cached timestamp onwards.
+                history = {ts: entry for ts, entry in history.items()
+                           if ts >= message.from_ts}
+            ack = HistoryReadAck(
+                round_index=message.round_index,
+                tsr=self.tsr[j],
+                object_index=self.object_index,
+                history=dict(history),
+            )
+            return [(sender, ack)]
+        return []
+
+    # ------------------------------------------------------------------
+    def describe_state(self) -> str:
+        return (f"s{self.object_index + 1}: ts={self.ts}, "
+                f"|history|={len(self.history)}, tsr={self.tsr}")

@@ -1,0 +1,157 @@
+"""Reader side of the regular storage (Figure 6) and its §5.1 optimization.
+
+Control flow mirrors the safe reader -- two rounds, reader timestamps
+written into the objects, conflict-free quorum to leave round 1 -- but the
+evidence is richer: whole histories instead of latest values, with the
+``invalid``/``safe`` predicates of :class:`~repro.core.regular.evidence.
+RegularEvidence` deciding candidate fate.
+
+Two reader flavours share the implementation:
+
+* :class:`RegularReadOperation` (``cached=False``) ships full histories;
+  the candidate set always contains the initial tuple ``w_0``, so the
+  round-2 wait needs no empty-set escape hatch;
+* the optimized reader (``cached=True``) sends the timestamp of the last
+  value this reader returned, receives only history suffixes, and falls
+  back to the cached value when the candidate set drains (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...automata.base import ClientOperation, Outgoing
+from ...config import SystemConfig
+from ...errors import ProtocolError
+from ...messages import HistoryReadAck, ReadRequest
+from ...quorums import confirmation_threshold, elimination_threshold
+from ...types import BOTTOM, ProcessId, obj, reader
+from ..safe.predicates import conflict_pairs, exists_conflict_free_quorum
+from .evidence import RegularEvidence
+
+
+@dataclass
+class RegularReaderState:
+    """Persistent per-reader variables: ``tsr'_j`` plus the §5.1 cache."""
+
+    config: SystemConfig
+    reader_index: int = 0
+    tsr: int = 0
+    cache_ts: int = 0
+    cache_value: Any = BOTTOM
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.reader_index < self.config.num_readers:
+            raise ProtocolError(
+                f"reader index {self.reader_index} out of range for "
+                f"R={self.config.num_readers}")
+
+
+class RegularReadOperation(ClientOperation):
+    """One ``READ()`` of the regular storage (Figure 6, lines 7-27)."""
+
+    kind = "READ"
+
+    def __init__(self, state: RegularReaderState, cached: bool = False):
+        super().__init__(reader(state.reader_index))
+        self.state = state
+        self.config = state.config
+        self.reader_index = state.reader_index
+        self.cached = cached
+        self.evidence = RegularEvidence(
+            elimination_threshold=elimination_threshold(self.config),
+            confirmation_threshold=confirmation_threshold(self.config),
+        )
+        self.phase = 1
+        self.tsr_first_round: int = 0
+        #: history entries received, for the E6 message-size accounting
+        self.history_entries_received = 0
+
+    # ------------------------------------------------------------------
+    def _from_ts(self) -> Optional[int]:
+        return self.state.cache_ts if self.cached else None
+
+    def start(self) -> Outgoing:
+        self.state.tsr += 1
+        self.tsr_first_round = self.state.tsr
+        self.begin_round()
+        request = ReadRequest(round_index=1, tsr=self.tsr_first_round,
+                              reader_index=self.reader_index,
+                              from_ts=self._from_ts())
+        return [(obj(i), request) for i in range(self.config.num_objects)]
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not sender.is_object:
+            return []
+        if not isinstance(message, HistoryReadAck):
+            return []
+        i = sender.index
+        if (self.phase == 1 and message.round_index == 1
+                and message.tsr == self.tsr_first_round):
+            if self.evidence.record(1, i, message.history):
+                self.history_entries_received += len(message.history)
+            if self._round1_condition():
+                return self._enter_round2()
+            return []
+        if (self.phase == 2 and message.round_index == 2
+                and message.tsr == self.tsr_first_round + 1):
+            if self.evidence.record(2, i, message.history):
+                self.history_entries_received += len(message.history)
+            self._maybe_return()
+            return []
+        return []
+
+    # ------------------------------------------------------------------
+    def _round1_condition(self) -> bool:
+        pairs = conflict_pairs(
+            candidates=self.evidence.candidates(),
+            first_rw=self.evidence.first_round_accusers(),
+            reader_index=self.reader_index,
+            tsr_first_round=self.tsr_first_round,
+        )
+        return exists_conflict_free_quorum(
+            responders=self.evidence.responded_first(),
+            pairs=pairs,
+            quorum=self.config.quorum_size,
+        )
+
+    def _enter_round2(self) -> Outgoing:
+        self.phase = 2
+        self.state.tsr += 1
+        if self.state.tsr != self.tsr_first_round + 1:
+            raise ProtocolError(
+                "reader timestamp advanced outside this operation")
+        self.begin_round()
+        request = ReadRequest(round_index=2, tsr=self.state.tsr,
+                              reader_index=self.reader_index,
+                              from_ts=self._from_ts())
+        outgoing: Outgoing = [(obj(i), request)
+                              for i in range(self.config.num_objects)]
+        self._maybe_return()
+        return outgoing
+
+    def _maybe_return(self) -> None:
+        if self.done:
+            return
+        candidate = self.evidence.returnable()
+        if candidate is not None:
+            value = candidate.tsval.value
+            # Update the §5.1 cache with the freshest value we vouched for.
+            if candidate.ts >= self.state.cache_ts:
+                self.state.cache_ts = candidate.ts
+                self.state.cache_value = value
+            self.complete(value)
+            return
+        if self.cached and self.evidence.candidates_empty():
+            # Section 5.1: an empty candidate set under suffix shipping
+            # means nothing newer than the cache was confirmed; the cached
+            # value is still regular (case ts >= k of the proof).
+            self.complete(self.state.cache_value)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        mode = "cached" if self.cached else "full-history"
+        return (f"READ#{self.operation_id} by r{self.reader_index + 1} "
+                f"({mode}, tsrFR={self.tsr_first_round})")

@@ -1,0 +1,62 @@
+"""The paper's safe storage (Section 4, Figures 2-4).
+
+An optimally resilient (``S = 2t + b + 1``) SWMR *safe* register emulation
+in which every READ and every WRITE completes in at most two communication
+round-trips -- the matching upper bound for Proposition 1 and the
+counterexample to the ``b + 1``-round conjecture of [1].
+"""
+
+from typing import Any, List
+
+from ...config import SystemConfig
+from ...protocols import SAFE, StorageProtocol
+from .object import SafeObject
+from .predicates import (CandidateTracker, conflict_pairs,
+                         exists_conflict_free_quorum)
+from .reader import SafeReaderState, SafeReadOperation
+from .writer import SafeWriterState, SafeWriteOperation
+
+
+class SafeStorageProtocol(StorageProtocol):
+    """Plug-in wrapper for the Figure 2/3/4 protocol."""
+
+    name = "gv-safe"
+    semantics = SAFE
+    write_rounds_worst_case = 2
+    read_rounds_worst_case = 2
+    requires_authentication = False
+    readers_write = True
+
+    def min_objects(self, t: int, b: int) -> int:
+        return 2 * t + b + 1
+
+    def make_objects(self, config: SystemConfig) -> List[SafeObject]:
+        self.validate_config(config)
+        return [SafeObject(i, config) for i in range(config.num_objects)]
+
+    def make_writer_state(self, config: SystemConfig) -> SafeWriterState:
+        return SafeWriterState(config)
+
+    def make_reader_state(self, config: SystemConfig,
+                          reader_index: int) -> SafeReaderState:
+        return SafeReaderState(config, reader_index)
+
+    def make_write(self, writer_state: SafeWriterState,
+                   value: Any) -> SafeWriteOperation:
+        return SafeWriteOperation(writer_state, value)
+
+    def make_read(self, reader_state: SafeReaderState) -> SafeReadOperation:
+        return SafeReadOperation(reader_state)
+
+
+__all__ = [
+    "SafeStorageProtocol",
+    "SafeObject",
+    "SafeWriterState",
+    "SafeWriteOperation",
+    "SafeReaderState",
+    "SafeReadOperation",
+    "CandidateTracker",
+    "conflict_pairs",
+    "exists_conflict_free_quorum",
+]

@@ -1,0 +1,96 @@
+"""Base-object automaton of the safe storage (Figure 3).
+
+Each object ``s_i`` maintains three fields:
+
+* ``pw`` -- the timestamp-value pair of the latest (pre-)write round seen;
+* ``w``  -- the latest complete write tuple ``<tsval, tsrarray>``;
+* ``tsr[j]`` -- the highest timestamp received from reader ``r_j``.
+
+Handlers follow the figure line by line, including the guards: a PW message
+updates state only for *strictly* newer timestamps (line 4), a W message
+also for equal ones (line 9 -- the W of write ``k`` must land after the PW
+of write ``k``), and READ requests update ``tsr[j]`` only when the reader's
+timestamp moved forward (line 14).  Acknowledgments are sent only when the
+guard passes, exactly as in the figure; stale or replayed traffic earns no
+reply at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ...automata.base import ObjectAutomaton, Outgoing
+from ...config import SystemConfig
+from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
+from ...types import (INITIAL_TSVAL, ProcessId, TimestampValue, WriteTuple,
+                      initial_write_tuple, reader)
+
+
+class SafeObject(ObjectAutomaton):
+    """Figure 3: ``code of object s_i`` for the safe storage."""
+
+    def __init__(self, object_index: int, config: SystemConfig):
+        super().__init__(object_index)
+        self.config = config
+        # Initialization block (lines 1-2).
+        self.ts: int = 0
+        self.pw: TimestampValue = INITIAL_TSVAL
+        self.w: WriteTuple = initial_write_tuple(config.num_objects,
+                                                 config.num_readers)
+        self.tsr: List[int] = [0] * config.num_readers
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, Pw):
+            return self._on_pw(sender, message)
+        if isinstance(message, W):
+            return self._on_w(sender, message)
+        if isinstance(message, ReadRequest):
+            return self._on_read(sender, message)
+        # Unknown traffic (e.g. probes from baselines wired incorrectly) is
+        # ignored rather than crashing the object: a storage element must
+        # never be taken down by a malformed client message.
+        return []
+
+    # -- lines 3-7 -------------------------------------------------------
+    def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
+        if message.ts > self.ts:
+            self.ts = message.ts
+            self.pw = message.pw
+            self.w = message.w
+            ack = PwAck(ts=self.ts, object_index=self.object_index,
+                        tsr=tuple(self.tsr))
+            return [(sender, ack)]
+        return []
+
+    # -- lines 8-12 ------------------------------------------------------
+    def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
+        if message.ts >= self.ts:
+            self.ts = message.ts
+            self.pw = message.pw
+            self.w = message.w
+            return [(sender, WriteAck(ts=self.ts,
+                                      object_index=self.object_index))]
+        return []
+
+    # -- lines 13-17 -----------------------------------------------------
+    def _on_read(self, sender: ProcessId, message: ReadRequest) -> Outgoing:
+        j = message.reader_index
+        if not 0 <= j < self.config.num_readers:
+            return []
+        if message.tsr > self.tsr[j]:
+            self.tsr[j] = message.tsr
+            ack = ReadAck(
+                round_index=message.round_index,
+                tsr=self.tsr[j],
+                object_index=self.object_index,
+                pw=self.pw,
+                w=self.w,
+            )
+            return [(sender, ack)]
+        return []
+
+    # ------------------------------------------------------------------
+    def describe_state(self) -> str:
+        return (f"s{self.object_index + 1}: ts={self.ts}, pw={self.pw!r}, "
+                f"w={self.w!r}, tsr={self.tsr}")

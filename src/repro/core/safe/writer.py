@@ -1,0 +1,137 @@
+"""Writer side of the safe storage (Figure 2).
+
+The WRITE proceeds in exactly two rounds:
+
+* **PW** (pre-write): install the new timestamp-value pair ``pw = <ts, v>``
+  in the objects' ``pw`` fields *and read back* each object's reader
+  timestamps ``tsr`` (this is the unusual move -- the writer reads while
+  writing);
+* **W**: install the complete tuple ``w = <pw, currenttsrarray>`` that
+  embeds the collected reader-timestamp snapshot.  Readers later use that
+  snapshot to expose Byzantine objects (the ``conflict`` predicate).
+
+The writer's persistent variables (``ts`` and the last installed ``w``)
+live in :class:`SafeWriterState`, shared across that writer's operations,
+mirroring the paper's process-local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Set
+
+from ...automata.base import ClientOperation, Outgoing
+from ...config import SystemConfig
+from ...errors import ProtocolError
+from ...messages import Pw, PwAck, W, WriteAck
+from ...types import (ProcessId, TimestampValue, TsrArray, WRITER, WriteTuple,
+                      _Bottom, initial_write_tuple, obj)
+
+#: Phase names for tracing/assertions.
+PHASE_PW = "PW"
+PHASE_W = "W"
+
+
+@dataclass
+class SafeWriterState:
+    """Persistent writer variables (Figure 2, initialization block)."""
+
+    config: SystemConfig
+    ts: int = 0
+    w: WriteTuple = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.w is None:
+            self.w = initial_write_tuple(self.config.num_objects,
+                                         self.config.num_readers)
+
+
+class SafeWriteOperation(ClientOperation):
+    """One ``WRITE(v)`` invocation (Figure 2, lines 3-11)."""
+
+    kind = "WRITE"
+
+    def __init__(self, state: SafeWriterState, value: Any):
+        super().__init__(WRITER)
+        if isinstance(value, _Bottom):
+            raise ProtocolError("⊥ is not a valid input value for WRITE")
+        self.state = state
+        self.config = state.config
+        self.value = value
+        self.phase = PHASE_PW
+        self.ts: int = 0
+        self.pw: TimestampValue = None  # type: ignore[assignment]
+        self.current_tsrarray: TsrArray = None  # type: ignore[assignment]
+        self._pw_ackers: Set[int] = set()
+        self._w_ackers: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> Outgoing:
+        cfg = self.config
+        # Lines 3-4: inc(ts); reset snapshot; build the new pair.
+        self.state.ts += 1
+        self.ts = self.state.ts
+        self.pw = TimestampValue(self.ts, self.value)
+        self.current_tsrarray = TsrArray.empty(cfg.num_objects,
+                                               cfg.num_readers)
+        # Line 5: PW carries the new pair plus the *previous* write tuple,
+        # so laggards catch up on the last complete write.
+        message = Pw(ts=self.ts, pw=self.pw, w=self.state.w)
+        self.begin_round()
+        return [(obj(i), message) for i in range(cfg.num_objects)]
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self.done or not sender.is_object:
+            return []
+        if isinstance(message, PwAck):
+            return self._on_pw_ack(sender, message)
+        if isinstance(message, WriteAck):
+            return self._on_write_ack(sender, message)
+        return []
+
+    def _on_pw_ack(self, sender: ProcessId, message: PwAck) -> Outgoing:
+        # Freshness: the ack must echo this write's timestamp.  Identity
+        # comes from the channel (sender), never from the payload -- a
+        # Byzantine object cannot impersonate a peer.
+        if message.ts != self.ts or self.phase != PHASE_PW:
+            return []
+        i = sender.index
+        if i in self._pw_ackers:
+            return []
+        self._pw_ackers.add(i)
+        tsr_row = tuple(message.tsr)
+        if len(tsr_row) != self.config.num_readers:
+            # Malformed (necessarily Byzantine) row: count the ack but
+            # record nothing for it -- nil entries are always sound.
+            tsr_row = (None,) * self.config.num_readers
+        # Line 11: currenttsrarray[i] := tsr.
+        self.current_tsrarray = self.current_tsrarray.with_row(i, tsr_row)
+        # Line 6: proceed after S - t distinct acks.
+        if len(self._pw_ackers) >= self.config.quorum_size:
+            return self._start_w_round()
+        return []
+
+    def _start_w_round(self) -> Outgoing:
+        # Line 7: freeze w := <pw, currenttsrarray> (persists for the next
+        # write's PW message).
+        w_tuple = WriteTuple(self.pw, self.current_tsrarray)
+        self.state.w = w_tuple
+        self.phase = PHASE_W
+        message = W(ts=self.ts, pw=self.pw, w=w_tuple)
+        self.begin_round()
+        # Line 8: second round to all objects.
+        return [(obj(i), message) for i in range(self.config.num_objects)]
+
+    def _on_write_ack(self, sender: ProcessId, message: WriteAck) -> Outgoing:
+        if message.ts != self.ts or self.phase != PHASE_W:
+            return []
+        self._w_ackers.add(sender.index)
+        # Lines 9-10: S - t acks complete the WRITE.
+        if len(self._w_ackers) >= self.config.quorum_size:
+            return self.complete("OK")
+        return []
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return f"WRITE#{self.operation_id}({self.value!r}) ts={self.ts}"

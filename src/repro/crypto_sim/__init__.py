@@ -1,0 +1,29 @@
+"""Simulated data authentication (digital signatures without the math).
+
+The paper proves its lower bound for *unauthenticated* data and notes
+(Section 1, item 1) that with authenticated data a regular storage with
+fast reads *and* writes is straightforward [15].  To make that comparison
+executable, this package provides deterministic keyed "signatures":
+
+* a :class:`Signer` holds a secret and produces :class:`SignedValue`
+  envelopes whose tag is an HMAC over a canonical encoding;
+* anyone holding the :class:`PublicKey` can verify.
+
+Inside the simulation the unforgeability property is what matters, not the
+cryptography: a Byzantine object cannot mint a valid tag for a value the
+writer never signed because it does not hold the secret -- exactly the
+assumption [19] buys in the real world.  (Do **not** use this module for
+actual security; HMAC-SHA256 here stands in for RSA signatures purely to
+reproduce protocol behaviour.)
+"""
+
+from .signatures import (AuthenticationError, PublicKey, SignedValue, Signer,
+                         forge_attempt)
+
+__all__ = [
+    "Signer",
+    "PublicKey",
+    "SignedValue",
+    "AuthenticationError",
+    "forge_attempt",
+]

@@ -1,0 +1,98 @@
+"""Deterministic keyed signatures over timestamp-value pairs."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import AuthenticationError
+from ..types import TimestampValue, _Bottom
+
+
+def _canonical(value: Any) -> bytes:
+    """Canonical byte encoding of a signable value.
+
+    Uses ``repr`` of a small, controlled vocabulary (timestamps, strings,
+    numbers, ⊥); signing arbitrary objects is refused rather than risking
+    ambiguous encodings.
+    """
+    if isinstance(value, TimestampValue):
+        return b"tsval|" + str(value.ts).encode() + b"|" + \
+            _canonical(value.value)
+    if isinstance(value, _Bottom):
+        return b"bottom"
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return f"{type(value).__name__}|{value!r}".encode()
+    if isinstance(value, bytes):
+        return b"bytes|" + value
+    if isinstance(value, tuple):
+        return b"tuple|" + b"|".join(_canonical(v) for v in value)
+    raise AuthenticationError(
+        f"refusing to sign value of unsupported type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class SignedValue:
+    """A payload plus its authentication tag."""
+
+    payload: Any
+    key_id: str
+    tag: bytes
+
+    def __repr__(self) -> str:
+        return f"Signed({self.payload!r} by {self.key_id})"
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Verification capability for one signer.
+
+    The simulation cheats benignly: verification recomputes the HMAC with
+    the embedded secret, but the *secret never travels in messages* --
+    Byzantine automata only ever see :class:`SignedValue` envelopes, so
+    within the model they cannot forge.
+    """
+
+    key_id: str
+    _secret: bytes
+
+    def verify(self, signed: SignedValue) -> bool:
+        if signed.key_id != self.key_id:
+            return False
+        expected = hmac.new(self._secret, _canonical(signed.payload),
+                            hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signed.tag)
+
+    def require(self, signed: SignedValue) -> Any:
+        if not self.verify(signed):
+            raise AuthenticationError(
+                f"invalid signature on {signed.payload!r}")
+        return signed.payload
+
+
+class Signer:
+    """Holds the signing secret for one identity."""
+
+    def __init__(self, key_id: str, seed: int = 0):
+        self.key_id = key_id
+        self._secret = hashlib.sha256(
+            f"repro-signer|{key_id}|{seed}".encode()).digest()
+
+    def sign(self, payload: Any) -> SignedValue:
+        tag = hmac.new(self._secret, _canonical(payload),
+                       hashlib.sha256).digest()
+        return SignedValue(payload=payload, key_id=self.key_id, tag=tag)
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(key_id=self.key_id, _secret=self._secret)
+
+
+def forge_attempt(key_id: str, payload: Any) -> SignedValue:
+    """What a Byzantine process can do: emit a tag it made up.
+
+    Exists so tests can assert that forgeries are rejected.
+    """
+    return SignedValue(payload=payload, key_id=key_id,
+                       tag=b"\x00" * 32)

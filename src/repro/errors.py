@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol-level
+anomalies detected at runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration violates a structural requirement.
+
+    Examples: a negative number of objects, more Byzantine failures than
+    total failures (``b > t``), or a fault plan that assigns more faults
+    than the configuration tolerates.
+    """
+
+
+class ResilienceError(ConfigurationError):
+    """The number of base objects is insufficient for the protocol.
+
+    The optimal resilience bound for unauthenticated robust storage is
+    ``S >= 2t + b + 1`` (Martin, Alvisi & Dahlin [17]); protocols refuse to
+    instantiate below their documented threshold rather than silently
+    losing safety or liveness.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an inconsistent state."""
+
+
+class SchedulerExhaustedError(SimulationError):
+    """No deliverable event remains but some operation is still pending.
+
+    Under the paper's fairness assumption every message sent to a correct
+    process is eventually delivered; hitting this error means the chosen
+    fault plan / scheduler starved an operation that the protocol's
+    wait-freedom theorem says must complete -- i.e. either the scheduler
+    dropped messages it was not allowed to drop, or a genuine liveness bug
+    was found.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol automaton received input that violates its contract."""
+
+
+class PendingOperationError(ProtocolError):
+    """A client invoked an operation while a previous one is in progress.
+
+    The model of Section 2.2 of the paper states that each client invokes
+    at most one operation at a time (well-formedness).
+    """
+
+
+class SpecificationViolation(ReproError):
+    """A recorded history violates a register specification.
+
+    Raised by the checkers in :mod:`repro.spec` when asked to *assert*
+    rather than merely report.  The attached :attr:`explanation` is a
+    human-readable account of the offending operations.
+    """
+
+    def __init__(self, explanation: str):
+        super().__init__(explanation)
+        self.explanation = explanation
+
+
+class AuthenticationError(ReproError):
+    """A simulated signature failed verification (:mod:`repro.crypto_sim`)."""
+
+
+class TransportError(ReproError):
+    """An asyncio runtime transport failed (:mod:`repro.runtime`)."""

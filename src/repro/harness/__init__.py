@@ -1,0 +1,22 @@
+"""Experiment harness: workloads, metrics, tables and the E1-E10 registry."""
+
+from .experiments import REGISTRY, ExperimentResult, run_all
+from .metrics import OperationMetrics, Summary, max_rounds
+from .tables import render_kv, render_table
+from .workloads import (WorkloadSpec, run_concurrent, run_read_heavy,
+                        run_sequential)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "run_all",
+    "OperationMetrics",
+    "Summary",
+    "max_rounds",
+    "render_table",
+    "render_kv",
+    "WorkloadSpec",
+    "run_sequential",
+    "run_concurrent",
+    "run_read_heavy",
+]

@@ -1,0 +1,31 @@
+"""CLI: ``python -m repro.harness [E1 E2 ...]`` runs the experiments.
+
+With no arguments every experiment runs in order; the exit code is the
+number of experiments whose measurement contradicted the paper's claim.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .experiments import run_all
+
+
+def main(argv=None) -> int:
+    ids = list(argv if argv is not None else sys.argv[1:]) or None
+    failures = 0
+    started = time.time()
+    for result in run_all(ids):
+        print(result.render())
+        print()
+        if not result.ok:
+            failures += 1
+    elapsed = time.time() - started
+    print(f"ran {'all' if ids is None else len(ids)} experiment(s) in "
+          f"{elapsed:.1f}s; {failures} mismatch(es)")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Experiment registry: one module per paper artifact (see DESIGN.md §4)."""
+
+from .base import REGISTRY, ExperimentResult, register, run_all
+
+__all__ = ["REGISTRY", "ExperimentResult", "register", "run_all"]

@@ -1,0 +1,67 @@
+"""Experiment framework: claims, measurements, verdicts.
+
+Each experiment module exposes ``run() -> ExperimentResult``.  A result
+pairs the paper's claim with what the code measured and renders both, so
+``EXPERIMENTS.md`` and the benchmark logs stay in one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one paper artifact)."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    measured: str
+    ok: bool
+    table: str = ""
+    details: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        verdict = "REPRODUCED" if self.ok else "MISMATCH"
+        lines = [
+            f"== {self.experiment_id}: {self.title} [{verdict}] ==",
+            f"paper:    {self.paper_claim}",
+            f"measured: {self.measured}",
+        ]
+        if self.table:
+            lines.append("")
+            lines.append(self.table)
+        for detail in self.details:
+            lines.append(detail)
+        return "\n".join(lines)
+
+
+#: Registry filled by the experiment modules at import time.
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator: add a ``run``-style callable to the registry."""
+
+    def wrap(fn: Callable[[], ExperimentResult]):
+        REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_all(ids: Optional[List[str]] = None) -> List[ExperimentResult]:
+    # Import all experiment modules for their registration side effects.
+    from . import (e01_lower_bound, e02_safe_rounds, e03_safe_safety,  # noqa
+                   e04_safe_liveness, e05_regular, e06_history_opt,
+                   e07_comparison, e08_latency, e09_server_centric,
+                   e10_resilience, e11_atomic_extension)
+    def numeric_key(experiment_id: str):
+        digits = "".join(ch for ch in experiment_id if ch.isdigit())
+        return (int(digits) if digits else 0, experiment_id)
+
+    selected = ids or sorted(REGISTRY, key=numeric_key)
+    return [REGISTRY[experiment_id]() for experiment_id in selected]

@@ -1,0 +1,82 @@
+"""E5 -- Section 5: regular storage correctness and round complexity.
+
+Both regular flavours (full-history and §5.1 cached) must satisfy the
+three regularity clauses under concurrency and faults while keeping the
+2-round worst case.  Regularity is strictly stronger than safety, so the
+checker here subsumes E3's property for these protocols.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...adversary import adversarial_suite, random_plan
+from ...config import SystemConfig
+from ...core.regular import (CachedRegularStorageProtocol,
+                             RegularStorageProtocol)
+from ...sim import LifoScheduler, RandomScheduler
+from ...spec import check_regularity
+from ...spec.histories import READ, WRITE
+from ...system import StorageSystem
+from ..metrics import max_rounds
+from ..tables import render_table
+from ..workloads import WorkloadSpec, run_concurrent, run_sequential
+from .base import ExperimentResult, register
+
+
+@register("E5")
+def run() -> ExperimentResult:
+    rows: List[List[object]] = []
+    total_violations = 0
+    worst_read = 0
+    worst_write = 0
+
+    for protocol_factory in (RegularStorageProtocol,
+                             CachedRegularStorageProtocol):
+        config = SystemConfig.optimal(t=2, b=1, num_readers=2)
+        for plan in adversarial_suite(config):
+            system = StorageSystem(protocol_factory(), config,
+                                   scheduler=LifoScheduler())
+            plan.apply(system)
+            run_sequential(system, num_writes=3, reads_per_write=1)
+            run_concurrent(system, WorkloadSpec(num_writes=4,
+                                                reads_per_reader=4,
+                                                seed=23))
+            result = check_regularity(system.history)
+            read_rounds = max_rounds(system.history, READ)
+            write_rounds = max_rounds(system.history, WRITE)
+            rows.append([protocol_factory.name, plan.describe(),
+                         result.checked_reads, len(result.violations),
+                         write_rounds, read_rounds])
+            total_violations += len(result.violations)
+            worst_read = max(worst_read, read_rounds)
+            worst_write = max(worst_write, write_rounds)
+        # seeded fuzz
+        for seed in range(6):
+            system = StorageSystem(protocol_factory(), config,
+                                   scheduler=RandomScheduler(seed))
+            random_plan(config, seed).apply(system)
+            run_concurrent(system, WorkloadSpec(num_writes=5,
+                                                reads_per_reader=5,
+                                                seed=seed))
+            result = check_regularity(system.history)
+            total_violations += len(result.violations)
+            worst_read = max(worst_read, max_rounds(system.history, READ))
+            worst_write = max(worst_write, max_rounds(system.history, WRITE))
+
+    ok = total_violations == 0 and worst_read <= 2 and worst_write <= 2
+    table = render_table(
+        ["protocol", "fault plan", "reads checked", "violations",
+         "max W rounds", "max R rounds"],
+        rows, title="Regularity + rounds for both Section 5 protocols")
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Regular storage (Theorems 3-4, Section 5)",
+        paper_claim=("regular semantics at optimal resilience with the "
+                     "same optimal 2-round READ/WRITE complexity"),
+        measured=(f"0 regularity violations expected, got "
+                  f"{total_violations}; max rounds W={worst_write} "
+                  f"R={worst_read}"),
+        ok=ok,
+        table=table,
+    )

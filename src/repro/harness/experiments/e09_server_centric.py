@@ -1,0 +1,76 @@
+"""E9 -- Section 6: the lower bound migrates to the server-centric model.
+
+Base objects become first-class servers that push unsolicited updates to
+readers.  Per Section 6, a *fast* read still means: one message out,
+servers answer without waiting for anything else, return on ``S - t``
+replies -- and because asynchrony may keep every push in transit, the
+five-run construction applies verbatim.  The driver holds pushes in
+transit (that is the adversary's legal move) and attacks the push-enabled
+fast-read victims; all must still violate safety.  As a sanity
+counterpoint, the same victims with pushes *delivered* still answer
+fault-free sequential workloads correctly -- pushes are an optimization,
+not a defence.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...config import SystemConfig
+from ...core.lower_bound import ALL_RULES, LowerBoundDriver
+from ...sim.server_centric import PushUpdate, ServerCentricFastProtocol
+from ...spec import check_safety
+from ...system import StorageSystem
+from ..tables import render_table
+from .base import ExperimentResult, register
+
+SWEEP = [(1, 1), (2, 1), (2, 2)]
+
+
+@register("E9")
+def run() -> ExperimentResult:
+    rows: List[List[object]] = []
+    all_violated = True
+
+    for t, b in SWEEP:
+        config = SystemConfig.at_impossibility_threshold(t, b)
+        for rule in ALL_RULES:
+            driver = LowerBoundDriver(
+                lambda r=rule: ServerCentricFastProtocol(r), config,
+                extra_hold=lambda p: isinstance(p, PushUpdate),
+                record_filter=lambda p: not isinstance(p, PushUpdate))
+            report = driver.execute()
+            rows.append([f"t={t},b={b}", f"S={config.num_objects}",
+                         report.protocol_name,
+                         "VIOLATED" if report.violated else "survived",
+                         report.violation_run or report.blocked_run or "-"])
+            all_violated &= report.violated
+
+    # Sanity: with pushes flowing, the same protocols behave on benign runs.
+    benign_ok = True
+    for rule in ALL_RULES:
+        config = SystemConfig.at_impossibility_threshold(1, 1)
+        system = StorageSystem(ServerCentricFastProtocol(rule), config)
+        system.write("x")
+        system.read(0)
+        system.write("y")
+        system.read(0)
+        benign_ok &= check_safety(system.history).ok
+
+    ok = all_violated and benign_ok
+    table = render_table(
+        ["thresholds", "objects", "protocol", "verdict", "decisive run"],
+        rows,
+        title="Five-run construction with pushes held in transit")
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Server-centric model (Section 6)",
+        paper_claim=("even when servers may push unsolicited messages, no "
+                     "safe storage with S <= 2t+2b servers has all reads "
+                     "fast"),
+        measured=(f"all push-enabled fast readers violated safety "
+                  f"({'yes' if all_violated else 'NO'}); benign runs with "
+                  f"pushes delivered stayed safe ({'yes' if benign_ok else 'NO'})"),
+        ok=ok,
+        table=table,
+    )

@@ -1,0 +1,81 @@
+"""Operation-level metrics aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..spec.histories import History, OperationRecord, READ, WRITE
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+    minimum: float
+
+    @classmethod
+    def of(cls, sample: Sequence[float]) -> "Summary":
+        if not sample:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(sample)
+
+        def pct(q: float) -> float:
+            idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+            return ordered[idx]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=pct(0.50),
+            p95=pct(0.95),
+            maximum=ordered[-1],
+            minimum=ordered[0],
+        )
+
+
+@dataclass
+class OperationMetrics:
+    """Rounds/latency metrics split by operation kind."""
+
+    read_rounds: Summary
+    write_rounds: Summary
+    read_latency: Summary
+    write_latency: Summary
+    incomplete: int
+
+    @classmethod
+    def from_history(cls, history: History) -> "OperationMetrics":
+        reads = [r for r in history.operations() if r.kind == READ]
+        writes = [r for r in history.operations() if r.kind == WRITE]
+
+        def rounds(records: List[OperationRecord]) -> List[float]:
+            return [float(r.rounds_used) for r in records if r.complete]
+
+        def latency(records: List[OperationRecord]) -> List[float]:
+            out = []
+            for r in records:
+                if r.complete and r.completed_at is not None:
+                    out.append(r.completed_at - r.invoked_at)
+            return out
+
+        incomplete = sum(1 for r in history.operations() if not r.complete)
+        return cls(
+            read_rounds=Summary.of(rounds(reads)),
+            write_rounds=Summary.of(rounds(writes)),
+            read_latency=Summary.of(latency(reads)),
+            write_latency=Summary.of(latency(writes)),
+            incomplete=incomplete,
+        )
+
+
+def max_rounds(history: History, kind: str) -> int:
+    values = [r.rounds_used for r in history.operations()
+              if r.kind == kind and r.complete]
+    return max(values) if values else 0

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints its results as fixed-width ASCII tables so the
+benchmark logs read like the paper's exposition: a claim column next to a
+measured column.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _stringify(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned table with a header rule."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[idx])
+                         for idx, cell in enumerate(row)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[Sequence[Any]], title: Optional[str] = None
+              ) -> str:
+    """Key/value block (used for experiment headers)."""
+    lines = [title] if title else []
+    pairs = list(pairs)
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Workload generators: driving storage systems the way clients would.
+
+Two shapes cover the paper's scenarios:
+
+* :func:`run_sequential` -- writes and reads with no concurrency: the
+  regime where *safety* fully constrains every read;
+* :func:`run_concurrent` -- a seeded scheduler interleaves one writer and
+  R readers, each client issuing its next operation as soon as the
+  previous one completes; reads overlap writes, which is where regular
+  vs safe semantics differ and where the protocols' second read round
+  earns its keep.
+
+Both return the system's :class:`~repro.spec.histories.History`, ready for
+the checkers and the metrics pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from ..spec.histories import History
+from ..system import StorageSystem
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a concurrent workload."""
+
+    num_writes: int = 10
+    reads_per_reader: int = 10
+    seed: int = 0
+    #: average kernel steps executed between client scheduling decisions
+    step_granularity: int = 3
+    value_prefix: str = "v"
+
+    def value(self, k: int) -> str:
+        return f"{self.value_prefix}{k}"
+
+
+def run_sequential(system: StorageSystem, num_writes: int = 5,
+                   reads_per_write: int = 2,
+                   value_prefix: str = "v") -> History:
+    """Alternate complete writes with complete reads from every reader."""
+    for k in range(1, num_writes + 1):
+        system.write(f"{value_prefix}{k}")
+        for _ in range(reads_per_write):
+            for j in range(system.config.num_readers):
+                system.read(j)
+    return system.history
+
+
+def run_concurrent(system: StorageSystem,
+                   spec: Optional[WorkloadSpec] = None,
+                   max_steps: int = 2_000_000) -> History:
+    """Interleave the writer and all readers under a seeded schedule."""
+    spec = spec or WorkloadSpec()
+    rng = random.Random(spec.seed)
+    writes_left = spec.num_writes
+    reads_left = [spec.reads_per_reader] * system.config.num_readers
+    write_handle = None
+    read_handles: List[Optional[Any]] = [None] * system.config.num_readers
+    write_count = 0
+    total_steps = 0
+
+    def work_remaining() -> bool:
+        if writes_left or any(reads_left):
+            return True
+        if write_handle is not None and not write_handle.done:
+            return True
+        return any(h is not None and not h.done for h in read_handles)
+
+    while work_remaining():
+        if total_steps > max_steps:
+            raise SimulationError(
+                f"concurrent workload exceeded {max_steps} steps")
+        # Invoke next operations for idle clients (probabilistically, so
+        # different seeds produce different overlap patterns).
+        nonlocal_write = write_handle is None or write_handle.done
+        if writes_left and nonlocal_write and rng.random() < 0.8:
+            write_count += 1
+            write_handle = system.invoke_write(spec.value(write_count))
+            writes_left -= 1
+        for j in range(system.config.num_readers):
+            idle = read_handles[j] is None or read_handles[j].done
+            if reads_left[j] and idle and rng.random() < 0.8:
+                read_handles[j] = system.invoke_read(j)
+                reads_left[j] -= 1
+        # Let the network make progress.
+        for _ in range(max(1, spec.step_granularity)):
+            if not system.kernel.step():
+                break
+            total_steps += 1
+    return system.history
+
+
+def run_read_heavy(system: StorageSystem, num_reads: int = 50,
+                   writes_every: int = 10) -> History:
+    """The paper's motivating regime: reads dominate (Section 1)."""
+    system.write("v1")
+    written = 1
+    for n in range(num_reads):
+        if writes_every and n and n % writes_every == 0:
+            written += 1
+            system.write(f"v{written}")
+        system.read(n % system.config.num_readers)
+    return system.history

@@ -1,0 +1,247 @@
+"""Protocol message schema and size accounting.
+
+Message classes mirror the message types of the paper's figures:
+
+* Figure 2/3 (write protocol): :class:`Pw`, :class:`PwAck`, :class:`W`,
+  :class:`WriteAck`;
+* Figure 3/4 (safe read): :class:`ReadRequest` (READ1/READ2) and
+  :class:`ReadAck` (READ1_ACK/READ2_ACK) carrying ``pw`` and ``w`` fields;
+* Figure 5/6 (regular read): :class:`HistoryReadAck` carrying a slice of the
+  object's history.
+
+Baseline protocols define their own payloads in their subpackages; they all
+derive from :class:`Message` so the simulator and the metrics pipeline treat
+them uniformly.
+
+Sizes are *estimates* in bytes computed structurally (integers count 8
+bytes, strings their length, containers the sum of their parts).  Absolute
+values are unimportant; what matters for experiment E6 is the *relative*
+growth of full-history versus suffix-shipping messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .types import TimestampValue, TsrArray, WriteTuple, _Bottom
+
+
+def estimate_size(value: Any) -> int:
+    """Structural size estimate (bytes) of a message payload component."""
+    if value is None or isinstance(value, _Bottom):
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (str, bytes)):
+        return len(value)
+    if isinstance(value, TimestampValue):
+        return 8 + estimate_size(value.value)
+    if isinstance(value, TsrArray):
+        return 8 * value.num_objects * value.num_readers
+    if isinstance(value, WriteTuple):
+        return estimate_size(value.tsval) + estimate_size(value.tsrarray)
+    if isinstance(value, Mapping):
+        return sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(estimate_size(item) for item in value)
+    if isinstance(value, Message):
+        return value.estimated_size()
+    # Fallback: be generous rather than crash on exotic payloads.
+    return len(repr(value))
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of every protocol payload.
+
+    Subclasses are frozen dataclasses; the simulator treats payloads as
+    opaque immutable values.  ``kind`` is a stable wire-format name used in
+    traces and by the asyncio JSON transport.
+    """
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def estimated_size(self) -> int:
+        total = 2  # type tag
+        for f in fields(self):
+            total += estimate_size(getattr(self, f.name))
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Write protocol (Figure 2 / Figure 3) -- shared by safe and regular storage
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pw(Message):
+    """First write round, ``PW<ts, pw, w>``.
+
+    Carries the *new* timestamp-value pair ``pw`` and the *previous* write's
+    tuple ``w`` (so even objects that missed the previous W round learn it).
+    """
+
+    ts: int
+    pw: TimestampValue
+    w: WriteTuple
+
+
+@dataclass(frozen=True)
+class PwAck(Message):
+    """``PW_ACK_i<ts, tsr>``: object ``i`` reports its reader timestamps."""
+
+    ts: int
+    object_index: int
+    tsr: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class W(Message):
+    """Second write round, ``W<ts, pw, w>`` with the completed tuple ``w``."""
+
+    ts: int
+    pw: TimestampValue
+    w: WriteTuple
+
+
+@dataclass(frozen=True)
+class WriteAck(Message):
+    """``WRITE_ACK_i<ts>``."""
+
+    ts: int
+    object_index: int
+
+
+# ---------------------------------------------------------------------------
+# Safe read protocol (Figure 3 / Figure 4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """``READk<tsr'>`` for ``k in {1, 2}``.
+
+    ``round_index`` is 1 or 2; ``tsr`` is the reader's fresh timestamp and
+    ``reader_index`` identifies which ``tsr[j]`` field the object updates.
+    ``from_ts`` is used only by the Section 5.1 optimized regular reader to
+    request a history suffix; the safe protocol leaves it ``None``.
+    """
+
+    round_index: int
+    tsr: int
+    reader_index: int
+    from_ts: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReadAck(Message):
+    """``READk_ACK_i<tsr[j], pw, w>`` of the safe protocol (Figure 3)."""
+
+    round_index: int
+    tsr: int
+    object_index: int
+    pw: TimestampValue
+    w: WriteTuple
+
+
+# ---------------------------------------------------------------------------
+# Regular read protocol (Figure 5 / Figure 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HistoryEntry(Message):
+    """One slot of an object's history: ``history_i[ts] = <pw, w>``.
+
+    ``w`` may be ``None`` (the paper's ``nil``) when only the PW round of
+    the corresponding write has been observed.
+    """
+
+    pw: Optional[TimestampValue]
+    w: Optional[WriteTuple]
+
+
+@dataclass(frozen=True)
+class HistoryReadAck(Message):
+    """``READk_ACK_i<tsr[j], history_i>`` of the regular protocol.
+
+    ``history`` maps timestamps to :class:`HistoryEntry`.  With the §5.1
+    optimization the mapping contains only timestamps ``>= from_ts`` of the
+    triggering :class:`ReadRequest`.
+    """
+
+    round_index: int
+    tsr: int
+    object_index: int
+    history: Mapping[int, HistoryEntry]
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so acks are hashable and immutable.
+        object.__setattr__(self, "history", dict(self.history))
+
+    def __hash__(self) -> int:  # history dict prevents default hash
+        return hash((self.round_index, self.tsr, self.object_index,
+                     tuple(sorted(self.history.items(), key=lambda kv: kv[0]))))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HistoryReadAck)
+            and self.round_index == other.round_index
+            and self.tsr == other.tsr
+            and self.object_index == other.object_index
+            and dict(self.history) == dict(other.history)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Trace/debug helpers
+# ---------------------------------------------------------------------------
+
+
+def summarize(message: Message) -> str:
+    """One-line human-readable rendering used by traces and examples."""
+    if isinstance(message, Pw):
+        return f"PW<ts={message.ts}, pw={message.pw!r}>"
+    if isinstance(message, PwAck):
+        return f"PW_ACK(s{message.object_index + 1}, ts={message.ts})"
+    if isinstance(message, W):
+        return f"W<ts={message.ts}, pw={message.pw!r}>"
+    if isinstance(message, WriteAck):
+        return f"WRITE_ACK(s{message.object_index + 1}, ts={message.ts})"
+    if isinstance(message, ReadRequest):
+        return f"READ{message.round_index}<tsr={message.tsr}>"
+    if isinstance(message, ReadAck):
+        return (
+            f"READ{message.round_index}_ACK(s{message.object_index + 1}, "
+            f"tsr={message.tsr}, pw={message.pw!r}, w={message.w!r})"
+        )
+    if isinstance(message, HistoryReadAck):
+        return (
+            f"READ{message.round_index}_ACK(s{message.object_index + 1}, "
+            f"tsr={message.tsr}, |history|={len(message.history)})"
+        )
+    return message.kind
+
+
+__all__ = [
+    "Message",
+    "Pw",
+    "PwAck",
+    "W",
+    "WriteAck",
+    "ReadRequest",
+    "ReadAck",
+    "HistoryEntry",
+    "HistoryReadAck",
+    "estimate_size",
+    "summarize",
+]

@@ -1,0 +1,82 @@
+"""Uniform protocol plug-in interface.
+
+Every storage emulation in the library -- the paper's safe and regular
+protocols, and each baseline -- implements :class:`StorageProtocol`.  The
+interface factors a protocol into its three automata families (objects,
+writer operations, reader operations) plus static metadata (resilience
+requirement, advertised worst-case round complexity, register semantics),
+so the simulator, the asyncio runtime, the comparison experiment (E7) and
+the property-based tests can treat all protocols identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+from .automata.base import ClientOperation, ObjectAutomaton
+from .config import SystemConfig
+
+#: Register semantics labels (Lamport [12] hierarchy).
+SAFE = "safe"
+REGULAR = "regular"
+ATOMIC = "atomic"
+
+
+class StorageProtocol(ABC):
+    """A pluggable SWMR storage emulation."""
+
+    #: Short identifier used in tables and traces.
+    name: str = "abstract"
+    #: Claimed register semantics: "safe", "regular" or "atomic".
+    semantics: str = SAFE
+    #: Advertised worst-case client-object round-trips per operation.
+    write_rounds_worst_case: int = 0
+    read_rounds_worst_case: int = 0
+    #: Whether payloads must be authenticated (simulated signatures).
+    requires_authentication: bool = False
+    #: Whether readers modify base-object state.
+    readers_write: bool = True
+
+    # -- resilience -----------------------------------------------------------
+    @abstractmethod
+    def min_objects(self, t: int, b: int) -> int:
+        """Minimum ``S`` this protocol needs for the given thresholds."""
+
+    def validate_config(self, config: SystemConfig) -> None:
+        needed = self.min_objects(config.t, config.b)
+        if config.num_objects < needed:
+            from .errors import ResilienceError
+            raise ResilienceError(
+                f"{self.name} requires S >= {needed} for t={config.t}, "
+                f"b={config.b}; got S={config.num_objects}")
+
+    # -- automata factories -----------------------------------------------------
+    @abstractmethod
+    def make_objects(self, config: SystemConfig) -> List[ObjectAutomaton]:
+        """Fresh base-object automata, indices ``0 .. S-1``."""
+
+    @abstractmethod
+    def make_writer_state(self, config: SystemConfig) -> Any:
+        """Persistent writer-side state shared across WRITEs."""
+
+    @abstractmethod
+    def make_reader_state(self, config: SystemConfig, reader_index: int) -> Any:
+        """Persistent reader-side state shared across that reader's READs."""
+
+    @abstractmethod
+    def make_write(self, writer_state: Any, value: Any) -> ClientOperation:
+        """A WRITE(v) operation automaton."""
+
+    @abstractmethod
+    def make_read(self, reader_state: Any) -> ClientOperation:
+        """A READ() operation automaton."""
+
+    # -- description --------------------------------------------------------------
+    def describe(self) -> str:
+        auth = "authenticated" if self.requires_authentication else \
+            "unauthenticated"
+        rw = "readers write" if self.readers_write else "passive readers"
+        return (f"{self.name}: {self.semantics} semantics, "
+                f"W<={self.write_rounds_worst_case}r / "
+                f"R<={self.read_rounds_worst_case}r, {auth}, {rw}")

@@ -1,0 +1,139 @@
+"""Threshold quorum arithmetic used across the protocols and their proofs.
+
+All protocols in this library use *threshold* quorums: a client treats any
+set of ``S - t`` base objects as a quorum, because ``t`` objects may never
+respond.  The correctness arguments of the paper rest on a handful of
+counting lemmas over such quorums; this module states them as executable
+functions so both the protocols and the property-based tests can rely on a
+single, audited source of arithmetic.
+
+Notation: ``S`` objects, at most ``t`` faulty, at most ``b <= t`` of the
+faulty ones Byzantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, TypeVar
+
+from .config import SystemConfig
+
+T = TypeVar("T")
+
+
+def quorum_size(config: SystemConfig) -> int:
+    """``S - t``: the most replies a round can safely wait for."""
+    return config.num_objects - config.t
+
+
+def min_correct_in_quorum(config: SystemConfig) -> int:
+    """Correct objects guaranteed inside any ``S - t`` quorum.
+
+    At most ``t`` members of the quorum are faulty, so at least
+    ``(S - t) - t`` are correct.  At optimal resilience ``S = 2t + b + 1``
+    this equals ``b + 1`` -- the count the paper's ``safe(c)`` predicate is
+    built around.
+    """
+    return quorum_size(config) - config.t
+
+
+def min_nonmalicious_in_quorum(config: SystemConfig) -> int:
+    """Non-Byzantine objects guaranteed inside any ``S - t`` quorum.
+
+    At most ``b`` quorum members lie arbitrarily, so at least
+    ``(S - t) - b`` answer from genuine state (they may later crash, but
+    they never fabricate).  At optimal resilience: ``2t + 1 - t = t + 1``.
+    """
+    return quorum_size(config) - config.b
+
+
+def quorum_intersection(config: SystemConfig) -> int:
+    """Minimum overlap of two ``S - t`` quorums: ``S - 2t``.
+
+    At optimal resilience this is ``b + 1``: any write quorum and any read
+    quorum share at least one object that is not Byzantine... almost -- the
+    overlap itself may contain up to ``b`` Byzantine objects, which is why
+    the protocols need ``b + 1`` *matching confirmations*, not one.
+    """
+    return config.num_objects - 2 * config.t
+
+
+def correct_quorum_intersection(config: SystemConfig) -> int:
+    """Guaranteed *non-Byzantine* overlap of two ``S - t`` quorums.
+
+    ``S - 2t - b``; positive exactly when ``S >= 2t + b + 1``, i.e. at or
+    above optimal resilience.  This single inequality is where the
+    resilience bound of [17] comes from.
+    """
+    return config.num_objects - 2 * config.t - config.b
+
+
+def byzantine_indistinguishability_margin(config: SystemConfig) -> int:
+    """``S - (2t + 2b)``: slack above the fast-read impossibility bound.
+
+    Non-positive values mean Proposition 1 applies: some read must take a
+    second round in the worst case.
+    """
+    return config.num_objects - (2 * config.t + 2 * config.b)
+
+
+@dataclass(frozen=True)
+class QuorumProfile:
+    """All derived quorum constants for a configuration, in one view."""
+
+    config: SystemConfig
+    quorum: int
+    min_correct: int
+    min_nonmalicious: int
+    intersection: int
+    correct_intersection: int
+    fast_read_margin: int
+
+    @classmethod
+    def of(cls, config: SystemConfig) -> "QuorumProfile":
+        return cls(
+            config=config,
+            quorum=quorum_size(config),
+            min_correct=min_correct_in_quorum(config),
+            min_nonmalicious=min_nonmalicious_in_quorum(config),
+            intersection=quorum_intersection(config),
+            correct_intersection=correct_quorum_intersection(config),
+            fast_read_margin=byzantine_indistinguishability_margin(config),
+        )
+
+
+def is_quorum(config: SystemConfig, members: Iterable[T]) -> bool:
+    """Whether a set of distinct responders constitutes a quorum."""
+    return len(set(members)) >= quorum_size(config)
+
+
+def smallest_live_quorum(config: SystemConfig,
+                         crashed: Set[int]) -> Sequence[int]:
+    """Indices of a canonical quorum avoiding ``crashed`` objects.
+
+    Raises ``ValueError`` when fewer than ``S - t`` objects remain alive --
+    a fault plan that breaks the model's own assumption.
+    """
+    alive = [i for i in range(config.num_objects) if i not in crashed]
+    if len(alive) < quorum_size(config):
+        raise ValueError(
+            f"only {len(alive)} live objects; a quorum needs "
+            f"{quorum_size(config)}"
+        )
+    return alive[: quorum_size(config)]
+
+
+def confirmation_threshold(config: SystemConfig) -> int:
+    """``b + 1``: matching reports that cannot all be fabrications."""
+    return config.b + 1
+
+
+def elimination_threshold(config: SystemConfig) -> int:
+    """``t + b + 1``: reports-without-``c`` that rule a candidate out.
+
+    If ``t + b + 1`` distinct objects respond *without* a candidate value,
+    at least ``t + 1`` of them are non-Byzantine and at least one of those
+    is correct-and-up-to-date, so the candidate was never durably written
+    (Figure 4, lines 27-28; Figure 6 ``invalid``).
+    """
+    return config.t + config.b + 1

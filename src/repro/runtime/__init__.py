@@ -1,0 +1,31 @@
+"""Asyncio runtime: the same protocol automata under real concurrency.
+
+Two tiers:
+
+* :class:`AsyncStorage` on the in-memory :class:`AsyncNetwork` (fast,
+  optional seeded jitter);
+* :class:`TcpObjectServer` / :class:`TcpStorageClient` over localhost TCP
+  with the JSON wire codec (integration tier).
+"""
+
+from .codec import (decode_message, decode_value, encode_message,
+                    encode_value, register_codec)
+from .hosts import ClientHost, ObjectHost
+from .memnet import AsyncEnvelope, AsyncNetwork
+from .storage import AsyncStorage
+from .tcp import TcpObjectServer, TcpStorageClient
+
+__all__ = [
+    "AsyncStorage",
+    "AsyncNetwork",
+    "AsyncEnvelope",
+    "ObjectHost",
+    "ClientHost",
+    "TcpObjectServer",
+    "TcpStorageClient",
+    "encode_message",
+    "decode_message",
+    "encode_value",
+    "decode_value",
+    "register_codec",
+]

@@ -1,0 +1,227 @@
+"""Wire codec: JSON-safe encoding of every protocol message.
+
+The deterministic simulator passes Python objects by reference; the TCP
+transport needs real serialization.  The codec is total over the message
+vocabulary of :mod:`repro.messages`, the baseline messages, and payload
+values that are JSON scalars or ``⊥``.
+
+Encoding is structural and versioned by type tags, so a decoded message is
+``==`` to the original (all message types are frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Callable, Dict
+
+from ..errors import TransportError
+from ..messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
+                        ReadRequest, W, WriteAck)
+from ..types import BOTTOM, TimestampValue, TsrArray, WriteTuple, _Bottom
+
+
+# ---------------------------------------------------------------------------
+# value-level codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, _Bottom):
+        return {"__t": "bottom"}
+    if isinstance(value, TimestampValue):
+        return {"__t": "tsval", "ts": value.ts, "v": encode_value(value.value)}
+    if isinstance(value, TsrArray):
+        return {"__t": "tsr", "rows": [list(row) for row in value]}
+    if isinstance(value, WriteTuple):
+        return {"__t": "wtuple", "tsval": encode_value(value.tsval),
+                "tsr": encode_value(value.tsrarray)}
+    if isinstance(value, HistoryEntry):
+        return {"__t": "hentry",
+                "pw": None if value.pw is None else encode_value(value.pw),
+                "w": None if value.w is None else encode_value(value.w)}
+    if isinstance(value, bytes):
+        return {"__t": "bytes",
+                "b64": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TransportError(
+        f"value of type {type(value).__name__} is not wire-encodable")
+
+
+def decode_value(data: Any) -> Any:
+    if not isinstance(data, dict) or "__t" not in data:
+        return data
+    tag = data["__t"]
+    if tag == "bottom":
+        return BOTTOM
+    if tag == "tsval":
+        return TimestampValue(data["ts"], decode_value(data["v"]))
+    if tag == "tsr":
+        return TsrArray.from_lists(data["rows"])
+    if tag == "wtuple":
+        return WriteTuple(decode_value(data["tsval"]),
+                          decode_value(data["tsr"]))
+    if tag == "hentry":
+        return HistoryEntry(
+            pw=None if data["pw"] is None else decode_value(data["pw"]),
+            w=None if data["w"] is None else decode_value(data["w"]))
+    if tag == "bytes":
+        return base64.b64decode(data["b64"])
+    raise TransportError(f"unknown value tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# message-level codecs
+# ---------------------------------------------------------------------------
+
+_ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
+    Pw: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
+                   "w": encode_value(m.w)},
+    W: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
+                  "w": encode_value(m.w)},
+    PwAck: lambda m: {"ts": m.ts, "i": m.object_index,
+                      "tsr": list(m.tsr)},
+    WriteAck: lambda m: {"ts": m.ts, "i": m.object_index},
+    ReadRequest: lambda m: {"k": m.round_index, "tsr": m.tsr,
+                            "j": m.reader_index, "from_ts": m.from_ts},
+    ReadAck: lambda m: {"k": m.round_index, "tsr": m.tsr,
+                        "i": m.object_index, "pw": encode_value(m.pw),
+                        "w": encode_value(m.w)},
+    HistoryReadAck: lambda m: {
+        "k": m.round_index, "tsr": m.tsr, "i": m.object_index,
+        "h": {str(ts): encode_value(entry)
+              for ts, entry in m.history.items()}},
+}
+
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "Pw": lambda d: Pw(ts=d["ts"], pw=decode_value(d["pw"]),
+                       w=decode_value(d["w"])),
+    "W": lambda d: W(ts=d["ts"], pw=decode_value(d["pw"]),
+                     w=decode_value(d["w"])),
+    "PwAck": lambda d: PwAck(ts=d["ts"], object_index=d["i"],
+                             tsr=tuple(d["tsr"])),
+    "WriteAck": lambda d: WriteAck(ts=d["ts"], object_index=d["i"]),
+    "ReadRequest": lambda d: ReadRequest(round_index=d["k"], tsr=d["tsr"],
+                                         reader_index=d["j"],
+                                         from_ts=d["from_ts"]),
+    "ReadAck": lambda d: ReadAck(round_index=d["k"], tsr=d["tsr"],
+                                 object_index=d["i"],
+                                 pw=decode_value(d["pw"]),
+                                 w=decode_value(d["w"])),
+    "HistoryReadAck": lambda d: HistoryReadAck(
+        round_index=d["k"], tsr=d["tsr"], object_index=d["i"],
+        history={int(ts): decode_value(entry)
+                 for ts, entry in d["h"].items()}),
+}
+
+
+def register_codec(message_type: type,
+                   encoder: Callable[[Any], Dict[str, Any]],
+                   decoder: Callable[[Dict[str, Any]], Any]) -> None:
+    """Extension point for baseline / user-defined message types."""
+    _ENCODERS[message_type] = encoder
+    _DECODERS[message_type.__name__] = decoder
+
+
+def encode_message(message: Any) -> str:
+    encoder = _ENCODERS.get(type(message))
+    if encoder is None:
+        raise TransportError(
+            f"no codec registered for {type(message).__name__}")
+    body = encoder(message)
+    body["__kind"] = type(message).__name__
+    return json.dumps(body, separators=(",", ":"), sort_keys=True)
+
+def decode_message(wire: str) -> Any:
+    try:
+        body = json.loads(wire)
+    except json.JSONDecodeError as exc:
+        raise TransportError(f"malformed wire message: {exc}") from exc
+    kind = body.pop("__kind", None)
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise TransportError(f"no codec registered for kind {kind!r}")
+    return decoder(body)
+
+
+# ---------------------------------------------------------------------------
+# codecs for the baseline and extension message vocabularies
+# ---------------------------------------------------------------------------
+
+
+def _register_extras() -> None:
+    """Register baseline/extension messages so the TCP tier covers every
+    protocol in the library, not just the paper's core."""
+    from ..baselines.abd.protocol import (AbdQuery, AbdQueryAck, AbdStore,
+                                          AbdStoreAck)
+    from ..baselines.authenticated.protocol import (AuthQuery, AuthQueryAck,
+                                                    AuthStore, AuthStoreAck)
+    from ..core.atomic.protocol import WriteBack, WriteBackAck
+    from ..crypto_sim import SignedValue
+
+    register_codec(
+        AbdStore,
+        lambda m: {"tsval": encode_value(m.tsval), "nonce": m.nonce},
+        lambda d: AbdStore(tsval=decode_value(d["tsval"]),
+                           nonce=d["nonce"]))
+    register_codec(
+        AbdStoreAck,
+        lambda m: {"nonce": m.nonce, "ts": m.ts},
+        lambda d: AbdStoreAck(nonce=d["nonce"], ts=d["ts"]))
+    register_codec(
+        AbdQuery,
+        lambda m: {"nonce": m.nonce},
+        lambda d: AbdQuery(nonce=d["nonce"]))
+    register_codec(
+        AbdQueryAck,
+        lambda m: {"nonce": m.nonce, "tsval": encode_value(m.tsval)},
+        lambda d: AbdQueryAck(nonce=d["nonce"],
+                              tsval=decode_value(d["tsval"])))
+
+    def encode_signed(signed):
+        if signed is None:
+            return None
+        return {"payload": encode_value(signed.payload),
+                "key_id": signed.key_id,
+                "tag": encode_value(signed.tag)}
+
+    def decode_signed(data):
+        if data is None:
+            return None
+        return SignedValue(payload=decode_value(data["payload"]),
+                           key_id=data["key_id"],
+                           tag=decode_value(data["tag"]))
+
+    register_codec(
+        AuthStore,
+        lambda m: {"signed": encode_signed(m.signed), "nonce": m.nonce},
+        lambda d: AuthStore(signed=decode_signed(d["signed"]),
+                            nonce=d["nonce"]))
+    register_codec(
+        AuthStoreAck,
+        lambda m: {"nonce": m.nonce},
+        lambda d: AuthStoreAck(nonce=d["nonce"]))
+    register_codec(
+        AuthQuery,
+        lambda m: {"nonce": m.nonce},
+        lambda d: AuthQuery(nonce=d["nonce"]))
+    register_codec(
+        AuthQueryAck,
+        lambda m: {"nonce": m.nonce, "signed": encode_signed(m.signed)},
+        lambda d: AuthQueryAck(nonce=d["nonce"],
+                               signed=decode_signed(d["signed"])))
+
+    register_codec(
+        WriteBack,
+        lambda m: {"c": encode_value(m.c), "nonce": m.nonce,
+                   "j": m.reader_index},
+        lambda d: WriteBack(c=decode_value(d["c"]), nonce=d["nonce"],
+                            reader_index=d["j"]))
+    register_codec(
+        WriteBackAck,
+        lambda m: {"nonce": m.nonce, "i": m.object_index},
+        lambda d: WriteBackAck(nonce=d["nonce"], object_index=d["i"]))
+
+
+_register_extras()

@@ -1,0 +1,77 @@
+"""Asyncio hosts: run object automata and client operations as tasks."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from ..automata.base import ClientOperation, ObjectAutomaton
+from ..errors import TransportError
+from ..types import ProcessId, obj
+from .memnet import AsyncNetwork
+
+
+class ObjectHost:
+    """Runs one :class:`ObjectAutomaton` as an asyncio task."""
+
+    def __init__(self, automaton: ObjectAutomaton, network: AsyncNetwork):
+        self.automaton = automaton
+        self.pid = obj(automaton.object_index)
+        self.network = network
+        network.register(self.pid)
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._loop())
+
+    async def _loop(self) -> None:
+        inbox = self.network.inbox(self.pid)
+        while True:
+            envelope = await inbox.get()
+            replies = self.automaton.on_message(envelope.sender,
+                                                envelope.payload)
+            for receiver, payload in replies or []:
+                self.network.send(self.pid, receiver, payload)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+
+class ClientHost:
+    """Drives client operations for one client process."""
+
+    def __init__(self, pid: ProcessId, network: AsyncNetwork):
+        if not pid.is_client:
+            raise TransportError(f"{pid!r} is not a client process")
+        self.pid = pid
+        self.network = network
+        network.register(pid)
+
+    async def run(self, operation: ClientOperation,
+                  timeout: Optional[float] = None) -> Any:
+        """Invoke ``operation`` and pump replies until it completes."""
+        if operation.client_id != self.pid:
+            raise TransportError(
+                f"operation belongs to {operation.client_id!r}, "
+                f"host is {self.pid!r}")
+        for receiver, payload in operation.start() or []:
+            self.network.send(self.pid, receiver, payload)
+        inbox = self.network.inbox(self.pid)
+
+        async def pump() -> Any:
+            while not operation.done:
+                envelope = await inbox.get()
+                outgoing = operation.on_message(envelope.sender,
+                                                envelope.payload)
+                for receiver, payload in outgoing or []:
+                    self.network.send(self.pid, receiver, payload)
+            return operation.result
+
+        if operation.done:  # zero-communication completion
+            return operation.result
+        if timeout is None:
+            return await pump()
+        return await asyncio.wait_for(pump(), timeout)

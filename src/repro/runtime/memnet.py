@@ -1,0 +1,79 @@
+"""Asyncio in-memory network: real concurrency, optional random delays.
+
+The simulator proves protocol properties under controlled schedules; the
+asyncio runtime demonstrates the same automata under *uncontrolled*
+concurrency -- every process is a task, delivery interleavings come from
+the event loop, and optional per-message delays shake out ordering
+assumptions.  Nothing in the protocol code changes between the two.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..errors import TransportError
+from ..types import ProcessId
+
+
+@dataclass
+class AsyncEnvelope:
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+
+
+class AsyncNetwork:
+    """Per-process inboxes with optional seeded jitter and drop rules."""
+
+    def __init__(self, jitter: float = 0.0, seed: int = 0):
+        """``jitter``: maximum extra delay (seconds) per message."""
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._inboxes: Dict[ProcessId, "asyncio.Queue[AsyncEnvelope]"] = {}
+        self._crashed: Set[ProcessId] = set()
+        self._pending: Set[asyncio.Task] = set()
+        self.messages_sent = 0
+
+    def register(self, pid: ProcessId) -> None:
+        if pid not in self._inboxes:
+            self._inboxes[pid] = asyncio.Queue()
+
+    def inbox(self, pid: ProcessId) -> "asyncio.Queue[AsyncEnvelope]":
+        try:
+            return self._inboxes[pid]
+        except KeyError:
+            raise TransportError(f"process {pid!r} is not registered")
+
+    def crash(self, pid: ProcessId) -> None:
+        """Messages to a crashed process are silently parked forever."""
+        self._crashed.add(pid)
+
+    def send(self, sender: ProcessId, receiver: ProcessId,
+             payload: Any) -> None:
+        self.messages_sent += 1
+        if receiver in self._crashed:
+            return
+        envelope = AsyncEnvelope(sender, receiver, payload)
+        if self.jitter <= 0:
+            self.inbox(receiver).put_nowait(envelope)
+            return
+        delay = self._rng.uniform(0, self.jitter)
+        task = asyncio.get_running_loop().create_task(
+            self._deliver_later(envelope, delay))
+        self._pending.add(task)
+        task.add_done_callback(self._pending.discard)
+
+    async def _deliver_later(self, envelope: AsyncEnvelope,
+                             delay: float) -> None:
+        await asyncio.sleep(delay)
+        if envelope.receiver not in self._crashed:
+            self.inbox(envelope.receiver).put_nowait(envelope)
+
+    async def drain(self) -> None:
+        """Wait for all in-flight delayed deliveries (test teardown)."""
+        while self._pending:
+            await asyncio.gather(*list(self._pending),
+                                 return_exceptions=True)

@@ -1,0 +1,162 @@
+"""Localhost TCP transport: the same automata over real sockets.
+
+Deployment shape: each base object runs a :class:`TcpObjectServer`
+(newline-delimited JSON frames, see :mod:`repro.runtime.codec`); a client
+opens one connection per object and drives its operation automata through
+:class:`TcpStorageClient`.  Objects answer on the connection the request
+arrived on -- the data-centric model's "objects only reply to clients"
+rule falls out of the transport naturally.
+
+This is the integration-test tier: slower than the in-memory network but
+exercising serialization, framing and genuine OS-level interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..automata.base import ClientOperation, ObjectAutomaton
+from ..errors import TransportError
+from ..types import ProcessId
+from .codec import decode_message, encode_message
+
+
+def _encode_pid(pid: ProcessId) -> Dict[str, Any]:
+    return {"role": pid.role, "index": pid.index}
+
+
+def _decode_pid(data: Dict[str, Any]) -> ProcessId:
+    return ProcessId(role=data["role"], index=data["index"])
+
+
+def _frame(sender: ProcessId, payload: Any) -> bytes:
+    body = json.dumps({"sender": _encode_pid(sender),
+                       "msg": encode_message(payload)},
+                      separators=(",", ":"))
+    return body.encode("utf-8") + b"\n"
+
+
+def _parse(line: bytes) -> Tuple[ProcessId, Any]:
+    try:
+        body = json.loads(line.decode("utf-8"))
+        return _decode_pid(body["sender"]), decode_message(body["msg"])
+    except (KeyError, ValueError) as exc:
+        raise TransportError(f"malformed frame: {exc}") from exc
+
+
+class TcpObjectServer:
+    """Serves one object automaton on a localhost TCP port."""
+
+    def __init__(self, automaton: ObjectAutomaton,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.automaton = automaton
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        from ..types import obj
+        my_pid = obj(self.automaton.object_index)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                sender, message = _parse(line)
+                replies = self.automaton.on_message(sender, message)
+                for receiver, payload in replies or []:
+                    # Objects reply only to the requesting client; replies
+                    # addressed elsewhere cannot be routed on this socket.
+                    if receiver == sender:
+                        writer.write(_frame(my_pid, payload))
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+
+class TcpStorageClient:
+    """Drives client operations against a set of TCP object endpoints."""
+
+    def __init__(self, pid: ProcessId,
+                 endpoints: List[Tuple[str, int]]):
+        if not pid.is_client:
+            raise TransportError(f"{pid!r} is not a client")
+        self.pid = pid
+        self.endpoints = endpoints
+        self._connections: List[
+            Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._inbox: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
+        self._pumps: List[asyncio.Task] = []
+
+    async def connect(self) -> None:
+        for host, port in self.endpoints:
+            reader, writer = await asyncio.open_connection(host, port)
+            self._connections.append((reader, writer))
+            self._pumps.append(asyncio.get_running_loop().create_task(
+                self._pump(reader)))
+
+    async def close(self) -> None:
+        for task in self._pumps:
+            task.cancel()
+        await asyncio.gather(*self._pumps, return_exceptions=True)
+        self._pumps.clear()
+        for _, writer in self._connections:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+        self._connections.clear()
+
+    async def _pump(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            self._inbox.put_nowait(_parse(line))
+
+    async def _send(self, receiver: ProcessId, payload: Any) -> None:
+        if not receiver.is_object:
+            raise TransportError("TCP clients only talk to objects")
+        if receiver.index >= len(self._connections):
+            return  # endpoint not configured: behaves like a slow object
+        _, writer = self._connections[receiver.index]
+        writer.write(_frame(self.pid, payload))
+        await writer.drain()
+
+    async def run(self, operation: ClientOperation,
+                  timeout: Optional[float] = 30.0) -> Any:
+        for receiver, payload in operation.start() or []:
+            await self._send(receiver, payload)
+
+        async def pump() -> Any:
+            while not operation.done:
+                sender, message = await self._inbox.get()
+                for receiver, payload in (
+                        operation.on_message(sender, message) or []):
+                    await self._send(receiver, payload)
+            return operation.result
+
+        if operation.done:
+            return operation.result
+        if timeout is None:
+            return await pump()
+        return await asyncio.wait_for(pump(), timeout)

@@ -1,0 +1,57 @@
+"""Deterministic discrete-event simulation of the paper's system model.
+
+The subpackage realizes Section 2 of the paper: asynchronous reliable
+point-to-point channels between clients (one writer, R readers) and S base
+objects, with an adversary that controls scheduling, crashes up to ``t``
+objects and corrupts up to ``b`` of them arbitrarily.
+
+Public surface:
+
+* :class:`SimKernel` -- the simulator;
+* :class:`Envelope`, :class:`Network` -- messages in transit and holds;
+* schedulers (:class:`FifoScheduler`, :class:`RandomScheduler`,
+  :class:`LifoScheduler`, :class:`EarliestDeliveryScheduler`,
+  :class:`TargetedScheduler`, :class:`ReplayScheduler`);
+* delay models (:class:`ZeroDelay`, :class:`ConstantDelay`,
+  :class:`UniformDelay`, :class:`ExponentialDelay`, :class:`PerLinkDelay`,
+  :class:`SlowProcessDelay`);
+* :class:`TraceLog` and friends.
+"""
+
+from .delay import (ConstantDelay, DelayModel, ExponentialDelay, PerLinkDelay,
+                    SlowProcessDelay, UniformDelay, ZeroDelay)
+from .envelope import Envelope
+from .kernel import DEFAULT_MAX_STEPS, OperationHandle, SimKernel
+from .network import Network
+from .partitions import Partition, isolate
+from .schedulers import (EarliestDeliveryScheduler, FifoScheduler,
+                         LifoScheduler, RandomScheduler, ReplayScheduler,
+                         Scheduler, TargetedScheduler, delay_link_rule)
+from .tracing import TraceEvent, TraceLog
+
+__all__ = [
+    "SimKernel",
+    "OperationHandle",
+    "DEFAULT_MAX_STEPS",
+    "Envelope",
+    "Network",
+    "Partition",
+    "isolate",
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "EarliestDeliveryScheduler",
+    "TargetedScheduler",
+    "ReplayScheduler",
+    "delay_link_rule",
+    "DelayModel",
+    "ZeroDelay",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "PerLinkDelay",
+    "SlowProcessDelay",
+    "TraceEvent",
+    "TraceLog",
+]

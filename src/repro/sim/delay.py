@@ -1,0 +1,129 @@
+"""Message delay models for the latency experiments (E8).
+
+The paper's correctness story is asynchronous -- delivery order is fully
+adversarial and delays carry no meaning.  For the *latency* experiments we
+additionally want a quantitative model: each message is assigned a delay
+when sent, and the virtual clock advances to the delivery time.  Round-trip
+counts then translate into wall-clock-shaped distributions, which is how we
+compare 1-round, 2-round and ``(b+1)``-round reads quantitatively.
+
+All models are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+from ..types import ProcessId
+
+
+class DelayModel(ABC):
+    """Assigns a non-negative delay to each message at send time."""
+
+    @abstractmethod
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        """Delay (virtual time units) for one message on this link."""
+
+    def reset(self) -> None:
+        """Restore the model to its initial (seeded) state."""
+
+
+class ZeroDelay(DelayModel):
+    """All messages available immediately; order is pure scheduler choice."""
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        return 0.0
+
+
+class ConstantDelay(DelayModel):
+    """Fixed one-way latency; models an idealized uniform network."""
+
+    def __init__(self, latency: float = 1.0):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        return self.latency
+
+
+class UniformDelay(DelayModel):
+    """Delay drawn uniformly from ``[low, high]`` with a seeded RNG."""
+
+    def __init__(self, low: float, high: float, seed: int = 0):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class ExponentialDelay(DelayModel):
+    """Heavy-ish tail: ``base + Exp(mean)``, the classic WAN-ish model."""
+
+    def __init__(self, base: float = 0.1, mean: float = 1.0, seed: int = 0):
+        if base < 0 or mean <= 0:
+            raise ValueError("need base >= 0 and mean > 0")
+        self.base = base
+        self.mean = mean
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        return self.base + self._rng.expovariate(1.0 / self.mean)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class PerLinkDelay(DelayModel):
+    """Heterogeneous links: explicit per-(sender, receiver) latencies.
+
+    Useful for modelling a slow replica or an asymmetric topology; links
+    without an explicit entry fall back to ``default``.
+    """
+
+    def __init__(self, default: float = 1.0):
+        self.default = default
+        self._links: Dict[Tuple[ProcessId, ProcessId], float] = {}
+
+    def set_link(self, sender: ProcessId, receiver: ProcessId,
+                 latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._links[(sender, receiver)] = latency
+
+    def set_symmetric(self, a: ProcessId, c: ProcessId,
+                      latency: float) -> None:
+        self.set_link(a, c, latency)
+        self.set_link(c, a, latency)
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        return self._links.get((sender, receiver), self.default)
+
+
+class SlowProcessDelay(DelayModel):
+    """Messages to/from designated processes take ``slow``; others ``fast``.
+
+    Models a straggler object -- the scenario where waiting for ``S - t``
+    acknowledgments (rather than all ``S``) earns its keep.
+    """
+
+    def __init__(self, slow_processes, fast: float = 1.0, slow: float = 50.0):
+        self.slow_processes = set(slow_processes)
+        self.fast = fast
+        self.slow = slow
+
+    def delay(self, sender: ProcessId, receiver: ProcessId) -> float:
+        if sender in self.slow_processes or receiver in self.slow_processes:
+            return self.slow
+        return self.fast

@@ -1,0 +1,52 @@
+"""Message envelopes: the unit the simulator schedules.
+
+An :class:`Envelope` is a protocol payload (:class:`repro.messages.Message`
+or any immutable value) together with routing and timing metadata.  The set
+of undelivered envelopes is exactly the paper's ``mset_{p,q}`` ("messages
+sent but not yet received", Section 2.1); the scheduler realizes asynchrony
+by choosing delivery order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..types import ProcessId
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """A message in transit.
+
+    Attributes:
+        sender / receiver: process identities (never forged by the kernel;
+            Byzantine *content* is possible, Byzantine *sender spoofing* is
+            not, matching reliable point-to-point channels with known
+            endpoints).
+        payload: the protocol message.
+        sent_at: virtual time of the send step.
+        available_at: earliest virtual time at which the scheduler may
+            deliver it (assigned by the delay model).
+        injected: True when an adversary placed the message directly into
+            the channel (malicious processes "can put arbitrary messages
+            into mset", Section 2.1).
+    """
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+    sent_at: float = 0.0
+    available_at: float = 0.0
+    injected: bool = False
+    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    def __repr__(self) -> str:
+        flag = "!" if self.injected else ""
+        return (
+            f"Envelope#{self.envelope_id}{flag}({self.sender!r}->"
+            f"{self.receiver!r}, {self.payload!r})"
+        )

@@ -1,0 +1,387 @@
+"""The deterministic discrete-event simulation kernel.
+
+:class:`SimKernel` executes the step semantics of Section 2.1: computation
+proceeds as a sequence of *steps* in which one process atomically receives
+a batch of messages (here: one message -- schedulers can emulate batches by
+back-to-back deliveries), updates its state, and emits messages.  The
+kernel owns:
+
+* the registered :class:`~repro.automata.base.ObjectAutomaton` per base
+  object, plus the clients' pending
+  :class:`~repro.automata.base.ClientOperation` automata;
+* the :class:`~repro.sim.network.Network` of in-transit envelopes;
+* the virtual clock, advanced by the delay model;
+* fault state -- crashed processes and Byzantine replacements;
+* the :class:`~repro.sim.tracing.TraceLog`.
+
+The *adversary API* (crash, replace automaton, inject envelopes, drop
+envelopes, holds) grants the simulator exactly the powers the paper's
+adversary has, no more: senders cannot be spoofed on behalf of
+non-malicious processes, and only messages from/to malicious processes may
+be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ..config import SystemConfig
+from ..errors import (PendingOperationError, ProtocolError,
+                      SchedulerExhaustedError, SimulationError)
+from ..messages import estimate_size, summarize, Message
+from ..types import ProcessId, obj
+from . import tracing
+from .delay import DelayModel, ZeroDelay
+from .envelope import Envelope
+from .network import Network
+from .schedulers import FifoScheduler, Scheduler
+
+#: Safety valve for ``run_until`` loops.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+class OperationHandle:
+    """A client operation as seen from the outside of the kernel."""
+
+    def __init__(self, operation: ClientOperation, invoked_at: float):
+        self.operation = operation
+        self.invoked_at = invoked_at
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.operation.done
+
+    @property
+    def result(self) -> Any:
+        return self.operation.result
+
+    @property
+    def rounds_used(self) -> int:
+        return self.operation.rounds_used
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.invoked_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"OperationHandle({self.operation.describe()}, {state})"
+
+
+class SimKernel:
+    """Deterministic simulator for one storage system instance."""
+
+    def __init__(self, config: SystemConfig,
+                 scheduler: Optional[Scheduler] = None,
+                 delay_model: Optional[DelayModel] = None,
+                 trace_capacity: Optional[int] = 100_000,
+                 trace_enabled: bool = True):
+        self.config = config
+        self.scheduler = scheduler or FifoScheduler()
+        self.delay_model = delay_model or ZeroDelay()
+        self.network = Network()
+        self.trace = tracing.TraceLog(capacity=trace_capacity,
+                                      enabled=trace_enabled)
+        self.now: float = 0.0
+        self.steps_taken = 0
+
+        self._envelope_counter = 0
+        self._objects: Dict[ProcessId, ObjectAutomaton] = {}
+        self._crashed: Set[ProcessId] = set()
+        self._byzantine: Set[ProcessId] = set()
+        self._pending_ops: Dict[ProcessId, OperationHandle] = {}
+        self._completion_callbacks: List[Callable[[OperationHandle], None]] = []
+        self._invocation_callbacks: List[Callable[[OperationHandle], None]] = []
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register_object(self, automaton: ObjectAutomaton) -> ProcessId:
+        """Attach a base object automaton at its declared index."""
+        pid = obj(automaton.object_index)
+        if pid in self._objects:
+            raise SimulationError(f"object {pid!r} registered twice")
+        if automaton.object_index >= self.config.num_objects:
+            raise SimulationError(
+                f"object index {automaton.object_index} out of range for "
+                f"S={self.config.num_objects}")
+        self._objects[pid] = automaton
+        return pid
+
+    def register_objects(self, automata) -> List[ProcessId]:
+        return [self.register_object(a) for a in automata]
+
+    def object_automaton(self, pid: ProcessId) -> ObjectAutomaton:
+        return self._objects[pid]
+
+    # ------------------------------------------------------------------
+    # fault / adversary API
+    # ------------------------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Crash a process: it takes no further steps (Section 2.1)."""
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        self.trace.append(time=self.now, kind=tracing.CRASH, process=pid)
+
+    def is_alive(self, pid: ProcessId) -> bool:
+        return pid not in self._crashed
+
+    def crashed_processes(self) -> Set[ProcessId]:
+        return set(self._crashed)
+
+    def make_byzantine(self, pid: ProcessId,
+                       automaton: ObjectAutomaton,
+                       note: str = "") -> None:
+        """Replace an object's automaton with an arbitrary-behaviour one."""
+        if not pid.is_object:
+            raise SimulationError("only base objects may turn Byzantine "
+                                  "in this model")
+        if pid not in self._objects:
+            raise SimulationError(f"unknown object {pid!r}")
+        self._objects[pid] = automaton
+        self._byzantine.add(pid)
+        self.trace.append(time=self.now, kind=tracing.BYZANTINE, process=pid,
+                          detail=note or type(automaton).__name__)
+
+    def byzantine_processes(self) -> Set[ProcessId]:
+        return set(self._byzantine)
+
+    def inject(self, sender: ProcessId, receiver: ProcessId,
+               payload: Any) -> Envelope:
+        """Place a forged message in transit on behalf of ``sender``.
+
+        Section 2.1 allows malicious processes to put arbitrary messages
+        into their channels; the kernel therefore requires that ``sender``
+        has been marked Byzantine (the lower-bound driver marks objects
+        before forging on their behalf).
+        """
+        if sender not in self._byzantine:
+            raise SimulationError(
+                f"refusing to forge a message from non-malicious {sender!r}")
+        return self._submit(sender, receiver, payload, injected=True)
+
+    def drop_messages(self, predicate) -> int:
+        """Adversarially remove in-transit messages involving malicious
+        processes (their Section 2.1 privilege)."""
+
+        def guarded(env: Envelope) -> bool:
+            involved = (env.sender in self._byzantine
+                        or env.receiver in self._byzantine)
+            return involved and predicate(env)
+
+        return self.network.drop_matching(guarded)
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def on_invoke(self, callback: Callable[[OperationHandle], None]) -> None:
+        self._invocation_callbacks.append(callback)
+
+    def on_complete(self, callback: Callable[[OperationHandle], None]) -> None:
+        self._completion_callbacks.append(callback)
+
+    def invoke(self, operation: ClientOperation) -> OperationHandle:
+        """Invoke an operation on its client; returns a handle."""
+        client = operation.client_id
+        if not client.is_client:
+            raise ProtocolError(f"{client!r} is not a client")
+        if client in self._crashed:
+            raise ProtocolError(f"client {client!r} has crashed")
+        existing = self._pending_ops.get(client)
+        if existing is not None and not existing.done:
+            raise PendingOperationError(
+                f"client {client!r} already has {existing!r} in progress")
+        handle = OperationHandle(operation, invoked_at=self.now)
+        self._pending_ops[client] = handle
+        self.trace.append(time=self.now, kind=tracing.INVOKE, process=client,
+                          operation_id=operation.operation_id,
+                          detail=operation.describe())
+        for callback in self._invocation_callbacks:
+            callback(handle)
+        self._dispatch_outgoing(operation, operation.start())
+        self._check_completion(client, handle)
+        return handle
+
+    def pending_operation(self, client: ProcessId) -> Optional[OperationHandle]:
+        handle = self._pending_ops.get(client)
+        if handle is not None and not handle.done:
+            return handle
+        return None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Deliver one message; returns False when nothing is deliverable.
+
+        If nothing is deliverable *now* but a delayed envelope exists, the
+        virtual clock advances to its availability time first.
+        """
+        deliverable = self.network.deliverable(self.now, self.is_alive)
+        if not deliverable:
+            future = self.network.earliest_future_time(self.is_alive)
+            if future is None or future <= self.now:
+                return False
+            self.now = future
+            deliverable = self.network.deliverable(self.now, self.is_alive)
+            if not deliverable:
+                return False
+        envelope = self.scheduler.choose(deliverable)
+        self._deliver(envelope)
+        return True
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_steps: int = DEFAULT_MAX_STEPS) -> int:
+        """Run steps until ``predicate()``; returns steps taken.
+
+        Raises :class:`SchedulerExhaustedError` if the network quiesces
+        first and :class:`SimulationError` when ``max_steps`` is exceeded
+        (which usually means a liveness bug or an unfair scheduler).
+        """
+        taken = 0
+        while not predicate():
+            if taken >= max_steps:
+                raise SimulationError(
+                    f"run_until exceeded {max_steps} steps; "
+                    f"pending={self.network.pending_count()}, "
+                    f"holds={self.network.active_holds()}")
+            if not self.step():
+                raise SchedulerExhaustedError(
+                    "network quiesced before the goal predicate held; "
+                    f"active holds: {self.network.active_holds()}, "
+                    f"crashed: {sorted(map(repr, self._crashed))}")
+            taken += 1
+        return taken
+
+    def run_to_quiescence(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
+        """Deliver until nothing is deliverable; returns steps taken."""
+        taken = 0
+        while self.step():
+            taken += 1
+            if taken >= max_steps:
+                raise SimulationError(
+                    f"no quiescence within {max_steps} steps")
+        return taken
+
+    def deliver_by_id(self, envelope_id: int) -> bool:
+        """Deliver one specific in-transit envelope (schedule exploration).
+
+        Returns False when no deliverable envelope has that id.  Used by
+        :mod:`repro.spec.explore` to branch over scheduler choices from a
+        copied kernel state.
+        """
+        for envelope in self.network.deliverable(self.now, self.is_alive):
+            if envelope.envelope_id == envelope_id:
+                self._deliver(envelope)
+                return True
+        return False
+
+    def run_operation(self, operation: ClientOperation,
+                      max_steps: int = DEFAULT_MAX_STEPS) -> OperationHandle:
+        """Invoke and run until the operation completes."""
+        handle = self.invoke(operation)
+        if not handle.done:
+            self.run_until(lambda: handle.done, max_steps=max_steps)
+        return handle
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _submit(self, sender: ProcessId, receiver: ProcessId, payload: Any,
+                injected: bool = False) -> Envelope:
+        size = (payload.estimated_size()
+                if isinstance(payload, Message) else estimate_size(payload))
+        # Envelope ids are kernel-local and deterministic so a recorded
+        # delivery order can be replayed against a fresh system.
+        self._envelope_counter += 1
+        envelope = Envelope(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            sent_at=self.now,
+            available_at=self.now + self.delay_model.delay(sender, receiver),
+            injected=injected,
+            envelope_id=self._envelope_counter,
+        )
+        self.network.submit(envelope, size_bytes=size)
+        self.trace.append(time=self.now, kind=tracing.SEND, process=sender,
+                          peer=receiver, payload=payload,
+                          envelope_id=envelope.envelope_id,
+                          detail=self._summary(payload))
+        return envelope
+
+    @staticmethod
+    def _summary(payload: Any) -> str:
+        if isinstance(payload, Message):
+            return summarize(payload)
+        return repr(payload)
+
+    def _dispatch_outgoing(self, operation: ClientOperation,
+                           outgoing: Outgoing) -> None:
+        for receiver, payload in outgoing:
+            envelope = self._submit(operation.client_id, receiver, payload)
+            operation.messages_sent += 1
+            operation.bytes_sent += (
+                payload.estimated_size()
+                if isinstance(payload, Message) else estimate_size(payload))
+            del envelope
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self.network.remove(envelope)
+        self.now = max(self.now, envelope.available_at)
+        self.steps_taken += 1
+        receiver = envelope.receiver
+        self.trace.append(time=self.now, kind=tracing.DELIVER,
+                          process=receiver, peer=envelope.sender,
+                          payload=envelope.payload,
+                          envelope_id=envelope.envelope_id,
+                          detail=self._summary(envelope.payload))
+        if receiver.is_object:
+            automaton = self._objects.get(receiver)
+            if automaton is None:
+                raise SimulationError(f"no automaton for {receiver!r}")
+            replies = automaton.on_message(envelope.sender, envelope.payload)
+            for reply_receiver, payload in replies or []:
+                self._submit(receiver, reply_receiver, payload)
+            return
+        # Client delivery: route to the pending operation, if any; clients
+        # with no pending operation simply ignore stale traffic.
+        handle = self._pending_ops.get(receiver)
+        if handle is None or handle.done:
+            return
+        operation = handle.operation
+        outgoing = operation.on_message(envelope.sender, envelope.payload)
+        self._dispatch_outgoing(operation, outgoing or [])
+        self._check_completion(receiver, handle)
+
+    def _check_completion(self, client: ProcessId,
+                          handle: OperationHandle) -> None:
+        if not handle.done or handle.completed_at is not None:
+            return
+        handle.completed_at = self.now
+        self.trace.append(time=self.now, kind=tracing.RESPOND, process=client,
+                          operation_id=handle.operation.operation_id,
+                          detail=(f"{handle.operation.describe()} -> "
+                                  f"{handle.operation.result!r}"))
+        for callback in self._completion_callbacks:
+            callback(handle)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "virtual_time": self.now,
+            "steps": self.steps_taken,
+            "messages_sent": self.network.total_sent,
+            "messages_delivered": self.network.total_delivered,
+            "bytes_sent": self.network.total_bytes_sent,
+            "in_transit": self.network.pending_count(),
+            "crashed": len(self._crashed),
+            "byzantine": len(self._byzantine),
+        }

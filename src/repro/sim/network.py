@@ -1,0 +1,145 @@
+"""The in-transit message store with adversarial *hold* rules.
+
+:class:`Network` owns every sent-but-undelivered :class:`Envelope` -- the
+union of the paper's ``mset`` channel states.  Reliable channels mean
+nothing is ever dropped by the network itself; adversarial asynchrony is
+expressed as *holds*: named predicates that make matching envelopes
+temporarily undeliverable.  The lower-bound driver (Section 3's run1..run5)
+is written entirely in terms of holds ("all messages sent by the writer to
+T1 remain in transit") plus crashes.
+
+Messages to *crashed* processes remain in the store forever -- exactly the
+"in transit at the end of a partial run" notion of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..errors import SimulationError
+from ..types import ProcessId
+from .envelope import Envelope
+
+HoldPredicate = Callable[[Envelope], bool]
+
+
+class Network:
+    """All undelivered envelopes plus delivery-eligibility logic."""
+
+    def __init__(self) -> None:
+        self._in_transit: List[Envelope] = []
+        self._holds: Dict[str, HoldPredicate] = {}
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_bytes_sent = 0
+
+    # -- sending -----------------------------------------------------------
+    def submit(self, envelope: Envelope, size_bytes: int = 0) -> None:
+        self._in_transit.append(envelope)
+        self.total_sent += 1
+        self.total_bytes_sent += size_bytes
+
+    # -- holds ---------------------------------------------------------------
+    def hold(self, tag: str, predicate: HoldPredicate) -> None:
+        """Make envelopes matching ``predicate`` undeliverable until release.
+
+        A hold applies both to envelopes already in transit and to future
+        ones.  Tags must be unique among active holds.
+        """
+        if tag in self._holds:
+            raise SimulationError(f"hold tag already active: {tag!r}")
+        self._holds[tag] = predicate
+
+    def release(self, tag: str) -> None:
+        if tag not in self._holds:
+            raise SimulationError(f"no such hold: {tag!r}")
+        del self._holds[tag]
+
+    def release_all(self) -> None:
+        self._holds.clear()
+
+    def active_holds(self) -> List[str]:
+        return sorted(self._holds)
+
+    def is_held(self, envelope: Envelope) -> bool:
+        return any(pred(envelope) for pred in self._holds.values())
+
+    # -- common hold constructors ---------------------------------------------
+    @staticmethod
+    def link_predicate(sender: Optional[ProcessId] = None,
+                       receiver: Optional[ProcessId] = None,
+                       payload_kind: Optional[type] = None) -> HoldPredicate:
+        """Predicate matching a link and optionally a payload type."""
+
+        def predicate(env: Envelope) -> bool:
+            if sender is not None and env.sender != sender:
+                return False
+            if receiver is not None and env.receiver != receiver:
+                return False
+            if payload_kind is not None and not isinstance(
+                    env.payload, payload_kind):
+                return False
+            return True
+
+        return predicate
+
+    # -- delivery ----------------------------------------------------------
+    def deliverable(self, now: float,
+                    alive: Callable[[ProcessId], bool]) -> List[Envelope]:
+        """Envelopes eligible for delivery at virtual time ``now``.
+
+        An envelope is eligible when its receiver is alive (crashed
+        processes take no steps), its delay has elapsed and no hold matches.
+        """
+        return [
+            env for env in self._in_transit
+            if alive(env.receiver) and env.available_at <= now
+            and not self.is_held(env)
+        ]
+
+    def earliest_future_time(
+            self, alive: Callable[[ProcessId], bool]) -> Optional[float]:
+        """Next ``available_at`` of a non-held envelope, or ``None``.
+
+        Lets the kernel advance the virtual clock when nothing is
+        deliverable *yet* but something will become deliverable.
+        """
+        candidates = [
+            env.available_at for env in self._in_transit
+            if alive(env.receiver) and not self.is_held(env)
+        ]
+        return min(candidates) if candidates else None
+
+    def remove(self, envelope: Envelope) -> None:
+        self._in_transit.remove(envelope)
+        self.total_delivered += 1
+
+    # -- introspection -------------------------------------------------------
+    def in_transit(self) -> List[Envelope]:
+        """Snapshot (copy) of every undelivered envelope."""
+        return list(self._in_transit)
+
+    def in_transit_between(self, sender: ProcessId,
+                           receiver: ProcessId) -> List[Envelope]:
+        return [
+            env for env in self._in_transit
+            if env.sender == sender and env.receiver == receiver
+        ]
+
+    def pending_count(self) -> int:
+        return len(self._in_transit)
+
+    def drop(self, envelope: Envelope) -> None:
+        """Adversarial removal (malicious-process privilege, Section 2.1).
+
+        Only the kernel's adversary API calls this; the network itself is
+        reliable.
+        """
+        self._in_transit.remove(envelope)
+
+    def drop_matching(self, predicate: HoldPredicate) -> int:
+        """Drop all matching envelopes; returns how many were removed."""
+        matched = [env for env in self._in_transit if predicate(env)]
+        for env in matched:
+            self._in_transit.remove(env)
+        return len(matched)

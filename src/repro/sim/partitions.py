@@ -1,0 +1,75 @@
+"""Network partitions, expressed as holds.
+
+The paper's model has reliable channels, so a "partition" is really
+unbounded asynchrony: messages crossing the cut stay in transit until the
+partition *heals*.  :class:`Partition` packages that as a first-class
+scenario tool -- split the processes into groups, run traffic, heal,
+watch the protocol absorb the backlog.
+
+A client partitioned away from a quorum of objects simply cannot finish
+operations until healing (that is wait-freedom's asynchrony caveat, not a
+liveness bug); a client that retains ``S - t`` objects keeps working.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..types import ProcessId
+from .network import Network
+
+_partition_tags = itertools.count(1)
+
+
+class Partition:
+    """A (possibly asymmetric) communication cut between process groups."""
+
+    def __init__(self, network: Network,
+                 groups: Sequence[Iterable[ProcessId]],
+                 tag: Optional[str] = None):
+        """Processes in different ``groups`` cannot exchange messages.
+
+        Processes not listed in any group can talk to everyone (handy for
+        modelling a cut that only affects some replicas).
+        """
+        self.network = network
+        self.tag = tag or f"partition-{next(_partition_tags)}"
+        self._group_of: Dict[ProcessId, int] = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                if pid in self._group_of:
+                    raise SimulationError(
+                        f"{pid!r} appears in two partition groups")
+                self._group_of[pid] = index
+        self.healed = False
+        network.hold(self.tag, self._blocks)
+
+    def _blocks(self, envelope) -> bool:
+        sender_group = self._group_of.get(envelope.sender)
+        receiver_group = self._group_of.get(envelope.receiver)
+        if sender_group is None or receiver_group is None:
+            return False
+        return sender_group != receiver_group
+
+    def heal(self) -> None:
+        """Remove the cut; everything held becomes deliverable again."""
+        if not self.healed:
+            self.network.release(self.tag)
+            self.healed = True
+
+    def __enter__(self) -> "Partition":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.heal()
+
+
+def isolate(network: Network, victims: Iterable[ProcessId],
+            everyone: Iterable[ProcessId],
+            tag: Optional[str] = None) -> Partition:
+    """Cut ``victims`` off from all other listed processes."""
+    victims = list(victims)
+    rest = [pid for pid in everyone if pid not in victims]
+    return Partition(network, [victims, rest], tag=tag)

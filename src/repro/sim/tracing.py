@@ -1,0 +1,117 @@
+"""Structured run traces.
+
+Every kernel step appends a :class:`TraceEvent`.  Traces serve three
+masters:
+
+1. the consistency checkers in :mod:`repro.spec` consume operation
+   invocation/response events;
+2. the lower-bound driver renders Figure 1 block diagrams from message
+   deliveries;
+3. failing fuzz runs are reproduced by replaying the recorded delivery
+   order (:class:`repro.sim.schedulers.ReplayScheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+from ..types import ProcessId
+
+# Event kinds
+SEND = "send"
+DELIVER = "deliver"
+INVOKE = "invoke"
+RESPOND = "respond"
+CRASH = "crash"
+BYZANTINE = "byzantine"
+NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable step of a run."""
+
+    seq: int
+    time: float
+    kind: str
+    process: Optional[ProcessId] = None
+    peer: Optional[ProcessId] = None
+    payload: Any = None
+    detail: str = ""
+    envelope_id: Optional[int] = None
+    operation_id: Optional[int] = None
+
+    def render(self) -> str:
+        clock = f"[{self.time:9.3f}]"
+        if self.kind == SEND:
+            return (f"{clock} {self.process!r} -> {self.peer!r}  "
+                    f"send {self.detail}")
+        if self.kind == DELIVER:
+            return (f"{clock} {self.process!r} <- {self.peer!r}  "
+                    f"recv {self.detail}")
+        if self.kind == INVOKE:
+            return f"{clock} {self.process!r} invokes {self.detail}"
+        if self.kind == RESPOND:
+            return f"{clock} {self.process!r} completes {self.detail}"
+        if self.kind == CRASH:
+            return f"{clock} {self.process!r} CRASHES"
+        if self.kind == BYZANTINE:
+            return f"{clock} {self.process!r} BYZANTINE: {self.detail}"
+        return f"{clock} {self.detail}"
+
+
+class TraceLog:
+    """Append-only log with bounded memory and query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None, enabled: bool = True):
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+        self._seq = 0
+        self.dropped = 0
+
+    def append(self, **kwargs: Any) -> Optional[TraceEvent]:
+        self._seq += 1
+        if not self.enabled:
+            return None
+        event = TraceEvent(seq=self._seq, **kwargs)
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    # -- queries --------------------------------------------------------------
+    def events(self, kind: Optional[str] = None,
+               process: Optional[ProcessId] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None,
+               ) -> List[TraceEvent]:
+        out: List[TraceEvent] = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def deliveries(self) -> List[TraceEvent]:
+        return self.events(kind=DELIVER)
+
+    def delivery_order(self) -> List[int]:
+        """Envelope ids in delivery order, for schedule replay."""
+        return [e.envelope_id for e in self.deliveries()
+                if e.envelope_id is not None]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self, last: Optional[int] = None) -> str:
+        events = self._events if last is None else self._events[-last:]
+        return "\n".join(event.render() for event in events)

@@ -1,0 +1,26 @@
+"""Register specifications and history checkers (Section 2.2)."""
+
+from .checkers import (CheckResult, check_atomicity, check_regularity,
+                       check_round_complexity, check_safety,
+                       check_wait_freedom)
+from .explore import (ExplorationResult, explore_schedules,
+                      sample_schedules)
+from .histories import History, OperationRecord, READ, WRITE
+from .recorder import HistoryRecorder
+
+__all__ = [
+    "ExplorationResult",
+    "explore_schedules",
+    "sample_schedules",
+    "History",
+    "OperationRecord",
+    "READ",
+    "WRITE",
+    "HistoryRecorder",
+    "CheckResult",
+    "check_safety",
+    "check_regularity",
+    "check_atomicity",
+    "check_wait_freedom",
+    "check_round_complexity",
+]

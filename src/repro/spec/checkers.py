@@ -1,0 +1,229 @@
+"""Register-semantics checkers over operation histories.
+
+Implements the three SWMR register specifications the paper works with
+(Section 2.2, following Lamport [12]):
+
+* **safety** -- a READ not concurrent with any WRITE returns the value of
+  the last preceding WRITE (or ``⊥`` if none); concurrent READs may return
+  anything;
+* **regularity** -- additionally, every READ returns either ``⊥``-before-
+  any-write or a value actually written, no older than the last WRITE that
+  precedes it, and written by a WRITE that precedes or is concurrent with
+  it;
+* **atomicity** -- regularity plus no new/old inversion between
+  non-concurrent READs (sufficient for SWMR linearizability).
+
+Checkers never raise on violation by default; they return a
+:class:`CheckResult` that lists every offence with a human-readable
+explanation, so tests can assert cleanly and experiments can *count*
+violations (the lower-bound experiment wants exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..errors import SpecificationViolation
+from ..types import BOTTOM, ProcessId, _Bottom
+from .histories import History, OperationRecord, READ, WRITE
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a specification check."""
+
+    property_name: str
+    violations: List[str] = field(default_factory=list)
+    checked_reads: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            raise SpecificationViolation(
+                f"{self.property_name} violated:\n  " +
+                "\n  ".join(self.violations))
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (f"CheckResult({self.property_name}: {status}, "
+                f"{self.checked_reads} reads checked)")
+
+
+def _is_bottom(value: Any) -> bool:
+    return isinstance(value, _Bottom)
+
+
+# ---------------------------------------------------------------------------
+# Safety
+# ---------------------------------------------------------------------------
+
+
+def check_safety(history: History) -> CheckResult:
+    """A READ with no concurrent WRITE returns the last written value."""
+    result = CheckResult("safety")
+    for read in history.reads(complete_only=True):
+        if history.concurrent_writes(read):
+            continue  # concurrent READs are unconstrained
+        result.checked_reads += 1
+        last_write = history.last_preceding_write(read)
+        expected = BOTTOM if last_write is None else last_write.argument
+        if read.result != expected and not (
+                _is_bottom(read.result) and _is_bottom(expected)):
+            result.violations.append(
+                f"{read.describe()} expected {expected!r} "
+                f"(last write: "
+                f"{last_write.describe() if last_write else 'none'})")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Regularity
+# ---------------------------------------------------------------------------
+
+
+def check_regularity(history: History) -> CheckResult:
+    """The three regularity clauses of Section 2.2."""
+    result = CheckResult("regularity")
+    writes = history.writes()
+    written_values = [w.argument for w in writes]
+    for read in history.reads(complete_only=True):
+        result.checked_reads += 1
+        value = read.result
+        # Clause (1): the value was written (val_k for some k, val_0 = ⊥).
+        if not _is_bottom(value) and value not in written_values:
+            result.violations.append(
+                f"{read.describe()} returned a value never written")
+            continue
+        # Clause (2): no stale read past a preceding WRITE.
+        last_write = history.last_preceding_write(read)
+        k_floor = (last_write.write_index or 0) if last_write else 0
+        if k_floor >= 1:
+            if _is_bottom(value):
+                result.violations.append(
+                    f"{read.describe()} returned ⊥ although "
+                    f"wr_{k_floor} precedes it")
+                continue
+            admissible = [k for k in history.write_indices_of_value(value)
+                          if k >= k_floor]
+            if not admissible:
+                result.violations.append(
+                    f"{read.describe()} returned val_"
+                    f"{history.write_indices_of_value(value)} but "
+                    f"wr_{k_floor} precedes the read")
+                continue
+        # Clause (3): the write of the returned value precedes or is
+        # concurrent with the read (no reads from the future).
+        if not _is_bottom(value):
+            candidates = history.write_indices_of_value(value)
+            feasible = False
+            for k in candidates:
+                write = next(w for w in writes if w.write_index == k)
+                if not read.precedes(write):
+                    feasible = True
+                    break
+            if not feasible:
+                result.violations.append(
+                    f"{read.describe()} returned a value written only by "
+                    f"WRITEs it strictly precedes")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Atomicity
+# ---------------------------------------------------------------------------
+
+
+def check_atomicity(history: History) -> CheckResult:
+    """Regularity + no new/old inversion (SWMR atomicity).
+
+    Reads are assigned the write index they observed (resolving repeated
+    values optimistically); for any two complete reads ``rd1`` preceding
+    ``rd2`` the observed indices must be monotone.
+    """
+    result = check_regularity(history)
+    result.property_name = "atomicity"
+    if not result.ok:
+        return result
+
+    reads = history.reads(complete_only=True)
+
+    def feasible_indices(read: OperationRecord) -> List[int]:
+        if _is_bottom(read.result):
+            return [0]
+        ks = []
+        for k in history.write_indices_of_value(read.result):
+            write = next(w for w in history.writes() if w.write_index == k)
+            if read.precedes(write):
+                continue  # clause (3) rules it out
+            ks.append(k)
+        return ks or [0]
+
+    # Greedy monotone assignment over reads sorted by invocation; sound for
+    # the single-writer case because feasible index sets are intervals in
+    # practice (each value written once in our workloads) -- and when a
+    # value repeats, taking the maximal feasible index minimizes future
+    # conflicts.
+    chosen: List[tuple] = []  # (read, k)
+    for read in reads:
+        floor = 0
+        for prev, k_prev in chosen:
+            if prev.precedes(read):
+                floor = max(floor, k_prev)
+        ks = [k for k in feasible_indices(read) if k >= floor]
+        if not ks:
+            result.violations.append(
+                f"new/old inversion: {read.describe()} must observe "
+                f"k >= {floor} but can only observe "
+                f"{feasible_indices(read)}")
+            continue
+        chosen.append((read, max(ks)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Wait-freedom
+# ---------------------------------------------------------------------------
+
+
+def check_wait_freedom(history: History,
+                       crashed_clients: Optional[set] = None) -> CheckResult:
+    """Every operation by a non-crashed client completed."""
+    crashed = crashed_clients or set()
+    result = CheckResult("wait-freedom")
+    for record in history.operations():
+        if record.client in crashed:
+            continue
+        result.checked_reads += 1
+        if not record.complete:
+            result.violations.append(
+                f"{record.describe()} never completed although "
+                f"{record.client!r} did not crash")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Round complexity
+# ---------------------------------------------------------------------------
+
+
+def check_round_complexity(history: History, max_read_rounds: int,
+                           max_write_rounds: int) -> CheckResult:
+    """Every complete operation used at most the advertised rounds."""
+    result = CheckResult("round-complexity")
+    for record in history.operations():
+        if not record.complete:
+            continue
+        result.checked_reads += 1
+        bound = max_read_rounds if record.kind == READ else max_write_rounds
+        if record.rounds_used > bound:
+            result.violations.append(
+                f"{record.describe()} used {record.rounds_used} rounds "
+                f"(bound {bound})")
+    return result

@@ -1,0 +1,148 @@
+"""Operation histories: the raw material of every correctness check.
+
+A :class:`History` is the externally observable part of a run -- for each
+operation its client, kind, argument/result and the *order* of invocation
+and response events.  Precedence follows Section 2.2: ``op1`` precedes
+``op2`` iff ``op1``'s response event occurs before ``op2``'s invocation
+event; operations neither of which precedes the other are *concurrent*.
+
+Ordering uses a global event sequence number rather than virtual time:
+distinct events may share a virtual timestamp (zero-delay schedules), but
+the kernel processes them in a definite order, and that order is what the
+definitions quantify over.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..types import BOTTOM, ProcessId
+
+READ = "READ"
+WRITE = "WRITE"
+
+
+@dataclass
+class OperationRecord:
+    """One operation's observable lifecycle."""
+
+    operation_id: int
+    client: ProcessId
+    kind: str
+    invoked_seq: int
+    invoked_at: float
+    argument: Any = None          # value written (WRITE only)
+    result: Any = None            # value returned (set on completion)
+    completed_seq: Optional[int] = None
+    completed_at: Optional[float] = None
+    rounds_used: int = 0
+    write_index: Optional[int] = None  # k for the k-th WRITE (1-based)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_seq is not None
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Response of self before invocation of other (Section 2.2)."""
+        return (self.completed_seq is not None
+                and self.completed_seq < other.invoked_seq)
+
+    def concurrent_with(self, other: "OperationRecord") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+    def describe(self) -> str:
+        span = (f"[{self.invoked_seq}..{self.completed_seq}]"
+                if self.complete else f"[{self.invoked_seq}..pending]")
+        if self.kind == WRITE:
+            return (f"WRITE#{self.operation_id}({self.argument!r}) "
+                    f"k={self.write_index} {span}")
+        return f"READ#{self.operation_id} -> {self.result!r} {span}"
+
+
+class History:
+    """An append-only collection of operation records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, OperationRecord] = {}
+        self._seq = itertools.count(1)
+
+    # -- recording ----------------------------------------------------------
+    def record_invocation(self, operation_id: int, client: ProcessId,
+                          kind: str, argument: Any = None,
+                          at: float = 0.0,
+                          write_index: Optional[int] = None,
+                          ) -> OperationRecord:
+        if operation_id in self._records:
+            raise ValueError(f"operation {operation_id} invoked twice")
+        record = OperationRecord(
+            operation_id=operation_id,
+            client=client,
+            kind=kind,
+            invoked_seq=next(self._seq),
+            invoked_at=at,
+            argument=argument,
+            write_index=write_index,
+        )
+        self._records[operation_id] = record
+        return record
+
+    def record_completion(self, operation_id: int, result: Any,
+                          at: float = 0.0,
+                          rounds_used: int = 0) -> OperationRecord:
+        record = self._records[operation_id]
+        if record.complete:
+            raise ValueError(f"operation {operation_id} completed twice")
+        record.completed_seq = next(self._seq)
+        record.completed_at = at
+        record.result = result
+        record.rounds_used = rounds_used
+        return record
+
+    # -- queries ----------------------------------------------------------------
+    def operations(self) -> List[OperationRecord]:
+        return sorted(self._records.values(), key=lambda r: r.invoked_seq)
+
+    def reads(self, complete_only: bool = False) -> List[OperationRecord]:
+        return [r for r in self.operations()
+                if r.kind == READ and (r.complete or not complete_only)]
+
+    def writes(self) -> List[OperationRecord]:
+        """All WRITEs in invocation order (= the paper's wr_1, wr_2, ...)."""
+        return [r for r in self.operations() if r.kind == WRITE]
+
+    def get(self, operation_id: int) -> OperationRecord:
+        return self._records[operation_id]
+
+    def value_of_write(self, k: int) -> Any:
+        """``val_k``; ``val_0 = ⊥``."""
+        if k == 0:
+            return BOTTOM
+        for record in self.writes():
+            if record.write_index == k:
+                return record.argument
+        raise KeyError(f"no write with index {k}")
+
+    def write_indices_of_value(self, value: Any) -> List[int]:
+        """All ``k >= 1`` with ``val_k == value`` (values may repeat)."""
+        return [r.write_index for r in self.writes()
+                if r.argument == value and r.write_index is not None]
+
+    def last_preceding_write(self, read: OperationRecord
+                             ) -> Optional[OperationRecord]:
+        """The wr_k with maximal k that precedes ``read``, if any."""
+        preceding = [w for w in self.writes() if w.precedes(read)]
+        if not preceding:
+            return None
+        return max(preceding, key=lambda w: w.write_index or 0)
+
+    def concurrent_writes(self, read: OperationRecord
+                          ) -> List[OperationRecord]:
+        return [w for w in self.writes() if w.concurrent_with(read)]
+
+    def render(self) -> str:
+        return "\n".join(record.describe() for record in self.operations())
+
+    def __len__(self) -> int:
+        return len(self._records)

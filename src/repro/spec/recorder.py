@@ -1,0 +1,56 @@
+"""Bridges the simulator's operation lifecycle into a :class:`History`.
+
+Attach a :class:`HistoryRecorder` to a kernel and every invocation /
+completion is captured with globally ordered sequence numbers; the
+resulting history feeds the checkers.  WRITE indices (the paper's
+``wr_k``) are assigned in invocation order, which is the natural order of
+the single writer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import OperationHandle, SimKernel
+from .histories import History, READ, WRITE
+
+
+class HistoryRecorder:
+    """Records kernel operations into a history."""
+
+    def __init__(self, history: Optional[History] = None):
+        self.history = history if history is not None else History()
+        self._write_count = 0
+
+    def attach(self, kernel: SimKernel) -> "HistoryRecorder":
+        kernel.on_invoke(self._on_invoke)
+        kernel.on_complete(self._on_complete)
+        return self
+
+    # ------------------------------------------------------------------
+    def _on_invoke(self, handle: OperationHandle) -> None:
+        operation = handle.operation
+        kind = operation.kind
+        write_index = None
+        argument = None
+        if kind == WRITE:
+            self._write_count += 1
+            write_index = self._write_count
+            argument = getattr(operation, "value", None)
+        self.history.record_invocation(
+            operation_id=operation.operation_id,
+            client=operation.client_id,
+            kind=kind if kind in (READ, WRITE) else READ,
+            argument=argument,
+            at=handle.invoked_at,
+            write_index=write_index,
+        )
+
+    def _on_complete(self, handle: OperationHandle) -> None:
+        operation = handle.operation
+        self.history.record_completion(
+            operation_id=operation.operation_id,
+            result=operation.result,
+            at=handle.completed_at or 0.0,
+            rounds_used=operation.rounds_used,
+        )

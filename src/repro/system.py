@@ -1,0 +1,106 @@
+"""High-level facade: a ready-to-run emulated storage system.
+
+:class:`StorageSystem` wires together a :class:`~repro.protocols.
+StorageProtocol`, a :class:`~repro.sim.SimKernel`, persistent client
+states and a :class:`~repro.spec.HistoryRecorder`.  It is the public
+entry point for the sequential use-cases::
+
+    from repro import SafeStorageProtocol, StorageSystem, SystemConfig
+
+    system = StorageSystem(SafeStorageProtocol(), SystemConfig.optimal(t=2, b=1))
+    system.write("v1")
+    assert system.read() == "v1"
+
+and it also exposes the non-blocking ``invoke_*`` variants plus the raw
+kernel for tests and experiments that need concurrency or adversarial
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .config import SystemConfig
+from .protocols import StorageProtocol
+from .sim.delay import DelayModel
+from .sim.kernel import OperationHandle, SimKernel
+from .sim.schedulers import Scheduler
+from .spec import History, HistoryRecorder
+from .types import ProcessId, WRITER, reader
+
+
+class StorageSystem:
+    """A protocol instance running on the deterministic simulator."""
+
+    def __init__(self, protocol: StorageProtocol, config: SystemConfig,
+                 scheduler: Optional[Scheduler] = None,
+                 delay_model: Optional[DelayModel] = None,
+                 trace_enabled: bool = True,
+                 trace_capacity: Optional[int] = 100_000):
+        protocol.validate_config(config)
+        self.protocol = protocol
+        self.config = config
+        self.kernel = SimKernel(config, scheduler=scheduler,
+                                delay_model=delay_model,
+                                trace_enabled=trace_enabled,
+                                trace_capacity=trace_capacity)
+        self.objects = protocol.make_objects(config)
+        self.kernel.register_objects(self.objects)
+        self.writer_state = protocol.make_writer_state(config)
+        self.reader_states = [
+            protocol.make_reader_state(config, j)
+            for j in range(config.num_readers)
+        ]
+        self.recorder = HistoryRecorder().attach(self.kernel)
+
+    # -- blocking convenience API -------------------------------------------
+    def write(self, value: Any) -> OperationHandle:
+        """WRITE(value), run to completion."""
+        operation = self.protocol.make_write(self.writer_state, value)
+        return self.kernel.run_operation(operation)
+
+    def read(self, reader_index: int = 0) -> Any:
+        """READ() by reader ``j``, run to completion; returns the value."""
+        handle = self.read_handle(reader_index)
+        return handle.result
+
+    def read_handle(self, reader_index: int = 0) -> OperationHandle:
+        operation = self.protocol.make_read(self.reader_states[reader_index])
+        return self.kernel.run_operation(operation)
+
+    # -- non-blocking API (concurrent workloads) -------------------------------
+    def invoke_write(self, value: Any) -> OperationHandle:
+        operation = self.protocol.make_write(self.writer_state, value)
+        return self.kernel.invoke(operation)
+
+    def invoke_read(self, reader_index: int = 0) -> OperationHandle:
+        operation = self.protocol.make_read(self.reader_states[reader_index])
+        return self.kernel.invoke(operation)
+
+    def run_until_done(self, *handles: OperationHandle,
+                       max_steps: int = 1_000_000) -> None:
+        self.kernel.run_until(lambda: all(h.done for h in handles),
+                              max_steps=max_steps)
+
+    # -- faults -----------------------------------------------------------------
+    def crash_object(self, index: int) -> None:
+        from .types import obj
+        self.kernel.crash(obj(index))
+
+    def crash_reader(self, reader_index: int) -> None:
+        self.kernel.crash(reader(reader_index))
+
+    def crash_writer(self) -> None:
+        self.kernel.crash(WRITER)
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def history(self) -> History:
+        return self.recorder.history
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.kernel.metrics()
+
+    def describe(self) -> str:
+        return (f"StorageSystem({self.protocol.describe()}; "
+                f"{self.config.describe()})")

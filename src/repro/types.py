@@ -1,0 +1,303 @@
+"""Core value types shared by every protocol in the library.
+
+The vocabulary follows Section 2 of the paper:
+
+* processes are the single *writer* ``w``, *readers* ``r1..rR`` and base
+  *objects* ``s1..sS`` (:class:`ProcessId`);
+* the writer tags each written value with an integer *timestamp*, forming a
+  *timestamp-value pair* (:class:`TimestampValue`, the ``pw`` field of the
+  paper's objects);
+* the second write round installs a *write tuple* ``w = <tsval, tsrarray>``
+  where ``tsrarray[i][j]`` is the reader-``j`` timestamp that object ``s_i``
+  reported to the writer during the first write round
+  (:class:`WriteTuple` / :class:`TsrArray`).
+
+All value types are immutable and hashable: the reader algorithms keep
+*sets* of candidate write tuples, and the simulator requires that nothing a
+protocol puts in a message can be mutated after sending.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Tuple
+
+
+class _Bottom:
+    """The initial register value ``⊥`` (Section 2.2).
+
+    ``BOTTOM`` is not a valid input to WRITE; a READ that returns it is
+    reporting that no WRITE has (observably) completed.  A dedicated
+    singleton type keeps it distinct from ``None`` (which protocols use for
+    "no entry") and from any user payload.
+    """
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+#: The initial value of every emulated register.
+BOTTOM = _Bottom()
+
+
+# ---------------------------------------------------------------------------
+# Process identities
+# ---------------------------------------------------------------------------
+
+ROLE_WRITER = "writer"
+ROLE_READER = "reader"
+ROLE_OBJECT = "object"
+
+_VALID_ROLES = (ROLE_WRITER, ROLE_READER, ROLE_OBJECT)
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """Identity of a process in the system.
+
+    ``index`` is zero-based internally (the paper writes ``s_1 .. s_S``;
+    we write ``obj(0) .. obj(S-1)``).  The writer is the unique process with
+    role ``"writer"`` and index ``0``.
+    """
+
+    role: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.role not in _VALID_ROLES:
+            raise ValueError(f"unknown process role: {self.role!r}")
+        if self.index < 0:
+            raise ValueError(f"negative process index: {self.index}")
+        if self.role == ROLE_WRITER and self.index != 0:
+            raise ValueError("the model has a single writer, index must be 0")
+
+    # -- convenience predicates ------------------------------------------
+    @property
+    def is_object(self) -> bool:
+        return self.role == ROLE_OBJECT
+
+    @property
+    def is_reader(self) -> bool:
+        return self.role == ROLE_READER
+
+    @property
+    def is_writer(self) -> bool:
+        return self.role == ROLE_WRITER
+
+    @property
+    def is_client(self) -> bool:
+        """Clients are the writer and the readers (Section 2)."""
+        return self.role != ROLE_OBJECT
+
+    def __repr__(self) -> str:
+        prefix = {"writer": "w", "reader": "r", "object": "s"}[self.role]
+        if self.is_writer:
+            return "w"
+        return f"{prefix}{self.index + 1}"
+
+
+def obj(i: int) -> ProcessId:
+    """The base object ``s_{i+1}`` (zero-based index ``i``)."""
+    return ProcessId(ROLE_OBJECT, i)
+
+
+def reader(j: int) -> ProcessId:
+    """The reader ``r_{j+1}`` (zero-based index ``j``)."""
+    return ProcessId(ROLE_READER, j)
+
+
+#: The unique writer process.
+WRITER = ProcessId(ROLE_WRITER, 0)
+
+
+# ---------------------------------------------------------------------------
+# Timestamps and values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimestampValue:
+    """A timestamp-value pair ``<ts, v>`` -- the object's ``pw`` field.
+
+    Equality compares both fields (the safety argument distinguishes
+    ``<k, val_k>`` from a forged ``<k, v'>``); ordering is by timestamp
+    first with ties broken on the value's ``repr`` so ordering stays total
+    for heterogeneous payloads.  Protocols only ever rely on timestamp
+    order.
+    """
+
+    ts: int
+    value: Any
+
+    def _order_key(self) -> Tuple[int, str]:
+        return (self.ts, repr(self.value))
+
+    def __lt__(self, other: "TimestampValue") -> bool:
+        return self._order_key() < other._order_key()
+
+    def __le__(self, other: "TimestampValue") -> bool:
+        return self._order_key() <= other._order_key()
+
+    def __gt__(self, other: "TimestampValue") -> bool:
+        return self._order_key() > other._order_key()
+
+    def __ge__(self, other: "TimestampValue") -> bool:
+        return self._order_key() >= other._order_key()
+
+    def __post_init__(self) -> None:
+        if self.ts < 0:
+            raise ValueError("timestamps are non-negative integers")
+        if self.ts == 0 and not isinstance(self.value, _Bottom):
+            raise ValueError("timestamp 0 is reserved for the initial value ⊥")
+        if self.ts > 0 and isinstance(self.value, _Bottom):
+            raise ValueError("⊥ is not a valid input value for a WRITE")
+
+    def __repr__(self) -> str:
+        return f"<{self.ts},{self.value!r}>"
+
+
+#: ``pw_0 = <0, ⊥>`` -- the initial timestamp-value pair of every object.
+INITIAL_TSVAL = TimestampValue(0, BOTTOM)
+
+
+class TsrArray:
+    """Immutable ``S x R`` array of reader timestamps (``tsrarray``).
+
+    Entry ``(i, j)`` is the timestamp of reader ``r_{j+1}`` that object
+    ``s_{i+1}`` reported to the writer in the PW round, or ``None`` (the
+    paper's ``nil``) if the writer received no PW-ack from that object.
+
+    The array is stored as a tuple of rows so instances are hashable and can
+    participate in candidate *sets*; use :meth:`with_row` to derive updated
+    copies.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Tuple[Tuple[Optional[int], ...], ...]):
+        self._rows = rows
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls, num_objects: int, num_readers: int) -> "TsrArray":
+        """The paper's ``inittsrarray``: every entry ``nil``."""
+        row = (None,) * num_readers
+        return cls(tuple(row for _ in range(num_objects)))
+
+    @classmethod
+    def from_lists(cls, rows) -> "TsrArray":
+        return cls(tuple(tuple(r) for r in rows))
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_readers(self) -> int:
+        return len(self._rows[0]) if self._rows else 0
+
+    def get(self, i: int, j: int) -> Optional[int]:
+        """``tsrarray[i][j]`` with zero-based indices."""
+        return self._rows[i][j]
+
+    def row(self, i: int) -> Tuple[Optional[int], ...]:
+        return self._rows[i]
+
+    def column(self, j: int) -> Tuple[Optional[int], ...]:
+        """All objects' reported timestamps for reader ``j``."""
+        return tuple(r[j] for r in self._rows)
+
+    def non_nil_rows_for_reader(self, j: int) -> Tuple[int, ...]:
+        """Indices ``i`` with a non-nil entry for reader ``j``."""
+        return tuple(i for i, r in enumerate(self._rows) if r[j] is not None)
+
+    # -- derivation --------------------------------------------------------
+    def with_row(self, i: int, row: Tuple[Optional[int], ...]) -> "TsrArray":
+        """A copy with row ``i`` replaced (used by the writer's PW acks)."""
+        if len(row) != self.num_readers:
+            raise ValueError("row width must equal the number of readers")
+        rows = list(self._rows)
+        rows[i] = tuple(row)
+        return TsrArray(tuple(rows))
+
+    def with_entry(self, i: int, j: int, value: Optional[int]) -> "TsrArray":
+        row = list(self._rows[i])
+        row[j] = value
+        return self.with_row(i, tuple(row))
+
+    # -- dunder ------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[Optional[int], ...]]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TsrArray) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        populated = sum(
+            1 for r in self._rows for cell in r if cell is not None
+        )
+        return f"TsrArray({self.num_objects}x{self.num_readers}, {populated} set)"
+
+    def entries(self) -> Iterator[Tuple[int, int, Optional[int]]]:
+        """Iterate ``(i, j, value)`` over all cells."""
+        for i, r in enumerate(self._rows):
+            for j, cell in enumerate(r):
+                yield i, j, cell
+
+
+@dataclass(frozen=True)
+class WriteTuple:
+    """The object's ``w`` field: ``<tsval, tsrarray>`` (Section 4.1).
+
+    ``tsval`` is the timestamp-value pair installed by the write with
+    timestamp ``tsval.ts``; ``tsrarray`` is the snapshot of reader
+    timestamps the writer gathered in that write's PW round.  The reader's
+    *conflict* predicate inspects ``tsrarray`` to unmask malicious objects
+    that claim to have seen reader timestamps from the future.
+    """
+
+    tsval: TimestampValue
+    tsrarray: TsrArray
+
+    @property
+    def ts(self) -> int:
+        return self.tsval.ts
+
+    @property
+    def value(self) -> Any:
+        return self.tsval.value
+
+    def __repr__(self) -> str:
+        return f"W({self.tsval!r})"
+
+
+def initial_write_tuple(num_objects: int, num_readers: int) -> WriteTuple:
+    """``w_0 = <<0, ⊥>, inittsrarray>`` -- initial ``w`` field of objects."""
+    return WriteTuple(INITIAL_TSVAL, TsrArray.empty(num_objects, num_readers))
+
+
+# ---------------------------------------------------------------------------
+# Fresh-name helpers
+# ---------------------------------------------------------------------------
+
+_op_counter = itertools.count(1)
+
+
+def fresh_operation_id() -> int:
+    """Process-wide unique operation identifiers for tracing."""
+    return next(_op_counter)

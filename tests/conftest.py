@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.regular import (CachedRegularStorageProtocol,
+                                RegularStorageProtocol)
+from repro.core.safe import SafeStorageProtocol
+from repro.system import StorageSystem
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """t=1, b=1, S=4, one reader -- the smallest interesting system."""
+    return SystemConfig.optimal(t=1, b=1, num_readers=1)
+
+
+@pytest.fixture
+def medium_config() -> SystemConfig:
+    """t=2, b=1, S=6, two readers."""
+    return SystemConfig.optimal(t=2, b=1, num_readers=2)
+
+
+@pytest.fixture
+def safe_system(medium_config) -> StorageSystem:
+    return StorageSystem(SafeStorageProtocol(), medium_config)
+
+
+@pytest.fixture
+def regular_system(medium_config) -> StorageSystem:
+    return StorageSystem(RegularStorageProtocol(), medium_config)
+
+
+@pytest.fixture
+def cached_system(medium_config) -> StorageSystem:
+    return StorageSystem(CachedRegularStorageProtocol(), medium_config)
+
+
+@pytest.fixture(params=["safe", "regular", "cached"])
+def any_paper_system(request, medium_config) -> StorageSystem:
+    """Parametrized over all three protocols of the paper."""
+    protocol = {
+        "safe": SafeStorageProtocol,
+        "regular": RegularStorageProtocol,
+        "cached": CachedRegularStorageProtocol,
+    }[request.param]()
+    return StorageSystem(protocol, medium_config)

@@ -1,0 +1,87 @@
+"""Unit tests for SystemConfig and the resilience arithmetic."""
+
+import pytest
+
+from repro.config import (SystemConfig, fast_read_impossibility_threshold,
+                          optimal_resilience)
+from repro.errors import ConfigurationError, ResilienceError
+
+
+class TestBounds:
+    @pytest.mark.parametrize("t,b,expected", [
+        (1, 1, 4), (2, 1, 6), (2, 2, 7), (3, 3, 10), (5, 2, 13),
+    ])
+    def test_optimal_resilience(self, t, b, expected):
+        assert optimal_resilience(t, b) == expected
+
+    @pytest.mark.parametrize("t,b,expected", [
+        (1, 1, 4), (2, 1, 6), (2, 2, 8), (3, 2, 10),
+    ])
+    def test_impossibility_threshold(self, t, b, expected):
+        assert fast_read_impossibility_threshold(t, b) == expected
+
+    def test_thresholds_relate(self):
+        # 2t+2b >= 2t+b+1 iff b >= 1: with Byzantine failures there is
+        # always a gap between optimal resilience and fast-read territory.
+        for t in range(1, 6):
+            for b in range(1, t + 1):
+                assert (fast_read_impossibility_threshold(t, b)
+                        >= optimal_resilience(t, b))
+
+
+class TestSystemConfig:
+    def test_optimal_constructor(self):
+        config = SystemConfig.optimal(t=2, b=1, num_readers=3)
+        assert config.num_objects == 6
+        assert config.is_optimally_resilient
+        assert config.quorum_size == 4
+        assert config.max_crash_only == 1
+
+    def test_impossibility_constructor(self):
+        config = SystemConfig.at_impossibility_threshold(2, 1)
+        assert config.num_objects == 6
+        assert not config.fast_reads_possible
+
+    def test_fast_reads_possible_above_threshold(self):
+        config = SystemConfig.with_objects(t=2, b=1, num_objects=7)
+        assert config.fast_reads_possible
+
+    def test_b_greater_than_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(t=1, b=2, num_objects=10)
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(t=-1, b=0, num_objects=3)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(t=1, b=-1, num_objects=4)
+
+    def test_no_readers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(t=1, b=0, num_objects=3, num_readers=0)
+
+    def test_too_few_objects_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(t=3, b=0, num_objects=3)
+
+    def test_process_enumeration(self):
+        config = SystemConfig.optimal(t=1, b=1, num_readers=2)
+        assert len(config.objects()) == 4
+        assert len(config.readers()) == 2
+        assert len(config.clients()) == 3
+        assert len(config.all_processes()) == 7
+
+    def test_require_optimal_resilience(self):
+        config = SystemConfig.with_objects(t=2, b=1, num_objects=5)
+        with pytest.raises(ResilienceError, match="2t \\+ b \\+ 1"):
+            config.require_optimal_resilience("test-protocol")
+        SystemConfig.optimal(2, 1).require_optimal_resilience("ok")
+
+    def test_describe_mentions_everything(self):
+        text = SystemConfig.optimal(t=2, b=1, num_readers=2).describe()
+        assert "S=6" in text and "t=2" in text and "b=1" in text
+
+    def test_crash_only_configuration_allowed(self):
+        config = SystemConfig.with_objects(t=2, b=0, num_objects=5)
+        assert config.max_crash_only == 2
+        assert config.quorum_size == 3

@@ -1,0 +1,74 @@
+"""Tests for the simulated signature substrate."""
+
+import pytest
+
+from repro.crypto_sim import (AuthenticationError, PublicKey, SignedValue,
+                              Signer, forge_attempt)
+from repro.types import BOTTOM, TimestampValue
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self):
+        signer = Signer("writer")
+        signed = signer.sign(TimestampValue(3, "v"))
+        assert signer.public_key().verify(signed)
+
+    def test_signatures_deterministic(self):
+        a = Signer("writer", seed=1).sign("x")
+        b = Signer("writer", seed=1).sign("x")
+        assert a.tag == b.tag
+
+    def test_different_seeds_different_keys(self):
+        signed = Signer("writer", seed=1).sign("x")
+        assert not Signer("writer", seed=2).public_key().verify(signed)
+
+    def test_bottom_signable(self):
+        signer = Signer("w")
+        assert signer.public_key().verify(signer.sign(BOTTOM))
+
+    def test_unsupported_type_refused(self):
+        with pytest.raises(AuthenticationError):
+            Signer("w").sign(object())
+
+
+class TestVerification:
+    def test_tampered_payload_rejected(self):
+        signer = Signer("writer")
+        signed = signer.sign(TimestampValue(3, "v"))
+        tampered = SignedValue(payload=TimestampValue(3, "EVIL"),
+                               key_id=signed.key_id, tag=signed.tag)
+        assert not signer.public_key().verify(tampered)
+
+    def test_timestamp_tampering_rejected(self):
+        signer = Signer("writer")
+        signed = signer.sign(TimestampValue(3, "v"))
+        tampered = SignedValue(payload=TimestampValue(99, "v"),
+                               key_id=signed.key_id, tag=signed.tag)
+        assert not signer.public_key().verify(tampered)
+
+    def test_wrong_key_id_rejected(self):
+        signer = Signer("writer")
+        signed = signer.sign("x")
+        other = SignedValue(payload="x", key_id="impostor", tag=signed.tag)
+        assert not signer.public_key().verify(other)
+
+    def test_forge_attempt_rejected(self):
+        signer = Signer("writer")
+        fake = forge_attempt("writer", TimestampValue(999, "FORGED"))
+        assert not signer.public_key().verify(fake)
+
+    def test_require_raises_on_forgery(self):
+        signer = Signer("writer")
+        with pytest.raises(AuthenticationError):
+            signer.public_key().require(forge_attempt("writer", "x"))
+
+    def test_require_returns_payload(self):
+        signer = Signer("writer")
+        assert signer.public_key().require(signer.sign("ok")) == "ok"
+
+    def test_value_type_confusion_rejected(self):
+        """'1' (str) and 1 (int) must not share a signature."""
+        signer = Signer("w")
+        signed_int = signer.sign(1)
+        confused = SignedValue(payload="1", key_id="w", tag=signed_int.tag)
+        assert not signer.public_key().verify(confused)

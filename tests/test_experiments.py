@@ -1,0 +1,36 @@
+"""Smoke tests over the experiment registry: every experiment reproduces.
+
+These are the repository's acceptance tests: each run() both exercises a
+large slice of the library and asserts the paper's claim held.  The heavy
+sweeps live in benchmarks/; here we assert outcomes.
+"""
+
+import pytest
+
+from repro.harness.experiments import REGISTRY, run_all
+from repro.harness.experiments.base import ExperimentResult
+
+EXPECTED_IDS = [f"E{n}" for n in range(1, 12)]
+
+
+def test_registry_is_complete():
+    run_all(ids=["E2"])  # force registration imports
+    assert set(EXPECTED_IDS) <= set(REGISTRY)
+
+
+@pytest.mark.parametrize("experiment_id", EXPECTED_IDS)
+def test_experiment_reproduces(experiment_id):
+    run_all(ids=["E2"])  # ensure registry populated
+    result = REGISTRY[experiment_id]()
+    assert isinstance(result, ExperimentResult)
+    assert result.ok, result.render()
+    assert result.paper_claim
+    assert result.measured
+
+
+def test_render_contains_verdict():
+    run_all(ids=["E2"])
+    result = REGISTRY["E6"]()
+    text = result.render()
+    assert "REPRODUCED" in text
+    assert "paper:" in text and "measured:" in text

@@ -1,0 +1,137 @@
+"""Tests for the small-scope schedule explorer.
+
+The headline checks: (1) an *exhaustive* exploration of a concurrent
+write-versus-read scenario finds no safety violation and no stuck
+terminal state across every legal delivery order; (2) the same explorer
+aimed at a deliberately broken protocol finds a violating schedule, and
+the returned counterexample replays deterministically.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.lower_bound import FastReadProtocol
+from repro.core.safe import SafeStorageProtocol
+from repro.sim import ReplayScheduler
+from repro.spec import check_safety
+from repro.spec.explore import explore_schedules, sample_schedules
+from repro.system import StorageSystem
+from repro.types import BOTTOM
+
+
+def safety_and_completion(system: StorageSystem):
+    failures = list(check_safety(system.history).violations)
+    for record in system.history.operations():
+        if not record.complete:
+            failures.append(f"{record.describe()} incomplete at quiescence")
+    return failures
+
+
+def write_vs_read_scenario(protocol_factory, t=1, b=0):
+    """WRITE(v1) concurrent with a READ from the initial state."""
+
+    def scenario():
+        protocol = protocol_factory()
+        config = SystemConfig.with_objects(
+            t=t, b=b, num_objects=protocol.min_objects(t, b))
+        system = StorageSystem(protocol, config, trace_enabled=False)
+        system.invoke_write("v1")
+        system.invoke_read(0)
+        return system
+
+    return scenario
+
+
+class BrokenFastProtocol(FastReadProtocol):
+    """Fast reader whose quorum is too small: provably unsafe."""
+
+    name = "broken-fast"
+
+    def __init__(self):
+        super().__init__("highest-ts")
+
+    def make_read(self, reader_state):
+        operation = super().make_read(reader_state)
+        # Sabotage: accept a single ack as a full round.
+        operation.config = SystemConfig.with_objects(
+            t=reader_state.config.num_objects - 1, b=0,
+            num_objects=reader_state.config.num_objects)
+        return operation
+
+
+def broken_scenario():
+    from repro.types import obj
+    config = SystemConfig.optimal(t=1, b=1, num_readers=1)
+    system = StorageSystem(BrokenFastProtocol(), config,
+                           trace_enabled=False)
+    # Make s4 a laggard: it misses WRITE(v0) while the write completes
+    # with the other three acks, then its backlog races the read.
+    system.kernel.network.hold("lag", lambda e: e.receiver == obj(3))
+    system.write("v0")           # completed write, skipping s4
+    system.kernel.network.release("lag")
+    system.invoke_write("v1")
+    system.invoke_read(0)        # must see v0 or v1, never ⊥
+    return system
+
+
+def no_bottom_after_write(system: StorageSystem):
+    return ["read returned ⊥ after wr1 completed"
+            for record in system.history.reads(complete_only=True)
+            if record.result is BOTTOM]
+
+
+class TestExhaustive:
+    def test_fast_protocol_every_schedule_clean(self):
+        """~3.5k distinct states, fully enumerated: proof by exhaustion
+        for this scenario size."""
+        result = explore_schedules(
+            write_vs_read_scenario(lambda: FastReadProtocol("threshold")),
+            safety_and_completion, max_states=10_000)
+        assert not result.truncated
+        assert result.ok, result.violations[:3]
+        assert result.terminal_states > 10
+        assert result.distinct_states > 1000
+
+    def test_safe_protocol_bounded_exploration_clean(self):
+        """The 2-round protocol's space is larger; a 4k-state frontier
+        still covers thousands of schedules without a violation."""
+        result = explore_schedules(
+            write_vs_read_scenario(SafeStorageProtocol),
+            safety_and_completion, max_states=4_000)
+        assert result.ok, result.violations[:3]
+
+    def test_broken_protocol_counterexample_found_and_replays(self):
+        result = explore_schedules(broken_scenario, no_bottom_after_write,
+                                   max_states=5_000)
+        assert not result.ok
+        assert result.counterexample_schedule
+
+        # Replay the counterexample deterministically: the same scenario
+        # construction yields the same kernel-local envelope ids, so
+        # driving the recorded schedule reproduces the violation exactly.
+        system = broken_scenario()
+        for envelope_id in result.counterexample_schedule:
+            assert system.kernel.deliver_by_id(envelope_id)
+        assert no_bottom_after_write(system)
+
+    def test_truncation_reported(self):
+        result = explore_schedules(
+            write_vs_read_scenario(SafeStorageProtocol),
+            safety_and_completion, max_states=50)
+        assert result.truncated
+        assert "TRUNCATED" in result.describe()
+
+
+class TestSampling:
+    def test_safe_protocol_sampled_clean(self):
+        result = sample_schedules(
+            write_vs_read_scenario(SafeStorageProtocol, t=1, b=1),
+            safety_and_completion, samples=25, seed=3)
+        assert result.ok, result.violations[:3]
+        assert result.terminal_states == 25
+
+    def test_sampling_finds_broken_protocol_too(self):
+        result = sample_schedules(broken_scenario, no_bottom_after_write,
+                                  samples=300, seed=7)
+        assert not result.ok
+        assert result.counterexample_schedule

@@ -1,0 +1,83 @@
+"""Unit tests for the message schema and size accounting."""
+
+import pytest
+
+from repro.messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
+                            ReadRequest, W, WriteAck, estimate_size,
+                            summarize)
+from repro.types import (BOTTOM, INITIAL_TSVAL, TimestampValue, TsrArray,
+                         WriteTuple, initial_write_tuple)
+
+
+@pytest.fixture
+def tsval():
+    return TimestampValue(3, "hello")
+
+
+@pytest.fixture
+def wtuple(tsval):
+    return WriteTuple(tsval, TsrArray.empty(4, 2))
+
+
+class TestSizeEstimation:
+    def test_scalars(self):
+        assert estimate_size(5) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(None) == 1
+        assert estimate_size(BOTTOM) == 1
+        assert estimate_size(True) == 1
+
+    def test_tsval(self, tsval):
+        assert estimate_size(tsval) == 8 + 5
+
+    def test_tsrarray_scales_with_dimensions(self):
+        small = estimate_size(TsrArray.empty(2, 1))
+        big = estimate_size(TsrArray.empty(8, 4))
+        assert big == 16 * small
+
+    def test_write_tuple_is_sum(self, tsval, wtuple):
+        assert estimate_size(wtuple) == (estimate_size(tsval)
+                                         + estimate_size(wtuple.tsrarray))
+
+    def test_mapping_and_sequences(self):
+        assert estimate_size({"a": 1}) == 1 + 8
+        assert estimate_size((1, 2, 3)) == 24
+
+
+class TestMessages:
+    def test_kinds(self, tsval, wtuple):
+        assert Pw(1, tsval, wtuple).kind == "Pw"
+        assert ReadRequest(1, 5, 0).kind == "ReadRequest"
+
+    def test_history_ack_size_grows_with_entries(self, tsval, wtuple):
+        entry = HistoryEntry(pw=tsval, w=wtuple)
+        small = HistoryReadAck(1, 1, 0, {1: entry})
+        big = HistoryReadAck(1, 1, 0, {k: entry for k in range(1, 11)})
+        assert big.estimated_size() > 5 * small.estimated_size()
+
+    def test_history_ack_hash_and_eq(self, tsval, wtuple):
+        entry = HistoryEntry(pw=tsval, w=wtuple)
+        a = HistoryReadAck(1, 1, 0, {1: entry})
+        b = HistoryReadAck(1, 1, 0, {1: entry})
+        assert a == b
+        assert hash(a) == hash(b)
+        c = HistoryReadAck(2, 1, 0, {1: entry})
+        assert a != c
+
+    def test_messages_are_frozen(self, tsval, wtuple):
+        message = Pw(1, tsval, wtuple)
+        with pytest.raises(Exception):
+            message.ts = 2  # type: ignore[misc]
+
+    def test_summaries_are_informative(self, tsval, wtuple):
+        assert "PW" in summarize(Pw(1, tsval, wtuple))
+        assert "READ1" in summarize(ReadRequest(1, 7, 0))
+        assert "s3" in summarize(WriteAck(ts=1, object_index=2))
+        assert "history" in summarize(
+            HistoryReadAck(1, 1, 0, {0: HistoryEntry(INITIAL_TSVAL, None)}))
+
+    def test_read_request_optional_suffix(self):
+        plain = ReadRequest(1, 5, 0)
+        suffix = ReadRequest(1, 5, 0, from_ts=10)
+        assert plain.from_ts is None
+        assert suffix.from_ts == 10

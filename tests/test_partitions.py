@@ -1,0 +1,97 @@
+"""Tests for partition scenarios: storage behaviour across cuts."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.safe import SafeStorageProtocol
+from repro.errors import SimulationError
+from repro.sim.partitions import Partition, isolate
+from repro.spec import check_safety
+from repro.system import StorageSystem
+from repro.types import WRITER, obj, reader
+
+
+@pytest.fixture
+def system():
+    config = SystemConfig.optimal(t=2, b=1, num_readers=1)  # S = 6
+    return StorageSystem(SafeStorageProtocol(), config)
+
+
+class TestPartitionMechanics:
+    def test_overlapping_groups_rejected(self, system):
+        with pytest.raises(SimulationError):
+            Partition(system.kernel.network,
+                      [[obj(0), obj(1)], [obj(1), obj(2)]])
+
+    def test_unlisted_processes_unaffected(self, system):
+        Partition(system.kernel.network, [[obj(0)], [obj(1)]])
+        # writer is in no group: can still reach both sides
+        system.write("v")
+        assert system.read(0) == "v"
+
+    def test_heal_is_idempotent(self, system):
+        cut = Partition(system.kernel.network, [[obj(0)], [obj(1)]])
+        cut.heal()
+        cut.heal()
+        assert cut.healed
+
+    def test_context_manager_heals(self, system):
+        with Partition(system.kernel.network, [[obj(0)], [obj(1)]]) as cut:
+            assert not cut.healed
+        assert cut.healed
+
+
+class TestStorageAcrossCuts:
+    def test_minority_cut_tolerated(self, system):
+        """Cutting t objects away from the clients: progress continues."""
+        all_procs = system.config.all_processes()
+        isolate(system.kernel.network, [obj(0), obj(1)], all_procs)
+        system.write("during-cut")
+        assert system.read(0) == "during-cut"
+
+    def test_majority_cut_blocks_until_heal(self, system):
+        """Cutting t+1 objects away stalls writes; healing resumes them."""
+        all_procs = system.config.all_processes()
+        cut = isolate(system.kernel.network, [obj(0), obj(1), obj(2)],
+                      all_procs)
+        write = system.invoke_write("stuck")
+        system.kernel.run_to_quiescence()
+        assert not write.done  # cannot reach S - t objects
+        cut.heal()
+        system.kernel.run_until(lambda: write.done)
+        assert write.result == "OK"
+        assert system.read(0) == "stuck"
+
+    def test_reader_separated_from_writer_side_still_reads_old(self, system):
+        """A reader that keeps S-t objects reads; values written during
+        its cut become visible after healing."""
+        system.write("v1")
+        all_procs = system.config.all_processes()
+        # Cut the reader + 4 objects away from writer + 2 objects:
+        reader_side = [reader(0), obj(2), obj(3), obj(4), obj(5)]
+        writer_side = [WRITER, obj(0), obj(1)]
+        cut = Partition(system.kernel.network, [reader_side, writer_side])
+        # The reader still has a quorum: it must read v1.
+        assert system.read(0) == "v1"
+        # The writer has only 2 objects: its write stalls.
+        write = system.invoke_write("v2")
+        system.kernel.run_to_quiescence()
+        assert not write.done
+        cut.heal()
+        system.kernel.run_until(lambda: write.done)
+        assert system.read(0) == "v2"
+        check_safety(system.history).assert_ok()
+
+    def test_post_heal_backlog_is_absorbed(self, system):
+        """Messages sent during the cut deliver after healing without
+        confusing later operations (stale-ack filtering)."""
+        all_procs = system.config.all_processes()
+        cut = isolate(system.kernel.network, [obj(0)], all_procs)
+        for k in range(1, 4):
+            system.write(f"v{k}")
+            assert system.read(0) == f"v{k}"
+        cut.heal()
+        system.kernel.run_to_quiescence()  # the backlog floods in
+        system.write("final")
+        assert system.read(0) == "final"
+        check_safety(system.history).assert_ok()

@@ -1,0 +1,90 @@
+"""Unit tests for the quorum arithmetic (the proofs' counting lemmas)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.quorums import (QuorumProfile, byzantine_indistinguishability_margin,
+                           confirmation_threshold,
+                           correct_quorum_intersection,
+                           elimination_threshold, is_quorum,
+                           min_correct_in_quorum,
+                           min_nonmalicious_in_quorum, quorum_intersection,
+                           quorum_size, smallest_live_quorum)
+
+
+@pytest.fixture
+def optimal():
+    return SystemConfig.optimal(t=2, b=1)
+
+
+class TestDerivedQuantities:
+    def test_quorum_size(self, optimal):
+        assert quorum_size(optimal) == 4  # S - t = 6 - 2
+
+    def test_min_correct(self, optimal):
+        # At optimal resilience, any quorum holds >= b + 1 correct objects.
+        assert min_correct_in_quorum(optimal) == optimal.b + 1
+
+    def test_min_nonmalicious(self, optimal):
+        # ... and >= t + 1 non-Byzantine ones.
+        assert min_nonmalicious_in_quorum(optimal) == optimal.t + 1
+
+    def test_intersection(self, optimal):
+        assert quorum_intersection(optimal) == optimal.b + 1
+
+    def test_correct_intersection_positive_iff_optimal(self):
+        below = SystemConfig.with_objects(t=2, b=1, num_objects=5)
+        at = SystemConfig.optimal(t=2, b=1)
+        assert correct_quorum_intersection(below) <= 0
+        assert correct_quorum_intersection(at) == 1
+
+    def test_fast_read_margin(self):
+        at_bound = SystemConfig.at_impossibility_threshold(2, 1)
+        above = SystemConfig.with_objects(t=2, b=1, num_objects=7)
+        assert byzantine_indistinguishability_margin(at_bound) == 0
+        assert byzantine_indistinguishability_margin(above) == 1
+
+    def test_thresholds(self, optimal):
+        assert confirmation_threshold(optimal) == 2
+        assert elimination_threshold(optimal) == 4
+
+
+class TestHelpers:
+    def test_is_quorum_counts_distinct(self, optimal):
+        assert is_quorum(optimal, [0, 1, 2, 3])
+        assert not is_quorum(optimal, [0, 0, 1, 1])  # duplicates collapse
+
+    def test_smallest_live_quorum(self, optimal):
+        members = smallest_live_quorum(optimal, crashed={0, 5})
+        assert len(members) == 4
+        assert not set(members) & {0, 5}
+
+    def test_smallest_live_quorum_too_many_crashes(self, optimal):
+        with pytest.raises(ValueError):
+            smallest_live_quorum(optimal, crashed={0, 1, 2})
+
+    def test_profile_bundles_everything(self, optimal):
+        profile = QuorumProfile.of(optimal)
+        assert profile.quorum == 4
+        assert profile.min_correct == 2
+        assert profile.correct_intersection == 1
+        assert profile.fast_read_margin == 0
+
+
+class TestInvariantAcrossSweep:
+    """The counting identities the correctness proofs rely on, swept."""
+
+    @pytest.mark.parametrize("t", range(1, 6))
+    def test_identities_at_optimal_resilience(self, t):
+        for b in range(1, t + 1):
+            config = SystemConfig.optimal(t=t, b=b)
+            # quorum = t + b + 1
+            assert quorum_size(config) == t + b + 1
+            # any quorum contains >= b+1 correct objects
+            assert min_correct_in_quorum(config) == b + 1
+            # two quorums share >= b+1 objects
+            assert quorum_intersection(config) == b + 1
+            # elimination evidence beats any possible support for a
+            # never-written tuple: t+b+1 > t+b
+            assert (elimination_threshold(config)
+                    > config.t + config.b)

@@ -1,0 +1,135 @@
+"""Unit tests for the safe storage object automaton (Figure 3)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.safe.object import SafeObject
+from repro.messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
+from repro.types import (INITIAL_TSVAL, TimestampValue, TsrArray, WRITER,
+                         WriteTuple, reader)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig.optimal(t=1, b=1, num_readers=2)
+
+
+@pytest.fixture
+def object_(config):
+    return SafeObject(0, config)
+
+
+def make_pair(ts, value="v"):
+    return TimestampValue(ts, value)
+
+
+def make_tuple(config, ts, value="v"):
+    return WriteTuple(make_pair(ts, value),
+                      TsrArray.empty(config.num_objects,
+                                     config.num_readers))
+
+
+class TestPwHandler:
+    def test_fresh_pw_updates_and_acks(self, object_, config):
+        w_prev = make_tuple(config, 0, None) if False else None
+        pw = make_pair(1)
+        tup = make_tuple(config, 1)
+        replies = object_.on_message(WRITER, Pw(ts=1, pw=pw, w=tup))
+        assert object_.ts == 1
+        assert object_.pw == pw
+        assert object_.w == tup
+        [(receiver, ack)] = replies
+        assert receiver == WRITER
+        assert isinstance(ack, PwAck)
+        assert ack.tsr == (0, 0)
+
+    def test_stale_pw_ignored_silently(self, object_, config):
+        object_.on_message(WRITER, Pw(1, make_pair(1), make_tuple(config, 1)))
+        replies = object_.on_message(
+            WRITER, Pw(1, make_pair(1, "other"), make_tuple(config, 1)))
+        assert replies == []  # guard is strict: ts' > ts
+
+    def test_pw_ack_reports_reader_timestamps(self, object_, config):
+        object_.on_message(reader(1), ReadRequest(1, 5, reader_index=1))
+        [(_, ack)] = object_.on_message(
+            WRITER, Pw(1, make_pair(1), make_tuple(config, 1)))
+        assert ack.tsr == (0, 5)
+
+
+class TestWHandler:
+    def test_w_accepts_equal_timestamp(self, object_, config):
+        object_.on_message(WRITER, Pw(1, make_pair(1), make_tuple(config, 1)))
+        replies = object_.on_message(
+            WRITER, W(1, make_pair(1), make_tuple(config, 1)))
+        assert len(replies) == 1
+        assert isinstance(replies[0][1], WriteAck)
+
+    def test_w_rejects_older_timestamp(self, object_, config):
+        object_.on_message(WRITER, Pw(2, make_pair(2), make_tuple(config, 2)))
+        replies = object_.on_message(
+            WRITER, W(1, make_pair(1), make_tuple(config, 1)))
+        assert replies == []
+        assert object_.ts == 2
+
+    def test_out_of_order_pw_after_w(self, object_, config):
+        """W of write k+1 arriving before PW of write k: PW must not
+        regress the state."""
+        object_.on_message(WRITER, W(2, make_pair(2, "new"),
+                                     make_tuple(config, 2, "new")))
+        replies = object_.on_message(
+            WRITER, Pw(1, make_pair(1, "old"), make_tuple(config, 1, "old")))
+        assert replies == []
+        assert object_.pw.value == "new"
+
+
+class TestReadHandler:
+    def test_fresh_read_updates_tsr_and_acks(self, object_):
+        [(receiver, ack)] = object_.on_message(
+            reader(0), ReadRequest(1, 3, reader_index=0))
+        assert isinstance(ack, ReadAck)
+        assert ack.tsr == 3
+        assert object_.tsr[0] == 3
+        assert ack.pw == INITIAL_TSVAL
+
+    def test_stale_read_request_ignored(self, object_):
+        object_.on_message(reader(0), ReadRequest(1, 3, reader_index=0))
+        assert object_.on_message(reader(0),
+                                  ReadRequest(1, 3, reader_index=0)) == []
+        assert object_.on_message(reader(0),
+                                  ReadRequest(1, 2, reader_index=0)) == []
+
+    def test_readers_tracked_independently(self, object_):
+        object_.on_message(reader(0), ReadRequest(1, 3, reader_index=0))
+        replies = object_.on_message(reader(1),
+                                     ReadRequest(1, 1, reader_index=1))
+        assert len(replies) == 1
+        assert object_.tsr == [3, 1]
+
+    def test_out_of_range_reader_ignored(self, object_):
+        assert object_.on_message(reader(9),
+                                  ReadRequest(1, 1, reader_index=9)) == []
+
+    def test_ack_reflects_current_write_state(self, object_, config):
+        object_.on_message(WRITER, Pw(1, make_pair(1, "x"),
+                                      make_tuple(config, 1, "x")))
+        [(_, ack)] = object_.on_message(reader(0),
+                                        ReadRequest(1, 1, reader_index=0))
+        assert ack.pw.value == "x"
+
+
+class TestRobustness:
+    def test_unknown_message_ignored(self, object_):
+        assert object_.on_message(WRITER, "garbage") == []
+
+    def test_snapshot_restore_roundtrip(self, object_, config):
+        object_.on_message(WRITER, Pw(1, make_pair(1), make_tuple(config, 1)))
+        snapshot = object_.snapshot_state()
+        object_.on_message(WRITER, Pw(2, make_pair(2, "y"),
+                                      make_tuple(config, 2, "y")))
+        object_.restore_state(snapshot)
+        assert object_.ts == 1
+        assert object_.pw.value == "v"
+
+    def test_describe_state_mentions_fields(self, object_):
+        text = object_.describe_state()
+        assert "ts=" in text and "tsr=" in text

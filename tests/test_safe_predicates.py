@@ -1,0 +1,168 @@
+"""Unit tests for the Figure 4 reader predicates."""
+
+import pytest
+
+from repro.core.safe.predicates import (CandidateTracker, conflict_pairs,
+                                        exists_conflict_free_quorum)
+from repro.types import TimestampValue, TsrArray, WriteTuple
+
+
+def tup(ts, value="v", tsr_entries=None, S=4, R=1):
+    arr = TsrArray.empty(S, R)
+    for (i, j, v) in tsr_entries or []:
+        arr = arr.with_entry(i, j, v)
+    return WriteTuple(TimestampValue(ts, value), arr)
+
+
+class TestConflictPairs:
+    def test_no_accusation_no_conflict(self):
+        c = tup(1)
+        assert conflict_pairs([c], {c: {0}}, reader_index=0,
+                              tsr_first_round=5) == set()
+
+    def test_future_timestamp_creates_conflict(self):
+        # object 2 exhibits a tuple claiming object 1 reported tsr=9 > 5
+        c = tup(1, tsr_entries=[(1, 0, 9)])
+        pairs = conflict_pairs([c], {c: {2}}, reader_index=0,
+                               tsr_first_round=5)
+        assert pairs == {(1, 2)}
+
+    def test_past_timestamp_is_fine(self):
+        c = tup(1, tsr_entries=[(1, 0, 5)])
+        assert conflict_pairs([c], {c: {2}}, 0, 5) == set()
+
+    def test_multiple_accusers_and_accused(self):
+        c = tup(1, tsr_entries=[(0, 0, 9), (1, 0, 9)])
+        pairs = conflict_pairs([c], {c: {2, 3}}, 0, 5)
+        assert pairs == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+    def test_self_accusation(self):
+        c = tup(1, tsr_entries=[(2, 0, 9)])
+        assert (2, 2) in conflict_pairs([c], {c: {2}}, 0, 5)
+
+    def test_other_readers_entries_irrelevant(self):
+        c = tup(1, tsr_entries=[(1, 1, 99)], R=2)
+        assert conflict_pairs([c], {c: {2}}, reader_index=0,
+                              tsr_first_round=5) == set()
+
+
+class TestConflictFreeQuorum:
+    def test_trivially_satisfied(self):
+        assert exists_conflict_free_quorum({0, 1, 2}, set(), quorum=3)
+
+    def test_not_enough_responders(self):
+        assert not exists_conflict_free_quorum({0, 1}, set(), quorum=3)
+
+    def test_single_conflict_blocks_exact_quorum(self):
+        # 3 responders, quorum 3, one conflicting pair: impossible.
+        assert not exists_conflict_free_quorum({0, 1, 2}, {(0, 1)}, 3)
+
+    def test_single_conflict_routed_around(self):
+        # 4 responders, quorum 3: drop one endpoint of the pair.
+        assert exists_conflict_free_quorum({0, 1, 2, 3}, {(0, 1)}, 3)
+
+    def test_self_conflict_disqualifies_vertex(self):
+        assert not exists_conflict_free_quorum({0, 1, 2}, {(0, 0)}, 3)
+        assert exists_conflict_free_quorum({0, 1, 2, 3}, {(0, 0)}, 3)
+
+    def test_conflict_outside_responders_ignored(self):
+        assert exists_conflict_free_quorum({0, 1, 2}, {(7, 8)}, 3)
+
+    def test_independent_set_search(self):
+        # Star: 0 conflicts with 1,2,3; {1,2,3,4} is independent.
+        pairs = {(0, 1), (0, 2), (0, 3)}
+        assert exists_conflict_free_quorum({0, 1, 2, 3, 4}, pairs, 4)
+        # Triangle among {0,1,2} leaves max independent 1 + {3,4} = 3.
+        triangle = {(0, 1), (1, 2), (0, 2)}
+        assert exists_conflict_free_quorum({0, 1, 2, 3, 4}, triangle, 3)
+        assert not exists_conflict_free_quorum({0, 1, 2, 3, 4}, triangle, 4)
+
+
+class TestCandidateTracker:
+    @pytest.fixture
+    def tracker(self):
+        # t=1, b=1 thresholds: eliminate at 3, confirm at 2.
+        return CandidateTracker(elimination_threshold=3,
+                                confirmation_threshold=2)
+
+    def test_first_round_populates_everything(self, tracker):
+        c = tup(1)
+        tracker.record_first_round(0, c.tsval, c)
+        assert c in tracker.candidates()
+        assert tracker.first_rw[c] == {0}
+        assert tracker.responded_first == {0}
+
+    def test_second_round_adds_no_candidates(self, tracker):
+        c = tup(1)
+        tracker.record_second_round(0, c.tsval, c)
+        assert tracker.candidates() == set()
+        assert tracker.rw[c] == {0}
+
+    def test_elimination_at_threshold(self, tracker):
+        fake = tup(9, "forged")
+        real = tup(1, "real")
+        tracker.record_first_round(0, fake.tsval, fake)
+        for i in (1, 2, 3):
+            tracker.record_first_round(i, real.tsval, real)
+        assert tracker.is_eliminated(fake)
+        assert fake not in tracker.candidates()
+        assert real in tracker.candidates()
+
+    def test_elimination_counts_distinct_objects_once(self, tracker):
+        fake = tup(9)
+        real = tup(1)
+        tracker.record_first_round(0, fake.tsval, fake)
+        # the same object "responding" repeatedly must not triple-count
+        for _ in range(5):
+            tracker.record_first_round(1, real.tsval, real)
+            tracker.record_second_round(1, real.tsval, real)
+        assert not tracker.is_eliminated(fake)
+
+    def test_safe_needs_confirmation_threshold(self, tracker):
+        c = tup(1)
+        tracker.record_first_round(0, c.tsval, c)
+        assert not tracker.is_safe(c)
+        tracker.record_second_round(1, c.tsval, c)
+        assert tracker.is_safe(c)
+
+    def test_higher_timestamp_reports_support_lower_candidates(self, tracker):
+        low = tup(1, "old")
+        high = tup(2, "new")
+        tracker.record_first_round(0, low.tsval, low)
+        tracker.record_first_round(1, high.tsval, high)
+        # object 1's higher-ts report counts toward safe(low) (line 3)
+        assert tracker.is_safe(low)
+        assert not tracker.is_safe(high)
+
+    def test_pw_only_report_supports(self, tracker):
+        c = tup(2, "x")
+        tracker.record_first_round(0, c.tsval, c)
+        # object 1 reports c's tsval in pw but an older tuple in w
+        older = tup(1, "w-old")
+        tracker.record_second_round(1, c.tsval, older)
+        assert tracker.is_safe(c)
+
+    def test_high_candidates(self, tracker):
+        low, high = tup(1), tup(5)
+        tracker.record_first_round(0, low.tsval, low)
+        tracker.record_first_round(1, high.tsval, high)
+        assert tracker.high_candidates() == {high}
+
+    def test_returnable_requires_safe_and_high(self, tracker):
+        low, high = tup(1), tup(5)
+        for i in (0, 1):
+            tracker.record_first_round(i, low.tsval, low)
+        tracker.record_first_round(2, high.tsval, high)
+        # high is the top candidate but unsafe; low is safe but not top.
+        assert tracker.returnable() is None
+        tracker.record_second_round(3, high.tsval, high)
+        assert tracker.returnable() == high
+
+    def test_candidates_empty_after_all_eliminated(self, tracker):
+        fake = tup(9)
+        other = tup(1)
+        tracker.record_first_round(0, fake.tsval, fake)
+        for i in (1, 2, 3):
+            tracker.record_second_round(i, other.tsval, other)
+        # 'fake' eliminated; 'other' was never a round-1 candidate.
+        assert tracker.candidates_empty()

@@ -1,0 +1,72 @@
+"""Tests for the server-centric model (Section 6)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.lower_bound import ALL_RULES, LowerBoundDriver
+from repro.sim.server_centric import (PushFastObject, PushUpdate,
+                                      ServerCentricFastProtocol)
+from repro.spec import check_safety
+from repro.system import StorageSystem
+from repro.types import reader
+
+
+class TestPushObjects:
+    def test_write_triggers_pushes_to_all_readers(self):
+        from repro.messages import W
+        from repro.types import TimestampValue, TsrArray, WriteTuple, WRITER
+        config = SystemConfig.at_impossibility_threshold(1, 1)
+        config = SystemConfig.with_objects(t=1, b=1, num_objects=4,
+                                           num_readers=3)
+        object_ = PushFastObject(0, config)
+        pair = TimestampValue(1, "v")
+        tup = WriteTuple(pair, TsrArray.empty(4, 3))
+        replies = object_.on_message(WRITER, W(1, pair, tup))
+        pushes = [(r, p) for r, p in replies if isinstance(p, PushUpdate)]
+        assert {r for r, _ in pushes} == {reader(0), reader(1), reader(2)}
+
+    def test_duplicate_write_pushes_nothing(self):
+        from repro.messages import W
+        from repro.types import TimestampValue, TsrArray, WriteTuple, WRITER
+        config = SystemConfig.with_objects(t=1, b=1, num_objects=4)
+        object_ = PushFastObject(0, config)
+        pair = TimestampValue(1, "v")
+        tup = WriteTuple(pair, TsrArray.empty(4, 1))
+        object_.on_message(WRITER, W(1, pair, tup))
+        replies = object_.on_message(WRITER, W(1, pair, tup))
+        assert not any(isinstance(p, PushUpdate) for _, p in replies)
+
+
+class TestServerCentricReads:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_benign_behaviour_with_pushes_flowing(self, rule):
+        config = SystemConfig.at_impossibility_threshold(2, 1)
+        system = StorageSystem(ServerCentricFastProtocol(rule), config)
+        system.write("x")
+        assert system.read(0) == "x"
+        check_safety(system.history).assert_ok()
+
+    def test_push_refreshes_stale_solicited_answer(self):
+        """A push with a newer timestamp upgrades an object's opinion."""
+        config = SystemConfig.at_impossibility_threshold(1, 1)
+        system = StorageSystem(ServerCentricFastProtocol("highest-ts"),
+                               config)
+        system.write("v1")
+        # concurrent write + read: the read may harvest pushes of v2
+        write = system.invoke_write("v2")
+        read = system.invoke_read(0)
+        system.run_until_done(write, read)
+        assert read.result in ("v1", "v2")
+
+
+class TestServerCentricLowerBound:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_construction_survives_push_capability(self, rule):
+        config = SystemConfig.at_impossibility_threshold(2, 1)
+        driver = LowerBoundDriver(
+            lambda: ServerCentricFastProtocol(rule), config,
+            extra_hold=lambda p: isinstance(p, PushUpdate),
+            record_filter=lambda p: not isinstance(p, PushUpdate))
+        report = driver.execute()
+        assert report.violated
+        assert report.indistinguishable

@@ -1,0 +1,164 @@
+"""Unit tests for the simulation kernel: steps, faults, operations."""
+
+import pytest
+
+from repro.automata.base import ClientOperation, ObjectAutomaton
+from repro.config import SystemConfig
+from repro.errors import (PendingOperationError, ProtocolError,
+                          SchedulerExhaustedError, SimulationError)
+from repro.sim import ConstantDelay, FifoScheduler, SimKernel
+from repro.types import WRITER, obj, reader
+
+
+class EchoObject(ObjectAutomaton):
+    """Replies to any message with ('echo', payload)."""
+
+    def __init__(self, object_index: int):
+        super().__init__(object_index)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append(message)
+        return [(sender, ("echo", message))]
+
+
+class PingAll(ClientOperation):
+    """Broadcasts 'ping' and completes after `quorum` echoes."""
+
+    kind = "READ"
+
+    def __init__(self, client_id, num_objects, quorum):
+        super().__init__(client_id)
+        self.num_objects = num_objects
+        self.quorum = quorum
+        self.echoes = 0
+
+    def start(self):
+        self.begin_round()
+        return [(obj(i), "ping") for i in range(self.num_objects)]
+
+    def on_message(self, sender, message):
+        self.echoes += 1
+        if self.echoes >= self.quorum and not self.done:
+            return self.complete("pong")
+        return []
+
+
+@pytest.fixture
+def kernel():
+    config = SystemConfig.with_objects(t=1, b=0, num_objects=3)
+    k = SimKernel(config)
+    k.register_objects([EchoObject(i) for i in range(3)])
+    return k
+
+
+class TestRegistration:
+    def test_duplicate_object_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.register_object(EchoObject(0))
+
+    def test_out_of_range_index_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.register_object(EchoObject(7))
+
+
+class TestOperations:
+    def test_run_operation_completes(self, kernel):
+        op = PingAll(reader(0), 3, quorum=2)
+        handle = kernel.run_operation(op)
+        assert handle.done
+        assert handle.result == "pong"
+        assert handle.rounds_used == 1
+
+    def test_one_operation_per_client(self, kernel):
+        kernel.invoke(PingAll(reader(0), 3, quorum=3))
+        with pytest.raises(PendingOperationError):
+            kernel.invoke(PingAll(reader(0), 3, quorum=3))
+
+    def test_different_clients_concurrent(self, kernel):
+        h1 = kernel.invoke(PingAll(reader(0), 3, quorum=2))
+        h2 = kernel.invoke(PingAll(WRITER, 3, quorum=2))
+        kernel.run_until(lambda: h1.done and h2.done)
+        assert h1.result == h2.result == "pong"
+
+    def test_object_cannot_invoke(self, kernel):
+        with pytest.raises(ProtocolError):
+            kernel.invoke(PingAll(obj(0), 3, quorum=1))
+
+    def test_crashed_client_cannot_invoke(self, kernel):
+        kernel.crash(reader(0))
+        with pytest.raises(ProtocolError):
+            kernel.invoke(PingAll(reader(0), 3, quorum=1))
+
+    def test_result_unavailable_before_done(self, kernel):
+        op = PingAll(reader(0), 3, quorum=2)
+        with pytest.raises(ProtocolError):
+            _ = op.result
+
+
+class TestFaults:
+    def test_crashed_object_receives_nothing(self, kernel):
+        kernel.crash(obj(0))
+        handle = kernel.run_operation(PingAll(reader(0), 3, quorum=2))
+        assert handle.done
+        assert kernel.object_automaton(obj(0)).received == []
+
+    def test_too_many_crashes_starve_quorum(self, kernel):
+        kernel.crash(obj(0))
+        kernel.crash(obj(1))
+        op = PingAll(reader(0), 3, quorum=3)
+        handle = kernel.invoke(op)
+        with pytest.raises(SchedulerExhaustedError):
+            kernel.run_until(lambda: handle.done)
+
+    def test_inject_requires_byzantine_sender(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.inject(obj(0), reader(0), "forged")
+
+    def test_inject_after_corruption(self, kernel):
+        kernel.make_byzantine(obj(0), EchoObject(0), note="test")
+        env = kernel.inject(obj(0), reader(0), "forged")
+        assert env.injected
+        assert obj(0) in kernel.byzantine_processes()
+
+    def test_only_objects_turn_byzantine(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.make_byzantine(reader(0), EchoObject(0))
+
+    def test_crash_is_idempotent(self, kernel):
+        kernel.crash(obj(0))
+        kernel.crash(obj(0))
+        assert len(kernel.crashed_processes()) == 1
+
+
+class TestClockAndMetrics:
+    def test_zero_delay_keeps_time_still(self, kernel):
+        kernel.run_operation(PingAll(reader(0), 3, quorum=2))
+        assert kernel.now == 0.0
+
+    def test_constant_delay_advances_clock(self):
+        config = SystemConfig.with_objects(t=1, b=0, num_objects=3)
+        kernel = SimKernel(config, delay_model=ConstantDelay(1.0))
+        kernel.register_objects([EchoObject(i) for i in range(3)])
+        handle = kernel.run_operation(PingAll(reader(0), 3, quorum=2))
+        # one round trip = request (1.0) + reply (1.0)
+        assert handle.latency == pytest.approx(2.0)
+
+    def test_metrics_track_messages(self, kernel):
+        kernel.run_operation(PingAll(reader(0), 3, quorum=3))
+        metrics = kernel.metrics()
+        assert metrics["messages_sent"] == 6  # 3 pings + 3 echoes
+        assert metrics["messages_delivered"] == 6
+        assert metrics["bytes_sent"] > 0
+
+    def test_run_until_max_steps_guard(self, kernel):
+        handle = kernel.invoke(PingAll(reader(0), 3, quorum=3))
+        with pytest.raises(SimulationError):
+            kernel.run_until(lambda: False, max_steps=2)
+        del handle
+
+    def test_run_to_quiescence_returns_step_count(self, kernel):
+        kernel.invoke(PingAll(reader(0), 3, quorum=3))
+        steps = kernel.run_to_quiescence()
+        assert steps == 6
+        assert not kernel.step()

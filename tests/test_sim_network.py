@@ -1,0 +1,120 @@
+"""Unit tests for the network's hold machinery and bookkeeping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.envelope import Envelope
+from repro.sim.network import Network
+from repro.types import WRITER, obj, reader
+
+
+def env(sender, receiver, payload="m", available_at=0.0):
+    return Envelope(sender=sender, receiver=receiver, payload=payload,
+                    available_at=available_at)
+
+
+def always_alive(pid):
+    return True
+
+
+class TestHolds:
+    def test_hold_blocks_matching(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0)))
+        net.hold("h", lambda e: e.receiver == obj(0))
+        assert net.deliverable(0.0, always_alive) == []
+
+    def test_release_restores_delivery(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0)))
+        net.hold("h", lambda e: True)
+        net.release("h")
+        assert len(net.deliverable(0.0, always_alive)) == 1
+
+    def test_hold_applies_to_future_messages(self):
+        net = Network()
+        net.hold("h", lambda e: e.receiver == obj(1))
+        net.submit(env(WRITER, obj(1)))
+        assert net.deliverable(0.0, always_alive) == []
+
+    def test_duplicate_tag_rejected(self):
+        net = Network()
+        net.hold("h", lambda e: True)
+        with pytest.raises(SimulationError):
+            net.hold("h", lambda e: True)
+
+    def test_release_unknown_tag_rejected(self):
+        with pytest.raises(SimulationError):
+            Network().release("nope")
+
+    def test_release_all(self):
+        net = Network()
+        net.hold("a", lambda e: True)
+        net.hold("b", lambda e: True)
+        net.release_all()
+        assert net.active_holds() == []
+
+    def test_link_predicate(self):
+        pred = Network.link_predicate(sender=WRITER, receiver=obj(0))
+        assert pred(env(WRITER, obj(0)))
+        assert not pred(env(WRITER, obj(1)))
+        assert not pred(env(reader(0), obj(0)))
+
+    def test_link_predicate_payload_kind(self):
+        pred = Network.link_predicate(payload_kind=str)
+        assert pred(env(WRITER, obj(0), payload="text"))
+        assert not pred(env(WRITER, obj(0), payload=42))
+
+
+class TestDeliveryEligibility:
+    def test_crashed_receiver_excluded(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0)))
+        alive = lambda pid: pid != obj(0)
+        assert net.deliverable(0.0, alive) == []
+        # but the message stays in transit (Section 2.1 semantics)
+        assert net.pending_count() == 1
+
+    def test_delay_respected(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0), available_at=5.0))
+        assert net.deliverable(1.0, always_alive) == []
+        assert len(net.deliverable(5.0, always_alive)) == 1
+
+    def test_earliest_future_time(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0), available_at=5.0))
+        net.submit(env(WRITER, obj(1), available_at=3.0))
+        assert net.earliest_future_time(always_alive) == 3.0
+
+    def test_earliest_future_skips_held(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0), available_at=3.0))
+        net.hold("h", lambda e: True)
+        assert net.earliest_future_time(always_alive) is None
+
+
+class TestAccounting:
+    def test_counters(self):
+        net = Network()
+        e = env(WRITER, obj(0))
+        net.submit(e, size_bytes=10)
+        assert net.total_sent == 1
+        assert net.total_bytes_sent == 10
+        net.remove(e)
+        assert net.total_delivered == 1
+        assert net.pending_count() == 0
+
+    def test_in_transit_between(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0)))
+        net.submit(env(WRITER, obj(1)))
+        assert len(net.in_transit_between(WRITER, obj(0))) == 1
+
+    def test_drop_matching(self):
+        net = Network()
+        net.submit(env(WRITER, obj(0)))
+        net.submit(env(WRITER, obj(1)))
+        dropped = net.drop_matching(lambda e: e.receiver == obj(0))
+        assert dropped == 1
+        assert net.pending_count() == 1

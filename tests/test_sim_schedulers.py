@@ -1,0 +1,122 @@
+"""Unit tests for the delivery schedulers and delay models."""
+
+import pytest
+
+from repro.sim.delay import (ConstantDelay, ExponentialDelay, PerLinkDelay,
+                             SlowProcessDelay, UniformDelay, ZeroDelay)
+from repro.sim.envelope import Envelope
+from repro.sim.schedulers import (EarliestDeliveryScheduler, FifoScheduler,
+                                  LifoScheduler, RandomScheduler,
+                                  ReplayScheduler, TargetedScheduler,
+                                  delay_link_rule)
+from repro.types import WRITER, obj, reader
+
+
+def envs(n, available=None):
+    return [
+        Envelope(sender=WRITER, receiver=obj(i), payload=i,
+                 available_at=(available[i] if available else 0.0))
+        for i in range(n)
+    ]
+
+
+class TestBasicSchedulers:
+    def test_fifo_oldest_first(self):
+        batch = envs(3)
+        assert FifoScheduler().choose(batch) is batch[0]
+
+    def test_lifo_newest_first(self):
+        batch = envs(3)
+        assert LifoScheduler().choose(batch) is batch[2]
+
+    def test_random_is_seeded(self):
+        batch = envs(10)
+        a = RandomScheduler(seed=4)
+        b = RandomScheduler(seed=4)
+        picks_a = [a.choose(batch).envelope_id for _ in range(5)]
+        picks_b = [b.choose(batch).envelope_id for _ in range(5)]
+        assert picks_a == picks_b
+
+    def test_random_reset_restores_sequence(self):
+        batch = envs(10)
+        sched = RandomScheduler(seed=9)
+        first = [sched.choose(batch).envelope_id for _ in range(3)]
+        sched.reset()
+        assert [sched.choose(batch).envelope_id for _ in range(3)] == first
+
+    def test_earliest_delivery(self):
+        batch = envs(3, available=[5.0, 1.0, 3.0])
+        assert EarliestDeliveryScheduler().choose(batch) is batch[1]
+
+
+class TestTargetedScheduler:
+    def test_priority_rules(self):
+        batch = envs(3)
+        sched = TargetedScheduler()
+        sched.add_rule(lambda e: 0 if e.receiver == obj(2) else None)
+        assert sched.choose(batch) is batch[2]
+
+    def test_default_priority_fifo(self):
+        batch = envs(3)
+        assert TargetedScheduler().choose(batch) is batch[0]
+
+    def test_delay_link_rule_deprioritizes(self):
+        batch = envs(2)
+        rule = delay_link_rule(lambda s: s == WRITER,
+                               lambda r: r == obj(0))
+        sched = TargetedScheduler([rule])
+        assert sched.choose(batch) is batch[1]
+
+
+class TestReplayScheduler:
+    def test_replays_recorded_order(self):
+        batch = envs(3)
+        order = [batch[2].envelope_id, batch[0].envelope_id,
+                 batch[1].envelope_id]
+        sched = ReplayScheduler(order)
+        picked = []
+        pool = list(batch)
+        while pool:
+            choice = sched.choose(pool)
+            picked.append(choice.envelope_id)
+            pool.remove(choice)
+        assert picked == order
+
+    def test_falls_back_to_fifo_when_exhausted(self):
+        batch = envs(2)
+        sched = ReplayScheduler([])
+        assert sched.choose(batch) is batch[0]
+
+
+class TestDelayModels:
+    def test_zero(self):
+        assert ZeroDelay().delay(WRITER, obj(0)) == 0.0
+
+    def test_constant(self):
+        assert ConstantDelay(2.5).delay(WRITER, obj(0)) == 2.5
+        with pytest.raises(ValueError):
+            ConstantDelay(-1)
+
+    def test_uniform_bounds_and_determinism(self):
+        model = UniformDelay(1.0, 2.0, seed=3)
+        values = [model.delay(WRITER, obj(0)) for _ in range(50)]
+        assert all(1.0 <= v <= 2.0 for v in values)
+        model.reset()
+        assert model.delay(WRITER, obj(0)) == values[0]
+
+    def test_exponential_positive(self):
+        model = ExponentialDelay(base=0.5, mean=1.0, seed=1)
+        assert all(model.delay(WRITER, obj(0)) >= 0.5 for _ in range(20))
+
+    def test_per_link(self):
+        model = PerLinkDelay(default=1.0)
+        model.set_symmetric(WRITER, obj(0), 9.0)
+        assert model.delay(WRITER, obj(0)) == 9.0
+        assert model.delay(obj(0), WRITER) == 9.0
+        assert model.delay(WRITER, obj(1)) == 1.0
+
+    def test_slow_process(self):
+        model = SlowProcessDelay({obj(0)}, fast=1.0, slow=10.0)
+        assert model.delay(WRITER, obj(0)) == 10.0
+        assert model.delay(obj(0), reader(0)) == 10.0
+        assert model.delay(WRITER, obj(1)) == 1.0

@@ -1,0 +1,225 @@
+"""Tests for the history recorder and the register-semantics checkers.
+
+The checkers are the test oracle for everything else, so they get their
+own adversarial tests: histories constructed by hand that are known-good
+and known-bad for each specification clause.
+"""
+
+import pytest
+
+from repro.errors import SpecificationViolation
+from repro.spec import (History, check_atomicity, check_regularity,
+                        check_round_complexity, check_safety,
+                        check_wait_freedom)
+from repro.spec.histories import READ, WRITE
+from repro.types import BOTTOM, WRITER, reader
+
+
+def write(history, value, complete=True, rounds=2):
+    k = len(history.writes()) + 1
+    record = history.record_invocation(
+        operation_id=1000 + k, client=WRITER, kind=WRITE, argument=value,
+        write_index=k)
+    if complete:
+        history.record_completion(1000 + k, "OK", rounds_used=rounds)
+    return record
+
+
+def read(history, result, op_id, complete=True, rounds=2, j=0):
+    record = history.record_invocation(
+        operation_id=op_id, client=reader(j), kind=READ)
+    if complete:
+        history.record_completion(op_id, result, rounds_used=rounds)
+    return record
+
+
+class TestHistoryMechanics:
+    def test_precedence_uses_event_order(self):
+        h = History()
+        w = write(h, "a")
+        r = read(h, "a", 1)
+        assert w.precedes(r)
+        assert not r.precedes(w)
+        assert not w.concurrent_with(r)
+
+    def test_concurrency_detection(self):
+        h = History()
+        w = h.record_invocation(1, WRITER, WRITE, argument="a",
+                                write_index=1)
+        r = h.record_invocation(2, reader(0), READ)
+        h.record_completion(1, "OK")
+        h.record_completion(2, "a")
+        assert w.concurrent_with(r)
+
+    def test_incomplete_op_concurrent_with_everything_after(self):
+        h = History()
+        w = h.record_invocation(1, WRITER, WRITE, argument="a",
+                                write_index=1)
+        r = read(h, "a", 2)
+        assert w.concurrent_with(r)
+
+    def test_double_invoke_rejected(self):
+        h = History()
+        h.record_invocation(1, WRITER, WRITE, argument="a")
+        with pytest.raises(ValueError):
+            h.record_invocation(1, WRITER, WRITE, argument="b")
+
+    def test_double_completion_rejected(self):
+        h = History()
+        h.record_invocation(1, WRITER, WRITE, argument="a")
+        h.record_completion(1, "OK")
+        with pytest.raises(ValueError):
+            h.record_completion(1, "OK")
+
+    def test_value_lookup(self):
+        h = History()
+        write(h, "a")
+        write(h, "b")
+        write(h, "a")
+        assert h.value_of_write(0) is BOTTOM
+        assert h.value_of_write(2) == "b"
+        assert h.write_indices_of_value("a") == [1, 3]
+
+    def test_last_preceding_write(self):
+        h = History()
+        write(h, "a")
+        write(h, "b")
+        r = read(h, "b", 1)
+        assert h.last_preceding_write(r).argument == "b"
+
+
+class TestSafetyChecker:
+    def test_clean_history(self):
+        h = History()
+        write(h, "a")
+        read(h, "a", 1)
+        assert check_safety(h).ok
+
+    def test_initial_bottom_ok(self):
+        h = History()
+        read(h, BOTTOM, 1)
+        assert check_safety(h).ok
+
+    def test_stale_read_flagged(self):
+        h = History()
+        write(h, "a")
+        write(h, "b")
+        read(h, "a", 1)
+        result = check_safety(h)
+        assert not result.ok
+        with pytest.raises(SpecificationViolation):
+            result.assert_ok()
+
+    def test_concurrent_read_unconstrained(self):
+        h = History()
+        write(h, "a")
+        w2 = h.record_invocation(50, WRITER, WRITE, argument="b",
+                                 write_index=2)
+        read(h, "anything at all", 1)
+        h.record_completion(50, "OK")
+        assert check_safety(h).ok
+
+    def test_never_written_value_flagged(self):
+        h = History()
+        write(h, "a")
+        read(h, "ghost", 1)
+        assert not check_safety(h).ok
+
+
+class TestRegularityChecker:
+    def test_concurrent_read_may_return_either(self):
+        h = History()
+        write(h, "a")
+        w2 = h.record_invocation(50, WRITER, WRITE, argument="b",
+                                 write_index=2)
+        read(h, "b", 1)  # concurrent with wr2: new value fine
+        h.record_completion(50, "OK")
+        read(h, "b", 2)
+        assert check_regularity(h).ok
+
+    def test_concurrent_read_may_not_invent(self):
+        h = History()
+        write(h, "a")
+        w2 = h.record_invocation(50, WRITER, WRITE, argument="b",
+                                 write_index=2)
+        read(h, "ghost", 1)  # concurrent but never written: clause (1)
+        h.record_completion(50, "OK")
+        assert not check_regularity(h).ok
+
+    def test_stale_past_preceding_write_flagged(self):
+        h = History()
+        write(h, "a")
+        write(h, "b")
+        read(h, "a", 1)  # clause (2)
+        assert not check_regularity(h).ok
+
+    def test_bottom_after_write_flagged(self):
+        h = History()
+        write(h, "a")
+        read(h, BOTTOM, 1)
+        assert not check_regularity(h).ok
+
+    def test_read_from_the_future_flagged(self):
+        h = History()
+        read(h, "later", 1)   # returns a value only written afterwards
+        write(h, "later")
+        assert not check_regularity(h).ok
+
+    def test_repeated_values_resolved(self):
+        h = History()
+        write(h, "x")
+        write(h, "y")
+        write(h, "x")  # same value again
+        read(h, "x", 1)  # legal: wr3 wrote x
+        assert check_regularity(h).ok
+
+
+class TestAtomicityChecker:
+    def test_new_old_inversion_flagged(self):
+        h = History()
+        write(h, "a")
+        w2 = h.record_invocation(50, WRITER, WRITE, argument="b",
+                                 write_index=2)
+        read(h, "b", 1)          # sees the new value...
+        read(h, "a", 2)          # ...then an older one: inversion
+        h.record_completion(50, "OK")
+        result = check_atomicity(h)
+        assert not result.ok
+        assert "inversion" in result.violations[0]
+
+    def test_monotone_reads_pass(self):
+        h = History()
+        write(h, "a")
+        w2 = h.record_invocation(50, WRITER, WRITE, argument="b",
+                                 write_index=2)
+        read(h, "a", 1)
+        read(h, "b", 2)
+        h.record_completion(50, "OK")
+        assert check_atomicity(h).ok
+
+    def test_regular_violation_propagates(self):
+        h = History()
+        write(h, "a")
+        read(h, "ghost", 1)
+        assert not check_atomicity(h).ok
+
+
+class TestWaitFreedomAndRounds:
+    def test_incomplete_operation_flagged(self):
+        h = History()
+        h.record_invocation(1, reader(0), READ)
+        assert not check_wait_freedom(h).ok
+
+    def test_crashed_client_excused(self):
+        h = History()
+        h.record_invocation(1, reader(0), READ)
+        assert check_wait_freedom(h, crashed_clients={reader(0)}).ok
+
+    def test_round_complexity_bound(self):
+        h = History()
+        write(h, "a", rounds=2)
+        read(h, "a", 1, rounds=3)
+        assert check_round_complexity(h, max_read_rounds=2,
+                                      max_write_rounds=2).violations
+        assert check_round_complexity(h, max_read_rounds=3,
+                                      max_write_rounds=2).ok

@@ -1,0 +1,88 @@
+"""Tests for the StorageSystem facade and the protocol plug-in surface."""
+
+import pytest
+
+from repro import (SafeStorageProtocol, StorageSystem, SystemConfig,
+                   StorageProtocol)
+from repro.baselines import (AbdAtomicProtocol, AbdRegularProtocol,
+                             AuthenticatedProtocol, PassiveReaderProtocol)
+from repro.core.lower_bound import FastReadProtocol
+from repro.core.regular import (CachedRegularStorageProtocol,
+                                RegularStorageProtocol)
+from repro.errors import PendingOperationError
+from repro.sim.server_centric import ServerCentricFastProtocol
+
+ALL_PROTOCOL_FACTORIES = [
+    SafeStorageProtocol,
+    RegularStorageProtocol,
+    CachedRegularStorageProtocol,
+    PassiveReaderProtocol,
+    AuthenticatedProtocol,
+    lambda: FastReadProtocol("threshold"),
+    lambda: ServerCentricFastProtocol("threshold"),
+]
+
+
+class TestProtocolSurface:
+    @pytest.mark.parametrize("factory", ALL_PROTOCOL_FACTORIES)
+    def test_metadata_present(self, factory):
+        protocol = factory()
+        assert protocol.name
+        assert protocol.semantics in ("safe", "regular", "atomic")
+        assert isinstance(protocol.min_objects(2, 1), int)
+        assert protocol.describe()
+
+    @pytest.mark.parametrize("factory", ALL_PROTOCOL_FACTORIES)
+    def test_uniform_write_read_cycle(self, factory):
+        protocol = factory()
+        config = SystemConfig.with_objects(
+            t=2, b=0 if "abd" in protocol.name else 1,
+            num_objects=max(protocol.min_objects(2, 1), 7),
+            num_readers=1)
+        system = StorageSystem(factory(), config)
+        system.write("hello")
+        assert system.read(0) == "hello"
+
+    def test_abd_protocols_covered_separately(self):
+        config = SystemConfig.with_objects(t=2, b=0, num_objects=5)
+        for factory in (AbdRegularProtocol, AbdAtomicProtocol):
+            system = StorageSystem(factory(), config)
+            system.write("x")
+            assert system.read(0) == "x"
+
+
+class TestFacade:
+    def test_history_collects_all_operations(self):
+        config = SystemConfig.optimal(t=1, b=1, num_readers=2)
+        system = StorageSystem(SafeStorageProtocol(), config)
+        system.write("a")
+        system.read(0)
+        system.read(1)
+        assert len(system.history) == 3
+        assert len(system.history.writes()) == 1
+
+    def test_metrics_exposed(self):
+        config = SystemConfig.optimal(t=1, b=1)
+        system = StorageSystem(SafeStorageProtocol(), config)
+        system.write("a")
+        metrics = system.metrics()
+        assert metrics["messages_sent"] > 0
+
+    def test_describe(self):
+        config = SystemConfig.optimal(t=1, b=1)
+        system = StorageSystem(SafeStorageProtocol(), config)
+        assert "gv-safe" in system.describe()
+
+    def test_pending_operation_guard(self):
+        config = SystemConfig.optimal(t=1, b=1)
+        system = StorageSystem(SafeStorageProtocol(), config)
+        system.invoke_write("a")
+        with pytest.raises(PendingOperationError):
+            system.invoke_write("b")
+
+    def test_run_until_done_multiple_handles(self):
+        config = SystemConfig.optimal(t=1, b=1, num_readers=2)
+        system = StorageSystem(SafeStorageProtocol(), config)
+        handles = [system.invoke_read(0), system.invoke_read(1)]
+        system.run_until_done(*handles)
+        assert all(h.done for h in handles)

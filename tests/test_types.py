@@ -1,0 +1,151 @@
+"""Unit tests for repro.types: process ids, timestamps, write tuples."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
+                         TsrArray, WRITER, WriteTuple, _Bottom,
+                         initial_write_tuple, obj, reader)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert _Bottom() is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_distinct_from_none_and_strings(self):
+        assert BOTTOM is not None
+        assert BOTTOM != "⊥"
+
+
+class TestProcessId:
+    def test_constructors(self):
+        assert obj(0).role == "object"
+        assert reader(3).index == 3
+        assert WRITER.is_writer
+
+    def test_reprs_are_one_based(self):
+        assert repr(obj(0)) == "s1"
+        assert repr(reader(1)) == "r2"
+        assert repr(WRITER) == "w"
+
+    def test_clients_vs_objects(self):
+        assert WRITER.is_client
+        assert reader(0).is_client
+        assert not obj(0).is_client
+        assert obj(0).is_object
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessId("disk", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessId("object", -1)
+
+    def test_second_writer_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessId("writer", 1)
+
+    def test_ordering_and_hash(self):
+        assert len({obj(0), obj(0), obj(1)}) == 2
+        assert sorted([reader(1), reader(0)])[0] == reader(0)
+
+
+class TestTimestampValue:
+    def test_initial_pair(self):
+        assert INITIAL_TSVAL.ts == 0
+        assert INITIAL_TSVAL.value is BOTTOM
+
+    def test_ordering_by_timestamp(self):
+        assert TimestampValue(1, "a") < TimestampValue(2, "a")
+
+    def test_equality_ignores_nothing(self):
+        assert TimestampValue(1, "a") == TimestampValue(1, "a")
+        assert TimestampValue(1, "a") != TimestampValue(1, "b")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampValue(-1, "x")
+
+    def test_ts_zero_must_be_bottom(self):
+        with pytest.raises(ValueError):
+            TimestampValue(0, "not-bottom")
+
+    def test_bottom_not_writable(self):
+        with pytest.raises(ValueError):
+            TimestampValue(5, BOTTOM)
+
+    def test_hashable(self):
+        assert len({TimestampValue(1, "a"), TimestampValue(1, "a")}) == 1
+
+
+class TestTsrArray:
+    def test_empty_is_all_nil(self):
+        arr = TsrArray.empty(3, 2)
+        assert all(cell is None for _, _, cell in arr.entries())
+        assert arr.num_objects == 3
+        assert arr.num_readers == 2
+
+    def test_with_row_does_not_mutate(self):
+        arr = TsrArray.empty(2, 2)
+        updated = arr.with_row(0, (5, 6))
+        assert arr.get(0, 0) is None
+        assert updated.get(0, 0) == 5
+        assert updated.get(0, 1) == 6
+
+    def test_with_entry(self):
+        arr = TsrArray.empty(2, 2).with_entry(1, 0, 9)
+        assert arr.get(1, 0) == 9
+        assert arr.get(1, 1) is None
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ValueError):
+            TsrArray.empty(2, 2).with_row(0, (1,))
+
+    def test_column_and_non_nil_rows(self):
+        arr = TsrArray.empty(3, 1).with_entry(2, 0, 7)
+        assert arr.column(0) == (None, None, 7)
+        assert arr.non_nil_rows_for_reader(0) == (2,)
+
+    def test_equality_and_hash(self):
+        a = TsrArray.empty(2, 1).with_entry(0, 0, 1)
+        b = TsrArray.empty(2, 1).with_entry(0, 0, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TsrArray.empty(2, 1)
+
+    def test_from_lists(self):
+        arr = TsrArray.from_lists([[1, None], [None, 2]])
+        assert arr.get(0, 0) == 1
+        assert arr.get(1, 1) == 2
+
+
+class TestWriteTuple:
+    def test_shortcuts(self):
+        tup = WriteTuple(TimestampValue(3, "v"), TsrArray.empty(2, 1))
+        assert tup.ts == 3
+        assert tup.value == "v"
+
+    def test_initial_write_tuple(self):
+        tup = initial_write_tuple(4, 2)
+        assert tup.ts == 0
+        assert tup.value is BOTTOM
+        assert tup.tsrarray.num_objects == 4
+
+    def test_set_membership(self):
+        t1 = WriteTuple(TimestampValue(1, "a"), TsrArray.empty(2, 1))
+        t2 = WriteTuple(TimestampValue(1, "a"), TsrArray.empty(2, 1))
+        t3 = WriteTuple(TimestampValue(1, "a"),
+                        TsrArray.empty(2, 1).with_entry(0, 0, 1))
+        assert len({t1, t2}) == 1
+        # Same tsval but different tsrarray: distinct candidates, exactly
+        # as the reader's candidate set requires.
+        assert len({t1, t3}) == 2

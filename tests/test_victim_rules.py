@@ -1,0 +1,107 @@
+"""Unit tests for the fast-read victims' selection rules and the CLI."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.lower_bound.victims import (FastReaderState,
+                                            FastReadOperation,
+                                            RULE_HIGHEST_TS, RULE_MAJORITY,
+                                            RULE_THRESHOLD)
+from repro.messages import ReadAck
+from repro.types import (BOTTOM, INITIAL_TSVAL, TimestampValue, TsrArray,
+                         WriteTuple, obj)
+
+
+def feed(rule, acks, t=1, b=1):
+    """Drive a FastReadOperation with scripted acks; return its result."""
+    config = SystemConfig.optimal(t=t, b=b, num_readers=1)
+    state = FastReaderState(config, 0)
+    operation = FastReadOperation(state, rule)
+    operation.start()
+    arr = TsrArray.empty(config.num_objects, 1)
+    for index, tsval in enumerate(acks):
+        ack = ReadAck(round_index=1, tsr=operation.tsr, object_index=index,
+                      pw=tsval, w=WriteTuple(tsval, arr))
+        operation.on_message(obj(index), ack)
+        if operation.done:
+            return operation.result
+    return None
+
+
+def tv(ts, v):
+    return TimestampValue(ts, v)
+
+
+class TestHighestTs:
+    def test_picks_max_timestamp(self):
+        result = feed(RULE_HIGHEST_TS,
+                      [tv(1, "old"), tv(5, "new"), tv(2, "mid")])
+        assert result == "new"
+
+    def test_all_initial_returns_bottom(self):
+        result = feed(RULE_HIGHEST_TS, [INITIAL_TSVAL] * 3)
+        assert result is BOTTOM
+
+
+class TestMajority:
+    def test_plurality_wins(self):
+        result = feed(RULE_MAJORITY, [tv(1, "a"), tv(1, "a"), tv(9, "b")])
+        assert result == "a"
+
+    def test_tie_broken_toward_higher_ts(self):
+        result = feed(RULE_MAJORITY, [tv(1, "a"), tv(2, "b"), tv(3, "c")])
+        assert result == "c"
+
+
+class TestThreshold:
+    def test_needs_b_plus_one_identical(self):
+        # b=1: a single report of the high value is not enough
+        result = feed(RULE_THRESHOLD,
+                      [tv(9, "forged"), tv(1, "real"), tv(1, "real")])
+        assert result == "real"
+
+    def test_highest_confirmed_wins(self):
+        result = feed(RULE_THRESHOLD,
+                      [tv(2, "new"), tv(2, "new"), tv(1, "old")],
+                      t=1, b=1)
+        assert result == "new"
+
+    def test_no_confirmation_returns_bottom(self):
+        result = feed(RULE_THRESHOLD, [tv(1, "a"), tv(2, "b"), tv(3, "c")])
+        assert result is BOTTOM
+
+
+class TestAckHandling:
+    def test_duplicate_object_acks_ignored(self):
+        config = SystemConfig.optimal(t=1, b=1, num_readers=1)
+        operation = FastReadOperation(FastReaderState(config, 0),
+                                      RULE_THRESHOLD)
+        operation.start()
+        arr = TsrArray.empty(4, 1)
+        ack = ReadAck(round_index=1, tsr=operation.tsr, object_index=0,
+                      pw=tv(9, "spam"), w=WriteTuple(tv(9, "spam"), arr))
+        for _ in range(10):
+            operation.on_message(obj(0), ack)
+        assert not operation.done  # one object can never fill the quorum
+
+    def test_stale_nonce_ignored(self):
+        config = SystemConfig.optimal(t=1, b=1, num_readers=1)
+        operation = FastReadOperation(FastReaderState(config, 0),
+                                      RULE_HIGHEST_TS)
+        operation.start()
+        arr = TsrArray.empty(4, 1)
+        stale = ReadAck(round_index=1, tsr=operation.tsr - 1,
+                        object_index=0, pw=tv(1, "x"),
+                        w=WriteTuple(tv(1, "x"), arr))
+        operation.on_message(obj(0), stale)
+        assert 0 not in operation._acks
+
+
+class TestHarnessCli:
+    def test_main_runs_selected_experiment(self, capsys):
+        from repro.harness.__main__ import main
+        exit_code = main(["E6"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E6" in captured.out
+        assert "REPRODUCED" in captured.out
