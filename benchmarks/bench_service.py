@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Service-tier throughput: per-key stores vs the multiplexed store.
+
+The workload writes then reads every key once, end to end (store
+construction, operation rounds, teardown), at 64-1024 keys:
+
+* **per-key baseline** -- one :class:`~repro.runtime.AsyncStorage` per
+  key, the pre-service-tier deployment of ``examples/replicated_kv_store
+  .py``: every key spawns its own object hosts, queues and client hosts
+  (4 replicas => 4 tasks + 6 inboxes per key);
+* **multiplexed** -- one :class:`~repro.service.MultiRegisterStore`:
+  the same 4 replica tasks serve *all* keys, with batched rounds
+  coalescing same-step messages per object into single envelopes.
+
+Both run the same protocol automata (Section 5.1 cached regular storage)
+on the same in-memory asyncio network.  Results go to a JSON file
+(default ``BENCH_service.json``) and the run fails if multiplexing is
+not at least 3x faster at 256 keys.
+
+Run:  python benchmarks/bench_service.py [--full] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import statistics
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro import SystemConfig
+from repro.core.regular import CachedRegularStorageProtocol
+from repro.runtime import AsyncStorage
+from repro.service import MultiRegisterStore
+
+CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=1)
+
+
+async def run_per_key_baseline(num_keys: int) -> Dict[str, Any]:
+    """One AsyncStorage (replica set + hosts + tasks) per key."""
+    started = time.perf_counter()
+    stores: Dict[str, AsyncStorage] = {}
+    for n in range(num_keys):
+        store = AsyncStorage(CachedRegularStorageProtocol(), CONFIG,
+                             seed=n)
+        await store.start()
+        stores[f"key:{n}"] = store
+    await asyncio.gather(*(store.write(f"value-{key}")
+                           for key, store in stores.items()))
+    reads = await asyncio.gather(*(store.read()
+                                   for store in stores.values()))
+    for store in stores.values():
+        await store.stop()
+    elapsed = time.perf_counter() - started
+    assert all(value == f"value-key:{n}"
+               for n, value in enumerate(reads)), "baseline read mismatch"
+    return {
+        "elapsed_s": elapsed,
+        "replica_tasks": CONFIG.num_objects * num_keys,
+        "messages_sent": sum(store.network.messages_sent
+                             for store in stores.values()),
+    }
+
+
+async def run_multiplexed(num_keys: int) -> Dict[str, Any]:
+    """One MultiRegisterStore serving every key over one replica set."""
+    started = time.perf_counter()
+    keys = [f"key:{n}" for n in range(num_keys)]
+    async with MultiRegisterStore(CachedRegularStorageProtocol(),
+                                  CONFIG) as store:
+        await store.write_many({key: f"value-{key}" for key in keys})
+        reads = await store.read_many(keys)
+        messages = store.network.messages_sent
+    elapsed = time.perf_counter() - started
+    assert all(reads[key] == f"value-{key}"
+               for key in keys), "multiplexed read mismatch"
+    return {
+        "elapsed_s": elapsed,
+        "replica_tasks": CONFIG.num_objects,
+        "messages_sent": messages,
+    }
+
+
+def _measure(runner, num_keys: int, repeats: int) -> Dict[str, Any]:
+    """Median-of-N full-lifecycle time (scheduler/GC noise dominates
+    one-shot numbers).
+
+    Timed around ``asyncio.run`` so the event loop's own teardown is
+    included -- cancelling a per-key baseline's thousands of replica
+    tasks is real work the multiplexed store never schedules.
+    """
+    samples = []
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        row = asyncio.run(runner(num_keys))
+        row["elapsed_s"] = time.perf_counter() - started
+        samples.append(row)
+    samples.sort(key=lambda row: row["elapsed_s"])
+    median = samples[len(samples) // 2]
+    median["elapsed_s"] = statistics.median(
+        row["elapsed_s"] for row in samples)
+    median["samples_s"] = [round(row["elapsed_s"], 4) for row in samples]
+    return median
+
+
+def bench(num_keys: int, repeats: int = 5) -> Dict[str, Any]:
+    baseline = _measure(run_per_key_baseline, num_keys, repeats)
+    multiplexed = _measure(run_multiplexed, num_keys, repeats)
+    operations = 2 * num_keys  # one write + one read per key
+    for row in (baseline, multiplexed):
+        row["ops"] = operations
+        row["ops_per_s"] = operations / row["elapsed_s"]
+    speedup = baseline["elapsed_s"] / multiplexed["elapsed_s"]
+    print(f"  {num_keys:>5} keys | per-key {baseline['elapsed_s']:7.3f}s "
+          f"({baseline['ops_per_s']:8.0f} op/s, "
+          f"{baseline['replica_tasks']:>5} replica tasks) | "
+          f"multiplexed {multiplexed['elapsed_s']:7.3f}s "
+          f"({multiplexed['ops_per_s']:8.0f} op/s, "
+          f"{multiplexed['replica_tasks']} tasks) | {speedup:5.1f}x")
+    return {
+        "num_keys": num_keys,
+        "per_key_baseline": baseline,
+        "multiplexed": multiplexed,
+        "speedup": speedup,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="also run the 1024-key point")
+    parser.add_argument("--output", default="BENCH_service.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+
+    sizes = [64, 256, 1024] if args.full else [64, 256]
+    print(f"service-tier benchmark: {CONFIG.describe()}")
+    results = [bench(size) for size in sizes]
+
+    at_256 = next(r for r in results if r["num_keys"] == 256)
+    verdict = {
+        "config": CONFIG.describe(),
+        "protocol": "gv-regular-cached",
+        "workload": "write each key once, then read each key once",
+        "results": results,
+        "claim": "multiplexed >= 3x per-key baseline at 256 keys",
+        "speedup_at_256": at_256["speedup"],
+        "ok": at_256["speedup"] >= 3.0,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(verdict, fh, indent=2)
+    print(f"wrote {args.output}; speedup at 256 keys: "
+          f"{at_256['speedup']:.1f}x ({'OK' if verdict['ok'] else 'FAIL'})")
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

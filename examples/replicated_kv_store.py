@@ -1,81 +1,50 @@
 #!/usr/bin/env python3
-"""A Byzantine-tolerant replicated key-value store on the asyncio runtime.
+"""A sharded, Byzantine-tolerant replicated key-value store.
 
-The paper's motivating deployment: a client library storing *unsigned*
-data on commodity storage nodes, some of which may be compromised.  Each
-key is one SWMR regular register (the Section 5 protocol with the §5.1
-cached-suffix optimization); the writer owns all keys, multiple readers
-consume them.  Everything runs on real asyncio tasks with randomized
-message jitter -- the same protocol automata the simulator verifies.
+The paper's motivating deployment at service scale: clients store
+*unsigned* data on commodity storage nodes, some of which may be
+compromised.  Each key is one SWMR regular register (the Section 5
+protocol with the §5.1 cached-suffix optimization) -- but unlike a
+register-per-replica-set design, every shard group here multiplexes its
+whole keyspace over ONE replica set of 4 objects.  Keys are placed on
+shard groups by consistent hashing; batched puts coalesce same-round
+messages per object into single envelopes.  Everything runs on real
+asyncio tasks with randomized message jitter -- the same protocol
+automata the simulator verifies.
 
 Run:  python examples/replicated_kv_store.py
 """
 
 import asyncio
-from typing import Any, Dict, Optional
 
 from repro import SystemConfig
 from repro.adversary.byzantine import ValueForger
 from repro.core.regular import CachedRegularStorageProtocol
-from repro.runtime import AsyncStorage
-from repro.types import BOTTOM
-
-
-class ReplicatedKV:
-    """One register per key, all sharing a replica configuration."""
-
-    def __init__(self, config: SystemConfig, jitter: float = 0.002):
-        self.config = config
-        self.jitter = jitter
-        self._stores: Dict[str, AsyncStorage] = {}
-        self._seed = 0
-
-    async def _store_for(self, key: str) -> AsyncStorage:
-        store = self._stores.get(key)
-        if store is None:
-            self._seed += 1
-            store = AsyncStorage(CachedRegularStorageProtocol(),
-                                 self.config, jitter=self.jitter,
-                                 seed=self._seed)
-            await store.start()
-            self._stores[key] = store
-        return store
-
-    async def put(self, key: str, value: Any) -> None:
-        store = await self._store_for(key)
-        await store.write(value)
-
-    async def get(self, key: str, reader_index: int = 0) -> Optional[Any]:
-        store = await self._store_for(key)
-        value = await store.read(reader_index)
-        return None if value is BOTTOM else value
-
-    async def compromise_replica(self, key: str, index: int) -> None:
-        """Corrupt one replica of a key's register (for the demo)."""
-        store = await self._store_for(key)
-        honest = store._object_hosts[index].automaton
-        store.make_byzantine(index, ValueForger(honest, self.config,
-                                                forged_value="$TAMPERED$",
-                                                ts_boost=10**6))
-
-    async def close(self) -> None:
-        for store in self._stores.values():
-            await store.stop()
+from repro.service import ShardedKVStore
 
 
 async def main() -> None:
-    # 4 replicas tolerate one arbitrary failure (t = b = 1).
+    # Per shard group: 4 replicas tolerate one arbitrary failure (t = b = 1).
     config = SystemConfig.optimal(t=1, b=1, num_readers=2)
-    kv = ReplicatedKV(config)
-    print(f"replica set per key: {config.describe()}")
+    kv = ShardedKVStore(CachedRegularStorageProtocol, config,
+                        num_shards=2, jitter=0.002)
+    print(f"shard groups: 2 x [{config.describe()}]")
 
-    try:
+    async with kv:
         # Normal operation.
-        await kv.put("user:42", {"name": "ada"}["name"])
+        await kv.put("user:42", "ada")
         await kv.put("feature:dark-mode", True)
-        print("user:42      =", await kv.get("user:42"))
-        print("feature flag =", await kv.get("feature:dark-mode"))
+        print("user:42      =", await kv.get("user:42"),
+              f"(shard {kv.shard_for('user:42')})")
+        print("feature flag =", await kv.get("feature:dark-mode"),
+              f"(shard {kv.shard_for('feature:dark-mode')})")
         print("missing key  =", await kv.get("nope"))
+
+        # Batched writes: one coalesced round per shard group, however
+        # many keys -- the multiplexing win in one call.
+        await kv.put_many({f"session:{n}": f"token-{n}" for n in range(8)})
+        sessions = await kv.get_many([f"session:{n}" for n in range(8)])
+        print("batched sessions:", dict(sorted(sessions.items())))
 
         # Two readers, concurrent with an update.
         results = await asyncio.gather(
@@ -86,15 +55,23 @@ async def main() -> None:
         print("concurrent readers saw:", results[1:], "(either value is "
               "regular)")
 
-        # Compromise one replica: the forged high-timestamp value cannot
-        # gather b+1 confirmations, so reads keep returning the truth.
-        await kv.compromise_replica("user:42", 0)
-        print("after compromising replica s1:",
-              await kv.get("user:42"))
+        # Compromise one replica of the shard holding user:42.  The forged
+        # high-timestamp value cannot gather b+1 confirmations, so reads
+        # keep returning the truth -- for user:42 AND for every other key
+        # that shard serves.
+        store = kv.store_for("user:42")
+        kv.compromise_replica("user:42", 0, ValueForger(
+            store.object_automaton(0), config,
+            forged_value="$TAMPERED$", ts_boost=10**6))
+        print("after compromising replica s1:", await kv.get("user:42"))
         await kv.put("user:42", "still consistent")
         print("after another write:", await kv.get("user:42", 1))
-    finally:
-        await kv.close()
+        siblings = await kv.get_many(
+            [k for k in sorted(sessions)
+             if kv.shard_for(k) == kv.shard_for("user:42")])
+        print("sibling keys on the compromised shard still read true:",
+              siblings)
+    print(kv.describe())
 
 
 if __name__ == "__main__":

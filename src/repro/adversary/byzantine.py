@@ -139,6 +139,7 @@ class ValueForger(ByzantineWrapper):
                     object_index=payload.object_index,
                     pw=forged.tsval,
                     w=forged,
+                    register_id=payload.register_id,
                 )
             elif isinstance(payload, HistoryReadAck):
                 forged = self._forged_tuple(
@@ -150,6 +151,7 @@ class ValueForger(ByzantineWrapper):
                     tsr=payload.tsr,
                     object_index=payload.object_index,
                     history=history,
+                    register_id=payload.register_id,
                 )
             out.append((receiver, payload))
         return out
@@ -184,6 +186,7 @@ class HistoryForger(ByzantineWrapper):
                     tsr=payload.tsr,
                     object_index=payload.object_index,
                     history=history,
+                    register_id=payload.register_id,
                 )
             out.append((receiver, payload))
         return out
@@ -227,6 +230,7 @@ class TsrInflater(ByzantineWrapper):
                     object_index=payload.object_index,
                     pw=payload.pw,
                     w=self._inflate(payload.w, message.reader_index),
+                    register_id=payload.register_id,
                 )
             out.append((receiver, payload))
         return out
@@ -274,6 +278,7 @@ class AckFlooder(ByzantineWrapper):
                     object_index=payload.object_index,
                     pw=tsval,
                     w=forged,
+                    register_id=payload.register_id,
                 )))
         return out
 
@@ -301,6 +306,7 @@ class GarbageByzantine(ByzantineWrapper):
                     pw=tsval,
                     w=WriteTuple(tsval, TsrArray.empty(
                         self.config.num_objects, self.config.num_readers)),
+                    register_id=payload.register_id,
                 )
             elif isinstance(payload, PwAck) and self._rng.random() < 0.5:
                 payload = PwAck(
@@ -308,6 +314,7 @@ class GarbageByzantine(ByzantineWrapper):
                     object_index=payload.object_index,
                     tsr=tuple(self._rng.randint(0, 5)
                               for _ in range(self.config.num_readers)),
+                    register_id=payload.register_id,
                 )
             out.append((receiver, payload))
         return out

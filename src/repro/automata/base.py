@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from typing import Any, List, Optional, Tuple
 
 from ..errors import ProtocolError
-from ..types import ProcessId, fresh_operation_id
+from ..types import DEFAULT_REGISTER, ProcessId, fresh_operation_id
 
 #: Outgoing messages: ``(receiver, payload)`` pairs.
 Outgoing = List[Tuple[ProcessId, Any]]
@@ -61,14 +61,47 @@ class ObjectAutomaton(ABC):
         return repr({k: v for k, v in sorted(self.__dict__.items())})
 
 
+class MultiRegisterObject(ObjectAutomaton):
+    """An object automaton multiplexing many registers over one process.
+
+    Protocol state lives in per-register *slots* (``self.slots[register_id]``),
+    created lazily on the first message that addresses a register.  Handlers
+    look their slot up via :meth:`_slot`; everything else about the automaton
+    -- one inbox, one identity, one channel per client -- is shared, which is
+    what lets a single replica set serve arbitrarily many registers.
+    """
+
+    def __init__(self, object_index: int):
+        super().__init__(object_index)
+        self.slots: dict = {}
+
+    @abstractmethod
+    def _new_slot(self) -> Any:
+        """A fresh register slot in its initial state."""
+
+    def _slot(self, register_id: str) -> Any:
+        slot = self.slots.get(register_id)
+        if slot is None:
+            slot = self.slots[register_id] = self._new_slot()
+        return slot
+
+    def registers(self) -> List[str]:
+        """Ids of every register this object has (lazily) materialized."""
+        return sorted(self.slots)
+
+
 class ClientOperation(ABC):
     """One READ or WRITE invocation, as a resumable state machine."""
 
     #: Subclasses set this: "READ" or "WRITE" (used by history recording).
     kind: str = "OP"
 
-    def __init__(self, client_id: ProcessId):
+    def __init__(self, client_id: ProcessId,
+                 register_id: str = DEFAULT_REGISTER):
         self.client_id = client_id
+        #: the register this operation addresses; operations stamp it on
+        #: every message they send and ignore replies tagged otherwise.
+        self.register_id = register_id
         self.operation_id = fresh_operation_id()
         self.done = False
         self._result: Any = None

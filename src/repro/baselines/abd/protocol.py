@@ -5,13 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Set
 
-from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...automata.base import (ClientOperation, MultiRegisterObject,
+                              Outgoing)
 from ...config import SystemConfig
 from ...errors import ConfigurationError, ProtocolError
 from ...messages import Message
 from ...protocols import ATOMIC, REGULAR, StorageProtocol
-from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
-                      WRITER, _Bottom, obj, reader)
+from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
+                      TimestampValue, WRITER, _Bottom, obj, reader)
 
 
 # ---------------------------------------------------------------------------
@@ -25,23 +26,27 @@ class AbdStore(Message):
 
     tsval: TimestampValue
     nonce: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AbdStoreAck(Message):
     nonce: int
     ts: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AbdQuery(Message):
     nonce: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AbdQueryAck(Message):
     nonce: int
     tsval: TimestampValue
+    register_id: str = DEFAULT_REGISTER
 
 
 # ---------------------------------------------------------------------------
@@ -49,23 +54,42 @@ class AbdQueryAck(Message):
 # ---------------------------------------------------------------------------
 
 
-class AbdObject(ObjectAutomaton):
-    """Latest timestamp-value pair, monotone in the timestamp."""
+class AbdSlot:
+    """Per-register state: the latest timestamp-value pair."""
+
+    __slots__ = ("tsval",)
+
+    def __init__(self) -> None:
+        self.tsval: TimestampValue = INITIAL_TSVAL
+
+
+class AbdObject(MultiRegisterObject):
+    """Latest timestamp-value pair per register, monotone in the timestamp."""
 
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
         self.config = config
-        self.tsval: TimestampValue = INITIAL_TSVAL
+
+    def _new_slot(self) -> AbdSlot:
+        return AbdSlot()
+
+    @property
+    def tsval(self) -> TimestampValue:
+        return self._slot(DEFAULT_REGISTER).tsval
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, AbdStore):
-            if message.tsval.ts > self.tsval.ts:
-                self.tsval = message.tsval
+            slot = self._slot(message.register_id)
+            if message.tsval.ts > slot.tsval.ts:
+                slot.tsval = message.tsval
             return [(sender, AbdStoreAck(nonce=message.nonce,
-                                         ts=self.tsval.ts))]
+                                         ts=slot.tsval.ts,
+                                         register_id=message.register_id))]
         if isinstance(message, AbdQuery):
+            slot = self._slot(message.register_id)
             return [(sender, AbdQueryAck(nonce=message.nonce,
-                                         tsval=self.tsval))]
+                                         tsval=slot.tsval,
+                                         register_id=message.register_id))]
         return []
 
 
@@ -115,14 +139,15 @@ class AbdWriteOperation(ClientOperation):
         self.state.ts += 1
         self.nonce = self.state.next_nonce()
         message = AbdStore(tsval=TimestampValue(self.state.ts, self.value),
-                           nonce=self.nonce)
+                           nonce=self.nonce, register_id=self.register_id)
         self.begin_round()
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not isinstance(message, AbdStoreAck):
             return []
-        if message.nonce != self.nonce:
+        if message.nonce != self.nonce \
+                or message.register_id != self.register_id:
             return []
         self._ackers.add(sender.index)
         if len(self._ackers) >= self.config.quorum_size:
@@ -150,11 +175,14 @@ class AbdReadOperation(ClientOperation):
     def start(self) -> Outgoing:
         self.nonce = self.state.next_nonce()
         self.begin_round()
-        message = AbdQuery(nonce=self.nonce)
+        message = AbdQuery(nonce=self.nonce, register_id=self.register_id)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done:
+            return []
+        if getattr(message, "register_id", self.register_id) \
+                != self.register_id:
             return []
         if (self.phase == "query" and isinstance(message, AbdQueryAck)
                 and message.nonce == self.nonce):
@@ -180,7 +208,8 @@ class AbdReadOperation(ClientOperation):
         self.phase = "write-back"
         self.wb_nonce = self.state.next_nonce()
         self.begin_round()
-        message = AbdStore(tsval=self._chosen, nonce=self.wb_nonce)
+        message = AbdStore(tsval=self._chosen, nonce=self.wb_nonce,
+                           register_id=self.register_id)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
 

@@ -5,39 +5,59 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set
 
-from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...automata.base import (ClientOperation, MultiRegisterObject,
+                              Outgoing)
 from ...config import SystemConfig
 from ...crypto_sim import PublicKey, SignedValue, Signer
 from ...errors import ProtocolError
 from ...messages import Message
 from ...protocols import REGULAR, StorageProtocol
-from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
-                      WRITER, _Bottom, obj, reader)
+from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
+                      TimestampValue, WRITER, _Bottom, obj, reader)
 
 
 @dataclass(frozen=True)
 class AuthStore(Message):
     signed: SignedValue  # signed TimestampValue
     nonce: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AuthStoreAck(Message):
     nonce: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AuthQuery(Message):
     nonce: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class AuthQueryAck(Message):
     nonce: int
     signed: Optional[SignedValue]
+    register_id: str = DEFAULT_REGISTER
 
 
-class AuthObject(ObjectAutomaton):
+class AuthSlot:
+    """Per-register state: the highest-timestamp signed pair seen."""
+
+    __slots__ = ("signed",)
+
+    def __init__(self) -> None:
+        self.signed: Optional[SignedValue] = None
+
+    def current_ts(self) -> int:
+        if self.signed is None:
+            return 0
+        payload = self.signed.payload
+        return payload.ts if isinstance(payload, TimestampValue) else 0
+
+
+class AuthObject(MultiRegisterObject):
     """Stores the signed pair with the highest timestamp it has seen.
 
     The object does *not* need to verify signatures itself (a Byzantine
@@ -47,24 +67,28 @@ class AuthObject(ObjectAutomaton):
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
         self.config = config
-        self.signed: Optional[SignedValue] = None
 
-    def _current_ts(self) -> int:
-        if self.signed is None:
-            return 0
-        payload = self.signed.payload
-        return payload.ts if isinstance(payload, TimestampValue) else 0
+    def _new_slot(self) -> AuthSlot:
+        return AuthSlot()
+
+    @property
+    def signed(self) -> Optional[SignedValue]:
+        return self._slot(DEFAULT_REGISTER).signed
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, AuthStore):
+            slot = self._slot(message.register_id)
             payload = message.signed.payload
             if (isinstance(payload, TimestampValue)
-                    and payload.ts > self._current_ts()):
-                self.signed = message.signed
-            return [(sender, AuthStoreAck(nonce=message.nonce))]
+                    and payload.ts > slot.current_ts()):
+                slot.signed = message.signed
+            return [(sender, AuthStoreAck(nonce=message.nonce,
+                                          register_id=message.register_id))]
         if isinstance(message, AuthQuery):
+            slot = self._slot(message.register_id)
             return [(sender, AuthQueryAck(nonce=message.nonce,
-                                          signed=self.signed))]
+                                          signed=slot.signed,
+                                          register_id=message.register_id))]
         return []
 
 
@@ -114,13 +138,15 @@ class AuthWriteOperation(ClientOperation):
         signed = self.state.signer.sign(
             TimestampValue(self.state.ts, self.value))
         self.begin_round()
-        message = AuthStore(signed=signed, nonce=self.nonce)
+        message = AuthStore(signed=signed, nonce=self.nonce,
+                            register_id=self.register_id)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not isinstance(message, AuthStoreAck):
             return []
-        if message.nonce != self.nonce:
+        if message.nonce != self.nonce \
+                or message.register_id != self.register_id:
             return []
         self._ackers.add(sender.index)
         if len(self._ackers) >= self.config.quorum_size:
@@ -144,13 +170,14 @@ class AuthReadOperation(ClientOperation):
     def start(self) -> Outgoing:
         self.nonce = self.state.next_nonce()
         self.begin_round()
-        message = AuthQuery(nonce=self.nonce)
+        message = AuthQuery(nonce=self.nonce, register_id=self.register_id)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not isinstance(message, AuthQueryAck):
             return []
-        if message.nonce != self.nonce or sender.index in self._answers:
+        if message.nonce != self.nonce or sender.index in self._answers \
+                or message.register_id != self.register_id:
             return []
         self._answers[sender.index] = message.signed
         if len(self._answers) >= self.config.quorum_size:

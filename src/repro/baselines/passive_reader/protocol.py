@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List
 
-from ...automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ...automata.base import (ClientOperation, MultiRegisterObject,
+                              Outgoing)
 from ...config import SystemConfig
 from ...core.safe.predicates import CandidateTracker
 from ...core.safe.writer import SafeWriterState, SafeWriteOperation
@@ -12,48 +14,80 @@ from ...errors import SimulationError
 from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
 from ...protocols import SAFE, StorageProtocol
 from ...quorums import confirmation_threshold, elimination_threshold
-from ...types import (BOTTOM, INITIAL_TSVAL, ProcessId, TimestampValue,
-                      WriteTuple, initial_write_tuple, obj, reader)
+from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
+                      TimestampValue, WriteTuple, initial_write_tuple, obj,
+                      reader)
 
 
-class PassiveObject(ObjectAutomaton):
+@dataclass
+class PassiveSlot:
+    """Per-register state: latest pw/w only (no reader timestamps)."""
+
+    ts: int
+    pw: TimestampValue
+    w: WriteTuple
+
+
+class PassiveObject(MultiRegisterObject):
     """Like :class:`~repro.core.safe.object.SafeObject` minus the ``tsr``
     fields: reads leave no trace in the object."""
 
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
         self.config = config
-        self.ts: int = 0
-        self.pw: TimestampValue = INITIAL_TSVAL
-        self.w: WriteTuple = initial_write_tuple(config.num_objects,
-                                                 config.num_readers)
+
+    def _new_slot(self) -> PassiveSlot:
+        return PassiveSlot(
+            ts=0,
+            pw=INITIAL_TSVAL,
+            w=initial_write_tuple(self.config.num_objects,
+                                  self.config.num_readers),
+        )
+
+    @property
+    def ts(self) -> int:
+        return self._slot(DEFAULT_REGISTER).ts
+
+    @property
+    def pw(self) -> TimestampValue:
+        return self._slot(DEFAULT_REGISTER).pw
+
+    @property
+    def w(self) -> WriteTuple:
+        return self._slot(DEFAULT_REGISTER).w
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, Pw):
-            if message.ts > self.ts:
-                self.ts = message.ts
-                self.pw = message.pw
-                self.w = message.w
+            slot = self._slot(message.register_id)
+            if message.ts > slot.ts:
+                slot.ts = message.ts
+                slot.pw = message.pw
+                slot.w = message.w
                 # No reader timestamps to report: an all-zero row.
                 return [(sender, PwAck(
-                    ts=self.ts, object_index=self.object_index,
-                    tsr=(0,) * self.config.num_readers))]
+                    ts=slot.ts, object_index=self.object_index,
+                    tsr=(0,) * self.config.num_readers,
+                    register_id=message.register_id))]
             return []
         if isinstance(message, W):
-            if message.ts >= self.ts:
-                self.ts = message.ts
-                self.pw = message.pw
-                self.w = message.w
-                return [(sender, WriteAck(ts=self.ts,
-                                          object_index=self.object_index))]
+            slot = self._slot(message.register_id)
+            if message.ts >= slot.ts:
+                slot.ts = message.ts
+                slot.pw = message.pw
+                slot.w = message.w
+                return [(sender, WriteAck(ts=slot.ts,
+                                          object_index=self.object_index,
+                                          register_id=message.register_id))]
             return []
         if isinstance(message, ReadRequest):
             # Stateless with respect to readers: always answer, echoing the
             # request nonce so the reader can match rounds.
+            slot = self._slot(message.register_id)
             return [(sender, ReadAck(round_index=message.round_index,
                                      tsr=message.tsr,
                                      object_index=self.object_index,
-                                     pw=self.pw, w=self.w))]
+                                     pw=slot.pw, w=slot.w,
+                                     register_id=message.register_id))]
         return []
 
 
@@ -101,12 +135,15 @@ class PassiveReadOperation(ClientOperation):
         self._round_acks[self.round_index] = set()
         self.begin_round()
         request = ReadRequest(round_index=self.round_index, tsr=nonce,
-                              reader_index=self.state.reader_index)
+                              reader_index=self.state.reader_index,
+                              register_id=self.register_id)
         return [(obj(i), request) for i in range(self.config.num_objects)]
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not isinstance(message, ReadAck):
+            return []
+        if message.register_id != self.register_id:
             return []
         rnd = message.round_index
         if rnd not in self._round_nonce:

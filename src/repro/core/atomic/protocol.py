@@ -9,7 +9,7 @@ from ...automata.base import Outgoing
 from ...config import SystemConfig
 from ...messages import HistoryEntry, Message
 from ...protocols import ATOMIC
-from ...types import ProcessId, WriteTuple, obj
+from ...types import DEFAULT_REGISTER, ProcessId, WriteTuple, obj
 from ..regular import (RegularObject, RegularReaderState,
                        RegularReadOperation, RegularStorageProtocol)
 
@@ -26,12 +26,14 @@ class WriteBack(Message):
     c: WriteTuple
     nonce: int
     reader_index: int
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
 class WriteBackAck(Message):
     nonce: int
     object_index: int
+    register_id: str = DEFAULT_REGISTER
 
 
 class AtomicObject(RegularObject):
@@ -46,15 +48,17 @@ class AtomicObject(RegularObject):
                        message: WriteBack) -> Outgoing:
         if not sender.is_reader:
             return []  # only readers may write back
-        slot = self.history.get(message.c.ts)
-        if slot is None or slot.w is None:
-            self.history[message.c.ts] = HistoryEntry(pw=message.c.tsval,
-                                                      w=message.c)
+        history = self._slot(message.register_id).history
+        entry = history.get(message.c.ts)
+        if entry is None or entry.w is None:
+            history[message.c.ts] = HistoryEntry(pw=message.c.tsval,
+                                                 w=message.c)
         # Complete slots stay as the writer installed them; the ack is
         # sent regardless -- the reader only needs to know a quorum has
         # *at least* this information.
         return [(sender, WriteBackAck(nonce=message.nonce,
-                                      object_index=self.object_index))]
+                                      object_index=self.object_index,
+                                      register_id=message.register_id))]
 
 
 class AtomicReadOperation(RegularReadOperation):
@@ -73,6 +77,7 @@ class AtomicReadOperation(RegularReadOperation):
             return []
         if isinstance(message, WriteBackAck):
             if self.phase == 3 and message.nonce == self._wb_nonce \
+                    and message.register_id == self.register_id \
                     and sender.is_object:
                 self._wb_ackers.add(sender.index)
                 if len(self._wb_ackers) >= self.config.quorum_size:
@@ -110,7 +115,8 @@ class AtomicReadOperation(RegularReadOperation):
         self._wb_nonce = self.state.tsr
         self.begin_round()
         message = WriteBack(c=candidate, nonce=self._wb_nonce,
-                            reader_index=self.reader_index)
+                            reader_index=self.reader_index,
+                            register_id=self.register_id)
         self._outbox = [(obj(i), message)
                         for i in range(self.config.num_objects)]
 

@@ -32,6 +32,18 @@ class RegularEvidence:
         self.round_histories: Dict[int, Dict[int, Mapping[int, HistoryEntry]]]
         self.round_histories = {1: {}, 2: {}}
         self._candidates: Set[WriteTuple] = set()
+        # Predicate verdicts only change when evidence arrives, but the
+        # reader evaluates them after every ack (and several times within
+        # one step).  A generation counter bumped on ingestion keys cheap
+        # memoization of the hot predicates.
+        self._generation = 0
+        self._voter_cache: Dict[Tuple[str, WriteTuple],
+                                Tuple[int, Set[int]]] = {}
+        self._candidates_cache: Tuple[int, Optional[Set[WriteTuple]]] = \
+            (-1, None)
+        self._accusers_cache: Tuple[int, Optional[Dict[WriteTuple,
+                                                       Set[int]]]] = \
+            (-1, None)
 
     # -- ingestion ---------------------------------------------------------
     def record(self, round_index: int, object_index: int,
@@ -49,6 +61,7 @@ class RegularEvidence:
             for entry in history.values():
                 if entry.w is not None:
                     self._candidates.add(entry.w)
+        self._generation += 1
         return True
 
     def responded_first(self) -> Set[int]:
@@ -56,11 +69,15 @@ class RegularEvidence:
 
     def first_round_accusers(self) -> Dict[WriteTuple, Set[int]]:
         """``FirstRW``-equivalent: who exhibited each candidate in round 1."""
+        generation, cached = self._accusers_cache
+        if generation == self._generation and cached is not None:
+            return cached
         accusers: Dict[WriteTuple, Set[int]] = {}
         for i, history in self.round_histories[1].items():
             for entry in history.values():
                 if entry.w is not None:
                     accusers.setdefault(entry.w, set()).add(i)
+        self._accusers_cache = (self._generation, accusers)
         return accusers
 
     # -- per-object slot lookup -----------------------------------------------
@@ -75,6 +92,9 @@ class RegularEvidence:
     def invalid_voters(self, c: WriteTuple) -> Set[int]:
         """Objects counted by ``invalid(c)``: some round's response
         contradicts ``c`` at slot ``c.ts``."""
+        cached = self._voter_cache.get(("invalid", c))
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         voters: Set[int] = set()
         for round_index in (1, 2):
             for i in self.round_histories[round_index]:
@@ -83,6 +103,7 @@ class RegularEvidence:
                     continue
                 if entry.w is None or entry.pw != c.tsval or entry.w != c:
                     voters.add(i)
+        self._voter_cache[("invalid", c)] = (self._generation, voters)
         return voters
 
     def is_invalid(self, c: WriteTuple) -> bool:
@@ -90,6 +111,9 @@ class RegularEvidence:
 
     def safe_voters(self, c: WriteTuple) -> Set[int]:
         """Objects counted by ``safe(c)``: a matching pw or w at the slot."""
+        cached = self._voter_cache.get(("safe", c))
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         voters: Set[int] = set()
         for round_index in (1, 2):
             for i in self.round_histories[round_index]:
@@ -98,6 +122,7 @@ class RegularEvidence:
                     continue
                 if entry.pw == c.tsval or entry.w == c:
                     voters.add(i)
+        self._voter_cache[("safe", c)] = (self._generation, voters)
         return voters
 
     def is_safe(self, c: WriteTuple) -> bool:
@@ -106,7 +131,12 @@ class RegularEvidence:
     # -- candidate queries ----------------------------------------------------------
     def candidates(self) -> Set[WriteTuple]:
         """Current ``C``: round-1 candidates not (yet) invalid."""
-        return {c for c in self._candidates if not self.is_invalid(c)}
+        generation, cached = self._candidates_cache
+        if generation == self._generation and cached is not None:
+            return cached
+        current = {c for c in self._candidates if not self.is_invalid(c)}
+        self._candidates_cache = (self._generation, current)
+        return current
 
     def candidates_empty(self) -> bool:
         return not self.candidates()

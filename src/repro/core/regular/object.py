@@ -11,32 +11,62 @@ back-fills the previous write's complete tuple at ``history[ts' - 1]``
 READ requests are answered with the history -- in full, or (Section 5.1)
 only the suffix from the reader's cached timestamp ``from_ts`` onward,
 which is the optimization experiment E6 quantifies.
+
+As with the safe object, all of this state is kept *per register* in
+lazily created slots, so one replica set serves many SWMR registers.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List
 
-from ...automata.base import ObjectAutomaton, Outgoing
+from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
 from ...messages import (HistoryEntry, HistoryReadAck, Pw, ReadRequest, PwAck,
                          W, WriteAck)
-from ...types import INITIAL_TSVAL, ProcessId, initial_write_tuple
+from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
+                      initial_write_tuple)
 
 
-class RegularObject(ObjectAutomaton):
+@dataclass
+class RegularSlot:
+    """Per-register state of one regular object (Figure 5, lines 1-3)."""
+
+    ts: int
+    history: Dict[int, HistoryEntry]
+    tsr: List[int]
+
+
+class RegularObject(MultiRegisterObject):
     """Figure 5: ``code of object s_i`` for the regular storage."""
 
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
         self.config = config
+
+    def _new_slot(self) -> RegularSlot:
         # Initialization (lines 1-3): history[0] = <pw_0, w_0>.
-        w0 = initial_write_tuple(config.num_objects, config.num_readers)
-        self.ts: int = 0
-        self.history: Dict[int, HistoryEntry] = {
-            0: HistoryEntry(pw=INITIAL_TSVAL, w=w0),
-        }
-        self.tsr: List[int] = [0] * config.num_readers
+        w0 = initial_write_tuple(self.config.num_objects,
+                                 self.config.num_readers)
+        return RegularSlot(
+            ts=0,
+            history={0: HistoryEntry(pw=INITIAL_TSVAL, w=w0)},
+            tsr=[0] * self.config.num_readers,
+        )
+
+    # -- single-register compatibility views ----------------------------
+    @property
+    def ts(self) -> int:
+        return self._slot(DEFAULT_REGISTER).ts
+
+    @property
+    def history(self) -> Dict[int, HistoryEntry]:
+        return self._slot(DEFAULT_REGISTER).history
+
+    @property
+    def tsr(self) -> List[int]:
+        return self._slot(DEFAULT_REGISTER).tsr
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
@@ -50,26 +80,30 @@ class RegularObject(ObjectAutomaton):
 
     # -- lines 4-9 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
-        if message.ts > self.ts:
+        slot = self._slot(message.register_id)
+        if message.ts > slot.ts:
             # Record the new pre-write and back-fill the previous write's
             # complete tuple carried by the PW message.
-            self.history[message.ts] = HistoryEntry(pw=message.pw, w=None)
-            self.history[message.w.ts] = HistoryEntry(pw=message.w.tsval,
+            slot.history[message.ts] = HistoryEntry(pw=message.pw, w=None)
+            slot.history[message.w.ts] = HistoryEntry(pw=message.w.tsval,
                                                       w=message.w)
-            self.ts = message.ts
-            return [(sender, PwAck(ts=self.ts,
+            slot.ts = message.ts
+            return [(sender, PwAck(ts=slot.ts,
                                    object_index=self.object_index,
-                                   tsr=tuple(self.tsr)))]
+                                   tsr=tuple(slot.tsr),
+                                   register_id=message.register_id))]
         return []
 
     # -- lines 10-14 -----------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
-        if message.ts >= self.ts:
-            self.ts = message.ts
-            self.history[message.ts] = HistoryEntry(pw=message.pw,
+        slot = self._slot(message.register_id)
+        if message.ts >= slot.ts:
+            slot.ts = message.ts
+            slot.history[message.ts] = HistoryEntry(pw=message.pw,
                                                     w=message.w)
-            return [(sender, WriteAck(ts=self.ts,
-                                      object_index=self.object_index))]
+            return [(sender, WriteAck(ts=slot.ts,
+                                      object_index=self.object_index,
+                                      register_id=message.register_id))]
         return []
 
     # -- lines 15-19 -----------------------------------------------------
@@ -77,9 +111,10 @@ class RegularObject(ObjectAutomaton):
         j = message.reader_index
         if not 0 <= j < self.config.num_readers:
             return []
-        if message.tsr > self.tsr[j]:
-            self.tsr[j] = message.tsr
-            history = self.history
+        slot = self._slot(message.register_id)
+        if message.tsr > slot.tsr[j]:
+            slot.tsr[j] = message.tsr
+            history = slot.history
             if message.from_ts is not None:
                 # Section 5.1: ship only the suffix from the reader's
                 # cached timestamp onwards.
@@ -87,14 +122,21 @@ class RegularObject(ObjectAutomaton):
                            if ts >= message.from_ts}
             ack = HistoryReadAck(
                 round_index=message.round_index,
-                tsr=self.tsr[j],
+                tsr=slot.tsr[j],
                 object_index=self.object_index,
                 history=dict(history),
+                register_id=message.register_id,
             )
             return [(sender, ack)]
         return []
 
     # ------------------------------------------------------------------
     def describe_state(self) -> str:
-        return (f"s{self.object_index + 1}: ts={self.ts}, "
-                f"|history|={len(self.history)}, tsr={self.tsr}")
+        if not self.slots or set(self.slots) == {DEFAULT_REGISTER}:
+            slot = self.slots.get(DEFAULT_REGISTER) or self._new_slot()
+            return (f"s{self.object_index + 1}: ts={slot.ts}, "
+                    f"|history|={len(slot.history)}, tsr={slot.tsr}")
+        return (f"s{self.object_index + 1}: "
+                + "; ".join(f"{rid}: ts={slot.ts}, "
+                            f"|history|={len(slot.history)}"
+                            for rid, slot in sorted(self.slots.items())))

@@ -78,7 +78,8 @@ class RegularReadOperation(ClientOperation):
         self.begin_round()
         request = ReadRequest(round_index=1, tsr=self.tsr_first_round,
                               reader_index=self.reader_index,
-                              from_ts=self._from_ts())
+                              from_ts=self._from_ts(),
+                              register_id=self.register_id)
         return [(obj(i), request) for i in range(self.config.num_objects)]
 
     # ------------------------------------------------------------------
@@ -86,6 +87,8 @@ class RegularReadOperation(ClientOperation):
         if self.done or not sender.is_object:
             return []
         if not isinstance(message, HistoryReadAck):
+            return []
+        if message.register_id != self.register_id:
             return []
         i = sender.index
         if (self.phase == 1 and message.round_index == 1
@@ -105,6 +108,10 @@ class RegularReadOperation(ClientOperation):
 
     # ------------------------------------------------------------------
     def _round1_condition(self) -> bool:
+        # Below quorum responders no conflict-free quorum can exist; skip
+        # the conflict analysis until enough acks are even in.
+        if len(self.evidence.responded_first()) < self.config.quorum_size:
+            return False
         pairs = conflict_pairs(
             candidates=self.evidence.candidates(),
             first_rw=self.evidence.first_round_accusers(),
@@ -126,7 +133,8 @@ class RegularReadOperation(ClientOperation):
         self.begin_round()
         request = ReadRequest(round_index=2, tsr=self.state.tsr,
                               reader_index=self.reader_index,
-                              from_ts=self._from_ts())
+                              from_ts=self._from_ts(),
+                              register_id=self.register_id)
         outgoing: Outgoing = [(obj(i), request)
                               for i in range(self.config.num_objects)]
         self._maybe_return()

@@ -1,6 +1,6 @@
 """Base-object automaton of the safe storage (Figure 3).
 
-Each object ``s_i`` maintains three fields:
+Each object ``s_i`` maintains, *per register*, three fields:
 
 * ``pw`` -- the timestamp-value pair of the latest (pre-)write round seen;
 * ``w``  -- the latest complete write tuple ``<tsval, tsrarray>``;
@@ -13,31 +13,68 @@ of write ``k``), and READ requests update ``tsr[j]`` only when the reader's
 timestamp moved forward (line 14).  Acknowledgments are sent only when the
 guard passes, exactly as in the figure; stale or replayed traffic earns no
 reply at all.
+
+One automaton serves arbitrarily many logical registers: protocol state
+lives in per-register slots keyed by the messages' ``register_id``
+(the paper's single register is the ``DEFAULT_REGISTER`` slot), so a fixed
+replica set multiplexes a whole keyspace without extra processes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, List
 
-from ...automata.base import ObjectAutomaton, Outgoing
+from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
 from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
-from ...types import (INITIAL_TSVAL, ProcessId, TimestampValue, WriteTuple,
-                      initial_write_tuple, reader)
+from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
+                      TimestampValue, WriteTuple, initial_write_tuple)
 
 
-class SafeObject(ObjectAutomaton):
+@dataclass
+class SafeSlot:
+    """Per-register state of one safe object (Figure 3, lines 1-2)."""
+
+    ts: int
+    pw: TimestampValue
+    w: WriteTuple
+    tsr: List[int]
+
+
+class SafeObject(MultiRegisterObject):
     """Figure 3: ``code of object s_i`` for the safe storage."""
 
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
         self.config = config
-        # Initialization block (lines 1-2).
-        self.ts: int = 0
-        self.pw: TimestampValue = INITIAL_TSVAL
-        self.w: WriteTuple = initial_write_tuple(config.num_objects,
-                                                 config.num_readers)
-        self.tsr: List[int] = [0] * config.num_readers
+
+    def _new_slot(self) -> SafeSlot:
+        # Initialization block (lines 1-2), per register.
+        return SafeSlot(
+            ts=0,
+            pw=INITIAL_TSVAL,
+            w=initial_write_tuple(self.config.num_objects,
+                                  self.config.num_readers),
+            tsr=[0] * self.config.num_readers,
+        )
+
+    # -- single-register compatibility views ----------------------------
+    @property
+    def ts(self) -> int:
+        return self._slot(DEFAULT_REGISTER).ts
+
+    @property
+    def pw(self) -> TimestampValue:
+        return self._slot(DEFAULT_REGISTER).pw
+
+    @property
+    def w(self) -> WriteTuple:
+        return self._slot(DEFAULT_REGISTER).w
+
+    @property
+    def tsr(self) -> List[int]:
+        return self._slot(DEFAULT_REGISTER).tsr
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
@@ -54,23 +91,27 @@ class SafeObject(ObjectAutomaton):
 
     # -- lines 3-7 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
-        if message.ts > self.ts:
-            self.ts = message.ts
-            self.pw = message.pw
-            self.w = message.w
-            ack = PwAck(ts=self.ts, object_index=self.object_index,
-                        tsr=tuple(self.tsr))
+        slot = self._slot(message.register_id)
+        if message.ts > slot.ts:
+            slot.ts = message.ts
+            slot.pw = message.pw
+            slot.w = message.w
+            ack = PwAck(ts=slot.ts, object_index=self.object_index,
+                        tsr=tuple(slot.tsr),
+                        register_id=message.register_id)
             return [(sender, ack)]
         return []
 
     # -- lines 8-12 ------------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
-        if message.ts >= self.ts:
-            self.ts = message.ts
-            self.pw = message.pw
-            self.w = message.w
-            return [(sender, WriteAck(ts=self.ts,
-                                      object_index=self.object_index))]
+        slot = self._slot(message.register_id)
+        if message.ts >= slot.ts:
+            slot.ts = message.ts
+            slot.pw = message.pw
+            slot.w = message.w
+            return [(sender, WriteAck(ts=slot.ts,
+                                      object_index=self.object_index,
+                                      register_id=message.register_id))]
         return []
 
     # -- lines 13-17 -----------------------------------------------------
@@ -78,19 +119,26 @@ class SafeObject(ObjectAutomaton):
         j = message.reader_index
         if not 0 <= j < self.config.num_readers:
             return []
-        if message.tsr > self.tsr[j]:
-            self.tsr[j] = message.tsr
+        slot = self._slot(message.register_id)
+        if message.tsr > slot.tsr[j]:
+            slot.tsr[j] = message.tsr
             ack = ReadAck(
                 round_index=message.round_index,
-                tsr=self.tsr[j],
+                tsr=slot.tsr[j],
                 object_index=self.object_index,
-                pw=self.pw,
-                w=self.w,
+                pw=slot.pw,
+                w=slot.w,
+                register_id=message.register_id,
             )
             return [(sender, ack)]
         return []
 
     # ------------------------------------------------------------------
     def describe_state(self) -> str:
-        return (f"s{self.object_index + 1}: ts={self.ts}, pw={self.pw!r}, "
-                f"w={self.w!r}, tsr={self.tsr}")
+        if not self.slots or set(self.slots) == {DEFAULT_REGISTER}:
+            slot = self.slots.get(DEFAULT_REGISTER) or self._new_slot()
+            return (f"s{self.object_index + 1}: ts={slot.ts}, "
+                    f"pw={slot.pw!r}, w={slot.w!r}, tsr={slot.tsr}")
+        return (f"s{self.object_index + 1}: "
+                + "; ".join(f"{rid}: ts={slot.ts}, pw={slot.pw!r}"
+                            for rid, slot in sorted(self.slots.items())))

@@ -73,7 +73,8 @@ class SafeReadOperation(ClientOperation):
         self.begin_round()
         # Line 10: READ1<tsr'_j> to all objects.
         request = ReadRequest(round_index=1, tsr=self.tsr_first_round,
-                              reader_index=self.reader_index)
+                              reader_index=self.reader_index,
+                              register_id=self.register_id)
         return [(obj(i), request) for i in range(self.config.num_objects)]
 
     # ------------------------------------------------------------------
@@ -81,6 +82,8 @@ class SafeReadOperation(ClientOperation):
         if self.done or not sender.is_object:
             return []
         if not isinstance(message, ReadAck):
+            return []
+        if message.register_id != self.register_id:
             return []
         i = sender.index
         if (self.phase == 1 and message.round_index == 1
@@ -103,6 +106,9 @@ class SafeReadOperation(ClientOperation):
     # ------------------------------------------------------------------
     def _round1_condition(self) -> bool:
         """Line 11: a conflict-free subset of >= S - t responders exists."""
+        # Below quorum responders the condition is trivially false.
+        if len(self.tracker.responded_first) < self.config.quorum_size:
+            return False
         pairs = conflict_pairs(
             candidates=self.tracker.candidates(),
             first_rw=self.tracker.first_rw,
@@ -125,7 +131,8 @@ class SafeReadOperation(ClientOperation):
                 "concurrent READs by one reader violate well-formedness")
         self.begin_round()
         request = ReadRequest(round_index=2, tsr=self.state.tsr,
-                              reader_index=self.reader_index)
+                              reader_index=self.reader_index,
+                              register_id=self.register_id)
         outgoing: Outgoing = [(obj(i), request)
                               for i in range(self.config.num_objects)]
         # The line-14 wait condition may already hold on round-1 evidence

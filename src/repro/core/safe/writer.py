@@ -76,7 +76,8 @@ class SafeWriteOperation(ClientOperation):
                                                cfg.num_readers)
         # Line 5: PW carries the new pair plus the *previous* write tuple,
         # so laggards catch up on the last complete write.
-        message = Pw(ts=self.ts, pw=self.pw, w=self.state.w)
+        message = Pw(ts=self.ts, pw=self.pw, w=self.state.w,
+                     register_id=self.register_id)
         self.begin_round()
         return [(obj(i), message) for i in range(cfg.num_objects)]
 
@@ -91,10 +92,11 @@ class SafeWriteOperation(ClientOperation):
         return []
 
     def _on_pw_ack(self, sender: ProcessId, message: PwAck) -> Outgoing:
-        # Freshness: the ack must echo this write's timestamp.  Identity
-        # comes from the channel (sender), never from the payload -- a
-        # Byzantine object cannot impersonate a peer.
-        if message.ts != self.ts or self.phase != PHASE_PW:
+        # Freshness: the ack must echo this write's timestamp and register.
+        # Identity comes from the channel (sender), never from the payload
+        # -- a Byzantine object cannot impersonate a peer.
+        if (message.ts != self.ts or self.phase != PHASE_PW
+                or message.register_id != self.register_id):
             return []
         i = sender.index
         if i in self._pw_ackers:
@@ -118,13 +120,15 @@ class SafeWriteOperation(ClientOperation):
         w_tuple = WriteTuple(self.pw, self.current_tsrarray)
         self.state.w = w_tuple
         self.phase = PHASE_W
-        message = W(ts=self.ts, pw=self.pw, w=w_tuple)
+        message = W(ts=self.ts, pw=self.pw, w=w_tuple,
+                    register_id=self.register_id)
         self.begin_round()
         # Line 8: second round to all objects.
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def _on_write_ack(self, sender: ProcessId, message: WriteAck) -> Outgoing:
-        if message.ts != self.ts or self.phase != PHASE_W:
+        if (message.ts != self.ts or self.phase != PHASE_W
+                or message.register_id != self.register_id):
             return []
         self._w_ackers.add(sender.index)
         # Lines 9-10: S - t acks complete the WRITE.

@@ -54,8 +54,14 @@ def run_sequential(system: StorageSystem, num_writes: int = 5,
 
 def run_concurrent(system: StorageSystem,
                    spec: Optional[WorkloadSpec] = None,
-                   max_steps: int = 2_000_000) -> History:
-    """Interleave the writer and all readers under a seeded schedule."""
+                   max_steps: int = 2_000_000,
+                   max_iterations: Optional[int] = None) -> History:
+    """Interleave the writer and all readers under a seeded schedule.
+
+    Both kernel *steps* and loop *iterations* are bounded: an iteration
+    in which the RNG invokes nothing while the network is quiescent takes
+    zero steps, so a step bound alone would let such runs spin forever.
+    """
     spec = spec or WorkloadSpec()
     rng = random.Random(spec.seed)
     writes_left = spec.num_writes
@@ -64,6 +70,14 @@ def run_concurrent(system: StorageSystem,
     read_handles: List[Optional[Any]] = [None] * system.config.num_readers
     write_count = 0
     total_steps = 0
+    iterations = 0
+    if max_iterations is None:
+        # Generous default: even if the RNG skips every client with its
+        # 20% probability, the expected iterations per operation are small;
+        # 1000 per operation flags a genuinely wedged run, not bad luck.
+        total_ops = spec.num_writes + \
+            spec.reads_per_reader * system.config.num_readers
+        max_iterations = 1000 * max(1, total_ops)
 
     def work_remaining() -> bool:
         if writes_left or any(reads_left):
@@ -76,10 +90,16 @@ def run_concurrent(system: StorageSystem,
         if total_steps > max_steps:
             raise SimulationError(
                 f"concurrent workload exceeded {max_steps} steps")
+        iterations += 1
+        if iterations > max_iterations:
+            raise SimulationError(
+                f"concurrent workload exceeded {max_iterations} iterations "
+                f"({total_steps} steps taken); the schedule is starving "
+                "pending operations")
         # Invoke next operations for idle clients (probabilistically, so
         # different seeds produce different overlap patterns).
-        nonlocal_write = write_handle is None or write_handle.done
-        if writes_left and nonlocal_write and rng.random() < 0.8:
+        writer_idle = write_handle is None or write_handle.done
+        if writes_left and writer_idle and rng.random() < 0.8:
             write_count += 1
             write_handle = system.invoke_write(spec.value(write_count))
             writes_left -= 1

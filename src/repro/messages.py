@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from .types import TimestampValue, TsrArray, WriteTuple, _Bottom
+from .types import (DEFAULT_REGISTER, TimestampValue, TsrArray, WriteTuple,
+                    _Bottom)
 
 
 def estimate_size(value: Any) -> int:
@@ -77,6 +78,16 @@ class Message:
         return total
 
 
+def register_of(payload: Any) -> str:
+    """The register a payload addresses.
+
+    Payloads without a ``register_id`` field (legacy tests, lower-bound
+    victim messages, raw probe values) belong to the default register, so
+    every pre-multiplexing caller keeps its behaviour.
+    """
+    return getattr(payload, "register_id", DEFAULT_REGISTER)
+
+
 # ---------------------------------------------------------------------------
 # Write protocol (Figure 2 / Figure 3) -- shared by safe and regular storage
 # ---------------------------------------------------------------------------
@@ -93,6 +104,7 @@ class Pw(Message):
     ts: int
     pw: TimestampValue
     w: WriteTuple
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
@@ -102,6 +114,7 @@ class PwAck(Message):
     ts: int
     object_index: int
     tsr: Tuple[int, ...]
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
@@ -111,6 +124,7 @@ class W(Message):
     ts: int
     pw: TimestampValue
     w: WriteTuple
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
@@ -119,6 +133,7 @@ class WriteAck(Message):
 
     ts: int
     object_index: int
+    register_id: str = DEFAULT_REGISTER
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +155,7 @@ class ReadRequest(Message):
     tsr: int
     reader_index: int
     from_ts: Optional[int] = None
+    register_id: str = DEFAULT_REGISTER
 
 
 @dataclass(frozen=True)
@@ -151,6 +167,7 @@ class ReadAck(Message):
     object_index: int
     pw: TimestampValue
     w: WriteTuple
+    register_id: str = DEFAULT_REGISTER
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +200,7 @@ class HistoryReadAck(Message):
     tsr: int
     object_index: int
     history: Mapping[int, HistoryEntry]
+    register_id: str = DEFAULT_REGISTER
 
     def __post_init__(self) -> None:
         # Freeze the mapping so acks are hashable and immutable.
@@ -190,6 +208,7 @@ class HistoryReadAck(Message):
 
     def __hash__(self) -> int:  # history dict prevents default hash
         return hash((self.round_index, self.tsr, self.object_index,
+                     self.register_id,
                      tuple(sorted(self.history.items(), key=lambda kv: kv[0]))))
 
     def __eq__(self, other: object) -> bool:
@@ -198,8 +217,39 @@ class HistoryReadAck(Message):
             and self.round_index == other.round_index
             and self.tsr == other.tsr
             and self.object_index == other.object_index
+            and self.register_id == other.register_id
             and dict(self.history) == dict(other.history)
         )
+
+
+# ---------------------------------------------------------------------------
+# Batching (service layer)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Batch(Message):
+    """Several protocol messages between the same pair of processes.
+
+    The multiplexed service tier coalesces same-step messages to the same
+    destination -- typically one round of many registers' operations --
+    into a single envelope, and objects coalesce the resulting replies the
+    same way.  Transports treat a batch as one frame; receivers unwrap it
+    and process the parts in order.  Batches never nest.
+    """
+
+    messages: Tuple[Message, ...]
+
+    def __post_init__(self) -> None:
+        if any(isinstance(m, Batch) for m in self.messages):
+            raise ValueError("batches do not nest")
+
+
+def unbatch(payload: Any) -> Tuple[Any, ...]:
+    """The sequence of protocol messages an envelope carries (1 if unbatched)."""
+    if isinstance(payload, Batch):
+        return payload.messages
+    return (payload,)
 
 
 # ---------------------------------------------------------------------------
@@ -229,6 +279,8 @@ def summarize(message: Message) -> str:
             f"READ{message.round_index}_ACK(s{message.object_index + 1}, "
             f"tsr={message.tsr}, |history|={len(message.history)})"
         )
+    if isinstance(message, Batch):
+        return f"BATCH[{len(message.messages)}]"
     return message.kind
 
 
@@ -242,6 +294,9 @@ __all__ = [
     "ReadAck",
     "HistoryEntry",
     "HistoryReadAck",
+    "Batch",
+    "unbatch",
+    "register_of",
     "estimate_size",
     "summarize",
 ]

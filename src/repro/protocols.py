@@ -12,10 +12,11 @@ the property-based tests can treat all protocols identically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, List
+from typing import Any, Dict, List, Tuple
 
 from .automata.base import ClientOperation, ObjectAutomaton
 from .config import SystemConfig
+from .types import DEFAULT_REGISTER
 
 #: Register semantics labels (Lamport [12] hierarchy).
 SAFE = "safe"
@@ -72,7 +73,35 @@ class StorageProtocol(ABC):
     def make_read(self, reader_state: Any) -> ClientOperation:
         """A READ() operation automaton."""
 
+    # -- register-addressed factories ------------------------------------------
+    # One replica set multiplexes many SWMR registers: client states are
+    # per-register (the caller keys them by register id) and the operation
+    # stamps its register id on every message it sends.  The single-register
+    # methods above are the ``register_id == DEFAULT_REGISTER`` special case.
+
+    def make_write_to(self, writer_state: Any, value: Any,
+                      register_id: str = DEFAULT_REGISTER) -> ClientOperation:
+        """A WRITE(v) operation addressing ``register_id``.
+
+        ``writer_state`` must be the state of *that register's* writer
+        (one :meth:`make_writer_state` product per register).
+        """
+        operation = self.make_write(writer_state, value)
+        operation.register_id = register_id
+        return operation
+
+    def make_read_from(self, reader_state: Any,
+                       register_id: str = DEFAULT_REGISTER) -> ClientOperation:
+        """A READ() operation addressing ``register_id``."""
+        operation = self.make_read(reader_state)
+        operation.register_id = register_id
+        return operation
+
     # -- description --------------------------------------------------------------
+    def client_states(self, config: SystemConfig) -> "RegisterClientStates":
+        """A lazy per-register pool of this protocol's client states."""
+        return RegisterClientStates(self, config)
+
     def describe(self) -> str:
         auth = "authenticated" if self.requires_authentication else \
             "unauthenticated"
@@ -80,3 +109,40 @@ class StorageProtocol(ABC):
         return (f"{self.name}: {self.semantics} semantics, "
                 f"W<={self.write_rounds_worst_case}r / "
                 f"R<={self.read_rounds_worst_case}r, {auth}, {rw}")
+
+
+class RegisterClientStates:
+    """Lazily created per-register writer/reader states of one system.
+
+    Every facade that multiplexes registers (simulator, asyncio storage,
+    service store) needs the same bookkeeping: one writer state per
+    register and one reader state per (register, reader), created on
+    first use.  This owns it once.
+    """
+
+    def __init__(self, protocol: StorageProtocol, config: SystemConfig):
+        self.protocol = protocol
+        self.config = config
+        self._writers: Dict[str, Any] = {}
+        self._readers: Dict[Tuple[str, int], Any] = {}
+
+    def writer(self, register_id: str = DEFAULT_REGISTER) -> Any:
+        state = self._writers.get(register_id)
+        if state is None:
+            state = self._writers[register_id] = \
+                self.protocol.make_writer_state(self.config)
+        return state
+
+    def reader(self, register_id: str = DEFAULT_REGISTER,
+               reader_index: int = 0) -> Any:
+        key = (register_id, reader_index)
+        state = self._readers.get(key)
+        if state is None:
+            state = self._readers[key] = \
+                self.protocol.make_reader_state(self.config, reader_index)
+        return state
+
+    def registers(self) -> List[str]:
+        """Register ids any client state has been created for."""
+        return sorted(set(self._writers)
+                      | {rid for rid, _ in self._readers})

@@ -10,7 +10,7 @@ Two tiers:
 
 from .codec import (decode_message, decode_value, encode_message,
                     encode_value, register_codec)
-from .hosts import ClientHost, ObjectHost
+from .hosts import ClientHost, MuxClientHost, ObjectHost, coalesce_outgoing
 from .memnet import AsyncEnvelope, AsyncNetwork
 from .storage import AsyncStorage
 from .tcp import TcpObjectServer, TcpStorageClient
@@ -21,6 +21,8 @@ __all__ = [
     "AsyncEnvelope",
     "ObjectHost",
     "ClientHost",
+    "MuxClientHost",
+    "coalesce_outgoing",
     "TcpObjectServer",
     "TcpStorageClient",
     "encode_message",

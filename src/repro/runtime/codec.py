@@ -16,9 +16,10 @@ import json
 from typing import Any, Callable, Dict
 
 from ..errors import TransportError
-from ..messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
-                        ReadRequest, W, WriteAck)
-from ..types import BOTTOM, TimestampValue, TsrArray, WriteTuple, _Bottom
+from ..messages import (Batch, HistoryEntry, HistoryReadAck, Pw, PwAck,
+                        ReadAck, ReadRequest, W, WriteAck)
+from ..types import (BOTTOM, DEFAULT_REGISTER, TimestampValue, TsrArray,
+                     WriteTuple, _Bottom)
 
 
 # ---------------------------------------------------------------------------
@@ -75,42 +76,55 @@ def decode_value(data: Any) -> Any:
 # message-level codecs
 # ---------------------------------------------------------------------------
 
+def _register(d: Dict[str, Any]) -> str:
+    """Decode the register tag; absent on pre-multiplexing frames."""
+    return d.get("r", DEFAULT_REGISTER)
+
+
 _ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     Pw: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
-                   "w": encode_value(m.w)},
+                   "w": encode_value(m.w), "r": m.register_id},
     W: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
-                  "w": encode_value(m.w)},
+                  "w": encode_value(m.w), "r": m.register_id},
     PwAck: lambda m: {"ts": m.ts, "i": m.object_index,
-                      "tsr": list(m.tsr)},
-    WriteAck: lambda m: {"ts": m.ts, "i": m.object_index},
+                      "tsr": list(m.tsr), "r": m.register_id},
+    WriteAck: lambda m: {"ts": m.ts, "i": m.object_index,
+                         "r": m.register_id},
     ReadRequest: lambda m: {"k": m.round_index, "tsr": m.tsr,
-                            "j": m.reader_index, "from_ts": m.from_ts},
+                            "j": m.reader_index, "from_ts": m.from_ts,
+                            "r": m.register_id},
     ReadAck: lambda m: {"k": m.round_index, "tsr": m.tsr,
                         "i": m.object_index, "pw": encode_value(m.pw),
-                        "w": encode_value(m.w)},
+                        "w": encode_value(m.w), "r": m.register_id},
     HistoryReadAck: lambda m: {
         "k": m.round_index, "tsr": m.tsr, "i": m.object_index,
+        "r": m.register_id,
         "h": {str(ts): encode_value(entry)
               for ts, entry in m.history.items()}},
 }
 
 _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "Pw": lambda d: Pw(ts=d["ts"], pw=decode_value(d["pw"]),
-                       w=decode_value(d["w"])),
+                       w=decode_value(d["w"]), register_id=_register(d)),
     "W": lambda d: W(ts=d["ts"], pw=decode_value(d["pw"]),
-                     w=decode_value(d["w"])),
+                     w=decode_value(d["w"]), register_id=_register(d)),
     "PwAck": lambda d: PwAck(ts=d["ts"], object_index=d["i"],
-                             tsr=tuple(d["tsr"])),
-    "WriteAck": lambda d: WriteAck(ts=d["ts"], object_index=d["i"]),
+                             tsr=tuple(d["tsr"]),
+                             register_id=_register(d)),
+    "WriteAck": lambda d: WriteAck(ts=d["ts"], object_index=d["i"],
+                                   register_id=_register(d)),
     "ReadRequest": lambda d: ReadRequest(round_index=d["k"], tsr=d["tsr"],
                                          reader_index=d["j"],
-                                         from_ts=d["from_ts"]),
+                                         from_ts=d["from_ts"],
+                                         register_id=_register(d)),
     "ReadAck": lambda d: ReadAck(round_index=d["k"], tsr=d["tsr"],
                                  object_index=d["i"],
                                  pw=decode_value(d["pw"]),
-                                 w=decode_value(d["w"])),
+                                 w=decode_value(d["w"]),
+                                 register_id=_register(d)),
     "HistoryReadAck": lambda d: HistoryReadAck(
         round_index=d["k"], tsr=d["tsr"], object_index=d["i"],
+        register_id=_register(d),
         history={int(ts): decode_value(entry)
                  for ts, entry in d["h"].items()}),
 }
@@ -124,25 +138,44 @@ def register_codec(message_type: type,
     _DECODERS[message_type.__name__] = decoder
 
 
-def encode_message(message: Any) -> str:
+def _encode_body(message: Any) -> Dict[str, Any]:
     encoder = _ENCODERS.get(type(message))
     if encoder is None:
         raise TransportError(
             f"no codec registered for {type(message).__name__}")
     body = encoder(message)
     body["__kind"] = type(message).__name__
-    return json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return body
+
+
+def _decode_body(body: Dict[str, Any]) -> Any:
+    kind = body.pop("__kind", None)
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise TransportError(f"no codec registered for kind {kind!r}")
+    return decoder(body)
+
+
+def encode_message(message: Any) -> str:
+    return json.dumps(_encode_body(message), separators=(",", ":"),
+                      sort_keys=True)
+
 
 def decode_message(wire: str) -> Any:
     try:
         body = json.loads(wire)
     except json.JSONDecodeError as exc:
         raise TransportError(f"malformed wire message: {exc}") from exc
-    kind = body.pop("__kind", None)
-    decoder = _DECODERS.get(kind)
-    if decoder is None:
-        raise TransportError(f"no codec registered for kind {kind!r}")
-    return decoder(body)
+    return _decode_body(body)
+
+
+# A batch's parts are embedded as plain tagged dicts in the one frame --
+# not as nested JSON strings, which would re-escape every part -- so
+# batching composes with every registered vocabulary at no size penalty.
+_ENCODERS[Batch] = lambda m: {
+    "parts": [_encode_body(part) for part in m.messages]}
+_DECODERS["Batch"] = lambda d: Batch(
+    messages=tuple(_decode_body(part) for part in d["parts"]))
 
 
 # ---------------------------------------------------------------------------
@@ -162,22 +195,26 @@ def _register_extras() -> None:
 
     register_codec(
         AbdStore,
-        lambda m: {"tsval": encode_value(m.tsval), "nonce": m.nonce},
+        lambda m: {"tsval": encode_value(m.tsval), "nonce": m.nonce,
+                   "r": m.register_id},
         lambda d: AbdStore(tsval=decode_value(d["tsval"]),
-                           nonce=d["nonce"]))
+                           nonce=d["nonce"], register_id=_register(d)))
     register_codec(
         AbdStoreAck,
-        lambda m: {"nonce": m.nonce, "ts": m.ts},
-        lambda d: AbdStoreAck(nonce=d["nonce"], ts=d["ts"]))
+        lambda m: {"nonce": m.nonce, "ts": m.ts, "r": m.register_id},
+        lambda d: AbdStoreAck(nonce=d["nonce"], ts=d["ts"],
+                              register_id=_register(d)))
     register_codec(
         AbdQuery,
-        lambda m: {"nonce": m.nonce},
-        lambda d: AbdQuery(nonce=d["nonce"]))
+        lambda m: {"nonce": m.nonce, "r": m.register_id},
+        lambda d: AbdQuery(nonce=d["nonce"], register_id=_register(d)))
     register_codec(
         AbdQueryAck,
-        lambda m: {"nonce": m.nonce, "tsval": encode_value(m.tsval)},
+        lambda m: {"nonce": m.nonce, "tsval": encode_value(m.tsval),
+                   "r": m.register_id},
         lambda d: AbdQueryAck(nonce=d["nonce"],
-                              tsval=decode_value(d["tsval"])))
+                              tsval=decode_value(d["tsval"]),
+                              register_id=_register(d)))
 
     def encode_signed(signed):
         if signed is None:
@@ -195,33 +232,40 @@ def _register_extras() -> None:
 
     register_codec(
         AuthStore,
-        lambda m: {"signed": encode_signed(m.signed), "nonce": m.nonce},
+        lambda m: {"signed": encode_signed(m.signed), "nonce": m.nonce,
+                   "r": m.register_id},
         lambda d: AuthStore(signed=decode_signed(d["signed"]),
-                            nonce=d["nonce"]))
+                            nonce=d["nonce"], register_id=_register(d)))
     register_codec(
         AuthStoreAck,
-        lambda m: {"nonce": m.nonce},
-        lambda d: AuthStoreAck(nonce=d["nonce"]))
+        lambda m: {"nonce": m.nonce, "r": m.register_id},
+        lambda d: AuthStoreAck(nonce=d["nonce"],
+                               register_id=_register(d)))
     register_codec(
         AuthQuery,
-        lambda m: {"nonce": m.nonce},
-        lambda d: AuthQuery(nonce=d["nonce"]))
+        lambda m: {"nonce": m.nonce, "r": m.register_id},
+        lambda d: AuthQuery(nonce=d["nonce"], register_id=_register(d)))
     register_codec(
         AuthQueryAck,
-        lambda m: {"nonce": m.nonce, "signed": encode_signed(m.signed)},
+        lambda m: {"nonce": m.nonce, "signed": encode_signed(m.signed),
+                   "r": m.register_id},
         lambda d: AuthQueryAck(nonce=d["nonce"],
-                               signed=decode_signed(d["signed"])))
+                               signed=decode_signed(d["signed"]),
+                               register_id=_register(d)))
 
     register_codec(
         WriteBack,
         lambda m: {"c": encode_value(m.c), "nonce": m.nonce,
-                   "j": m.reader_index},
+                   "j": m.reader_index, "r": m.register_id},
         lambda d: WriteBack(c=decode_value(d["c"]), nonce=d["nonce"],
-                            reader_index=d["j"]))
+                            reader_index=d["j"],
+                            register_id=_register(d)))
     register_codec(
         WriteBackAck,
-        lambda m: {"nonce": m.nonce, "i": m.object_index},
-        lambda d: WriteBackAck(nonce=d["nonce"], object_index=d["i"]))
+        lambda m: {"nonce": m.nonce, "i": m.object_index,
+                   "r": m.register_id},
+        lambda d: WriteBackAck(nonce=d["nonce"], object_index=d["i"],
+                               register_id=_register(d)))
 
 
 _register_extras()

@@ -1,18 +1,61 @@
-"""Asyncio hosts: run object automata and client operations as tasks."""
+"""Asyncio hosts: run object automata and client operations as tasks.
+
+Two client-side shapes exist:
+
+* :class:`ClientHost` -- the classic one-operation-at-a-time pump; simple
+  and sufficient when a client only ever has one operation in flight.
+* :class:`MuxClientHost` -- the multiplexing pump of the service tier: one
+  process (one inbox, one task) drives *many* concurrent operations, one
+  per register, routing replies by their ``register_id`` and coalescing
+  same-step messages to the same object into :class:`~repro.messages.
+  Batch` envelopes.  This is what lets one replica set serve thousands of
+  registers without per-register hosts or tasks.
+"""
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Optional
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..automata.base import ClientOperation, ObjectAutomaton
+from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
 from ..errors import TransportError
+from ..messages import Batch, Message, register_of, unbatch
 from ..types import ProcessId, obj
 from .memnet import AsyncNetwork
 
 
+def coalesce_outgoing(outgoing: Outgoing) -> Outgoing:
+    """Group same-step messages per receiver into single Batch envelopes.
+
+    Singleton groups stay unwrapped; order within a batch is send order,
+    so receivers observe exactly the unbatched semantics.
+    """
+    grouped: Dict[ProcessId, List[Any]] = defaultdict(list)
+    order: List[ProcessId] = []
+    for receiver, payload in outgoing:
+        if receiver not in grouped:
+            order.append(receiver)
+        grouped[receiver].append(payload)
+    result: Outgoing = []
+    for receiver in order:
+        payloads = grouped[receiver]
+        if len(payloads) == 1:
+            result.append((receiver, payloads[0]))
+        elif all(isinstance(p, Message) for p in payloads):
+            result.append((receiver, Batch(messages=tuple(payloads))))
+        else:  # raw probe payloads cannot ride in a Batch
+            result.extend((receiver, p) for p in payloads)
+    return result
+
+
 class ObjectHost:
-    """Runs one :class:`ObjectAutomaton` as an asyncio task."""
+    """Runs one :class:`ObjectAutomaton` as an asyncio task.
+
+    Batched envelopes are unwrapped, processed back to back, and the
+    replies re-coalesced per destination -- N same-round requests from a
+    multiplexed client come back as one ack envelope.
+    """
 
     def __init__(self, automaton: ObjectAutomaton, network: AsyncNetwork):
         self.automaton = automaton
@@ -29,9 +72,11 @@ class ObjectHost:
         inbox = self.network.inbox(self.pid)
         while True:
             envelope = await inbox.get()
-            replies = self.automaton.on_message(envelope.sender,
-                                                envelope.payload)
-            for receiver, payload in replies or []:
+            replies: Outgoing = []
+            for part in unbatch(envelope.payload):
+                replies.extend(
+                    self.automaton.on_message(envelope.sender, part) or [])
+            for receiver, payload in coalesce_outgoing(replies):
                 self.network.send(self.pid, receiver, payload)
 
     def stop(self) -> None:
@@ -41,7 +86,7 @@ class ObjectHost:
 
 
 class ClientHost:
-    """Drives client operations for one client process."""
+    """Drives client operations for one client process, one at a time."""
 
     def __init__(self, pid: ProcessId, network: AsyncNetwork):
         if not pid.is_client:
@@ -64,10 +109,10 @@ class ClientHost:
         async def pump() -> Any:
             while not operation.done:
                 envelope = await inbox.get()
-                outgoing = operation.on_message(envelope.sender,
-                                                envelope.payload)
-                for receiver, payload in outgoing or []:
-                    self.network.send(self.pid, receiver, payload)
+                for part in unbatch(envelope.payload):
+                    outgoing = operation.on_message(envelope.sender, part)
+                    for receiver, payload in outgoing or []:
+                        self.network.send(self.pid, receiver, payload)
             return operation.result
 
         if operation.done:  # zero-communication completion
@@ -75,3 +120,174 @@ class ClientHost:
         if timeout is None:
             return await pump()
         return await asyncio.wait_for(pump(), timeout)
+
+
+class MuxClientHost:
+    """One client process driving concurrent per-register operations.
+
+    A single pump task routes every inbound message to the pending
+    operation of the register it addresses; operations on distinct
+    registers therefore proceed concurrently over one inbox, one socket
+    set, one process identity.  Outgoing message batches are coalesced
+    per destination object.
+    """
+
+    def __init__(self, pid: ProcessId, network: AsyncNetwork,
+                 batching: bool = True):
+        if not pid.is_client:
+            raise TransportError(f"{pid!r} is not a client process")
+        self.pid = pid
+        self.network = network
+        self.batching = batching
+        network.register(pid)
+        self._pending: Dict[str, ClientOperation] = {}
+        self._waiters: Dict[str, "asyncio.Future[Any]"] = {}
+        self._pump_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_pump(self) -> None:
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump())
+
+    def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            self._pump_task = None
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch(self, outgoing: Outgoing) -> None:
+        if self.batching:
+            outgoing = coalesce_outgoing(outgoing)
+        for receiver, payload in outgoing:
+            self.network.send(self.pid, receiver, payload)
+
+    def _admit(self, operation: ClientOperation) -> "asyncio.Future[Any]":
+        if operation.client_id != self.pid:
+            raise TransportError(
+                f"operation belongs to {operation.client_id!r}, "
+                f"host is {self.pid!r}")
+        register_id = operation.register_id
+        existing = self._pending.get(register_id)
+        if existing is not None and not existing.done:
+            raise TransportError(
+                f"client {self.pid!r} already has an operation in flight "
+                f"on register {register_id!r}")
+        self._pending[register_id] = operation
+        future: "asyncio.Future[Any]" = \
+            asyncio.get_running_loop().create_future()
+        self._waiters[register_id] = future
+        return future
+
+    def _settle(self, register_id: str, operation: ClientOperation) -> None:
+        self._pending.pop(register_id, None)
+        future = self._waiters.pop(register_id, None)
+        if future is not None and not future.done():
+            future.set_result(operation.result)
+
+    def _evict(self, operation: ClientOperation,
+               error: Optional[BaseException] = None) -> None:
+        """Withdraw an operation; fail its waiter if one is blocked."""
+        register_id = operation.register_id
+        if self._pending.get(register_id) is operation:
+            self._pending.pop(register_id, None)
+            future = self._waiters.pop(register_id, None)
+            if future is not None and not future.done() and error is not None:
+                future.set_exception(error)
+
+    async def _pump(self) -> None:
+        inbox = self.network.inbox(self.pid)
+        while True:
+            envelope = await inbox.get()
+            # Aggregate the whole envelope's outgoing before dispatching:
+            # a batched ack (N registers' round-1 replies from one object)
+            # then yields N coalesced round-2 broadcasts -- S envelopes,
+            # not N x S.
+            outgoing: Outgoing = []
+            settled: List[Tuple[str, ClientOperation]] = []
+            for part in unbatch(envelope.payload):
+                register_id = register_of(part)
+                operation = self._pending.get(register_id)
+                if operation is None or operation.done:
+                    continue  # stale traffic for a finished operation
+                try:
+                    outgoing.extend(
+                        operation.on_message(envelope.sender, part) or [])
+                except Exception as exc:
+                    # A broken operation must not kill the pump (it serves
+                    # every other register) nor hang its caller: fail its
+                    # waiter and drop it.
+                    self._evict(operation, exc)
+                    continue
+                if operation.done:
+                    settled.append((register_id, operation))
+            try:
+                self._dispatch(outgoing)
+            except Exception as exc:
+                # Undeliverable sends lose messages for an unknowable subset
+                # of operations; failing every blocked waiter beats hanging.
+                for operation in list(self._pending.values()):
+                    self._evict(operation, exc)
+            for register_id, operation in settled:
+                self._settle(register_id, operation)
+
+    # -- operations ----------------------------------------------------------
+    async def run(self, operation: ClientOperation,
+                  timeout: Optional[float] = None) -> Any:
+        """Run one operation; concurrent calls must target distinct registers."""
+        self._ensure_pump()
+        future = self._admit(operation)
+        self._dispatch(operation.start() or [])
+        if operation.done:  # zero-communication completion
+            self._settle(operation.register_id, operation)
+            return operation.result
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            # On timeout *or* caller cancellation the operation must be
+            # withdrawn, or its register would refuse work forever.
+            if not operation.done:
+                self._pending.pop(operation.register_id, None)
+                self._waiters.pop(operation.register_id, None)
+
+    async def run_many(self, operations: Iterable[ClientOperation],
+                       timeout: Optional[float] = None) -> List[Any]:
+        """Run a batch of same-client operations, one per register.
+
+        All first-round messages are coalesced before anything is sent:
+        with R registers writing to S objects this produces S envelopes
+        instead of R x S -- the service tier's write batching.
+        """
+        operations = list(operations)
+        self._ensure_pump()
+        futures = []
+        try:
+            for operation in operations:
+                futures.append(self._admit(operation))
+        except Exception:
+            # Roll back every operation this call admitted: their start()
+            # never ran, so leaving them pending would brick the registers.
+            for operation, future in zip(operations, futures):
+                self._pending.pop(operation.register_id, None)
+                self._waiters.pop(operation.register_id, None)
+                future.cancel()
+            raise
+        first_round: Outgoing = []
+        for operation in operations:
+            first_round.extend(operation.start() or [])
+        self._dispatch(first_round)
+        for operation in operations:
+            if operation.done:
+                self._settle(operation.register_id, operation)
+        gathered = asyncio.gather(*futures)
+        try:
+            if timeout is None:
+                return await gathered
+            return await asyncio.wait_for(gathered, timeout)
+        finally:
+            for operation in operations:
+                if not operation.done:
+                    self._pending.pop(operation.register_id, None)
+                    self._waiters.pop(operation.register_id, None)

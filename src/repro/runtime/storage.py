@@ -22,7 +22,7 @@ from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
 from ..errors import TransportError
 from ..protocols import StorageProtocol
-from ..types import ProcessId, WRITER, obj, reader
+from ..types import DEFAULT_REGISTER, ProcessId, WRITER, obj, reader
 from .hosts import ClientHost, ObjectHost
 from .memnet import AsyncNetwork
 
@@ -42,9 +42,10 @@ class AsyncStorage:
             ObjectHost(automaton, self.network)
             for automaton in protocol.make_objects(config)
         ]
-        self.writer_state = protocol.make_writer_state(config)
+        self._states = protocol.client_states(config)
+        self.writer_state = self._states.writer()
         self.reader_states = [
-            protocol.make_reader_state(config, j)
+            self._states.reader(reader_index=j)
             for j in range(config.num_readers)
         ]
         self._writer_host = ClientHost(WRITER, self.network)
@@ -90,20 +91,23 @@ class AsyncStorage:
         return self._client_locks.setdefault(pid, asyncio.Lock())
 
     async def write(self, value: Any,
-                    timeout: Optional[float] = None) -> Any:
+                    timeout: Optional[float] = None,
+                    register_id: str = DEFAULT_REGISTER) -> Any:
         if not self._started:
             raise TransportError("storage not started; use 'async with'")
-        operation = self.protocol.make_write(self.writer_state, value)
+        operation = self.protocol.make_write_to(
+            self._states.writer(register_id), value, register_id)
         async with self._lock(WRITER):
             return await self._writer_host.run(
                 operation, timeout or self.default_timeout)
 
     async def read(self, reader_index: int = 0,
-                   timeout: Optional[float] = None) -> Any:
+                   timeout: Optional[float] = None,
+                   register_id: str = DEFAULT_REGISTER) -> Any:
         if not self._started:
             raise TransportError("storage not started; use 'async with'")
-        operation = self.protocol.make_read(
-            self.reader_states[reader_index])
+        operation = self.protocol.make_read_from(
+            self._states.reader(register_id, reader_index), register_id)
         async with self._lock(reader(reader_index)):
             return await self._reader_hosts[reader_index].run(
                 operation, timeout or self.default_timeout)

@@ -17,10 +17,12 @@ import asyncio
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..automata.base import ClientOperation, ObjectAutomaton
+from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
 from ..errors import TransportError
+from ..messages import register_of, unbatch
 from ..types import ProcessId
 from .codec import decode_message, encode_message
+from .hosts import coalesce_outgoing
 
 
 def _encode_pid(pid: ProcessId) -> Dict[str, Any]:
@@ -78,8 +80,11 @@ class TcpObjectServer:
                 if not line:
                     break
                 sender, message = _parse(line)
-                replies = self.automaton.on_message(sender, message)
-                for receiver, payload in replies or []:
+                replies: Outgoing = []
+                for part in unbatch(message):
+                    replies.extend(
+                        self.automaton.on_message(sender, part) or [])
+                for receiver, payload in coalesce_outgoing(replies):
                     # Objects reply only to the requesting client; replies
                     # addressed elsewhere cannot be routed on this socket.
                     if receiver == sender:
@@ -150,13 +155,53 @@ class TcpStorageClient:
         async def pump() -> Any:
             while not operation.done:
                 sender, message = await self._inbox.get()
-                for receiver, payload in (
-                        operation.on_message(sender, message) or []):
-                    await self._send(receiver, payload)
+                for part in unbatch(message):
+                    for receiver, payload in (
+                            operation.on_message(sender, part) or []):
+                        await self._send(receiver, payload)
             return operation.result
 
         if operation.done:
             return operation.result
+        if timeout is None:
+            return await pump()
+        return await asyncio.wait_for(pump(), timeout)
+
+    async def run_many(self, operations: List[ClientOperation],
+                       timeout: Optional[float] = 30.0) -> List[Any]:
+        """Run same-client operations concurrently, one per register.
+
+        First-round messages are coalesced per object into single batch
+        frames; inbound frames are routed to the operation of the register
+        they address, so R registers share this client's connections.
+        """
+        by_register: Dict[str, ClientOperation] = {}
+        for operation in operations:
+            if operation.register_id in by_register:
+                raise TransportError(
+                    f"two operations address register "
+                    f"{operation.register_id!r}")
+            by_register[operation.register_id] = operation
+        first_round: Outgoing = []
+        for operation in operations:
+            first_round.extend(operation.start() or [])
+        for receiver, payload in coalesce_outgoing(first_round):
+            await self._send(receiver, payload)
+
+        async def pump() -> List[Any]:
+            while not all(op.done for op in by_register.values()):
+                sender, message = await self._inbox.get()
+                for part in unbatch(message):
+                    operation = by_register.get(register_of(part))
+                    if operation is None or operation.done:
+                        continue
+                    outgoing = operation.on_message(sender, part) or []
+                    for receiver, payload in coalesce_outgoing(outgoing):
+                        await self._send(receiver, payload)
+            return [op.result for op in operations]
+
+        if all(op.done for op in operations):
+            return [op.result for op in operations]
         if timeout is None:
             return await pump()
         return await asyncio.wait_for(pump(), timeout)

@@ -1,0 +1,25 @@
+"""Service tier: production-shaped storage on top of the protocol library.
+
+The paper's protocols emulate *one* SWMR register on ``S`` base objects.
+This package turns that into a serving layer:
+
+* :class:`MultiRegisterStore` -- one replica set multiplexing arbitrarily
+  many registers (register-addressed messages end-to-end, per-register
+  slots in the object automata, batched client rounds);
+* :class:`ShardedKVStore` -- a key-value facade consistent-hashing keys
+  across several shard groups, each its own replica set;
+* :class:`HashRing` -- the stable key -> shard placement.
+
+See ``examples/replicated_kv_store.py`` for the end-to-end demo and
+``benchmarks/bench_service.py`` for the multiplexing throughput numbers.
+"""
+
+from .hashing import HashRing
+from .sharded import ShardedKVStore
+from .store import MultiRegisterStore
+
+__all__ = [
+    "HashRing",
+    "MultiRegisterStore",
+    "ShardedKVStore",
+]

@@ -1,0 +1,54 @@
+"""Consistent hashing: stable key -> shard placement.
+
+A classic hash ring with virtual nodes.  Each shard owns ``vnodes``
+pseudo-random positions on a 160-bit circle; a key belongs to the shard
+of the first virtual node at or after the key's own position.  Virtual
+nodes smooth the load imbalance of small rings, and consistency means
+that adding or removing one shard only moves the keys adjacent to its
+virtual nodes -- the property a future reconfiguration PR will rely on.
+
+Hashes come from SHA-1 (stability matters, cryptographic strength does
+not): Python's builtin ``hash`` is randomized per process and would send
+the same key to different shards on every run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+
+def _position(label: str) -> int:
+    return int.from_bytes(hashlib.sha1(label.encode("utf-8")).digest(),
+                          "big")
+
+
+class HashRing:
+    """Maps string keys onto ``num_shards`` shards, consistently."""
+
+    def __init__(self, num_shards: int, vnodes: int = 64):
+        if num_shards < 1:
+            raise ValueError("at least one shard is required")
+        if vnodes < 1:
+            raise ValueError("at least one virtual node per shard")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for v in range(vnodes):
+                points.append((_position(f"shard:{shard}:vnode:{v}"), shard))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its hash)."""
+        index = bisect.bisect_right(self._positions, _position(key))
+        if index == len(self._positions):
+            index = 0  # wrap around the circle
+        return self._shards[index]
+
+    def __repr__(self) -> str:
+        return (f"HashRing({self.num_shards} shards x "
+                f"{self.vnodes} vnodes)")

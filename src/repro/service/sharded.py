@@ -1,0 +1,131 @@
+"""A sharded Byzantine-tolerant key-value service.
+
+:class:`ShardedKVStore` consistent-hashes keys across ``num_shards``
+shard groups, each one an independent :class:`~repro.service.store.
+MultiRegisterStore` (its own replica set, its own fault budget ``t``/``b``).
+Keys are SWMR regular registers; the API speaks dictionary (``put``/
+``get``, ``None`` for missing keys) and maps straight onto register
+writes and reads underneath.
+
+Capacity therefore scales two ways at once:
+
+* *vertically* -- each shard multiplexes arbitrarily many keys over its
+  fixed replica set (no per-key tasks);
+* *horizontally* -- adding shard groups divides the keyspace, and the
+  consistent ring keeps almost all keys in place when the shard count
+  changes (reconfiguration is a roadmap follow-on).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..automata.base import ObjectAutomaton
+from ..config import SystemConfig
+from ..protocols import StorageProtocol
+from ..types import BOTTOM, _Bottom
+from .hashing import HashRing
+from .store import MultiRegisterStore
+
+
+class ShardedKVStore:
+    """Consistent-hash sharding over multiplexed replica sets."""
+
+    def __init__(self, protocol_factory: Callable[[], StorageProtocol],
+                 config: SystemConfig, num_shards: int = 2,
+                 jitter: float = 0.0, seed: int = 0, vnodes: int = 64,
+                 default_timeout: Optional[float] = 30.0,
+                 batching: bool = True):
+        """``protocol_factory`` builds one protocol instance per shard so
+        shard groups share no mutable protocol state (e.g. signer keys)."""
+        self.config = config
+        self.ring = HashRing(num_shards, vnodes=vnodes)
+        self.shards: List[MultiRegisterStore] = [
+            MultiRegisterStore(protocol_factory(), config,
+                               jitter=jitter, seed=seed + shard,
+                               default_timeout=default_timeout,
+                               batching=batching)
+            for shard in range(num_shards)
+        ]
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "ShardedKVStore":
+        if not self._started:
+            for shard in self.shards:
+                await shard.start()
+            self._started = True
+        return self
+
+    async def stop(self) -> None:
+        for shard in self.shards:
+            await shard.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "ShardedKVStore":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- placement -----------------------------------------------------------
+    def shard_for(self, key: str) -> int:
+        return self.ring.shard_for(key)
+
+    def store_for(self, key: str) -> MultiRegisterStore:
+        return self.shards[self.shard_for(key)]
+
+    # -- KV API -------------------------------------------------------------
+    async def put(self, key: str, value: Any,
+                  timeout: Optional[float] = None) -> None:
+        await self.store_for(key).write(key, value, timeout=timeout)
+
+    async def get(self, key: str, reader_index: int = 0,
+                  timeout: Optional[float] = None) -> Optional[Any]:
+        value = await self.store_for(key).read(key, reader_index=reader_index,
+                                               timeout=timeout)
+        return None if isinstance(value, _Bottom) else value
+
+    async def put_many(self, items: Mapping[str, Any],
+                       timeout: Optional[float] = None) -> None:
+        """Batch-write: one coalesced round per shard group."""
+        by_shard: Dict[int, Dict[str, Any]] = {}
+        for key, value in items.items():
+            by_shard.setdefault(self.shard_for(key), {})[key] = value
+        await asyncio.gather(*(
+            self.shards[shard].write_many(chunk, timeout=timeout)
+            for shard, chunk in by_shard.items()
+        ))
+
+    async def get_many(self, keys: Iterable[str], reader_index: int = 0,
+                       timeout: Optional[float] = None
+                       ) -> Dict[str, Optional[Any]]:
+        by_shard: Dict[int, List[str]] = {}
+        for key in dict.fromkeys(keys):  # dedupe, keep caller order
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        chunks = await asyncio.gather(*(
+            self.shards[shard].read_many(chunk, reader_index=reader_index,
+                                         timeout=timeout)
+            for shard, chunk in by_shard.items()
+        ))
+        merged: Dict[str, Optional[Any]] = {}
+        for chunk in chunks:
+            for key, value in chunk.items():
+                merged[key] = None if isinstance(value, _Bottom) else value
+        return merged
+
+    # -- faults ------------------------------------------------------------
+    def compromise_replica(self, key: str, index: int,
+                           automaton: ObjectAutomaton) -> None:
+        """Turn one replica of the shard holding ``key`` Byzantine."""
+        self.store_for(key).make_byzantine(index, automaton)
+
+    def crash_replica(self, key: str, index: int) -> None:
+        self.store_for(key).crash_object(index)
+
+    # -- observability -----------------------------------------------------
+    def describe(self) -> str:
+        keys = sum(len(shard.registers()) for shard in self.shards)
+        return (f"ShardedKVStore({len(self.shards)} shard groups x "
+                f"[{self.config.describe()}]; {keys} keys; {self.ring!r})")

@@ -1,0 +1,165 @@
+"""One replica set, many registers: the multiplexed asyncio store.
+
+:class:`MultiRegisterStore` is the paper's deployment done right at
+scale: a *fixed* set of ``S`` commodity base objects (one
+:class:`~repro.runtime.hosts.ObjectHost` task each) serves arbitrarily
+many SWMR registers.  Contrast with one :class:`~repro.runtime.storage.
+AsyncStorage` per key, which spawns ``S`` object tasks, ``S`` queues and
+a client host *per register* -- at 10k keys that is 40k+ asyncio tasks
+doing the work these same ``S`` tasks do here.
+
+Per-register protocol state lives in the object automata's register
+slots (server side) and in lazily created writer/reader states (client
+side).  Client processes are multiplexed too: one
+:class:`~repro.runtime.hosts.MuxClientHost` per process drives one
+operation per register concurrently and coalesces same-step messages to
+the same object into single :class:`~repro.messages.Batch` envelopes --
+the service tier's write batching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..automata.base import ObjectAutomaton
+from ..config import SystemConfig
+from ..errors import TransportError
+from ..protocols import StorageProtocol
+from ..runtime.hosts import MuxClientHost, ObjectHost
+from ..runtime.memnet import AsyncNetwork
+from ..types import WRITER, obj, reader
+
+
+class MultiRegisterStore:
+    """Many SWMR registers multiplexed over one replica set (asyncio)."""
+
+    def __init__(self, protocol: StorageProtocol, config: SystemConfig,
+                 jitter: float = 0.0, seed: int = 0,
+                 default_timeout: Optional[float] = 30.0,
+                 batching: bool = True):
+        protocol.validate_config(config)
+        self.protocol = protocol
+        self.config = config
+        self.network = AsyncNetwork(jitter=jitter, seed=seed)
+        self.default_timeout = default_timeout
+        self._object_hosts: List[ObjectHost] = [
+            ObjectHost(automaton, self.network)
+            for automaton in protocol.make_objects(config)
+        ]
+        self._states = protocol.client_states(config)
+        self._writer_host = MuxClientHost(WRITER, self.network,
+                                          batching=batching)
+        self._reader_hosts = [
+            MuxClientHost(reader(j), self.network, batching=batching)
+            for j in range(config.num_readers)
+        ]
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "MultiRegisterStore":
+        if not self._started:
+            for host in self._object_hosts:
+                host.start()
+            self._started = True
+        return self
+
+    async def stop(self) -> None:
+        for host in self._object_hosts:
+            host.stop()
+        self._writer_host.stop()
+        for host in self._reader_hosts:
+            host.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "MultiRegisterStore":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise TransportError("store not started; use 'async with'")
+
+    # -- per-register client states ------------------------------------------
+    def registers(self) -> List[str]:
+        """Register ids written or read so far through this store."""
+        return self._states.registers()
+
+    # -- single operations ----------------------------------------------------
+    async def write(self, register_id: str, value: Any,
+                    timeout: Optional[float] = None) -> Any:
+        self._require_started()
+        operation = self.protocol.make_write_to(
+            self._states.writer(register_id), value, register_id)
+        return await self._writer_host.run(
+            operation, timeout or self.default_timeout)
+
+    async def read(self, register_id: str, reader_index: int = 0,
+                   timeout: Optional[float] = None) -> Any:
+        self._require_started()
+        operation = self.protocol.make_read_from(
+            self._states.reader(register_id, reader_index), register_id)
+        return await self._reader_hosts[reader_index].run(
+            operation, timeout or self.default_timeout)
+
+    # -- batched operations ----------------------------------------------------
+    async def write_many(self, items: Mapping[str, Any],
+                         timeout: Optional[float] = None) -> Dict[str, Any]:
+        """WRITE a batch of registers concurrently over the one replica set.
+
+        All first-round messages of the batch are coalesced per object:
+        ``len(items)`` registers cost ``S`` envelopes per round instead of
+        ``len(items) * S``.
+        """
+        self._require_started()
+        operations = [
+            self.protocol.make_write_to(
+                self._states.writer(register_id), value, register_id)
+            for register_id, value in items.items()
+        ]
+        results = await self._writer_host.run_many(
+            operations, timeout or self.default_timeout)
+        return dict(zip(items.keys(), results))
+
+    async def read_many(self, register_ids: Iterable[str],
+                        reader_index: int = 0,
+                        timeout: Optional[float] = None) -> Dict[str, Any]:
+        """READ a batch of registers concurrently; returns id -> value."""
+        self._require_started()
+        # Dedupe while preserving order: a repeated id is one read, not a
+        # same-register concurrency violation.
+        register_ids = list(dict.fromkeys(register_ids))
+        operations = [
+            self.protocol.make_read_from(
+                self._states.reader(register_id, reader_index),
+                register_id)
+            for register_id in register_ids
+        ]
+        results = await self._reader_hosts[reader_index].run_many(
+            operations, timeout or self.default_timeout)
+        return dict(zip(register_ids, results))
+
+    # -- faults ------------------------------------------------------------
+    def crash_object(self, index: int) -> None:
+        """Crash one base object for *every* register it serves."""
+        self.network.crash(obj(index))
+        self._object_hosts[index].stop()
+
+    def make_byzantine(self, index: int,
+                       automaton: ObjectAutomaton) -> None:
+        """Replace one replica's automaton (affects all registers at once)."""
+        self._object_hosts[index].stop()
+        host = ObjectHost(automaton, self.network)
+        self._object_hosts[index] = host
+        if self._started:
+            host.start()
+
+    def object_automaton(self, index: int) -> ObjectAutomaton:
+        return self._object_hosts[index].automaton
+
+    # -- observability -----------------------------------------------------
+    def describe(self) -> str:
+        return (f"MultiRegisterStore({self.protocol.describe()}; "
+                f"{self.config.describe()}; "
+                f"{len(self.registers())} registers)")

@@ -29,8 +29,9 @@ from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
 from ..config import SystemConfig
 from ..errors import (PendingOperationError, ProtocolError,
                       SchedulerExhaustedError, SimulationError)
-from ..messages import estimate_size, summarize, Message
-from ..types import ProcessId, obj
+from ..messages import (Batch, estimate_size, register_of, summarize,
+                        unbatch, Message)
+from ..types import DEFAULT_REGISTER, ProcessId, obj
 from . import tracing
 from .delay import DelayModel, ZeroDelay
 from .envelope import Envelope
@@ -93,7 +94,11 @@ class SimKernel:
         self._objects: Dict[ProcessId, ObjectAutomaton] = {}
         self._crashed: Set[ProcessId] = set()
         self._byzantine: Set[ProcessId] = set()
-        self._pending_ops: Dict[ProcessId, OperationHandle] = {}
+        #: pending operations, keyed (client, register): one client may run
+        #: one operation per register concurrently (the multiplexing model),
+        #: which degenerates to the classic one-op-per-client rule when
+        #: everything addresses DEFAULT_REGISTER.
+        self._pending_ops: Dict[ProcessId, Dict[str, OperationHandle]] = {}
         self._completion_callbacks: List[Callable[[OperationHandle], None]] = []
         self._invocation_callbacks: List[Callable[[OperationHandle], None]] = []
 
@@ -188,16 +193,19 @@ class SimKernel:
     def invoke(self, operation: ClientOperation) -> OperationHandle:
         """Invoke an operation on its client; returns a handle."""
         client = operation.client_id
+        register_id = getattr(operation, "register_id", DEFAULT_REGISTER)
         if not client.is_client:
             raise ProtocolError(f"{client!r} is not a client")
         if client in self._crashed:
             raise ProtocolError(f"client {client!r} has crashed")
-        existing = self._pending_ops.get(client)
+        per_register = self._pending_ops.setdefault(client, {})
+        existing = per_register.get(register_id)
         if existing is not None and not existing.done:
             raise PendingOperationError(
-                f"client {client!r} already has {existing!r} in progress")
+                f"client {client!r} already has {existing!r} in progress "
+                f"on register {register_id!r}")
         handle = OperationHandle(operation, invoked_at=self.now)
-        self._pending_ops[client] = handle
+        per_register[register_id] = handle
         self.trace.append(time=self.now, kind=tracing.INVOKE, process=client,
                           operation_id=operation.operation_id,
                           detail=operation.describe())
@@ -207,11 +215,18 @@ class SimKernel:
         self._check_completion(client, handle)
         return handle
 
-    def pending_operation(self, client: ProcessId) -> Optional[OperationHandle]:
-        handle = self._pending_ops.get(client)
+    def pending_operation(self, client: ProcessId,
+                          register_id: str = DEFAULT_REGISTER
+                          ) -> Optional[OperationHandle]:
+        handle = self._pending_ops.get(client, {}).get(register_id)
         if handle is not None and not handle.done:
             return handle
         return None
+
+    def pending_operations(self, client: ProcessId) -> List[OperationHandle]:
+        """All in-flight operations of one client, across registers."""
+        return [handle for handle in self._pending_ops.get(client, {}).values()
+                if not handle.done]
 
     # ------------------------------------------------------------------
     # execution
@@ -345,19 +360,28 @@ class SimKernel:
             automaton = self._objects.get(receiver)
             if automaton is None:
                 raise SimulationError(f"no automaton for {receiver!r}")
-            replies = automaton.on_message(envelope.sender, envelope.payload)
-            for reply_receiver, payload in replies or []:
-                self._submit(receiver, reply_receiver, payload)
+            # A batched envelope is one delivery step whose parts are
+            # processed back to back (schedulers can emulate batches by
+            # back-to-back deliveries; a Batch makes it one atomic step).
+            for part in unbatch(envelope.payload):
+                replies = automaton.on_message(envelope.sender, part)
+                for reply_receiver, payload in replies or []:
+                    self._submit(receiver, reply_receiver, payload)
             return
-        # Client delivery: route to the pending operation, if any; clients
-        # with no pending operation simply ignore stale traffic.
-        handle = self._pending_ops.get(receiver)
-        if handle is None or handle.done:
+        # Client delivery: route each part to the pending operation of the
+        # register it addresses; clients with no pending operation on that
+        # register simply ignore stale traffic.
+        per_register = self._pending_ops.get(receiver)
+        if per_register is None:
             return
-        operation = handle.operation
-        outgoing = operation.on_message(envelope.sender, envelope.payload)
-        self._dispatch_outgoing(operation, outgoing or [])
-        self._check_completion(receiver, handle)
+        for part in unbatch(envelope.payload):
+            handle = per_register.get(register_of(part))
+            if handle is None or handle.done:
+                continue
+            operation = handle.operation
+            outgoing = operation.on_message(envelope.sender, part)
+            self._dispatch_outgoing(operation, outgoing or [])
+            self._check_completion(receiver, handle)
 
     def _check_completion(self, client: ProcessId,
                           handle: OperationHandle) -> None:
@@ -370,6 +394,12 @@ class SimKernel:
                                   f"{handle.operation.result!r}"))
         for callback in self._completion_callbacks:
             callback(handle)
+        # The completed handle intentionally stays in its slot until the
+        # next operation on that (client, register) replaces it: schedule
+        # exploration fingerprints pending-op internals, and the last
+        # completed operation's state is what distinguishes terminal
+        # states of different delivery orders.  Retention is O(registers),
+        # the same order as the per-register client states themselves.
 
     # ------------------------------------------------------------------
     # metrics

@@ -78,10 +78,11 @@ def _fingerprint(system: "StorageSystem") -> bytes:
         for pid, automaton in kernel._objects.items()
     )
     operations = sorted(
-        (repr(client), pickle.dumps(
+        (repr(client), register_id, pickle.dumps(
             {k: v for k, v in handle.operation.__dict__.items()
              if k not in ("operation_id",)}, protocol=4))
-        for client, handle in kernel._pending_ops.items()
+        for client, per_register in kernel._pending_ops.items()
+        for register_id, handle in per_register.items()
     )
     in_transit = sorted(
         (repr(env.sender), repr(env.receiver),

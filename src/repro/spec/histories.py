@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..types import BOTTOM, ProcessId
+from ..types import BOTTOM, DEFAULT_REGISTER, ProcessId
 
 READ = "READ"
 WRITE = "WRITE"
@@ -39,6 +39,7 @@ class OperationRecord:
     completed_at: Optional[float] = None
     rounds_used: int = 0
     write_index: Optional[int] = None  # k for the k-th WRITE (1-based)
+    register: str = DEFAULT_REGISTER   # the register the op addressed
 
     @property
     def complete(self) -> bool:
@@ -55,10 +56,12 @@ class OperationRecord:
     def describe(self) -> str:
         span = (f"[{self.invoked_seq}..{self.completed_seq}]"
                 if self.complete else f"[{self.invoked_seq}..pending]")
+        tag = "" if self.register == DEFAULT_REGISTER else \
+            f"@{self.register} "
         if self.kind == WRITE:
-            return (f"WRITE#{self.operation_id}({self.argument!r}) "
+            return (f"WRITE#{self.operation_id}({self.argument!r}) {tag}"
                     f"k={self.write_index} {span}")
-        return f"READ#{self.operation_id} -> {self.result!r} {span}"
+        return f"READ#{self.operation_id} {tag}-> {self.result!r} {span}"
 
 
 class History:
@@ -73,6 +76,7 @@ class History:
                           kind: str, argument: Any = None,
                           at: float = 0.0,
                           write_index: Optional[int] = None,
+                          register: str = DEFAULT_REGISTER,
                           ) -> OperationRecord:
         if operation_id in self._records:
             raise ValueError(f"operation {operation_id} invoked twice")
@@ -84,6 +88,7 @@ class History:
             invoked_at=at,
             argument=argument,
             write_index=write_index,
+            register=register,
         )
         self._records[operation_id] = record
         return record
@@ -140,6 +145,26 @@ class History:
     def concurrent_writes(self, read: OperationRecord
                           ) -> List[OperationRecord]:
         return [w for w in self.writes() if w.concurrent_with(read)]
+
+    # -- per-register views -------------------------------------------------
+    def registers(self) -> List[str]:
+        """All register ids operations in this history addressed."""
+        return sorted({r.register for r in self._records.values()})
+
+    def for_register(self, register: str) -> "History":
+        """The sub-history of operations addressing one register.
+
+        Event sequence numbers and write indices are preserved (they are
+        globally unique), so precedence within the sub-history is exactly
+        precedence in the full history restricted to that register --
+        which is what per-register safety/regularity/atomicity quantify
+        over when many registers share a replica set.
+        """
+        sub = History()
+        sub._records = {op_id: record
+                        for op_id, record in self._records.items()
+                        if record.register == register}
+        return sub
 
     def render(self) -> str:
         return "\n".join(record.describe() for record in self.operations())

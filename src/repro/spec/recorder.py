@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.kernel import OperationHandle, SimKernel
+from ..types import DEFAULT_REGISTER
 from .histories import History, READ, WRITE
 
 
@@ -44,6 +45,7 @@ class HistoryRecorder:
             argument=argument,
             at=handle.invoked_at,
             write_index=write_index,
+            register=getattr(operation, "register_id", DEFAULT_REGISTER),
         )
 
     def _on_complete(self, handle: OperationHandle) -> None:

@@ -14,6 +14,12 @@ entry point for the sequential use-cases::
 and it also exposes the non-blocking ``invoke_*`` variants plus the raw
 kernel for tests and experiments that need concurrency or adversarial
 scheduling.
+
+Every operation method takes an optional ``register_id``: one replica set
+(one kernel, one set of base objects) multiplexes arbitrarily many SWMR
+registers, each with its own writer/reader client state.  Omitting the id
+addresses :data:`~repro.types.DEFAULT_REGISTER`, which is exactly the
+pre-multiplexing single-register system.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from .sim.delay import DelayModel
 from .sim.kernel import OperationHandle, SimKernel
 from .sim.schedulers import Scheduler
 from .spec import History, HistoryRecorder
-from .types import ProcessId, WRITER, reader
+from .types import DEFAULT_REGISTER, ProcessId, WRITER, reader
 
 
 class StorageSystem:
@@ -46,35 +52,59 @@ class StorageSystem:
                                 trace_capacity=trace_capacity)
         self.objects = protocol.make_objects(config)
         self.kernel.register_objects(self.objects)
-        self.writer_state = protocol.make_writer_state(config)
+        # Per-register client states; the default register's are eagerly
+        # created and exposed under the legacy attribute names.
+        self._states = protocol.client_states(config)
+        self.writer_state = self._states.writer()
         self.reader_states = [
-            protocol.make_reader_state(config, j)
+            self._states.reader(reader_index=j)
             for j in range(config.num_readers)
         ]
         self.recorder = HistoryRecorder().attach(self.kernel)
 
+    # -- per-register client states -----------------------------------------
+    def writer_state_for(self, register_id: str = DEFAULT_REGISTER) -> Any:
+        return self._states.writer(register_id)
+
+    def reader_state_for(self, reader_index: int = 0,
+                         register_id: str = DEFAULT_REGISTER) -> Any:
+        return self._states.reader(register_id, reader_index)
+
+    def registers(self) -> List[str]:
+        """Register ids addressed so far (client-side view)."""
+        return self._states.registers()
+
     # -- blocking convenience API -------------------------------------------
-    def write(self, value: Any) -> OperationHandle:
+    def write(self, value: Any,
+              register_id: str = DEFAULT_REGISTER) -> OperationHandle:
         """WRITE(value), run to completion."""
-        operation = self.protocol.make_write(self.writer_state, value)
+        operation = self.protocol.make_write_to(
+            self.writer_state_for(register_id), value, register_id)
         return self.kernel.run_operation(operation)
 
-    def read(self, reader_index: int = 0) -> Any:
+    def read(self, reader_index: int = 0,
+             register_id: str = DEFAULT_REGISTER) -> Any:
         """READ() by reader ``j``, run to completion; returns the value."""
-        handle = self.read_handle(reader_index)
+        handle = self.read_handle(reader_index, register_id)
         return handle.result
 
-    def read_handle(self, reader_index: int = 0) -> OperationHandle:
-        operation = self.protocol.make_read(self.reader_states[reader_index])
+    def read_handle(self, reader_index: int = 0,
+                    register_id: str = DEFAULT_REGISTER) -> OperationHandle:
+        operation = self.protocol.make_read_from(
+            self.reader_state_for(reader_index, register_id), register_id)
         return self.kernel.run_operation(operation)
 
     # -- non-blocking API (concurrent workloads) -------------------------------
-    def invoke_write(self, value: Any) -> OperationHandle:
-        operation = self.protocol.make_write(self.writer_state, value)
+    def invoke_write(self, value: Any,
+                     register_id: str = DEFAULT_REGISTER) -> OperationHandle:
+        operation = self.protocol.make_write_to(
+            self.writer_state_for(register_id), value, register_id)
         return self.kernel.invoke(operation)
 
-    def invoke_read(self, reader_index: int = 0) -> OperationHandle:
-        operation = self.protocol.make_read(self.reader_states[reader_index])
+    def invoke_read(self, reader_index: int = 0,
+                    register_id: str = DEFAULT_REGISTER) -> OperationHandle:
+        operation = self.protocol.make_read_from(
+            self.reader_state_for(reader_index, register_id), register_id)
         return self.kernel.invoke(operation)
 
     def run_until_done(self, *handles: OperationHandle,

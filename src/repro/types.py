@@ -19,6 +19,7 @@ protocol puts in a message can be mutated after sending.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Tuple
@@ -49,6 +50,11 @@ class _Bottom:
 
 #: The initial value of every emulated register.
 BOTTOM = _Bottom()
+
+#: The register every legacy single-register API addresses.  Multi-register
+#: callers pass explicit ids; everything defaulted keeps behaving exactly as
+#: the pre-multiplexing library did.
+DEFAULT_REGISTER = "r0"
 
 
 # ---------------------------------------------------------------------------
@@ -163,6 +169,21 @@ class TimestampValue:
         if self.ts > 0 and isinstance(self.value, _Bottom):
             raise ValueError("⊥ is not a valid input value for a WRITE")
 
+    def __hash__(self) -> int:
+        # Hot path: candidate sets and history maps hash pairs constantly;
+        # both fields are immutable, so compute once and stash the result.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.ts, self.value))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached hash is process-local (string hashing is seeded) and
+        # must not leak into pickles: state fingerprints compare pickled
+        # bytes, so lazily cached fields would make equal states diverge.
+        return {k: v for k, v in self.__dict__.items() if k != "_hash"}
+
     def __repr__(self) -> str:
         return f"<{self.ts},{self.value!r}>"
 
@@ -183,10 +204,11 @@ class TsrArray:
     copies.
     """
 
-    __slots__ = ("_rows",)
+    __slots__ = ("_rows", "_hash")
 
     def __init__(self, rows: Tuple[Tuple[Optional[int], ...], ...]):
         self._rows = rows
+        self._hash: Optional[int] = None
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -245,7 +267,20 @@ class TsrArray:
         return isinstance(other, TsrArray) and self._rows == other._rows
 
     def __hash__(self) -> int:
-        return hash(self._rows)
+        # Candidate-set bookkeeping hashes the same arrays over and over;
+        # rows are immutable, so the hash is computed once.
+        if self._hash is None:
+            self._hash = hash(self._rows)
+        return self._hash
+
+    def __getstate__(self):
+        # Wrapped in a 1-tuple (a bare empty rows tuple would be falsy and
+        # skip __setstate__); never pickle the process-local hash cache.
+        return (self._rows,)
+
+    def __setstate__(self, state) -> None:
+        (self._rows,) = state
+        self._hash = None
 
     def __repr__(self) -> str:
         populated = sum(
@@ -282,12 +317,29 @@ class WriteTuple:
     def value(self) -> Any:
         return self.tsval.value
 
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.tsval, self.tsrarray))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        return {k: v for k, v in self.__dict__.items() if k != "_hash"}
+
     def __repr__(self) -> str:
         return f"W({self.tsval!r})"
 
 
+@functools.lru_cache(maxsize=None)
 def initial_write_tuple(num_objects: int, num_readers: int) -> WriteTuple:
-    """``w_0 = <<0, ⊥>, inittsrarray>`` -- initial ``w`` field of objects."""
+    """``w_0 = <<0, ⊥>, inittsrarray>`` -- initial ``w`` field of objects.
+
+    Memoized: the tuple is immutable and every register slot of every
+    object starts from it, so multiplexed stores share one instance per
+    system shape (identity-equal values also make candidate-set lookups
+    hit the pointer fast path).
+    """
     return WriteTuple(INITIAL_TSVAL, TsrArray.empty(num_objects, num_readers))
 
 
