@@ -10,14 +10,20 @@ construction, operation rounds, teardown), at 64-1024 keys:
   (4 replicas => 4 tasks + 6 inboxes per key);
 * **multiplexed** -- one :class:`~repro.service.MultiRegisterStore`:
   the same 4 replica tasks serve *all* keys, with batched rounds
-  coalescing same-step messages per object into single envelopes.
+  coalescing same-step messages per object into single envelopes;
+* **multi-writer (contended)** -- the same multiplexed store in MWMR
+  mode: ``W`` writer hosts race on *every* key (tag-discovery round,
+  ``(epoch, writer_id)`` arbitration), measuring what write contention
+  costs on top of the multiplexing win.
 
-Both run the same protocol automata (Section 5.1 cached regular storage)
+All run the same protocol automata (Section 5.1 cached regular storage)
 on the same in-memory asyncio network.  Results go to a JSON file
 (default ``BENCH_service.json``) and the run fails if multiplexing is
-not at least 3x faster at 256 keys.
+not at least 3x faster than per-key at 256 keys.
 
-Run:  python benchmarks/bench_service.py [--full] [--output PATH]
+Run:  python benchmarks/bench_service.py [--full] [--smoke] [--output PATH]
+(``--smoke`` is the CI configuration: 64 keys, fewer repeats, a relaxed
+2x gate -- fast enough for every push, still a real regression tripwire.)
 """
 
 from __future__ import annotations
@@ -37,6 +43,9 @@ from repro.runtime import AsyncStorage
 from repro.service import MultiRegisterStore
 
 CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=1)
+MWMR_WRITERS = 4
+MWMR_CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=1,
+                                   num_writers=MWMR_WRITERS)
 
 
 async def run_per_key_baseline(num_keys: int) -> Dict[str, Any]:
@@ -84,9 +93,35 @@ async def run_multiplexed(num_keys: int) -> Dict[str, Any]:
     }
 
 
+async def run_multi_writer(num_keys: int) -> Dict[str, Any]:
+    """MWMR contention: every writer host writes *every* key, racing."""
+    started = time.perf_counter()
+    keys = [f"key:{n}" for n in range(num_keys)]
+    async with MultiRegisterStore(CachedRegularStorageProtocol(),
+                                  MWMR_CONFIG) as store:
+        await asyncio.gather(*(
+            store.write_many({key: f"w{w}-{key}" for key in keys},
+                             writer_index=w)
+            for w in range(MWMR_WRITERS)
+        ))
+        reads = await store.read_many(keys)
+        messages = store.network.messages_sent
+    elapsed = time.perf_counter() - started
+    prefixes = tuple(f"w{w}-" for w in range(MWMR_WRITERS))
+    assert all(str(reads[key]).startswith(prefixes) for key in keys), \
+        "multi-writer read returned a value no writer wrote"
+    return {
+        "elapsed_s": elapsed,
+        "replica_tasks": MWMR_CONFIG.num_objects,
+        "messages_sent": messages,
+        "writers": MWMR_WRITERS,
+    }
+
+
 def _measure(runner, num_keys: int, repeats: int) -> Dict[str, Any]:
-    """Median-of-N full-lifecycle time (scheduler/GC noise dominates
-    one-shot numbers).
+    """Best-of-N full-lifecycle time (scheduler/GC noise dominates
+    one-shot numbers; the minimum is the standard least-noise estimator
+    -- cf. ``timeit`` -- and is applied symmetrically to every mode).
 
     Timed around ``asyncio.run`` so the event loop's own teardown is
     included -- cancelling a per-key baseline's thousands of replica
@@ -100,31 +135,39 @@ def _measure(runner, num_keys: int, repeats: int) -> Dict[str, Any]:
         row["elapsed_s"] = time.perf_counter() - started
         samples.append(row)
     samples.sort(key=lambda row: row["elapsed_s"])
-    median = samples[len(samples) // 2]
-    median["elapsed_s"] = statistics.median(
-        row["elapsed_s"] for row in samples)
-    median["samples_s"] = [round(row["elapsed_s"], 4) for row in samples]
-    return median
+    best = samples[0]
+    best["median_s"] = round(statistics.median(
+        row["elapsed_s"] for row in samples), 4)
+    best["samples_s"] = [round(row["elapsed_s"], 4) for row in samples]
+    return best
 
 
-def bench(num_keys: int, repeats: int = 5) -> Dict[str, Any]:
+def bench(num_keys: int, repeats: int = 7) -> Dict[str, Any]:
     baseline = _measure(run_per_key_baseline, num_keys, repeats)
     multiplexed = _measure(run_multiplexed, num_keys, repeats)
+    multi_writer = _measure(run_multi_writer, num_keys, repeats)
     operations = 2 * num_keys  # one write + one read per key
     for row in (baseline, multiplexed):
         row["ops"] = operations
         row["ops_per_s"] = operations / row["elapsed_s"]
+    # The contended mode performs W writes + 1 read per key.
+    multi_writer["ops"] = (MWMR_WRITERS + 1) * num_keys
+    multi_writer["ops_per_s"] = multi_writer["ops"] / \
+        multi_writer["elapsed_s"]
     speedup = baseline["elapsed_s"] / multiplexed["elapsed_s"]
     print(f"  {num_keys:>5} keys | per-key {baseline['elapsed_s']:7.3f}s "
           f"({baseline['ops_per_s']:8.0f} op/s, "
           f"{baseline['replica_tasks']:>5} replica tasks) | "
           f"multiplexed {multiplexed['elapsed_s']:7.3f}s "
           f"({multiplexed['ops_per_s']:8.0f} op/s, "
-          f"{multiplexed['replica_tasks']} tasks) | {speedup:5.1f}x")
+          f"{multiplexed['replica_tasks']} tasks) | {speedup:5.1f}x | "
+          f"mwmr x{MWMR_WRITERS} {multi_writer['elapsed_s']:7.3f}s "
+          f"({multi_writer['ops_per_s']:8.0f} op/s)")
     return {
         "num_keys": num_keys,
         "per_key_baseline": baseline,
         "multiplexed": multiplexed,
+        "multi_writer": multi_writer,
         "speedup": speedup,
     }
 
@@ -133,28 +176,43 @@ def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="also run the 1024-key point")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: 64 keys, 2 repeats, "
+                             "2x gate")
     parser.add_argument("--output", default="BENCH_service.json",
                         help="where to write the JSON results")
     args = parser.parse_args(argv)
 
-    sizes = [64, 256, 1024] if args.full else [64, 256]
-    print(f"service-tier benchmark: {CONFIG.describe()}")
-    results = [bench(size) for size in sizes]
+    if args.smoke:
+        sizes, repeats = [64], 2
+        gate_keys, gate = 64, 2.0
+    else:
+        sizes = [64, 256, 1024] if args.full else [64, 256]
+        repeats = 7
+        gate_keys, gate = 256, 3.0
+    print(f"service-tier benchmark: {CONFIG.describe()}"
+          f"{' [smoke]' if args.smoke else ''}")
+    results = [bench(size, repeats=repeats) for size in sizes]
 
-    at_256 = next(r for r in results if r["num_keys"] == 256)
+    gated = next(r for r in results if r["num_keys"] == gate_keys)
     verdict = {
         "config": CONFIG.describe(),
+        "mwmr_config": MWMR_CONFIG.describe(),
         "protocol": "gv-regular-cached",
-        "workload": "write each key once, then read each key once",
+        "workload": "write each key once, then read each key once; "
+                    f"multi_writer: {MWMR_WRITERS} writers race on every "
+                    "key, then read each key once",
+        "smoke": args.smoke,
         "results": results,
-        "claim": "multiplexed >= 3x per-key baseline at 256 keys",
-        "speedup_at_256": at_256["speedup"],
-        "ok": at_256["speedup"] >= 3.0,
+        "claim": f"multiplexed >= {gate}x per-key baseline at "
+                 f"{gate_keys} keys",
+        f"speedup_at_{gate_keys}": gated["speedup"],
+        "ok": gated["speedup"] >= gate,
     }
     with open(args.output, "w") as fh:
         json.dump(verdict, fh, indent=2)
-    print(f"wrote {args.output}; speedup at 256 keys: "
-          f"{at_256['speedup']:.1f}x ({'OK' if verdict['ok'] else 'FAIL'})")
+    print(f"wrote {args.output}; speedup at {gate_keys} keys: "
+          f"{gated['speedup']:.1f}x ({'OK' if verdict['ok'] else 'FAIL'})")
     return 0 if verdict["ok"] else 1
 
 

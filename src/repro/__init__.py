@@ -32,8 +32,8 @@ from .errors import (ConfigurationError, ProtocolError, ReproError,
                      SpecificationViolation)
 from .protocols import ATOMIC, REGULAR, SAFE, StorageProtocol
 from .system import StorageSystem
-from .types import (BOTTOM, ProcessId, TimestampValue, TsrArray, WRITER,
-                    WriteTuple, obj, reader)
+from .types import (BOTTOM, TAG0, ProcessId, TimestampValue, TsrArray,
+                    WRITER, WriterTag, WriteTuple, obj, reader, writer)
 
 __version__ = "1.0.0"
 
@@ -49,13 +49,16 @@ __all__ = [
     "REGULAR",
     "ATOMIC",
     "BOTTOM",
+    "TAG0",
     "ProcessId",
     "TimestampValue",
     "TsrArray",
+    "WriterTag",
     "WriteTuple",
     "WRITER",
     "obj",
     "reader",
+    "writer",
     "ReproError",
     "ConfigurationError",
     "ResilienceError",

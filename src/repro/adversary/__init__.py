@@ -2,7 +2,8 @@
 
 from .byzantine import (AckFlooder, ByzantineWrapper, Equivocator,
                         GarbageByzantine, HistoryForger, MuteByzantine,
-                        StaleReplier, TsrInflater, ValueForger)
+                        StaleReplier, StaleTagForger, TsrInflater,
+                        ValueForger)
 from .plans import (FaultPlan, adversarial_suite, all_fault_assignments,
                     forger, garbage, max_byzantine, max_crashes, mute,
                     no_faults, random_plan, stale, tsr_inflater)
@@ -13,6 +14,7 @@ __all__ = [
     "StaleReplier",
     "ValueForger",
     "HistoryForger",
+    "StaleTagForger",
     "TsrInflater",
     "Equivocator",
     "AckFlooder",

@@ -31,8 +31,9 @@ from typing import Any, List, Optional
 from ..automata.base import ObjectAutomaton, Outgoing
 from ..config import SystemConfig
 from ..messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
-                        ReadRequest, W, WriteAck)
-from ..types import ProcessId, TimestampValue, TsrArray, WriteTuple
+                        ReadRequest, TagQueryAck, W, WriteAck)
+from ..types import (BOTTOM, ProcessId, TimestampValue, TsrArray, WriterTag,
+                     WriteTuple, as_tag)
 
 
 class ByzantineWrapper(ObjectAutomaton):
@@ -142,10 +143,11 @@ class ValueForger(ByzantineWrapper):
                     register_id=payload.register_id,
                 )
             elif isinstance(payload, HistoryReadAck):
-                forged = self._forged_tuple(
-                    max(payload.history) if payload.history else 0)
+                top = (max(payload.history).epoch
+                       if payload.history else 0)
+                forged = self._forged_tuple(top)
                 history = dict(payload.history)
-                history[forged.ts] = HistoryEntry(pw=forged.tsval, w=forged)
+                history[forged.tag] = HistoryEntry(pw=forged.tsval, w=forged)
                 payload = HistoryReadAck(
                     round_index=payload.round_index,
                     tsr=payload.tsr,
@@ -180,7 +182,7 @@ class HistoryForger(ByzantineWrapper):
                 tup = WriteTuple(tsval, TsrArray.empty(
                     self.config.num_objects, self.config.num_readers))
                 history = dict(payload.history)
-                history[self.target_ts] = HistoryEntry(pw=tsval, w=tup)
+                history[tsval.tag] = HistoryEntry(pw=tsval, w=tup)
                 payload = HistoryReadAck(
                     round_index=payload.round_index,
                     tsr=payload.tsr,
@@ -280,6 +282,72 @@ class AckFlooder(ByzantineWrapper):
                     w=forged,
                     register_id=payload.register_id,
                 )))
+        return out
+
+
+class StaleTagForger(ByzantineWrapper):
+    """Forges write tags in MWMR traffic: lies about the maximum tag it
+    holds (tag discovery) and attributes its read-ack state to a stale
+    ``(epoch, writer_id)`` tag.
+
+    Against a correct MWMR protocol both lies are absorbed: tag discovery
+    takes the *maximum* over a quorum (one under-reporting object cannot
+    lower it below any completed write's tag), and a forged stale
+    candidate gathers at most ``b < b + 1`` confirmations so ``safe(c)``
+    never holds for it -- the satellite the MWMR test suite pins down.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 forged_tag: WriterTag = WriterTag(0, 0),
+                 forged_value: Any = "STALE-TAG"):
+        super().__init__(inner)
+        self.config = config
+        self.forged_tag = as_tag(forged_tag)
+        self.forged_value = forged_value
+
+    def _stale_tuple(self) -> WriteTuple:
+        tsval = (TimestampValue(self.forged_tag.epoch, self.forged_value,
+                                wid=self.forged_tag.writer_id)
+                 if self.forged_tag.epoch > 0
+                 else TimestampValue(0, BOTTOM))
+        return WriteTuple(tsval, TsrArray.empty(self.config.num_objects,
+                                                self.config.num_readers))
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = []
+        for receiver, payload in replies:
+            if isinstance(payload, TagQueryAck):
+                # Under-report the maximum tag (pull writers backwards).
+                payload = TagQueryAck(
+                    nonce=payload.nonce,
+                    object_index=payload.object_index,
+                    epoch=self.forged_tag.epoch,
+                    wid=self.forged_tag.writer_id,
+                    register_id=payload.register_id,
+                )
+            elif isinstance(payload, ReadAck):
+                forged = self._stale_tuple()
+                payload = ReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    pw=forged.tsval,
+                    w=forged,
+                    register_id=payload.register_id,
+                )
+            elif isinstance(payload, HistoryReadAck):
+                forged = self._stale_tuple()
+                history = {forged.tag: HistoryEntry(pw=forged.tsval,
+                                                    w=forged)}
+                payload = HistoryReadAck(
+                    round_index=payload.round_index,
+                    tsr=payload.tsr,
+                    object_index=payload.object_index,
+                    history=history,
+                    register_id=payload.register_id,
+                )
+            out.append((receiver, payload))
         return out
 
 

@@ -108,6 +108,10 @@ class ClientOperation(ABC):
         self.rounds_used = 0
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: the (epoch, writer_id) tag this operation installed (WRITE) or
+        #: observed (READ); protocols set it before completing so history
+        #: recorders can feed the multi-writer checkers.
+        self.tag = None
 
     # -- protocol surface ----------------------------------------------------
     @abstractmethod

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generic, List, Optional, Set, TypeVar
 
+from ..types import TAG0, WriterTag
+
 AckT = TypeVar("AckT")
 
 
@@ -61,3 +63,42 @@ class RoundCollector(Generic[AckT]):
     def __repr__(self) -> str:
         return (f"RoundCollector(round={self.round_index}, "
                 f"acks={sorted(self.acks)}, stale={self.stale})")
+
+
+class TagDiscovery:
+    """The MWMR read-timestamp phase, shared by every writer automaton.
+
+    Before installing a value, a multi-writer writer broadcasts a tag
+    query, collects a quorum of ``(epoch, writer_id)`` tags, and picks
+    ``(max_epoch + 1, own_writer_id)`` -- the classic ABD-style epoch bump
+    with writer-id tie-break.  The helper owns the bookkeeping every
+    protocol repeats: freshness (acks must echo the query nonce), dedup
+    per object, the running maximum, and the floor of the writer's own
+    last-used epoch so a writer's tags stay monotone even if a quorum
+    under-reports (a Byzantine minority cannot lower the maximum a whole
+    quorum observed, and inflated reports merely waste epochs).
+    """
+
+    def __init__(self, nonce: int, quorum: int, writer_id: int,
+                 floor: WriterTag = TAG0):
+        self.collector: RoundCollector[WriterTag] = RoundCollector(
+            round_index=0, freshness=nonce)
+        self.quorum = quorum
+        self.writer_id = writer_id
+        self.max_tag = floor
+
+    def offer(self, object_index: int, echoed_nonce: int,
+              tag: WriterTag) -> bool:
+        """Record one object's tag report; returns True if fresh and new."""
+        if not self.collector.offer(object_index, echoed_nonce, tag):
+            return False
+        if tag > self.max_tag:
+            self.max_tag = tag
+        return True
+
+    def ready(self) -> bool:
+        return self.collector.has_quorum(self.quorum)
+
+    def chosen_tag(self) -> WriterTag:
+        """The tag this writer installs: bumped epoch, own writer id."""
+        return self.max_tag.next_for(self.writer_id)

@@ -3,16 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ...automata.base import (ClientOperation, MultiRegisterObject,
                               Outgoing)
+from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
 from ...errors import ConfigurationError, ProtocolError
 from ...messages import Message
 from ...protocols import ATOMIC, REGULAR, StorageProtocol
 from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
-                      TimestampValue, WRITER, _Bottom, obj, reader)
+                      TimestampValue, WRITER, WriterTag, _Bottom, obj,
+                      reader, writer)
 
 
 # ---------------------------------------------------------------------------
@@ -64,7 +66,13 @@ class AbdSlot:
 
 
 class AbdObject(MultiRegisterObject):
-    """Latest timestamp-value pair per register, monotone in the timestamp."""
+    """Latest timestamp-value pair per register, monotone in the tag.
+
+    Arbitration compares the full ``(epoch, writer_id)`` tag, which makes
+    the object multi-writer ready for free: the store is always
+    acknowledged (classic ABD), adoption happens only for strictly newer
+    tags.
+    """
 
     def __init__(self, object_index: int, config: SystemConfig):
         super().__init__(object_index)
@@ -80,7 +88,7 @@ class AbdObject(MultiRegisterObject):
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, AbdStore):
             slot = self._slot(message.register_id)
-            if message.tsval.ts > slot.tsval.ts:
+            if message.tsval.tag > slot.tsval.tag:
                 slot.tsval = message.tsval
             return [(sender, AbdStoreAck(nonce=message.nonce,
                                          ts=slot.tsval.ts,
@@ -99,8 +107,9 @@ class AbdObject(MultiRegisterObject):
 
 
 class AbdWriterState:
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, writer_index: int = 0):
         self.config = config
+        self.writer_index = writer_index
         self.ts = 0
         self._nonce = 0
 
@@ -121,32 +130,71 @@ class AbdReaderState:
 
 
 class AbdWriteOperation(ClientOperation):
-    """One-round write: store <ts, v> at a majority."""
+    """Write: store <tag, v> at a majority.
+
+    Single-writer: one round (the local counter is authoritative).
+    Multi-writer: the classic two-phase ABD write -- query a majority for
+    the maximum tag, bump the epoch (tie-break on writer id), then store.
+    """
 
     kind = "WRITE"
 
     def __init__(self, state: AbdWriterState, value: Any):
-        super().__init__(WRITER)
+        super().__init__(writer(state.writer_index))
         if isinstance(value, _Bottom):
             raise ProtocolError("⊥ is not a valid input value for WRITE")
         self.state = state
         self.config = state.config
         self.value = value
+        self.wid = state.writer_index
+        self.discover_tag = state.config.is_multi_writer
+        self.phase = "query" if self.discover_tag else "store"
         self.nonce = 0
+        self.query_nonce = 0
+        self.discovery: Optional[TagDiscovery] = None
         self._ackers: Set[int] = set()
 
     def start(self) -> Outgoing:
-        self.state.ts += 1
+        if self.discover_tag:
+            self.query_nonce = self.state.next_nonce()
+            self.discovery = TagDiscovery(
+                nonce=self.query_nonce,
+                quorum=self.config.quorum_size,
+                writer_id=self.wid,
+                floor=WriterTag(self.state.ts, self.wid),
+            )
+            self.begin_round()
+            message = AbdQuery(nonce=self.query_nonce,
+                               register_id=self.register_id)
+            return [(obj(i), message)
+                    for i in range(self.config.num_objects)]
+        return self._start_store(self.state.ts + 1)
+
+    def _start_store(self, epoch: int) -> Outgoing:
+        self.phase = "store"
+        self.state.ts = epoch
         self.nonce = self.state.next_nonce()
-        message = AbdStore(tsval=TimestampValue(self.state.ts, self.value),
-                           nonce=self.nonce, register_id=self.register_id)
+        tsval = TimestampValue(epoch, self.value, wid=self.wid)
+        self.tag = tsval.tag
+        message = AbdStore(tsval=tsval, nonce=self.nonce,
+                           register_id=self.register_id)
         self.begin_round()
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
-        if self.done or not isinstance(message, AbdStoreAck):
+        if self.done:
             return []
-        if message.nonce != self.nonce \
+        if (self.phase == "query" and isinstance(message, AbdQueryAck)
+                and self.discovery is not None
+                and message.register_id == self.register_id):
+            self.discovery.offer(sender.index, message.nonce,
+                                 message.tsval.tag)
+            if self.discovery.ready():
+                return self._start_store(self.discovery.chosen_tag().epoch)
+            return []
+        if not isinstance(message, AbdStoreAck):
+            return []
+        if self.phase != "store" or message.nonce != self.nonce \
                 or message.register_id != self.register_id:
             return []
         self._ackers.add(sender.index)
@@ -191,7 +239,8 @@ class AbdReadOperation(ClientOperation):
             self._answers[sender.index] = message.tsval
             if len(self._answers) >= self.config.quorum_size:
                 self._chosen = max(self._answers.values(),
-                                   key=lambda tv: tv.ts)
+                                   key=lambda tv: tv.tag)
+                self.tag = self._chosen.tag
                 if not self.write_back or self._chosen.ts == 0:
                     return self.complete(self._chosen.value)
                 return self._start_write_back()
@@ -246,6 +295,10 @@ class AbdRegularProtocol(StorageProtocol):
 
     def make_writer_state(self, config: SystemConfig) -> AbdWriterState:
         return AbdWriterState(config)
+
+    def make_writer_state_for(self, config: SystemConfig,
+                              writer_index: int = 0) -> AbdWriterState:
+        return AbdWriterState(config, writer_index=writer_index)
 
     def make_reader_state(self, config: SystemConfig,
                           reader_index: int) -> AbdReaderState:

@@ -7,13 +7,15 @@ from typing import Any, Dict, List, Optional, Set
 
 from ...automata.base import (ClientOperation, MultiRegisterObject,
                               Outgoing)
+from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
 from ...crypto_sim import PublicKey, SignedValue, Signer
 from ...errors import ProtocolError
 from ...messages import Message
 from ...protocols import REGULAR, StorageProtocol
-from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
-                      TimestampValue, WRITER, _Bottom, obj, reader)
+from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, TAG0,
+                      ProcessId, TimestampValue, WRITER, WriterTag,
+                      _Bottom, obj, reader, writer)
 
 
 @dataclass(frozen=True)
@@ -43,18 +45,21 @@ class AuthQueryAck(Message):
 
 
 class AuthSlot:
-    """Per-register state: the highest-timestamp signed pair seen."""
+    """Per-register state: the highest-tagged signed pair seen."""
 
     __slots__ = ("signed",)
 
     def __init__(self) -> None:
         self.signed: Optional[SignedValue] = None
 
-    def current_ts(self) -> int:
+    def current_tag(self):
         if self.signed is None:
-            return 0
+            return TAG0
         payload = self.signed.payload
-        return payload.ts if isinstance(payload, TimestampValue) else 0
+        return payload.tag if isinstance(payload, TimestampValue) else TAG0
+
+    def current_ts(self) -> int:
+        return self.current_tag().epoch
 
 
 class AuthObject(MultiRegisterObject):
@@ -80,7 +85,7 @@ class AuthObject(MultiRegisterObject):
             slot = self._slot(message.register_id)
             payload = message.signed.payload
             if (isinstance(payload, TimestampValue)
-                    and payload.ts > slot.current_ts()):
+                    and payload.tag > slot.current_tag()):
                 slot.signed = message.signed
             return [(sender, AuthStoreAck(nonce=message.nonce,
                                           register_id=message.register_id))]
@@ -93,9 +98,11 @@ class AuthObject(MultiRegisterObject):
 
 
 class AuthWriterState:
-    def __init__(self, config: SystemConfig, signer: Signer):
+    def __init__(self, config: SystemConfig, signer: Signer,
+                 writer_index: int = 0):
         self.config = config
         self.signer = signer
+        self.writer_index = writer_index
         self.ts = 0
         self._nonce = 0
 
@@ -106,10 +113,14 @@ class AuthWriterState:
 
 class AuthReaderState:
     def __init__(self, config: SystemConfig, reader_index: int,
-                 public_key: PublicKey):
+                 public_key: PublicKey,
+                 key_ring: Optional[Dict[str, PublicKey]] = None):
         self.config = config
         self.reader_index = reader_index
         self.public_key = public_key
+        #: key_id -> verification key for every legitimate writer (MWMR);
+        #: defaults to the single writer's key.
+        self.key_ring = key_ring or {public_key.key_id: public_key}
         self._nonce = 0
 
     def next_nonce(self) -> int:
@@ -118,34 +129,79 @@ class AuthReaderState:
 
 
 class AuthWriteOperation(ClientOperation):
-    """One round: sign <ts, v>, install at ``S - t`` objects."""
+    """Sign <tag, v>, install at ``S - t`` objects.
+
+    Single-writer: one round.  Multi-writer: a query round discovers the
+    maximum tag first (reports are advisory for epoch choice only -- the
+    signature, not the report, is what readers trust).
+    """
 
     kind = "WRITE"
 
     def __init__(self, state: AuthWriterState, value: Any):
-        super().__init__(WRITER)
+        super().__init__(writer(state.writer_index))
         if isinstance(value, _Bottom):
             raise ProtocolError("⊥ is not a valid input value for WRITE")
         self.state = state
         self.config = state.config
         self.value = value
+        self.wid = state.writer_index
+        self.discover_tag = state.config.is_multi_writer
+        self.phase = "query" if self.discover_tag else "store"
         self.nonce = 0
+        self.query_nonce = 0
+        self.discovery: Optional[TagDiscovery] = None
         self._ackers: Set[int] = set()
 
     def start(self) -> Outgoing:
-        self.state.ts += 1
+        if self.discover_tag:
+            self.query_nonce = self.state.next_nonce()
+            self.discovery = TagDiscovery(
+                nonce=self.query_nonce,
+                quorum=self.config.quorum_size,
+                writer_id=self.wid,
+                floor=WriterTag(self.state.ts, self.wid),
+            )
+            self.begin_round()
+            message = AuthQuery(nonce=self.query_nonce,
+                                register_id=self.register_id)
+            return [(obj(i), message)
+                    for i in range(self.config.num_objects)]
+        return self._start_store(self.state.ts + 1)
+
+    def _start_store(self, epoch: int) -> Outgoing:
+        self.phase = "store"
+        self.state.ts = epoch
         self.nonce = self.state.next_nonce()
-        signed = self.state.signer.sign(
-            TimestampValue(self.state.ts, self.value))
+        tsval = TimestampValue(epoch, self.value, wid=self.wid)
+        self.tag = tsval.tag
+        signed = self.state.signer.sign(tsval)
         self.begin_round()
         message = AuthStore(signed=signed, nonce=self.nonce,
                             register_id=self.register_id)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
-        if self.done or not isinstance(message, AuthStoreAck):
+        if self.done:
             return []
-        if message.nonce != self.nonce \
+        if (self.phase == "query" and isinstance(message, AuthQueryAck)
+                and self.discovery is not None
+                and message.register_id == self.register_id):
+            # Reports are advisory for epoch choice only (the signature,
+            # not the report, is what readers trust); unsigned or
+            # malformed reports count toward the quorum at the floor tag.
+            signed = message.signed
+            tag = (signed.payload.tag
+                   if signed is not None
+                   and isinstance(signed.payload, TimestampValue)
+                   else TAG0)
+            self.discovery.offer(sender.index, message.nonce, tag)
+            if self.discovery.ready():
+                return self._start_store(self.discovery.chosen_tag().epoch)
+            return []
+        if not isinstance(message, AuthStoreAck):
+            return []
+        if self.phase != "store" or message.nonce != self.nonce \
                 or message.register_id != self.register_id:
             return []
         self._ackers.add(sender.index)
@@ -189,15 +245,17 @@ class AuthReadOperation(ClientOperation):
         for signed in self._answers.values():
             if signed is None:
                 continue
-            if not self.state.public_key.verify(signed):
+            key = self.state.key_ring.get(signed.key_id)
+            if key is None or not key.verify(signed):
                 self.rejected_forgeries += 1
                 continue
             payload = signed.payload
             if not isinstance(payload, TimestampValue):
                 self.rejected_forgeries += 1
                 continue
-            if best is None or payload.ts > best.ts:
+            if best is None or payload.tag > best.tag:
                 best = payload
+        self.tag = best.tag if best is not None else TAG0
         return best.value if best is not None else BOTTOM
 
 
@@ -212,7 +270,25 @@ class AuthenticatedProtocol(StorageProtocol):
     readers_write = False
 
     def __init__(self, key_seed: int = 0):
-        self._signer = Signer("writer", seed=key_seed)
+        self._key_seed = key_seed
+        # Writer 0 keeps the historical key id "writer" so existing
+        # signatures, traces and tests stay byte-identical.
+        self._signers: Dict[int, Signer] = {
+            0: Signer("writer", seed=key_seed)}
+
+    def _signer_for(self, writer_index: int) -> Signer:
+        signer = self._signers.get(writer_index)
+        if signer is None:
+            signer = self._signers[writer_index] = Signer(
+                f"writer{writer_index}", seed=self._key_seed + writer_index)
+        return signer
+
+    def _key_ring(self, config: SystemConfig) -> Dict[str, PublicKey]:
+        ring: Dict[str, PublicKey] = {}
+        for k in range(config.num_writers):
+            key = self._signer_for(k).public_key()
+            ring[key.key_id] = key
+        return ring
 
     def min_objects(self, t: int, b: int) -> int:
         return 2 * t + b + 1
@@ -222,12 +298,18 @@ class AuthenticatedProtocol(StorageProtocol):
         return [AuthObject(i, config) for i in range(config.num_objects)]
 
     def make_writer_state(self, config: SystemConfig) -> AuthWriterState:
-        return AuthWriterState(config, self._signer)
+        return AuthWriterState(config, self._signer_for(0))
+
+    def make_writer_state_for(self, config: SystemConfig,
+                              writer_index: int = 0) -> AuthWriterState:
+        return AuthWriterState(config, self._signer_for(writer_index),
+                               writer_index=writer_index)
 
     def make_reader_state(self, config: SystemConfig,
                           reader_index: int) -> AuthReaderState:
         return AuthReaderState(config, reader_index,
-                               self._signer.public_key())
+                               self._signer_for(0).public_key(),
+                               key_ring=self._key_ring(config))
 
     def make_write(self, writer_state: AuthWriterState,
                    value: Any) -> AuthWriteOperation:

@@ -11,12 +11,13 @@ from ...config import SystemConfig
 from ...core.safe.predicates import CandidateTracker
 from ...core.safe.writer import SafeWriterState, SafeWriteOperation
 from ...errors import SimulationError
-from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
+from ...messages import (Pw, PwAck, ReadAck, ReadRequest, TagQuery,
+                         TagQueryAck, W, WriteAck)
 from ...protocols import SAFE, StorageProtocol
 from ...quorums import confirmation_threshold, elimination_threshold
-from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
-                      TimestampValue, WriteTuple, initial_write_tuple, obj,
-                      reader)
+from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, TAG0,
+                      ProcessId, TimestampValue, WriterTag, WriteTuple,
+                      initial_write_tuple, obj, reader)
 
 
 @dataclass
@@ -26,6 +27,11 @@ class PassiveSlot:
     ts: int
     pw: TimestampValue
     w: WriteTuple
+    wid: int = 0
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.ts, self.wid)
 
 
 class PassiveObject(MultiRegisterObject):
@@ -59,26 +65,41 @@ class PassiveObject(MultiRegisterObject):
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, Pw):
             slot = self._slot(message.register_id)
-            if message.ts > slot.ts:
+            if message.tag > slot.tag:
                 slot.ts = message.ts
+                slot.wid = message.wid
                 slot.pw = message.pw
-                slot.w = message.w
-                # No reader timestamps to report: an all-zero row.
-                return [(sender, PwAck(
-                    ts=slot.ts, object_index=self.object_index,
-                    tsr=(0,) * self.config.num_readers,
-                    register_id=message.register_id))]
-            return []
+                if message.w.tag > slot.w.tag:
+                    slot.w = message.w
+            elif not self.config.is_multi_writer:
+                return []
+            # No reader timestamps to report: an all-zero row.
+            return [(sender, PwAck(
+                ts=message.ts, object_index=self.object_index,
+                tsr=(0,) * self.config.num_readers,
+                register_id=message.register_id, wid=message.wid))]
         if isinstance(message, W):
             slot = self._slot(message.register_id)
-            if message.ts >= slot.ts:
+            if message.tag >= slot.tag:
                 slot.ts = message.ts
+                slot.wid = message.wid
                 slot.pw = message.pw
                 slot.w = message.w
-                return [(sender, WriteAck(ts=slot.ts,
-                                          object_index=self.object_index,
-                                          register_id=message.register_id))]
-            return []
+            elif not self.config.is_multi_writer:
+                return []
+            elif message.w.tag > slot.w.tag:
+                slot.w = message.w
+            return [(sender, WriteAck(ts=message.ts,
+                                      object_index=self.object_index,
+                                      register_id=message.register_id,
+                                      wid=message.wid))]
+        if isinstance(message, TagQuery):
+            slot = self._slot(message.register_id)
+            top = max(slot.tag, slot.pw.tag, slot.w.tag)
+            return [(sender, TagQueryAck(
+                nonce=message.nonce, object_index=self.object_index,
+                epoch=top.epoch, wid=top.writer_id,
+                register_id=message.register_id))]
         if isinstance(message, ReadRequest):
             # Stateless with respect to readers: always answer, echoing the
             # request nonce so the reader can match rounds.
@@ -168,10 +189,12 @@ class PassiveReadOperation(ClientOperation):
     def _maybe_return(self) -> None:
         candidate = self.tracker.returnable()
         if candidate is not None:
+            self.tag = candidate.tag
             self.complete(candidate.tsval.value)
             return
         if (self.tracker._candidates  # has ever seen candidates
                 and self.tracker.candidates_empty()):
+            self.tag = TAG0
             self.complete(BOTTOM)
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List
 
 from .errors import ConfigurationError, ResilienceError
-from .types import ProcessId, WRITER, obj, reader
+from .types import ProcessId, WRITER, obj, reader, writer
 
 
 def optimal_resilience(t: int, b: int) -> int:
@@ -48,13 +48,18 @@ class SystemConfig:
     Use the constructors :meth:`optimal` (``S = 2t + b + 1``) or
     :meth:`with_objects` for explicit ``S``.  ``num_readers`` defaults to 1
     (the SWSR setting of the lower bound); the storage algorithms support
-    any ``R >= 1``.
+    any ``R >= 1``.  ``num_writers`` defaults to 1 (the paper's SWMR
+    model); configuring more writers switches the protocols into MWMR
+    mode -- writers discover and bump ``(epoch, writer_id)`` tags instead
+    of trusting a local counter, and objects acknowledge stale-tagged
+    write rounds so a losing writer still terminates.
     """
 
     t: int
     b: int
     num_objects: int
     num_readers: int = 1
+    num_writers: int = 1
 
     def __post_init__(self) -> None:
         if self.t < 0:
@@ -68,6 +73,8 @@ class SystemConfig:
             )
         if self.num_readers < 1:
             raise ConfigurationError("at least one reader is required")
+        if self.num_writers < 1:
+            raise ConfigurationError("at least one writer is required")
         if self.num_objects < 1:
             raise ConfigurationError("at least one base object is required")
         if self.num_objects <= self.t:
@@ -78,16 +85,18 @@ class SystemConfig:
 
     # -- constructors ------------------------------------------------------
     @classmethod
-    def optimal(cls, t: int, b: int, num_readers: int = 1) -> "SystemConfig":
+    def optimal(cls, t: int, b: int, num_readers: int = 1,
+                num_writers: int = 1) -> "SystemConfig":
         """Optimally resilient configuration: ``S = 2t + b + 1``."""
         return cls(t=t, b=b, num_objects=optimal_resilience(t, b),
-                   num_readers=num_readers)
+                   num_readers=num_readers, num_writers=num_writers)
 
     @classmethod
     def with_objects(cls, t: int, b: int, num_objects: int,
-                     num_readers: int = 1) -> "SystemConfig":
+                     num_readers: int = 1,
+                     num_writers: int = 1) -> "SystemConfig":
         return cls(t=t, b=b, num_objects=num_objects,
-                   num_readers=num_readers)
+                   num_readers=num_readers, num_writers=num_writers)
 
     @classmethod
     def at_impossibility_threshold(cls, t: int, b: int,
@@ -125,6 +134,11 @@ class SystemConfig:
         """Objects that may crash but not behave arbitrarily: ``t - b``."""
         return self.t - self.b
 
+    @property
+    def is_multi_writer(self) -> bool:
+        """Whether protocols must run the MWMR tag-discovery write path."""
+        return self.num_writers > 1
+
     # -- process enumeration -------------------------------------------------
     def objects(self) -> List[ProcessId]:
         return [obj(i) for i in range(self.num_objects)]
@@ -132,8 +146,11 @@ class SystemConfig:
     def readers(self) -> List[ProcessId]:
         return [reader(j) for j in range(self.num_readers)]
 
+    def writers(self) -> List[ProcessId]:
+        return [writer(k) for k in range(self.num_writers)]
+
     def clients(self) -> List[ProcessId]:
-        return [WRITER] + self.readers()
+        return self.writers() + self.readers()
 
     def all_processes(self) -> List[ProcessId]:
         return self.clients() + self.objects()
@@ -149,7 +166,10 @@ class SystemConfig:
             )
 
     def describe(self) -> str:
+        writers = (f", {self.num_writers} writers"
+                   if self.num_writers > 1 else "")
         return (
             f"S={self.num_objects} objects, t={self.t} faulty (b={self.b} "
-            f"Byzantine), {self.num_readers} reader(s), quorum={self.quorum_size}"
+            f"Byzantine), {self.num_readers} reader(s){writers}, "
+            f"quorum={self.quorum_size}"
         )

@@ -9,7 +9,7 @@ from ...automata.base import Outgoing
 from ...config import SystemConfig
 from ...messages import HistoryEntry, Message
 from ...protocols import ATOMIC
-from ...types import DEFAULT_REGISTER, ProcessId, WriteTuple, obj
+from ...types import DEFAULT_REGISTER, TAG0, ProcessId, WriteTuple, obj
 from ..regular import (RegularObject, RegularReaderState,
                        RegularReadOperation, RegularStorageProtocol)
 
@@ -49,10 +49,10 @@ class AtomicObject(RegularObject):
         if not sender.is_reader:
             return []  # only readers may write back
         history = self._slot(message.register_id).history
-        entry = history.get(message.c.ts)
+        entry = history.get(message.c.tag)
         if entry is None or entry.w is None:
-            history[message.c.ts] = HistoryEntry(pw=message.c.tsval,
-                                                 w=message.c)
+            history[message.c.tag] = HistoryEntry(pw=message.c.tsval,
+                                                  w=message.c)
         # Complete slots stay as the writer installed them; the ack is
         # sent regardless -- the reader only needs to know a quorum has
         # *at least* this information.
@@ -81,6 +81,7 @@ class AtomicReadOperation(RegularReadOperation):
                     and sender.is_object:
                 self._wb_ackers.add(sender.index)
                 if len(self._wb_ackers) >= self.config.quorum_size:
+                    self.tag = self._chosen.tag
                     self.complete(self._chosen.tsval.value)
             return []
         outgoing = super().on_message(sender, message)
@@ -98,12 +99,13 @@ class AtomicReadOperation(RegularReadOperation):
         candidate = self.evidence.returnable()
         if candidate is None:
             return
-        if candidate.ts >= self.state.cache_ts:
-            self.state.cache_ts = candidate.ts
+        if candidate.tag >= self.state.cache_tag:
+            self.state.cache_tag = candidate.tag
             self.state.cache_value = candidate.tsval.value
-        if candidate.ts == 0:
+        if candidate.tag == TAG0:
             # The initial tuple is held by every correct object already;
             # writing it back would add nothing.
+            self.tag = TAG0
             self.complete(candidate.tsval.value)
             return
         self._begin_write_back(candidate)

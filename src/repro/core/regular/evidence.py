@@ -18,7 +18,11 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Set, Tuple
 
 from ...messages import HistoryEntry
-from ...types import TimestampValue, WriteTuple
+from ...types import TimestampValue, WriterTag, WriteTuple, as_tag
+
+#: The "no opinion about this slot" entry; immutable, so one shared
+#: instance serves every miss on the hot predicate path.
+_EMPTY_ENTRY = HistoryEntry(pw=None, w=None)
 
 
 class RegularEvidence:
@@ -28,8 +32,9 @@ class RegularEvidence:
                  confirmation_threshold: int):
         self.elimination_threshold = elimination_threshold
         self.confirmation_threshold = confirmation_threshold
-        #: history[rnd][i] -> {ts: HistoryEntry}; first ack per round wins
-        self.round_histories: Dict[int, Dict[int, Mapping[int, HistoryEntry]]]
+        #: history[rnd][i] -> {tag: HistoryEntry}; first ack per round wins
+        self.round_histories: Dict[
+            int, Dict[int, Mapping[WriterTag, HistoryEntry]]]
         self.round_histories = {1: {}, 2: {}}
         self._candidates: Set[WriteTuple] = set()
         # Predicate verdicts only change when evidence arrives, but the
@@ -47,7 +52,7 @@ class RegularEvidence:
 
     # -- ingestion ---------------------------------------------------------
     def record(self, round_index: int, object_index: int,
-               history: Mapping[int, HistoryEntry]) -> bool:
+               history: Mapping[WriterTag, HistoryEntry]) -> bool:
         """Store a round's history for an object (dedup: first ack wins).
 
         Round-1 histories contribute their non-nil ``w`` entries to the
@@ -56,7 +61,14 @@ class RegularEvidence:
         per_round = self.round_histories[round_index]
         if object_index in per_round:
             return False
-        per_round[object_index] = dict(history)
+        # Normalize legacy integer keys (writer 0) to tags; acks arriving
+        # through HistoryReadAck are already normalized and take the
+        # plain-copy path.
+        if all(type(tag) is WriterTag for tag in history):
+            per_round[object_index] = dict(history)
+        else:
+            per_round[object_index] = {as_tag(tag): entry
+                                       for tag, entry in history.items()}
         if round_index == 1:
             for entry in history.values():
                 if entry.w is not None:
@@ -82,23 +94,23 @@ class RegularEvidence:
 
     # -- per-object slot lookup -----------------------------------------------
     def _slot(self, round_index: int, object_index: int,
-              ts: int) -> Optional[HistoryEntry]:
+              tag: WriterTag) -> Optional[HistoryEntry]:
         history = self.round_histories[round_index].get(object_index)
         if history is None:
             return None  # no response in this round (no opinion)
-        return history.get(ts, HistoryEntry(pw=None, w=None))
+        return history.get(tag, _EMPTY_ENTRY)
 
     # -- predicates --------------------------------------------------------------
     def invalid_voters(self, c: WriteTuple) -> Set[int]:
         """Objects counted by ``invalid(c)``: some round's response
-        contradicts ``c`` at slot ``c.ts``."""
+        contradicts ``c`` at slot ``c.tag``."""
         cached = self._voter_cache.get(("invalid", c))
         if cached is not None and cached[0] == self._generation:
             return cached[1]
         voters: Set[int] = set()
         for round_index in (1, 2):
             for i in self.round_histories[round_index]:
-                entry = self._slot(round_index, i, c.ts)
+                entry = self._slot(round_index, i, c.tag)
                 if entry is None:
                     continue
                 if entry.w is None or entry.pw != c.tsval or entry.w != c:
@@ -117,7 +129,7 @@ class RegularEvidence:
         voters: Set[int] = set()
         for round_index in (1, 2):
             for i in self.round_histories[round_index]:
-                entry = self._slot(round_index, i, c.ts)
+                entry = self._slot(round_index, i, c.tag)
                 if entry is None:
                     continue
                 if entry.pw == c.tsval or entry.w == c:
@@ -145,8 +157,8 @@ class RegularEvidence:
         current = self.candidates()
         if not current:
             return set()
-        top = max(c.ts for c in current)
-        return {c for c in current if c.ts == top}
+        top = max(c.tag for c in current)
+        return {c for c in current if c.tag == top}
 
     def returnable(self) -> Optional[WriteTuple]:
         """Line 14: a safe candidate with the highest timestamp, if any."""

@@ -1,19 +1,26 @@
 """Base-object automaton of the regular storage (Figure 5).
 
 Unlike the safe protocol's object, which keeps only the latest ``pw``/``w``
-pair, the regular object records *every* value it receives from the writer
-in an indexed ``history``: ``history[ts] = <pw, w>``.  On a PW for write
-``ts'`` it provisionally records ``history[ts'] = <pw', nil>`` and
-back-fills the previous write's complete tuple at ``history[ts' - 1]``
-(PW messages carry the previous ``w``); on a W it completes
-``history[ts']``.
+pair, the regular object records *every* value it receives from writers
+in an indexed ``history``: ``history[tag] = <pw, w>``, where ``tag`` is
+the write's ``(epoch, writer_id)`` tag (in the paper's single-writer
+setting every tag is ``(ts, 0)`` and the index degenerates to the integer
+timestamp).  On a PW for write ``tag'`` it provisionally records
+``history[tag'] = <pw', nil>`` and back-fills the carried previous write's
+complete tuple (PW messages carry the previous ``w``); on a W it
+completes ``history[tag']``.
 
 READ requests are answered with the history -- in full, or (Section 5.1)
-only the suffix from the reader's cached timestamp ``from_ts`` onward,
-which is the optimization experiment E6 quantifies.
+only the suffix from the reader's cached tag ``from_ts`` onward, which is
+the optimization experiment E6 quantifies.
+
+In multi-writer systems stale-tagged write rounds are acknowledged (and
+recorded -- history is a map, concurrent writers' entries coexist) so a
+writer that lost the epoch race still terminates; single-writer systems
+keep the figure's no-reply discipline for stale traffic.
 
 As with the safe object, all of this state is kept *per register* in
-lazily created slots, so one replica set serves many SWMR registers.
+lazily created slots, so one replica set serves many registers.
 """
 
 from __future__ import annotations
@@ -24,9 +31,9 @@ from typing import Any, Dict, List
 from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
 from ...messages import (HistoryEntry, HistoryReadAck, Pw, ReadRequest, PwAck,
-                         W, WriteAck)
-from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
-                      initial_write_tuple)
+                         TagQuery, TagQueryAck, W, WriteAck)
+from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, TAG0, ProcessId,
+                      WriterTag, initial_write_tuple)
 
 
 @dataclass
@@ -34,8 +41,13 @@ class RegularSlot:
     """Per-register state of one regular object (Figure 5, lines 1-3)."""
 
     ts: int
-    history: Dict[int, HistoryEntry]
+    history: Dict[WriterTag, HistoryEntry]
     tsr: List[int]
+    wid: int = 0
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.ts, self.wid)
 
 
 class RegularObject(MultiRegisterObject):
@@ -46,12 +58,12 @@ class RegularObject(MultiRegisterObject):
         self.config = config
 
     def _new_slot(self) -> RegularSlot:
-        # Initialization (lines 1-3): history[0] = <pw_0, w_0>.
+        # Initialization (lines 1-3): history[tag0] = <pw_0, w_0>.
         w0 = initial_write_tuple(self.config.num_objects,
                                  self.config.num_readers)
         return RegularSlot(
             ts=0,
-            history={0: HistoryEntry(pw=INITIAL_TSVAL, w=w0)},
+            history={TAG0: HistoryEntry(pw=INITIAL_TSVAL, w=w0)},
             tsr=[0] * self.config.num_readers,
         )
 
@@ -61,7 +73,7 @@ class RegularObject(MultiRegisterObject):
         return self._slot(DEFAULT_REGISTER).ts
 
     @property
-    def history(self) -> Dict[int, HistoryEntry]:
+    def history(self) -> Dict[WriterTag, HistoryEntry]:
         return self._slot(DEFAULT_REGISTER).history
 
     @property
@@ -70,40 +82,74 @@ class RegularObject(MultiRegisterObject):
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        # Dispatch ordered by message frequency: two read rounds per READ
+        # make ReadRequest the most common arrival.
+        if isinstance(message, ReadRequest):
+            return self._on_read(sender, message)
         if isinstance(message, Pw):
             return self._on_pw(sender, message)
         if isinstance(message, W):
             return self._on_w(sender, message)
-        if isinstance(message, ReadRequest):
-            return self._on_read(sender, message)
+        if isinstance(message, TagQuery):
+            return self._on_tag_query(sender, message)
         return []
+
+    # -- MWMR tag discovery ----------------------------------------------
+    def _on_tag_query(self, sender: ProcessId,
+                      message: TagQuery) -> Outgoing:
+        slot = self._slot(message.register_id)
+        top = max(slot.tag, max(slot.history))
+        return [(sender, TagQueryAck(nonce=message.nonce,
+                                     object_index=self.object_index,
+                                     epoch=top.epoch, wid=top.writer_id,
+                                     register_id=message.register_id))]
 
     # -- lines 4-9 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
         slot = self._slot(message.register_id)
-        if message.ts > slot.ts:
+        fresh = (message.ts > slot.ts
+                 or (message.ts == slot.ts and message.wid > slot.wid))
+        if fresh or self.config.is_multi_writer:
+            tag = message.tag
             # Record the new pre-write and back-fill the previous write's
-            # complete tuple carried by the PW message.
-            slot.history[message.ts] = HistoryEntry(pw=message.pw, w=None)
-            slot.history[message.w.ts] = HistoryEntry(pw=message.w.tsval,
+            # complete tuple carried by the PW message.  Never demote a
+            # completed entry to a provisional one (a concurrent writer's
+            # W may have landed first), and skip the back-fill when the
+            # previous write is already complete here -- the common case
+            # after that write's own W round.
+            existing = slot.history.get(tag)
+            if existing is None or existing.w is None:
+                slot.history[tag] = HistoryEntry(pw=message.pw, w=None)
+            prev_tag = message.w.tag
+            prev = slot.history.get(prev_tag)
+            if prev is None or prev.w is None:
+                slot.history[prev_tag] = HistoryEntry(pw=message.w.tsval,
                                                       w=message.w)
-            slot.ts = message.ts
-            return [(sender, PwAck(ts=slot.ts,
+            if fresh:
+                slot.ts = message.ts
+                slot.wid = message.wid
+            return [(sender, PwAck(ts=message.ts,
                                    object_index=self.object_index,
                                    tsr=tuple(slot.tsr),
-                                   register_id=message.register_id))]
+                                   register_id=message.register_id,
+                                   wid=message.wid))]
         return []
 
     # -- lines 10-14 -----------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
         slot = self._slot(message.register_id)
-        if message.ts >= slot.ts:
-            slot.ts = message.ts
-            slot.history[message.ts] = HistoryEntry(pw=message.pw,
-                                                    w=message.w)
-            return [(sender, WriteAck(ts=slot.ts,
+        fresh = (message.ts > slot.ts
+                 or (message.ts == slot.ts and message.wid >= slot.wid))
+        if fresh or self.config.is_multi_writer:
+            if fresh:
+                slot.ts = message.ts
+                slot.wid = message.wid
+            slot.history[message.tag] = HistoryEntry(pw=message.pw,
+                                                     w=message.w)
+            return [(sender, WriteAck(ts=message.ts,
                                       object_index=self.object_index,
-                                      register_id=message.register_id))]
+                                      register_id=message.register_id,
+                                      wid=message.wid))]
         return []
 
     # -- lines 15-19 -----------------------------------------------------
@@ -115,16 +161,20 @@ class RegularObject(MultiRegisterObject):
         if message.tsr > slot.tsr[j]:
             slot.tsr[j] = message.tsr
             history = slot.history
-            if message.from_ts is not None:
+            if message.from_ts is not None and message.from_ts > TAG0:
                 # Section 5.1: ship only the suffix from the reader's
-                # cached timestamp onwards.
-                history = {ts: entry for ts, entry in history.items()
-                           if ts >= message.from_ts}
+                # cached tag onwards (a TAG0 cache means "everything" --
+                # skip the filter pass entirely).
+                from_tag = message.from_ts
+                history = {tag: entry for tag, entry in history.items()
+                           if tag >= from_tag}
+            # No pre-copy: the ack's __post_init__ freezes its own copy,
+            # insulating it from this slot's future mutations.
             ack = HistoryReadAck(
                 round_index=message.round_index,
                 tsr=slot.tsr[j],
                 object_index=self.object_index,
-                history=dict(history),
+                history=history,
                 register_id=message.register_id,
             )
             return [(sender, ack)]

@@ -26,20 +26,29 @@ from ...config import SystemConfig
 from ...errors import ProtocolError
 from ...messages import HistoryReadAck, ReadRequest
 from ...quorums import confirmation_threshold, elimination_threshold
-from ...types import BOTTOM, ProcessId, obj, reader
+from ...types import BOTTOM, TAG0, ProcessId, WriterTag, obj, reader
 from ..safe.predicates import conflict_pairs, exists_conflict_free_quorum
 from .evidence import RegularEvidence
 
 
 @dataclass
 class RegularReaderState:
-    """Persistent per-reader variables: ``tsr'_j`` plus the §5.1 cache."""
+    """Persistent per-reader variables: ``tsr'_j`` plus the §5.1 cache.
+
+    ``cache_tag`` is the write tag of the last value this reader vouched
+    for (``(ts, 0)`` in single-writer systems).
+    """
 
     config: SystemConfig
     reader_index: int = 0
     tsr: int = 0
-    cache_ts: int = 0
+    cache_tag: WriterTag = TAG0
     cache_value: Any = BOTTOM
+
+    @property
+    def cache_ts(self) -> int:
+        """Legacy view: the epoch of the cached tag."""
+        return self.cache_tag.epoch
 
     def __post_init__(self) -> None:
         if not 0 <= self.reader_index < self.config.num_readers:
@@ -69,8 +78,8 @@ class RegularReadOperation(ClientOperation):
         self.history_entries_received = 0
 
     # ------------------------------------------------------------------
-    def _from_ts(self) -> Optional[int]:
-        return self.state.cache_ts if self.cached else None
+    def _from_ts(self) -> Optional[WriterTag]:
+        return self.state.cache_tag if self.cached else None
 
     def start(self) -> Outgoing:
         self.state.tsr += 1
@@ -147,15 +156,17 @@ class RegularReadOperation(ClientOperation):
         if candidate is not None:
             value = candidate.tsval.value
             # Update the §5.1 cache with the freshest value we vouched for.
-            if candidate.ts >= self.state.cache_ts:
-                self.state.cache_ts = candidate.ts
+            if candidate.tag >= self.state.cache_tag:
+                self.state.cache_tag = candidate.tag
                 self.state.cache_value = value
+            self.tag = candidate.tag
             self.complete(value)
             return
         if self.cached and self.evidence.candidates_empty():
             # Section 5.1: an empty candidate set under suffix shipping
             # means nothing newer than the cache was confirmed; the cached
             # value is still regular (case ts >= k of the proof).
+            self.tag = self.state.cache_tag
             self.complete(self.state.cache_value)
 
     # ------------------------------------------------------------------

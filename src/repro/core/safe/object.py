@@ -7,12 +7,20 @@ Each object ``s_i`` maintains, *per register*, three fields:
 * ``tsr[j]`` -- the highest timestamp received from reader ``r_j``.
 
 Handlers follow the figure line by line, including the guards: a PW message
-updates state only for *strictly* newer timestamps (line 4), a W message
+updates state only for *strictly* newer write tags (line 4), a W message
 also for equal ones (line 9 -- the W of write ``k`` must land after the PW
 of write ``k``), and READ requests update ``tsr[j]`` only when the reader's
-timestamp moved forward (line 14).  Acknowledgments are sent only when the
-guard passes, exactly as in the figure; stale or replayed traffic earns no
-reply at all.
+timestamp moved forward (line 14).  "Newer" compares the full ``(epoch,
+writer_id)`` tag, which degenerates to the paper's integer comparison in
+single-writer systems (every tag is ``(ts, 0)``).
+
+Acknowledgment discipline depends on the writer model.  With the paper's
+single writer, stale or replayed write traffic earns no reply at all,
+exactly as in the figure -- the sole writer's own rounds are always fresh.
+With multiple writers a stale-tagged round is *normal* (the concurrent
+writer that lost the epoch race), so the object acknowledges without
+adopting; refusing would starve the losing writer forever.  Tag queries
+(the MWMR read-timestamp phase) are always answered.
 
 One automaton serves arbitrarily many logical registers: protocol state
 lives in per-register slots keyed by the messages' ``register_id``
@@ -27,19 +35,30 @@ from typing import Any, List
 
 from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
-from ...messages import Pw, PwAck, ReadAck, ReadRequest, W, WriteAck
+from ...messages import (Pw, PwAck, ReadAck, ReadRequest, TagQuery,
+                         TagQueryAck, W, WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
-                      TimestampValue, WriteTuple, initial_write_tuple)
+                      TimestampValue, WriterTag, WriteTuple,
+                      initial_write_tuple)
 
 
 @dataclass
 class SafeSlot:
-    """Per-register state of one safe object (Figure 3, lines 1-2)."""
+    """Per-register state of one safe object (Figure 3, lines 1-2).
+
+    ``(ts, wid)`` is the tag of the newest write round accepted; ``wid``
+    is always 0 in single-writer systems.
+    """
 
     ts: int
     pw: TimestampValue
     w: WriteTuple
     tsr: List[int]
+    wid: int = 0
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.ts, self.wid)
 
 
 class SafeObject(MultiRegisterObject):
@@ -84,35 +103,62 @@ class SafeObject(MultiRegisterObject):
             return self._on_w(sender, message)
         if isinstance(message, ReadRequest):
             return self._on_read(sender, message)
+        if isinstance(message, TagQuery):
+            return self._on_tag_query(sender, message)
         # Unknown traffic (e.g. probes from baselines wired incorrectly) is
         # ignored rather than crashing the object: a storage element must
         # never be taken down by a malformed client message.
         return []
 
+    # -- MWMR tag discovery ----------------------------------------------
+    def _on_tag_query(self, sender: ProcessId,
+                      message: TagQuery) -> Outgoing:
+        slot = self._slot(message.register_id)
+        top = max(slot.tag, slot.pw.tag, slot.w.tag)
+        return [(sender, TagQueryAck(nonce=message.nonce,
+                                     object_index=self.object_index,
+                                     epoch=top.epoch, wid=top.writer_id,
+                                     register_id=message.register_id))]
+
     # -- lines 3-7 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
         slot = self._slot(message.register_id)
-        if message.ts > slot.ts:
+        # Tag comparison inlined (epoch first, writer id tie-break): this
+        # guard runs per message and tuple construction is measurable.
+        if message.ts > slot.ts or (message.ts == slot.ts
+                                    and message.wid > slot.wid):
             slot.ts = message.ts
+            slot.wid = message.wid
             slot.pw = message.pw
-            slot.w = message.w
-            ack = PwAck(ts=slot.ts, object_index=self.object_index,
-                        tsr=tuple(slot.tsr),
-                        register_id=message.register_id)
-            return [(sender, ack)]
-        return []
+            # The piggybacked previous tuple may lag what another writer
+            # already completed here; never regress the w field.
+            if message.w.tag > slot.w.tag:
+                slot.w = message.w
+        elif not self.config.is_multi_writer:
+            return []  # figure semantics: stale traffic earns no reply
+        ack = PwAck(ts=message.ts, object_index=self.object_index,
+                    tsr=tuple(slot.tsr),
+                    register_id=message.register_id, wid=message.wid)
+        return [(sender, ack)]
 
     # -- lines 8-12 ------------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
         slot = self._slot(message.register_id)
-        if message.ts >= slot.ts:
+        if message.ts > slot.ts or (message.ts == slot.ts
+                                    and message.wid >= slot.wid):
             slot.ts = message.ts
+            slot.wid = message.wid
             slot.pw = message.pw
             slot.w = message.w
-            return [(sender, WriteAck(ts=slot.ts,
-                                      object_index=self.object_index,
-                                      register_id=message.register_id))]
-        return []
+        elif not self.config.is_multi_writer:
+            return []
+        elif message.w.tag > slot.w.tag:
+            # Losing writer's tuple is still news for the w field.
+            slot.w = message.w
+        return [(sender, WriteAck(ts=message.ts,
+                                  object_index=self.object_index,
+                                  register_id=message.register_id,
+                                  wid=message.wid))]
 
     # -- lines 13-17 -----------------------------------------------------
     def _on_read(self, sender: ProcessId, message: ReadRequest) -> Outgoing:

@@ -107,6 +107,10 @@ def exists_conflict_free_quorum(responders: Set[int],
     """
     if len(responders) < quorum:
         return False
+    if not pairs:
+        # No Byzantine accusations in flight -- the overwhelmingly common
+        # case; every responder subset is conflict-free.
+        return True
     disqualified = {i for (i, k) in pairs if i == k and i in responders}
     live = responders - disqualified
     adjacency: Dict[int, Set[int]] = {v: set() for v in live}
@@ -140,6 +144,16 @@ class CandidateTracker:
     proof requires: once ``safe(c)`` holds it keeps holding, and once a
     candidate is eliminated it stays eliminated (``RespondedWO`` never
     shrinks).
+
+    Write ordering compares full ``(epoch, writer_id)`` tags, so one
+    tracker serves the single-writer protocol (all tags ``(ts, 0)``) and
+    its MWMR extension alike.
+
+    The derived predicates are evaluated after every ack and several
+    times within one step, but their verdicts only change when evidence
+    arrives; a generation counter bumped on ingestion keys cheap
+    memoization of the hot set computations (the same shape as
+    :class:`~repro.core.regular.evidence.RegularEvidence`).
     """
 
     def __init__(self, elimination_threshold: int,
@@ -156,6 +170,12 @@ class CandidateTracker:
         self.first_rw: Dict[WriteTuple, Set[int]] = {}
         #: Resp1 (via RespFirst[]): objects that answered round 1
         self.responded_first: Set[int] = set()
+        # Memoization state: bumped whenever evidence is ingested.
+        self._generation = 0
+        self._voter_cache: Dict[Tuple[str, WriteTuple],
+                                Tuple[int, Set[int]]] = {}
+        self._candidates_cache: Tuple[int, Optional[Set[WriteTuple]]] = \
+            (-1, None)
 
     # -- evidence ingestion -------------------------------------------------
     def record_first_round(self, object_index: int, pw: TimestampValue,
@@ -166,20 +186,26 @@ class CandidateTracker:
         self.rpw.setdefault(pw, set()).add(object_index)
         self._candidates.add(w)
         self.responded_first.add(object_index)
+        self._generation += 1
 
     def record_second_round(self, object_index: int, pw: TimestampValue,
                             w: WriteTuple) -> None:
         """Lines 25-26: READ2_ACK processing (no candidate insertion)."""
         self.rw.setdefault(w, set()).add(object_index)
         self.rpw.setdefault(pw, set()).add(object_index)
+        self._generation += 1
 
     # -- derived sets ---------------------------------------------------------
     def responded_without(self, c: WriteTuple) -> Set[int]:
         """``RespondedWO(c) = {i : ∃c' != c, i ∈ RW(c')}`` (line 2)."""
+        cached = self._voter_cache.get(("wo", c))
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         out: Set[int] = set()
         for other, members in self.rw.items():
             if other != c:
                 out |= members
+        self._voter_cache[("wo", c)] = (self._generation, out)
         return out
 
     def is_eliminated(self, c: WriteTuple) -> bool:
@@ -188,7 +214,12 @@ class CandidateTracker:
 
     def candidates(self) -> Set[WriteTuple]:
         """The current set ``C``: added candidates not (yet) eliminated."""
-        return {c for c in self._candidates if not self.is_eliminated(c)}
+        generation, cached = self._candidates_cache
+        if generation == self._generation and cached is not None:
+            return cached
+        current = {c for c in self._candidates if not self.is_eliminated(c)}
+        self._candidates_cache = (self._generation, current)
+        return current
 
     def candidates_empty(self) -> bool:
         return not self.candidates()
@@ -199,29 +230,34 @@ class CandidateTracker:
 
         An object supports ``c`` when it reported ``c`` itself, ``c``'s
         timestamp-value pair, or *any* tuple / pair with a strictly higher
-        timestamp.
+        write tag.
         """
+        cached = self._voter_cache.get(("safe", c))
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         support: Set[int] = set()
         support |= self.rw.get(c, set())
         support |= self.rpw.get(c.tsval, set())
+        c_tag = c.tsval.tag
         for other, members in self.rw.items():
-            if other.tsval.ts > c.tsval.ts:
+            if other.tsval.tag > c_tag:
                 support |= members
         for pair, members in self.rpw.items():
-            if pair.ts > c.tsval.ts:
+            if pair.tag > c_tag:
                 support |= members
+        self._voter_cache[("safe", c)] = (self._generation, support)
         return support
 
     def is_safe(self, c: WriteTuple) -> bool:
         return len(self.supporters(c)) >= self.confirmation_threshold
 
     def high_candidates(self) -> Set[WriteTuple]:
-        """``highCand(c)`` holders: candidates with the maximal timestamp."""
+        """``highCand(c)`` holders: candidates with the maximal tag."""
         current = self.candidates()
         if not current:
             return set()
-        top = max(c.tsval.ts for c in current)
-        return {c for c in current if c.tsval.ts == top}
+        top = max(c.tsval.tag for c in current)
+        return {c for c in current if c.tsval.tag == top}
 
     def returnable(self) -> Optional[WriteTuple]:
         """Line 14/18: a candidate that is both safe and highCand, if any."""

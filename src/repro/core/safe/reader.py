@@ -28,7 +28,7 @@ from ...config import SystemConfig
 from ...errors import ProtocolError
 from ...messages import ReadAck, ReadRequest
 from ...quorums import confirmation_threshold, elimination_threshold
-from ...types import BOTTOM, ProcessId, obj, reader
+from ...types import BOTTOM, TAG0, ProcessId, obj, reader
 from .predicates import (CandidateTracker, conflict_pairs,
                          exists_conflict_free_quorum)
 
@@ -146,11 +146,13 @@ class SafeReadOperation(ClientOperation):
             return
         candidate = self.tracker.returnable()
         if candidate is not None:
+            self.tag = candidate.tag
             self.complete(candidate.tsval.value)
             return
         if self.tracker.candidates_empty():
             # Only possible under read/write concurrency; safety then
             # allows any value -- the paper returns v0.
+            self.tag = TAG0
             self.complete(BOTTOM)
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
-"""Writer side of the safe storage (Figure 2).
+"""Writer side of the safe storage (Figure 2), plus the MWMR extension.
 
-The WRITE proceeds in exactly two rounds:
+The SWMR WRITE proceeds in exactly two rounds:
 
 * **PW** (pre-write): install the new timestamp-value pair ``pw = <ts, v>``
   in the objects' ``pw`` fields *and read back* each object's reader
@@ -10,6 +10,16 @@ The WRITE proceeds in exactly two rounds:
   embeds the collected reader-timestamp snapshot.  Readers later use that
   snapshot to expose Byzantine objects (the ``conflict`` predicate).
 
+With multiple writers (``config.num_writers > 1``) a **TAG** round is
+prepended: the writer queries a quorum for the highest ``(epoch,
+writer_id)`` tag, bumps the epoch, and tie-breaks with its own writer id
+-- the classic MWMR read-timestamp phase.  Quorum intersection with any
+completed write's W round contains at least ``b + 1`` objects at optimal
+resilience, so at least one correct object reports a tag at least as high
+as any completed write's; real-time write order therefore maps to tag
+order.  Single-writer systems skip the round entirely and keep the
+paper's exact 2-round WRITE.
+
 The writer's persistent variables (``ts`` and the last installed ``w``)
 live in :class:`SafeWriterState`, shared across that writer's operations,
 mirroring the paper's process-local state.
@@ -18,16 +28,18 @@ mirroring the paper's process-local state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Set
+from typing import Any, Optional, Set
 
 from ...automata.base import ClientOperation, Outgoing
+from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
 from ...errors import ProtocolError
-from ...messages import Pw, PwAck, W, WriteAck
-from ...types import (ProcessId, TimestampValue, TsrArray, WRITER, WriteTuple,
-                      _Bottom, initial_write_tuple, obj)
+from ...messages import Pw, PwAck, TagQuery, TagQueryAck, W, WriteAck
+from ...types import (ProcessId, TimestampValue, TsrArray, WriterTag,
+                      WriteTuple, _Bottom, initial_write_tuple, obj, writer)
 
 #: Phase names for tracing/assertions.
+PHASE_TAG = "TAG"
 PHASE_PW = "PW"
 PHASE_W = "W"
 
@@ -39,6 +51,7 @@ class SafeWriterState:
     config: SystemConfig
     ts: int = 0
     w: WriteTuple = field(default=None)  # type: ignore[assignment]
+    writer_index: int = 0
 
     def __post_init__(self) -> None:
         if self.w is None:
@@ -52,32 +65,55 @@ class SafeWriteOperation(ClientOperation):
     kind = "WRITE"
 
     def __init__(self, state: SafeWriterState, value: Any):
-        super().__init__(WRITER)
+        super().__init__(writer(state.writer_index))
         if isinstance(value, _Bottom):
             raise ProtocolError("⊥ is not a valid input value for WRITE")
         self.state = state
         self.config = state.config
         self.value = value
-        self.phase = PHASE_PW
+        self.wid = state.writer_index
+        #: MWMR systems prepend the tag-discovery round; the single-writer
+        #: system trusts the local monotone counter, exactly as the paper.
+        self.discover_tag = state.config.is_multi_writer
+        self.phase = PHASE_TAG if self.discover_tag else PHASE_PW
         self.ts: int = 0
         self.pw: TimestampValue = None  # type: ignore[assignment]
         self.current_tsrarray: TsrArray = None  # type: ignore[assignment]
+        self.discovery: Optional[TagDiscovery] = None
         self._pw_ackers: Set[int] = set()
         self._w_ackers: Set[int] = set()
 
     # ------------------------------------------------------------------
     def start(self) -> Outgoing:
+        if self.discover_tag:
+            # MWMR round 0: learn the highest installed tag from a quorum.
+            self.discovery = TagDiscovery(
+                nonce=self.operation_id,
+                quorum=self.config.quorum_size,
+                writer_id=self.wid,
+                floor=WriterTag(self.state.ts, self.wid),
+            )
+            self.begin_round()
+            query = TagQuery(nonce=self.operation_id,
+                             register_id=self.register_id)
+            return [(obj(i), query)
+                    for i in range(self.config.num_objects)]
+        # Lines 3-4: inc(ts); the single writer's counter is authoritative.
+        return self._start_pw_round(self.state.ts + 1)
+
+    def _start_pw_round(self, epoch: int) -> Outgoing:
         cfg = self.config
-        # Lines 3-4: inc(ts); reset snapshot; build the new pair.
-        self.state.ts += 1
-        self.ts = self.state.ts
-        self.pw = TimestampValue(self.ts, self.value)
+        self.phase = PHASE_PW
+        self.state.ts = epoch
+        self.ts = epoch
+        self.pw = TimestampValue(self.ts, self.value, wid=self.wid)
+        self.tag = self.pw.tag
         self.current_tsrarray = TsrArray.empty(cfg.num_objects,
                                                cfg.num_readers)
         # Line 5: PW carries the new pair plus the *previous* write tuple,
         # so laggards catch up on the last complete write.
         message = Pw(ts=self.ts, pw=self.pw, w=self.state.w,
-                     register_id=self.register_id)
+                     register_id=self.register_id, wid=self.wid)
         self.begin_round()
         return [(obj(i), message) for i in range(cfg.num_objects)]
 
@@ -85,17 +121,31 @@ class SafeWriteOperation(ClientOperation):
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not sender.is_object:
             return []
+        if isinstance(message, TagQueryAck):
+            return self._on_tag_ack(sender, message)
         if isinstance(message, PwAck):
             return self._on_pw_ack(sender, message)
         if isinstance(message, WriteAck):
             return self._on_write_ack(sender, message)
         return []
 
+    def _on_tag_ack(self, sender: ProcessId,
+                    message: TagQueryAck) -> Outgoing:
+        if (self.phase != PHASE_TAG or self.discovery is None
+                or message.register_id != self.register_id):
+            return []
+        self.discovery.offer(sender.index, message.nonce, message.tag)
+        if self.discovery.ready():
+            chosen = self.discovery.chosen_tag()
+            return self._start_pw_round(chosen.epoch)
+        return []
+
     def _on_pw_ack(self, sender: ProcessId, message: PwAck) -> Outgoing:
-        # Freshness: the ack must echo this write's timestamp and register.
+        # Freshness: the ack must echo this write's tag and register.
         # Identity comes from the channel (sender), never from the payload
         # -- a Byzantine object cannot impersonate a peer.
-        if (message.ts != self.ts or self.phase != PHASE_PW
+        if (message.ts != self.ts or message.wid != self.wid
+                or self.phase != PHASE_PW
                 or message.register_id != self.register_id):
             return []
         i = sender.index
@@ -121,13 +171,14 @@ class SafeWriteOperation(ClientOperation):
         self.state.w = w_tuple
         self.phase = PHASE_W
         message = W(ts=self.ts, pw=self.pw, w=w_tuple,
-                    register_id=self.register_id)
+                    register_id=self.register_id, wid=self.wid)
         self.begin_round()
         # Line 8: second round to all objects.
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
     def _on_write_ack(self, sender: ProcessId, message: WriteAck) -> Outgoing:
-        if (message.ts != self.ts or self.phase != PHASE_W
+        if (message.ts != self.ts or message.wid != self.wid
+                or self.phase != PHASE_W
                 or message.register_id != self.register_id):
             return []
         self._w_ackers.add(sender.index)
@@ -138,4 +189,5 @@ class SafeWriteOperation(ClientOperation):
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        return f"WRITE#{self.operation_id}({self.value!r}) ts={self.ts}"
+        suffix = "" if self.wid == 0 else f" by {self.client_id!r}"
+        return f"WRITE#{self.operation_id}({self.value!r}) ts={self.ts}{suffix}"

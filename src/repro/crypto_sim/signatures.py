@@ -19,8 +19,12 @@ def _canonical(value: Any) -> bytes:
     ambiguous encodings.
     """
     if isinstance(value, TimestampValue):
-        return b"tsval|" + str(value.ts).encode() + b"|" + \
-            _canonical(value.value)
+        head = b"tsval|" + str(value.ts).encode()
+        if value.wid:
+            # MWMR tags sign the writer id too; the 0 case keeps every
+            # legacy signature byte-identical.
+            head += b"." + str(value.wid).encode()
+        return head + b"|" + _canonical(value.value)
     if isinstance(value, _Bottom):
         return b"bottom"
     if isinstance(value, (str, int, float, bool)) or value is None:

@@ -79,3 +79,13 @@ class AuthenticationError(ReproError):
 
 class TransportError(ReproError):
     """An asyncio runtime transport failed (:mod:`repro.runtime`)."""
+
+
+class BackpressureError(TransportError):
+    """A multiplexed client host refused to admit more pending operations.
+
+    :class:`~repro.runtime.hosts.MuxClientHost` caps the number of
+    registers with an operation in flight; beyond the cap new admissions
+    are rejected immediately instead of silently queueing behind thousands
+    of registers sharing one inbox.  Callers should back off and retry.
+    """

@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from .types import (DEFAULT_REGISTER, TimestampValue, TsrArray, WriteTuple,
-                    _Bottom)
+from .types import (DEFAULT_REGISTER, TimestampValue, TsrArray, WriterTag,
+                    WriteTuple, _Bottom, as_tag)
 
 
 def estimate_size(value: Any) -> int:
@@ -64,8 +64,12 @@ class Message:
 
     Subclasses are frozen dataclasses; the simulator treats payloads as
     opaque immutable values.  ``kind`` is a stable wire-format name used in
-    traces and by the asyncio JSON transport.
+    traces and by the asyncio JSON transport.  The base declares empty
+    ``__slots__`` so subclasses may opt into slotted layouts (histories
+    ship millions of :class:`HistoryEntry` instances).
     """
+
+    __slots__ = ()
 
     @property
     def kind(self) -> str:
@@ -93,21 +97,28 @@ def register_of(payload: Any) -> str:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pw(Message):
     """First write round, ``PW<ts, pw, w>``.
 
     Carries the *new* timestamp-value pair ``pw`` and the *previous* write's
     tuple ``w`` (so even objects that missed the previous W round learn it).
+    ``wid`` is the writer id of the MWMR tag ``(ts, wid)``; legacy frames
+    omit it and decode as writer 0.
     """
 
     ts: int
     pw: TimestampValue
     w: WriteTuple
     register_id: str = DEFAULT_REGISTER
+    wid: int = 0
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.ts, self.wid)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PwAck(Message):
     """``PW_ACK_i<ts, tsr>``: object ``i`` reports its reader timestamps."""
 
@@ -115,9 +126,10 @@ class PwAck(Message):
     object_index: int
     tsr: Tuple[int, ...]
     register_id: str = DEFAULT_REGISTER
+    wid: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class W(Message):
     """Second write round, ``W<ts, pw, w>`` with the completed tuple ``w``."""
 
@@ -125,15 +137,55 @@ class W(Message):
     pw: TimestampValue
     w: WriteTuple
     register_id: str = DEFAULT_REGISTER
+    wid: int = 0
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.ts, self.wid)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteAck(Message):
     """``WRITE_ACK_i<ts>``."""
 
     ts: int
     object_index: int
     register_id: str = DEFAULT_REGISTER
+    wid: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Tag discovery (MWMR write path, round 0)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TagQuery(Message):
+    """Writer-to-object: report the highest write tag you hold.
+
+    The MWMR read-timestamp phase: before installing a value a writer asks
+    a quorum for the maximum ``(epoch, writer_id)`` tag, bumps the epoch,
+    and tie-breaks with its own writer id.  ``nonce`` matches acks to the
+    issuing operation (operation ids are process-wide unique).
+    """
+
+    nonce: int
+    register_id: str = DEFAULT_REGISTER
+
+
+@dataclass(frozen=True, slots=True)
+class TagQueryAck(Message):
+    """``TAG_ACK_i<epoch, wid>``: the highest tag object ``i`` holds."""
+
+    nonce: int
+    object_index: int
+    epoch: int
+    wid: int = 0
+    register_id: str = DEFAULT_REGISTER
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.epoch, self.wid)
 
 
 # ---------------------------------------------------------------------------
@@ -141,24 +193,31 @@ class WriteAck(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest(Message):
     """``READk<tsr'>`` for ``k in {1, 2}``.
 
     ``round_index`` is 1 or 2; ``tsr`` is the reader's fresh timestamp and
     ``reader_index`` identifies which ``tsr[j]`` field the object updates.
     ``from_ts`` is used only by the Section 5.1 optimized regular reader to
-    request a history suffix; the safe protocol leaves it ``None``.
+    request a history suffix; the safe protocol leaves it ``None``.  It
+    holds a :class:`~repro.types.WriterTag` (legacy senders may pass a
+    bare epoch integer, meaning writer 0).
     """
 
     round_index: int
     tsr: int
     reader_index: int
-    from_ts: Optional[int] = None
+    from_ts: Optional[WriterTag] = None
     register_id: str = DEFAULT_REGISTER
 
+    def __post_init__(self) -> None:
+        # Normalize legacy bare-epoch suffixes to writer-0 tags so callers
+        # and codecs agree on one representation.
+        object.__setattr__(self, "from_ts", as_tag(self.from_ts))
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class ReadAck(Message):
     """``READk_ACK_i<tsr[j], pw, w>`` of the safe protocol (Figure 3)."""
 
@@ -175,36 +234,46 @@ class ReadAck(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryEntry(Message):
-    """One slot of an object's history: ``history_i[ts] = <pw, w>``.
+    """One slot of an object's history: ``history_i[tag] = <pw, w>``.
 
     ``w`` may be ``None`` (the paper's ``nil``) when only the PW round of
-    the corresponding write has been observed.
+    the corresponding write has been observed.  Slotted: histories carry
+    one instance per write per object per ack, so the per-instance dict
+    is pure overhead on the hottest allocation path.
     """
 
     pw: Optional[TimestampValue]
     w: Optional[WriteTuple]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryReadAck(Message):
     """``READk_ACK_i<tsr[j], history_i>`` of the regular protocol.
 
-    ``history`` maps timestamps to :class:`HistoryEntry`.  With the §5.1
-    optimization the mapping contains only timestamps ``>= from_ts`` of the
-    triggering :class:`ReadRequest`.
+    ``history`` maps write tags to :class:`HistoryEntry` (bare integer
+    keys from legacy senders mean writer 0).  With the §5.1 optimization
+    the mapping contains only tags ``>= from_ts`` of the triggering
+    :class:`ReadRequest`.
     """
 
     round_index: int
     tsr: int
     object_index: int
-    history: Mapping[int, HistoryEntry]
+    history: Mapping[WriterTag, HistoryEntry]
     register_id: str = DEFAULT_REGISTER
 
     def __post_init__(self) -> None:
-        # Freeze the mapping so acks are hashable and immutable.
-        object.__setattr__(self, "history", dict(self.history))
+        # Freeze the mapping so acks are hashable and immutable; normalize
+        # legacy integer keys to writer-0 tags.  The all-tags case (every
+        # internal sender) takes the single plain-copy path.
+        history = self.history
+        if all(type(tag) is WriterTag for tag in history):
+            history = dict(history)
+        else:
+            history = {as_tag(tag): entry for tag, entry in history.items()}
+        object.__setattr__(self, "history", history)
 
     def __hash__(self) -> int:  # history dict prevents default hash
         return hash((self.round_index, self.tsr, self.object_index,
@@ -267,6 +336,11 @@ def summarize(message: Message) -> str:
         return f"W<ts={message.ts}, pw={message.pw!r}>"
     if isinstance(message, WriteAck):
         return f"WRITE_ACK(s{message.object_index + 1}, ts={message.ts})"
+    if isinstance(message, TagQuery):
+        return f"TAG_QUERY<nonce={message.nonce}>"
+    if isinstance(message, TagQueryAck):
+        return (f"TAG_ACK(s{message.object_index + 1}, "
+                f"tag={message.tag!r})")
     if isinstance(message, ReadRequest):
         return f"READ{message.round_index}<tsr={message.tsr}>"
     if isinstance(message, ReadAck):
@@ -290,6 +364,8 @@ __all__ = [
     "PwAck",
     "W",
     "WriteAck",
+    "TagQuery",
+    "TagQueryAck",
     "ReadRequest",
     "ReadAck",
     "HistoryEntry",

@@ -39,6 +39,16 @@ class StorageProtocol(ABC):
     #: Whether readers modify base-object state.
     readers_write: bool = True
 
+    def write_rounds_bound(self, config: SystemConfig) -> int:
+        """Worst-case write rounds under ``config``.
+
+        Multi-writer systems prepend the tag-discovery round to every
+        WRITE; the advertised ``write_rounds_worst_case`` is the paper's
+        single-writer figure.
+        """
+        extra = 1 if config.is_multi_writer else 0
+        return self.write_rounds_worst_case + extra
+
     # -- resilience -----------------------------------------------------------
     @abstractmethod
     def min_objects(self, t: int, b: int) -> int:
@@ -59,7 +69,25 @@ class StorageProtocol(ABC):
 
     @abstractmethod
     def make_writer_state(self, config: SystemConfig) -> Any:
-        """Persistent writer-side state shared across WRITEs."""
+        """Persistent writer-side state shared across WRITEs (writer 0)."""
+
+    def make_writer_state_for(self, config: SystemConfig,
+                              writer_index: int = 0) -> Any:
+        """Persistent state of writer ``writer_index`` (MWMR).
+
+        The default stamps ``writer_index`` on the writer-0 state, which
+        every MWMR-capable state exposes as an attribute; protocols whose
+        states lack it are single-writer only and refuse other indices.
+        """
+        state = self.make_writer_state(config)
+        if writer_index == 0:
+            return state
+        if not hasattr(state, "writer_index"):
+            from .errors import ConfigurationError
+            raise ConfigurationError(
+                f"{self.name} supports a single writer only")
+        state.writer_index = writer_index
+        return state
 
     @abstractmethod
     def make_reader_state(self, config: SystemConfig, reader_index: int) -> Any:
@@ -123,14 +151,16 @@ class RegisterClientStates:
     def __init__(self, protocol: StorageProtocol, config: SystemConfig):
         self.protocol = protocol
         self.config = config
-        self._writers: Dict[str, Any] = {}
+        self._writers: Dict[Tuple[str, int], Any] = {}
         self._readers: Dict[Tuple[str, int], Any] = {}
 
-    def writer(self, register_id: str = DEFAULT_REGISTER) -> Any:
-        state = self._writers.get(register_id)
+    def writer(self, register_id: str = DEFAULT_REGISTER,
+               writer_index: int = 0) -> Any:
+        key = (register_id, writer_index)
+        state = self._writers.get(key)
         if state is None:
-            state = self._writers[register_id] = \
-                self.protocol.make_writer_state(self.config)
+            state = self._writers[key] = \
+                self.protocol.make_writer_state_for(self.config, writer_index)
         return state
 
     def reader(self, register_id: str = DEFAULT_REGISTER,
@@ -144,5 +174,5 @@ class RegisterClientStates:
 
     def registers(self) -> List[str]:
         """Register ids any client state has been created for."""
-        return sorted(set(self._writers)
+        return sorted({rid for rid, _ in self._writers}
                       | {rid for rid, _ in self._readers})

@@ -17,9 +17,10 @@ from typing import Any, Callable, Dict
 
 from ..errors import TransportError
 from ..messages import (Batch, HistoryEntry, HistoryReadAck, Pw, PwAck,
-                        ReadAck, ReadRequest, W, WriteAck)
+                        ReadAck, ReadRequest, TagQuery, TagQueryAck, W,
+                        WriteAck)
 from ..types import (BOTTOM, DEFAULT_REGISTER, TimestampValue, TsrArray,
-                     WriteTuple, _Bottom)
+                     WriterTag, WriteTuple, _Bottom, as_tag)
 
 
 # ---------------------------------------------------------------------------
@@ -31,7 +32,12 @@ def encode_value(value: Any) -> Any:
     if isinstance(value, _Bottom):
         return {"__t": "bottom"}
     if isinstance(value, TimestampValue):
-        return {"__t": "tsval", "ts": value.ts, "v": encode_value(value.value)}
+        body = {"__t": "tsval", "ts": value.ts,
+                "v": encode_value(value.value)}
+        if value.wid:
+            # Writer 0 omits the tag so legacy frames stay byte-identical.
+            body["wid"] = value.wid
+        return body
     if isinstance(value, TsrArray):
         return {"__t": "tsr", "rows": [list(row) for row in value]}
     if isinstance(value, WriteTuple):
@@ -57,7 +63,8 @@ def decode_value(data: Any) -> Any:
     if tag == "bottom":
         return BOTTOM
     if tag == "tsval":
-        return TimestampValue(data["ts"], decode_value(data["v"]))
+        return TimestampValue(data["ts"], decode_value(data["v"]),
+                              wid=data.get("wid", 0))
     if tag == "tsr":
         return TsrArray.from_lists(data["rows"])
     if tag == "wtuple":
@@ -81,17 +88,65 @@ def _register(d: Dict[str, Any]) -> str:
     return d.get("r", DEFAULT_REGISTER)
 
 
+def _wid(d: Dict[str, Any]) -> int:
+    """Decode the writer id; absent on pre-MWMR frames (writer 0)."""
+    return d.get("wid", 0)
+
+
+def _maybe_wid(body: Dict[str, Any], wid: int) -> Dict[str, Any]:
+    """Attach a writer id only when nonzero (legacy frames stay stable)."""
+    if wid:
+        body["wid"] = wid
+    return body
+
+
+def _encode_tag_key(tag: WriterTag) -> str:
+    """History keys: ``"epoch"`` for writer 0 (legacy), ``"epoch:wid"``."""
+    if tag.writer_id:
+        return f"{tag.epoch}:{tag.writer_id}"
+    return str(tag.epoch)
+
+
+def _decode_tag_key(key: str) -> WriterTag:
+    epoch, _, wid = key.partition(":")
+    return WriterTag(int(epoch), int(wid) if wid else 0)
+
+
+def _encode_from_ts(from_ts: Any) -> Any:
+    """``from_ts``: None, bare epoch (writer 0, legacy) or [epoch, wid]."""
+    if from_ts is None:
+        return None
+    tag = as_tag(from_ts)
+    if tag.writer_id == 0:
+        return tag.epoch
+    return [tag.epoch, tag.writer_id]
+
+
+def _decode_from_ts(data: Any) -> Any:
+    if data is None:
+        return None
+    return as_tag(data if isinstance(data, int) else tuple(data))
+
+
 _ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
-    Pw: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
-                   "w": encode_value(m.w), "r": m.register_id},
-    W: lambda m: {"ts": m.ts, "pw": encode_value(m.pw),
-                  "w": encode_value(m.w), "r": m.register_id},
-    PwAck: lambda m: {"ts": m.ts, "i": m.object_index,
-                      "tsr": list(m.tsr), "r": m.register_id},
-    WriteAck: lambda m: {"ts": m.ts, "i": m.object_index,
-                         "r": m.register_id},
+    Pw: lambda m: _maybe_wid(
+        {"ts": m.ts, "pw": encode_value(m.pw),
+         "w": encode_value(m.w), "r": m.register_id}, m.wid),
+    W: lambda m: _maybe_wid(
+        {"ts": m.ts, "pw": encode_value(m.pw),
+         "w": encode_value(m.w), "r": m.register_id}, m.wid),
+    PwAck: lambda m: _maybe_wid(
+        {"ts": m.ts, "i": m.object_index,
+         "tsr": list(m.tsr), "r": m.register_id}, m.wid),
+    WriteAck: lambda m: _maybe_wid(
+        {"ts": m.ts, "i": m.object_index, "r": m.register_id}, m.wid),
+    TagQuery: lambda m: {"nonce": m.nonce, "r": m.register_id},
+    TagQueryAck: lambda m: _maybe_wid(
+        {"nonce": m.nonce, "i": m.object_index, "epoch": m.epoch,
+         "r": m.register_id}, m.wid),
     ReadRequest: lambda m: {"k": m.round_index, "tsr": m.tsr,
-                            "j": m.reader_index, "from_ts": m.from_ts,
+                            "j": m.reader_index,
+                            "from_ts": _encode_from_ts(m.from_ts),
                             "r": m.register_id},
     ReadAck: lambda m: {"k": m.round_index, "tsr": m.tsr,
                         "i": m.object_index, "pw": encode_value(m.pw),
@@ -99,23 +154,32 @@ _ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     HistoryReadAck: lambda m: {
         "k": m.round_index, "tsr": m.tsr, "i": m.object_index,
         "r": m.register_id,
-        "h": {str(ts): encode_value(entry)
-              for ts, entry in m.history.items()}},
+        "h": {_encode_tag_key(tag): encode_value(entry)
+              for tag, entry in m.history.items()}},
 }
 
 _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "Pw": lambda d: Pw(ts=d["ts"], pw=decode_value(d["pw"]),
-                       w=decode_value(d["w"]), register_id=_register(d)),
+                       w=decode_value(d["w"]), register_id=_register(d),
+                       wid=_wid(d)),
     "W": lambda d: W(ts=d["ts"], pw=decode_value(d["pw"]),
-                     w=decode_value(d["w"]), register_id=_register(d)),
+                     w=decode_value(d["w"]), register_id=_register(d),
+                     wid=_wid(d)),
     "PwAck": lambda d: PwAck(ts=d["ts"], object_index=d["i"],
                              tsr=tuple(d["tsr"]),
-                             register_id=_register(d)),
+                             register_id=_register(d), wid=_wid(d)),
     "WriteAck": lambda d: WriteAck(ts=d["ts"], object_index=d["i"],
+                                   register_id=_register(d), wid=_wid(d)),
+    "TagQuery": lambda d: TagQuery(nonce=d["nonce"],
                                    register_id=_register(d)),
+    "TagQueryAck": lambda d: TagQueryAck(nonce=d["nonce"],
+                                         object_index=d["i"],
+                                         epoch=d["epoch"], wid=_wid(d),
+                                         register_id=_register(d)),
     "ReadRequest": lambda d: ReadRequest(round_index=d["k"], tsr=d["tsr"],
                                          reader_index=d["j"],
-                                         from_ts=d["from_ts"],
+                                         from_ts=_decode_from_ts(
+                                             d["from_ts"]),
                                          register_id=_register(d)),
     "ReadAck": lambda d: ReadAck(round_index=d["k"], tsr=d["tsr"],
                                  object_index=d["i"],
@@ -125,8 +189,8 @@ _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "HistoryReadAck": lambda d: HistoryReadAck(
         round_index=d["k"], tsr=d["tsr"], object_index=d["i"],
         register_id=_register(d),
-        history={int(ts): decode_value(entry)
-                 for ts, entry in d["h"].items()}),
+        history={_decode_tag_key(tag): decode_value(entry)
+                 for tag, entry in d["h"].items()}),
 }
 
 

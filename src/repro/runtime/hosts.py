@@ -15,12 +15,12 @@ Two client-side shapes exist:
 from __future__ import annotations
 
 import asyncio
-from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
-from ..errors import TransportError
+from ..errors import BackpressureError, TransportError
 from ..messages import Batch, Message, register_of, unbatch
+from ..spec.histories import History, READ, WRITE
 from ..types import ProcessId, obj
 from .memnet import AsyncNetwork
 
@@ -29,22 +29,29 @@ def coalesce_outgoing(outgoing: Outgoing) -> Outgoing:
     """Group same-step messages per receiver into single Batch envelopes.
 
     Singleton groups stay unwrapped; order within a batch is send order,
-    so receivers observe exactly the unbatched semantics.
+    so receivers observe exactly the unbatched semantics.  (Insertion
+    order of the grouping dict preserves first-seen receiver order.)
     """
-    grouped: Dict[ProcessId, List[Any]] = defaultdict(list)
-    order: List[ProcessId] = []
+    if len(outgoing) <= 1:
+        return outgoing
+    grouped: Dict[ProcessId, List[Any]] = {}
     for receiver, payload in outgoing:
-        if receiver not in grouped:
-            order.append(receiver)
-        grouped[receiver].append(payload)
+        bucket = grouped.get(receiver)
+        if bucket is None:
+            bucket = grouped[receiver] = []
+        bucket.append(payload)
     result: Outgoing = []
-    for receiver in order:
-        payloads = grouped[receiver]
+    for receiver, payloads in grouped.items():
         if len(payloads) == 1:
             result.append((receiver, payloads[0]))
-        elif all(isinstance(p, Message) for p in payloads):
-            result.append((receiver, Batch(messages=tuple(payloads))))
-        else:  # raw probe payloads cannot ride in a Batch
+        elif all(isinstance(p, Message) and not isinstance(p, Batch)
+                 for p in payloads):
+            # One pass vets both batchability and the no-nesting rule, so
+            # construction can skip Batch.__post_init__'s re-scan.
+            batch = object.__new__(Batch)
+            object.__setattr__(batch, "messages", tuple(payloads))
+            result.append((receiver, batch))
+        else:  # raw probes / nested batches cannot ride in a Batch
             result.extend((receiver, p) for p in payloads)
     return result
 
@@ -73,9 +80,19 @@ class ObjectHost:
         while True:
             envelope = await inbox.get()
             replies: Outgoing = []
-            for part in unbatch(envelope.payload):
-                replies.extend(
-                    self.automaton.on_message(envelope.sender, part) or [])
+            while True:
+                # Drain everything already queued before replying: one
+                # wakeup handles a whole burst (e.g. many clients' same
+                # round), and the replies re-coalesce across all of it --
+                # fewer envelopes, fewer downstream wakeups.
+                for part in unbatch(envelope.payload):
+                    replies.extend(
+                        self.automaton.on_message(envelope.sender, part)
+                        or [])
+                try:
+                    envelope = inbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
             for receiver, payload in coalesce_outgoing(replies):
                 self.network.send(self.pid, receiver, payload)
 
@@ -133,12 +150,24 @@ class MuxClientHost:
     """
 
     def __init__(self, pid: ProcessId, network: AsyncNetwork,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_pending: Optional[int] = None,
+                 history: Optional[History] = None):
+        """``max_pending`` caps concurrently pending registers: admission
+        beyond the cap raises :class:`~repro.errors.BackpressureError`
+        instead of letting thousands of registers starve one inbox.
+        ``history`` (shared across the hosts of one store) records every
+        operation's invocation/completion for the consistency checkers.
+        """
         if not pid.is_client:
             raise TransportError(f"{pid!r} is not a client process")
+        if max_pending is not None and max_pending < 1:
+            raise TransportError("max_pending must be at least 1")
         self.pid = pid
         self.network = network
         self.batching = batching
+        self.max_pending = max_pending
+        self.history = history
         network.register(pid)
         self._pending: Dict[str, ClientOperation] = {}
         self._waiters: Dict[str, "asyncio.Future[Any]"] = {}
@@ -173,17 +202,48 @@ class MuxClientHost:
             raise TransportError(
                 f"client {self.pid!r} already has an operation in flight "
                 f"on register {register_id!r}")
+        if (self.max_pending is not None
+                and len(self._pending) >= self.max_pending):
+            raise BackpressureError(
+                f"client {self.pid!r} has {len(self._pending)} operations "
+                f"in flight (cap {self.max_pending}); rejecting "
+                f"register {register_id!r}")
         self._pending[register_id] = operation
         future: "asyncio.Future[Any]" = \
             asyncio.get_running_loop().create_future()
         self._waiters[register_id] = future
+        self._record_invocation(operation)
         return future
+
+    # -- history recording --------------------------------------------------
+    def _record_invocation(self, operation: ClientOperation) -> None:
+        if self.history is None:
+            return
+        kind = operation.kind if operation.kind in (READ, WRITE) else READ
+        self.history.record_invocation(
+            operation_id=operation.operation_id,
+            client=self.pid,
+            kind=kind,
+            argument=getattr(operation, "value", None),
+            register=operation.register_id,
+        )
+
+    def _record_completion(self, operation: ClientOperation) -> None:
+        if self.history is None:
+            return
+        self.history.record_completion(
+            operation_id=operation.operation_id,
+            result=operation.result,
+            rounds_used=operation.rounds_used,
+            tag=getattr(operation, "tag", None),
+        )
 
     def _settle(self, register_id: str, operation: ClientOperation) -> None:
         self._pending.pop(register_id, None)
         future = self._waiters.pop(register_id, None)
         if future is not None and not future.done():
             future.set_result(operation.result)
+        self._record_completion(operation)
 
     def _evict(self, operation: ClientOperation,
                error: Optional[BaseException] = None) -> None:
@@ -199,28 +259,34 @@ class MuxClientHost:
         inbox = self.network.inbox(self.pid)
         while True:
             envelope = await inbox.get()
-            # Aggregate the whole envelope's outgoing before dispatching:
-            # a batched ack (N registers' round-1 replies from one object)
-            # then yields N coalesced round-2 broadcasts -- S envelopes,
-            # not N x S.
+            # Aggregate the whole burst's outgoing before dispatching:
+            # batched acks (N registers' round-1 replies from several
+            # objects, drained in one wakeup) yield N coalesced round-2
+            # broadcasts -- S envelopes, not N x S.
             outgoing: Outgoing = []
             settled: List[Tuple[str, ClientOperation]] = []
-            for part in unbatch(envelope.payload):
-                register_id = register_of(part)
-                operation = self._pending.get(register_id)
-                if operation is None or operation.done:
-                    continue  # stale traffic for a finished operation
+            while True:
+                for part in unbatch(envelope.payload):
+                    register_id = register_of(part)
+                    operation = self._pending.get(register_id)
+                    if operation is None or operation.done:
+                        continue  # stale traffic for a finished operation
+                    try:
+                        outgoing.extend(
+                            operation.on_message(envelope.sender, part)
+                            or [])
+                    except Exception as exc:
+                        # A broken operation must not kill the pump (it
+                        # serves every other register) nor hang its
+                        # caller: fail its waiter and drop it.
+                        self._evict(operation, exc)
+                        continue
+                    if operation.done:
+                        settled.append((register_id, operation))
                 try:
-                    outgoing.extend(
-                        operation.on_message(envelope.sender, part) or [])
-                except Exception as exc:
-                    # A broken operation must not kill the pump (it serves
-                    # every other register) nor hang its caller: fail its
-                    # waiter and drop it.
-                    self._evict(operation, exc)
-                    continue
-                if operation.done:
-                    settled.append((register_id, operation))
+                    envelope = inbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
             try:
                 self._dispatch(outgoing)
             except Exception as exc:
@@ -268,11 +334,16 @@ class MuxClientHost:
                 futures.append(self._admit(operation))
         except Exception:
             # Roll back every operation this call admitted: their start()
-            # never ran, so leaving them pending would brick the registers.
+            # never ran, so leaving them pending would brick the registers
+            # -- and their invocation records must go too, or the shared
+            # history would accumulate phantom forever-pending writes that
+            # every later read counts as concurrent.
             for operation, future in zip(operations, futures):
                 self._pending.pop(operation.register_id, None)
                 self._waiters.pop(operation.register_id, None)
                 future.cancel()
+                if self.history is not None:
+                    self.history.discard_invocation(operation.operation_id)
             raise
         first_round: Outgoing = []
         for operation in operations:

@@ -24,28 +24,44 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
 from ..protocols import StorageProtocol
+from ..spec.histories import History
 from ..types import BOTTOM, _Bottom
 from .hashing import HashRing
 from .store import MultiRegisterStore
 
 
 class ShardedKVStore:
-    """Consistent-hash sharding over multiplexed replica sets."""
+    """Consistent-hash sharding over multiplexed replica sets.
+
+    Keys are MWMR registers when the config declares several writers: any
+    client host may ``put`` any key (``writer_index`` selects the writing
+    identity) and the underlying protocols arbitrate concurrent writes
+    with ``(epoch, writer_id)`` tags.  ``record_history=True`` captures
+    every operation of every shard into one shared history for the
+    consistency checkers (a key lives wholly in one shard, so
+    per-register checks are exact).
+    """
 
     def __init__(self, protocol_factory: Callable[[], StorageProtocol],
                  config: SystemConfig, num_shards: int = 2,
                  jitter: float = 0.0, seed: int = 0, vnodes: int = 64,
                  default_timeout: Optional[float] = 30.0,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_pending_per_host: Optional[int] = None,
+                 record_history: bool = False):
         """``protocol_factory`` builds one protocol instance per shard so
         shard groups share no mutable protocol state (e.g. signer keys)."""
         self.config = config
         self.ring = HashRing(num_shards, vnodes=vnodes)
+        self.history: Optional[History] = \
+            History() if record_history else None
         self.shards: List[MultiRegisterStore] = [
             MultiRegisterStore(protocol_factory(), config,
                                jitter=jitter, seed=seed + shard,
                                default_timeout=default_timeout,
-                               batching=batching)
+                               batching=batching,
+                               max_pending_per_host=max_pending_per_host,
+                               history=self.history)
             for shard in range(num_shards)
         ]
         self._started = False
@@ -78,8 +94,10 @@ class ShardedKVStore:
 
     # -- KV API -------------------------------------------------------------
     async def put(self, key: str, value: Any,
-                  timeout: Optional[float] = None) -> None:
-        await self.store_for(key).write(key, value, timeout=timeout)
+                  timeout: Optional[float] = None,
+                  writer_index: int = 0) -> None:
+        await self.store_for(key).write(key, value, timeout=timeout,
+                                        writer_index=writer_index)
 
     async def get(self, key: str, reader_index: int = 0,
                   timeout: Optional[float] = None) -> Optional[Any]:
@@ -88,13 +106,15 @@ class ShardedKVStore:
         return None if isinstance(value, _Bottom) else value
 
     async def put_many(self, items: Mapping[str, Any],
-                       timeout: Optional[float] = None) -> None:
+                       timeout: Optional[float] = None,
+                       writer_index: int = 0) -> None:
         """Batch-write: one coalesced round per shard group."""
         by_shard: Dict[int, Dict[str, Any]] = {}
         for key, value in items.items():
             by_shard.setdefault(self.shard_for(key), {})[key] = value
         await asyncio.gather(*(
-            self.shards[shard].write_many(chunk, timeout=timeout)
+            self.shards[shard].write_many(chunk, timeout=timeout,
+                                          writer_index=writer_index)
             for shard, chunk in by_shard.items()
         ))
 

@@ -3,10 +3,13 @@
 :class:`MultiRegisterStore` is the paper's deployment done right at
 scale: a *fixed* set of ``S`` commodity base objects (one
 :class:`~repro.runtime.hosts.ObjectHost` task each) serves arbitrarily
-many SWMR registers.  Contrast with one :class:`~repro.runtime.storage.
-AsyncStorage` per key, which spawns ``S`` object tasks, ``S`` queues and
-a client host *per register* -- at 10k keys that is 40k+ asyncio tasks
-doing the work these same ``S`` tasks do here.
+many registers -- SWMR by default, MWMR when the config declares several
+writers (each writer gets its own multiplexed client host and the
+protocols arbitrate with ``(epoch, writer_id)`` tags).  Contrast with one
+:class:`~repro.runtime.storage.AsyncStorage` per key, which spawns ``S``
+object tasks, ``S`` queues and a client host *per register* -- at 10k
+keys that is 40k+ asyncio tasks doing the work these same ``S`` tasks do
+here.
 
 Per-register protocol state lives in the object automata's register
 slots (server side) and in lazily created writer/reader states (client
@@ -27,33 +30,68 @@ from ..errors import TransportError
 from ..protocols import StorageProtocol
 from ..runtime.hosts import MuxClientHost, ObjectHost
 from ..runtime.memnet import AsyncNetwork
-from ..types import WRITER, obj, reader
+from ..spec.histories import History
+from ..types import WRITER, obj, reader, writer
 
 
 class MultiRegisterStore:
-    """Many SWMR registers multiplexed over one replica set (asyncio)."""
+    """Many registers multiplexed over one replica set (asyncio).
+
+    Registers are MWMR when the config declares several writers: any
+    writer host may write any register (the protocols arbitrate with
+    ``(epoch, writer_id)`` tags).  ``record_history=True`` captures every
+    operation into a shared :class:`~repro.spec.histories.History` whose
+    event order is the event loop's, feeding the consistency checkers.
+    ``max_pending_per_host`` bounds each client host's concurrently
+    pending registers (see :class:`~repro.errors.BackpressureError`).
+    """
 
     def __init__(self, protocol: StorageProtocol, config: SystemConfig,
                  jitter: float = 0.0, seed: int = 0,
                  default_timeout: Optional[float] = 30.0,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_pending_per_host: Optional[int] = None,
+                 record_history: bool = False,
+                 history: Optional[History] = None):
         protocol.validate_config(config)
         self.protocol = protocol
         self.config = config
         self.network = AsyncNetwork(jitter=jitter, seed=seed)
         self.default_timeout = default_timeout
+        self.history: Optional[History] = (
+            history if history is not None
+            else (History() if record_history else None))
+        self._batching = batching
+        self._max_pending = max_pending_per_host
         self._object_hosts: List[ObjectHost] = [
             ObjectHost(automaton, self.network)
             for automaton in protocol.make_objects(config)
         ]
         self._states = protocol.client_states(config)
-        self._writer_host = MuxClientHost(WRITER, self.network,
-                                          batching=batching)
+        self._writer_hosts: Dict[int, MuxClientHost] = {
+            0: self._make_client_host(WRITER)}
         self._reader_hosts = [
-            MuxClientHost(reader(j), self.network, batching=batching)
+            self._make_client_host(reader(j))
             for j in range(config.num_readers)
         ]
         self._started = False
+
+    def _make_client_host(self, pid) -> MuxClientHost:
+        return MuxClientHost(pid, self.network, batching=self._batching,
+                             max_pending=self._max_pending,
+                             history=self.history)
+
+    def _writer_host(self, writer_index: int = 0) -> MuxClientHost:
+        """The host of writer ``writer_index`` (created lazily)."""
+        if not 0 <= writer_index < self.config.num_writers:
+            raise TransportError(
+                f"writer index {writer_index} out of range for "
+                f"{self.config.num_writers} writer(s)")
+        host = self._writer_hosts.get(writer_index)
+        if host is None:
+            host = self._writer_hosts[writer_index] = \
+                self._make_client_host(writer(writer_index))
+        return host
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "MultiRegisterStore":
@@ -66,7 +104,8 @@ class MultiRegisterStore:
     async def stop(self) -> None:
         for host in self._object_hosts:
             host.stop()
-        self._writer_host.stop()
+        for host in self._writer_hosts.values():
+            host.stop()
         for host in self._reader_hosts:
             host.stop()
         self._started = False
@@ -88,11 +127,13 @@ class MultiRegisterStore:
 
     # -- single operations ----------------------------------------------------
     async def write(self, register_id: str, value: Any,
-                    timeout: Optional[float] = None) -> Any:
+                    timeout: Optional[float] = None,
+                    writer_index: int = 0) -> Any:
         self._require_started()
         operation = self.protocol.make_write_to(
-            self._states.writer(register_id), value, register_id)
-        return await self._writer_host.run(
+            self._states.writer(register_id, writer_index), value,
+            register_id)
+        return await self._writer_host(writer_index).run(
             operation, timeout or self.default_timeout)
 
     async def read(self, register_id: str, reader_index: int = 0,
@@ -105,7 +146,8 @@ class MultiRegisterStore:
 
     # -- batched operations ----------------------------------------------------
     async def write_many(self, items: Mapping[str, Any],
-                         timeout: Optional[float] = None) -> Dict[str, Any]:
+                         timeout: Optional[float] = None,
+                         writer_index: int = 0) -> Dict[str, Any]:
         """WRITE a batch of registers concurrently over the one replica set.
 
         All first-round messages of the batch are coalesced per object:
@@ -115,10 +157,11 @@ class MultiRegisterStore:
         self._require_started()
         operations = [
             self.protocol.make_write_to(
-                self._states.writer(register_id), value, register_id)
+                self._states.writer(register_id, writer_index), value,
+                register_id)
             for register_id, value in items.items()
         ]
-        results = await self._writer_host.run_many(
+        results = await self._writer_host(writer_index).run_many(
             operations, timeout or self.default_timeout)
         return dict(zip(items.keys(), results))
 

@@ -1,6 +1,7 @@
 """Register specifications and history checkers (Section 2.2)."""
 
-from .checkers import (CheckResult, check_atomicity, check_regularity,
+from .checkers import (CheckResult, check_atomicity, check_mwmr_atomicity,
+                       check_mwmr_regularity, check_regularity,
                        check_round_complexity, check_safety,
                        check_wait_freedom)
 from .explore import (ExplorationResult, explore_schedules,
@@ -21,6 +22,8 @@ __all__ = [
     "check_safety",
     "check_regularity",
     "check_atomicity",
+    "check_mwmr_regularity",
+    "check_mwmr_atomicity",
     "check_wait_freedom",
     "check_round_complexity",
 ]

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from ..errors import SpecificationViolation
-from ..types import BOTTOM, ProcessId, _Bottom
+from ..types import BOTTOM, TAG0, ProcessId, WriterTag, _Bottom
 from .histories import History, OperationRecord, READ, WRITE
 
 
@@ -66,13 +66,21 @@ def _is_bottom(value: Any) -> bool:
 
 
 def check_safety(history: History) -> CheckResult:
-    """A READ with no concurrent WRITE returns the last written value."""
+    """A READ with no concurrent WRITE returns the last written value.
+
+    With a single writer the "last" preceding WRITE is the latest by
+    invocation order; with multiple writers it is the maximal-*tag* one
+    (writes not concurrent with the read are totally ordered by their
+    tags, which the tag-discovery write path aligns with real time).
+    """
     result = CheckResult("safety")
+    multi = history.is_multi_writer
     for read in history.reads(complete_only=True):
         if history.concurrent_writes(read):
             continue  # concurrent READs are unconstrained
         result.checked_reads += 1
-        last_write = history.last_preceding_write(read)
+        last_write = (history.last_preceding_write_by_tag(read) if multi
+                      else history.last_preceding_write(read))
         expected = BOTTOM if last_write is None else last_write.argument
         if read.result != expected and not (
                 _is_bottom(read.result) and _is_bottom(expected)):
@@ -89,7 +97,14 @@ def check_safety(history: History) -> CheckResult:
 
 
 def check_regularity(history: History) -> CheckResult:
-    """The three regularity clauses of Section 2.2."""
+    """The three regularity clauses of Section 2.2.
+
+    Multi-writer histories are delegated to the tag-based checker: with
+    concurrent writers the write serialization is the total order on
+    ``(epoch, writer_id)`` tags, not invocation order.
+    """
+    if history.is_multi_writer:
+        return check_mwmr_regularity(history)
     result = CheckResult("regularity")
     writes = history.writes()
     written_values = [w.argument for w in writes]
@@ -145,8 +160,11 @@ def check_atomicity(history: History) -> CheckResult:
 
     Reads are assigned the write index they observed (resolving repeated
     values optimistically); for any two complete reads ``rd1`` preceding
-    ``rd2`` the observed indices must be monotone.
+    ``rd2`` the observed indices must be monotone.  Multi-writer
+    histories are delegated to the tag-based checker.
     """
+    if history.is_multi_writer:
+        return check_mwmr_atomicity(history)
     result = check_regularity(history)
     result.property_name = "atomicity"
     if not result.ok:
@@ -184,6 +202,142 @@ def check_atomicity(history: History) -> CheckResult:
                 f"{feasible_indices(read)}")
             continue
         chosen.append((read, max(ks)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Multi-writer (tag-based) regularity and atomicity
+# ---------------------------------------------------------------------------
+
+
+def _check_mwmr_write_order(ordered, result: CheckResult,
+                            history: History) -> None:
+    """Shared MWMR write clauses: unique tags, real-time order respected.
+
+    ``ordered`` is ``history.writes_by_tag()``, computed once by the
+    caller.  The real-time clause runs in one pass: walking in tag order
+    while tracking the latest-invoked earlier-tag write, any write that
+    completed before that invocation is a genuine inversion witness.
+    """
+    seen: dict = {}
+    for w in ordered:
+        if w.tag in seen:
+            result.violations.append(
+                f"writes {seen[w.tag].describe()} and {w.describe()} "
+                f"share tag {w.tag!r}")
+        seen[w.tag] = w
+    latest_invoked = None
+    for w2 in ordered:
+        if (latest_invoked is not None
+                and w2.completed_seq is not None
+                and w2.completed_seq < latest_invoked.invoked_seq):
+            result.violations.append(
+                f"{w2.describe()} precedes {latest_invoked.describe()} "
+                f"in real time yet carries the larger tag {w2.tag!r}")
+        if (latest_invoked is None
+                or w2.invoked_seq > latest_invoked.invoked_seq):
+            latest_invoked = w2
+    for w in history.writes():
+        if w.complete and w.tag is None:
+            result.violations.append(
+                f"{w.describe()} completed without reporting a write tag")
+
+
+def _mwmr_read_clauses(read: OperationRecord, ordered, by_tag,
+                       result: CheckResult) -> None:
+    """Per-read MWMR regularity: observed tag exists, is fresh enough and
+    not from the future.  ``ordered``/``by_tag`` are the tag-sorted write
+    list and tag index, computed once per check."""
+    tag = read.tag
+    value = read.result
+    if tag is None:
+        result.violations.append(
+            f"{read.describe()} completed without reporting an observed "
+            f"tag")
+        return
+    # The maximal-tag completed write preceding this read: scan the
+    # tag-sorted list from the top, stopping at the first hit.
+    floor = None
+    for w in reversed(ordered):
+        if w.precedes(read):
+            floor = w
+            break
+    if tag == TAG0:
+        if not _is_bottom(value):
+            result.violations.append(
+                f"{read.describe()} returned a value but observed the "
+                f"initial tag")
+        if floor is not None:
+            result.violations.append(
+                f"{read.describe()} returned ⊥ although "
+                f"{floor.describe()} precedes it")
+        return
+    source = by_tag.get(tag)
+    if source is None:
+        result.violations.append(
+            f"{read.describe()} observed tag {tag!r} which no write "
+            f"installed")
+        return
+    if read.result != source.argument:
+        result.violations.append(
+            f"{read.describe()} returned {read.result!r} but the write "
+            f"with tag {tag!r} installed {source.argument!r}")
+    if read.precedes(source):
+        result.violations.append(
+            f"{read.describe()} observed {source.describe()} which it "
+            f"strictly precedes")
+    if floor is not None and tag < floor.tag:
+        result.violations.append(
+            f"{read.describe()} observed stale tag {tag!r} although "
+            f"{floor.describe()} (tag {floor.tag!r}) precedes it")
+
+
+def check_mwmr_regularity(history: History) -> CheckResult:
+    """Tag-based regularity for interleaved multi-writer histories.
+
+    The write serialization is the total order on ``(epoch, writer_id)``
+    tags.  Clauses: (w1) completed writes carry pairwise distinct tags
+    consistent with real-time order; (r1) every read's observed tag was
+    installed by a write of the returned value; (r2) the observed tag is
+    at least the tag of every write preceding the read; (r3) no read
+    observes a write it strictly precedes.
+    """
+    result = CheckResult("mwmr-regularity")
+    ordered = history.writes_by_tag()
+    by_tag = {w.tag: w for w in ordered}
+    _check_mwmr_write_order(ordered, result, history)
+    for read in history.reads(complete_only=True):
+        result.checked_reads += 1
+        _mwmr_read_clauses(read, ordered, by_tag, result)
+    return result
+
+
+def check_mwmr_atomicity(history: History) -> CheckResult:
+    """MWMR regularity + monotone observed tags (linearizability).
+
+    On top of the regularity clauses, non-concurrent reads must observe
+    monotonically non-decreasing tags (no new/old inversion), which for
+    tagged register histories is exactly the missing piece between
+    regular and atomic.
+    """
+    result = check_mwmr_regularity(history)
+    result.property_name = "mwmr-atomicity"
+    if not result.ok:
+        return result
+    reads = [r for r in history.reads(complete_only=True)
+             if r.tag is not None]
+    for i, r1 in enumerate(reads):
+        for r2 in reads[i + 1:]:
+            if r1.precedes(r2) and r2.tag < r1.tag:
+                result.violations.append(
+                    f"new/old inversion: {r1.describe()} observed "
+                    f"{r1.tag!r} but the later {r2.describe()} observed "
+                    f"{r2.tag!r}")
+            elif r2.precedes(r1) and r1.tag < r2.tag:
+                result.violations.append(
+                    f"new/old inversion: {r2.describe()} observed "
+                    f"{r2.tag!r} but the later {r1.describe()} observed "
+                    f"{r1.tag!r}")
     return result
 
 

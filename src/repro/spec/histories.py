@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..types import BOTTOM, DEFAULT_REGISTER, ProcessId
+from ..types import BOTTOM, DEFAULT_REGISTER, ProcessId, WriterTag
 
 READ = "READ"
 WRITE = "WRITE"
@@ -40,6 +40,9 @@ class OperationRecord:
     rounds_used: int = 0
     write_index: Optional[int] = None  # k for the k-th WRITE (1-based)
     register: str = DEFAULT_REGISTER   # the register the op addressed
+    #: the (epoch, writer_id) tag installed (WRITE) / observed (READ);
+    #: recorded at completion, None when the protocol does not report one.
+    tag: Optional[WriterTag] = None
 
     @property
     def complete(self) -> bool:
@@ -70,6 +73,7 @@ class History:
     def __init__(self) -> None:
         self._records: Dict[int, OperationRecord] = {}
         self._seq = itertools.count(1)
+        self._write_count = 0
 
     # -- recording ----------------------------------------------------------
     def record_invocation(self, operation_id: int, client: ProcessId,
@@ -80,6 +84,13 @@ class History:
                           ) -> OperationRecord:
         if operation_id in self._records:
             raise ValueError(f"operation {operation_id} invoked twice")
+        if kind == WRITE and write_index is None:
+            # Recorders that don't track the paper's wr_k numbering (the
+            # service tier) get invocation-order indices assigned here,
+            # which is exactly wr_k for single-writer histories; the
+            # multi-writer checkers order by tag and ignore these.
+            self._write_count += 1
+            write_index = self._write_count
         record = OperationRecord(
             operation_id=operation_id,
             client=client,
@@ -93,9 +104,28 @@ class History:
         self._records[operation_id] = record
         return record
 
+    def discard_invocation(self, operation_id: int) -> None:
+        """Remove the record of an operation that never actually started.
+
+        Admission-time recorders (the service tier) may roll an operation
+        back before its first message is sent -- e.g. a batch rejected by
+        backpressure.  Externally no invocation event happened, so the
+        record must go; completed operations are immutable history and
+        refuse removal.
+        """
+        record = self._records.get(operation_id)
+        if record is None:
+            return
+        if record.complete:
+            raise ValueError(
+                f"operation {operation_id} completed; refusing to discard")
+        del self._records[operation_id]
+
     def record_completion(self, operation_id: int, result: Any,
                           at: float = 0.0,
-                          rounds_used: int = 0) -> OperationRecord:
+                          rounds_used: int = 0,
+                          tag: Optional[WriterTag] = None
+                          ) -> OperationRecord:
         record = self._records[operation_id]
         if record.complete:
             raise ValueError(f"operation {operation_id} completed twice")
@@ -103,6 +133,7 @@ class History:
         record.completed_at = at
         record.result = result
         record.rounds_used = rounds_used
+        record.tag = tag
         return record
 
     # -- queries ----------------------------------------------------------------
@@ -145,6 +176,36 @@ class History:
     def concurrent_writes(self, read: OperationRecord
                           ) -> List[OperationRecord]:
         return [w for w in self.writes() if w.concurrent_with(read)]
+
+    # -- multi-writer views --------------------------------------------------
+    @property
+    def is_multi_writer(self) -> bool:
+        """Whether WRITEs were issued by more than one client process."""
+        return len({w.client for w in self.writes()}) > 1
+
+    def writes_by_tag(self) -> List[OperationRecord]:
+        """Completed tagged WRITEs in tag order -- the MWMR version order.
+
+        Tags are totally ordered (epoch first, writer id tie-break), so
+        this is the serialization the multi-writer checkers validate reads
+        against.  Untagged or incomplete writes are excluded; the
+        tag-aware checkers flag them separately where it matters.
+        """
+        tagged = [w for w in self.writes()
+                  if w.tag is not None and w.complete]
+        return sorted(tagged, key=lambda w: w.tag)
+
+    def write_with_tag(self, tag: WriterTag) -> Optional[OperationRecord]:
+        for w in self.writes():
+            if w.tag == tag:
+                return w
+        return None
+
+    def last_preceding_write_by_tag(self, read: OperationRecord
+                                    ) -> Optional[OperationRecord]:
+        """The maximal-*tag* completed write preceding ``read`` (MWMR)."""
+        preceding = [w for w in self.writes_by_tag() if w.precedes(read)]
+        return preceding[-1] if preceding else None
 
     # -- per-register views -------------------------------------------------
     def registers(self) -> List[str]:

@@ -55,4 +55,5 @@ class HistoryRecorder:
             result=operation.result,
             at=handle.completed_at or 0.0,
             rounds_used=operation.rounds_used,
+            tag=getattr(operation, "tag", None),
         )

@@ -32,7 +32,7 @@ from .sim.delay import DelayModel
 from .sim.kernel import OperationHandle, SimKernel
 from .sim.schedulers import Scheduler
 from .spec import History, HistoryRecorder
-from .types import DEFAULT_REGISTER, ProcessId, WRITER, reader
+from .types import DEFAULT_REGISTER, ProcessId, WRITER, reader, writer
 
 
 class StorageSystem:
@@ -63,8 +63,9 @@ class StorageSystem:
         self.recorder = HistoryRecorder().attach(self.kernel)
 
     # -- per-register client states -----------------------------------------
-    def writer_state_for(self, register_id: str = DEFAULT_REGISTER) -> Any:
-        return self._states.writer(register_id)
+    def writer_state_for(self, register_id: str = DEFAULT_REGISTER,
+                         writer_index: int = 0) -> Any:
+        return self._states.writer(register_id, writer_index)
 
     def reader_state_for(self, reader_index: int = 0,
                          register_id: str = DEFAULT_REGISTER) -> Any:
@@ -76,10 +77,12 @@ class StorageSystem:
 
     # -- blocking convenience API -------------------------------------------
     def write(self, value: Any,
-              register_id: str = DEFAULT_REGISTER) -> OperationHandle:
-        """WRITE(value), run to completion."""
+              register_id: str = DEFAULT_REGISTER,
+              writer_index: int = 0) -> OperationHandle:
+        """WRITE(value) by writer ``writer_index``, run to completion."""
         operation = self.protocol.make_write_to(
-            self.writer_state_for(register_id), value, register_id)
+            self.writer_state_for(register_id, writer_index), value,
+            register_id)
         return self.kernel.run_operation(operation)
 
     def read(self, reader_index: int = 0,
@@ -96,9 +99,11 @@ class StorageSystem:
 
     # -- non-blocking API (concurrent workloads) -------------------------------
     def invoke_write(self, value: Any,
-                     register_id: str = DEFAULT_REGISTER) -> OperationHandle:
+                     register_id: str = DEFAULT_REGISTER,
+                     writer_index: int = 0) -> OperationHandle:
         operation = self.protocol.make_write_to(
-            self.writer_state_for(register_id), value, register_id)
+            self.writer_state_for(register_id, writer_index), value,
+            register_id)
         return self.kernel.invoke(operation)
 
     def invoke_read(self, reader_index: int = 0,
@@ -120,8 +125,8 @@ class StorageSystem:
     def crash_reader(self, reader_index: int) -> None:
         self.kernel.crash(reader(reader_index))
 
-    def crash_writer(self) -> None:
-        self.kernel.crash(WRITER)
+    def crash_writer(self, writer_index: int = 0) -> None:
+        self.kernel.crash(writer(writer_index))
 
     # -- observability -----------------------------------------------------------
     @property

@@ -22,7 +22,7 @@ from __future__ import annotations
 import functools
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterator, NamedTuple, Optional, Tuple, Union
 
 
 class _Bottom:
@@ -58,6 +58,54 @@ DEFAULT_REGISTER = "r0"
 
 
 # ---------------------------------------------------------------------------
+# Writer tags (multi-writer timestamps)
+# ---------------------------------------------------------------------------
+
+
+class WriterTag(NamedTuple):
+    """The ordered ``(epoch, writer_id)`` tag that totally orders writes.
+
+    The classic MWMR extension of timestamp arbitration: writers discover
+    the highest epoch a quorum has seen, bump it, and break epoch ties by
+    their (globally unique) writer id.  Being a ``NamedTuple`` the tag
+    compares lexicographically for free, hashes like a tuple, and is
+    JSON-friendly on the wire.  The single-writer library is the special
+    case ``writer_id == 0`` throughout: every legacy frame, state and test
+    decodes/behaves as writer 0.
+    """
+
+    epoch: int
+    writer_id: int = 0
+
+    def next_for(self, writer_id: int) -> "WriterTag":
+        """The tag a writer picks after observing this as the maximum."""
+        return WriterTag(self.epoch + 1, writer_id)
+
+    def __repr__(self) -> str:
+        if self.writer_id == 0:
+            return f"tag({self.epoch})"
+        return f"tag({self.epoch}.{self.writer_id})"
+
+
+#: The tag of the initial value ``⊥`` (epoch 0, writer 0).
+TAG0 = WriterTag(0, 0)
+
+
+def as_tag(value: Union["WriterTag", int, Tuple[int, int], None]
+           ) -> Optional[WriterTag]:
+    """Normalize a wire/legacy representation to a :class:`WriterTag`.
+
+    Legacy frames and call sites carry bare integer timestamps; they map
+    to ``(ts, writer 0)``.  ``None`` passes through (optional fields).
+    """
+    if value is None or isinstance(value, WriterTag):
+        return value
+    if isinstance(value, int):
+        return WriterTag(value, 0)
+    return WriterTag(*value)
+
+
+# ---------------------------------------------------------------------------
 # Process identities
 # ---------------------------------------------------------------------------
 
@@ -73,8 +121,9 @@ class ProcessId:
     """Identity of a process in the system.
 
     ``index`` is zero-based internally (the paper writes ``s_1 .. s_S``;
-    we write ``obj(0) .. obj(S-1)``).  The writer is the unique process with
-    role ``"writer"`` and index ``0``.
+    we write ``obj(0) .. obj(S-1)``).  The paper's model has the single
+    writer ``writer(0)``; the MWMR extension admits writers of any index,
+    each with a globally unique writer id used in tag arbitration.
     """
 
     role: str
@@ -85,8 +134,6 @@ class ProcessId:
             raise ValueError(f"unknown process role: {self.role!r}")
         if self.index < 0:
             raise ValueError(f"negative process index: {self.index}")
-        if self.role == ROLE_WRITER and self.index != 0:
-            raise ValueError("the model has a single writer, index must be 0")
 
     # -- convenience predicates ------------------------------------------
     @property
@@ -106,24 +153,52 @@ class ProcessId:
         """Clients are the writer and the readers (Section 2)."""
         return self.role != ROLE_OBJECT
 
+    def __hash__(self) -> int:
+        # Process ids key every inbox, slot and grouping dict on the hot
+        # path; both fields are immutable, so hash once.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.role, self.index))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # Never pickle the lazily cached hash: state fingerprints compare
+        # pickled bytes, and equal ids must pickle identically.
+        return {k: v for k, v in self.__dict__.items() if k != "_hash"}
+
     def __repr__(self) -> str:
         prefix = {"writer": "w", "reader": "r", "object": "s"}[self.role]
         if self.is_writer:
-            return "w"
+            # The classic single writer keeps its historical name "w";
+            # additional MWMR writers are numbered like readers/objects.
+            return "w" if self.index == 0 else f"w{self.index + 1}"
         return f"{prefix}{self.index + 1}"
 
 
+@functools.lru_cache(maxsize=None)
 def obj(i: int) -> ProcessId:
-    """The base object ``s_{i+1}`` (zero-based index ``i``)."""
+    """The base object ``s_{i+1}`` (zero-based index ``i``).
+
+    Memoized: broadcast rounds construct the same ids over and over, and
+    ids are immutable value objects safe to share.
+    """
     return ProcessId(ROLE_OBJECT, i)
 
 
+@functools.lru_cache(maxsize=None)
 def reader(j: int) -> ProcessId:
     """The reader ``r_{j+1}`` (zero-based index ``j``)."""
     return ProcessId(ROLE_READER, j)
 
 
-#: The unique writer process.
+@functools.lru_cache(maxsize=None)
+def writer(k: int = 0) -> ProcessId:
+    """The writer with id ``k`` (``writer(0)`` is the paper's ``w``)."""
+    return ProcessId(ROLE_WRITER, k)
+
+
+#: The classic single writer process (= ``writer(0)``).
 WRITER = ProcessId(ROLE_WRITER, 0)
 
 
@@ -134,20 +209,34 @@ WRITER = ProcessId(ROLE_WRITER, 0)
 
 @dataclass(frozen=True)
 class TimestampValue:
-    """A timestamp-value pair ``<ts, v>`` -- the object's ``pw`` field.
+    """A timestamp-value pair ``<(ts, wid), v>`` -- the object's ``pw`` field.
 
-    Equality compares both fields (the safety argument distinguishes
-    ``<k, val_k>`` from a forged ``<k, v'>``); ordering is by timestamp
-    first with ties broken on the value's ``repr`` so ordering stays total
-    for heterogeneous payloads.  Protocols only ever rely on timestamp
-    order.
+    ``ts`` is the writer's epoch and ``wid`` the writer id; together they
+    form the :class:`WriterTag` that totally orders writes (``wid`` breaks
+    epoch ties between concurrent writers).  The single-writer library is
+    the ``wid == 0`` special case, so every legacy constructor call keeps
+    its meaning.  Equality compares all fields (the safety argument
+    distinguishes ``<k, val_k>`` from a forged ``<k, v'>``); ordering is
+    by tag first with ties broken on the value's ``repr`` so ordering
+    stays total for heterogeneous payloads.
     """
 
     ts: int
     value: Any
+    wid: int = 0
 
-    def _order_key(self) -> Tuple[int, str]:
-        return (self.ts, repr(self.value))
+    @property
+    def tag(self) -> WriterTag:
+        # Hot path: object guards and candidate ordering compare tags on
+        # every message; the pair is immutable, so build it once.
+        cached = self.__dict__.get("_tag")
+        if cached is None:
+            cached = WriterTag(self.ts, self.wid)
+            object.__setattr__(self, "_tag", cached)
+        return cached
+
+    def _order_key(self) -> Tuple[int, int, str]:
+        return (self.ts, self.wid, repr(self.value))
 
     def __lt__(self, other: "TimestampValue") -> bool:
         return self._order_key() < other._order_key()
@@ -164,6 +253,8 @@ class TimestampValue:
     def __post_init__(self) -> None:
         if self.ts < 0:
             raise ValueError("timestamps are non-negative integers")
+        if self.wid < 0:
+            raise ValueError("writer ids are non-negative integers")
         if self.ts == 0 and not isinstance(self.value, _Bottom):
             raise ValueError("timestamp 0 is reserved for the initial value ⊥")
         if self.ts > 0 and isinstance(self.value, _Bottom):
@@ -171,20 +262,24 @@ class TimestampValue:
 
     def __hash__(self) -> int:
         # Hot path: candidate sets and history maps hash pairs constantly;
-        # both fields are immutable, so compute once and stash the result.
+        # all fields are immutable, so compute once and stash the result.
         cached = self.__dict__.get("_hash")
         if cached is None:
-            cached = hash((self.ts, self.value))
+            cached = hash((self.ts, self.wid, self.value))
             object.__setattr__(self, "_hash", cached)
         return cached
 
     def __getstate__(self):
-        # The cached hash is process-local (string hashing is seeded) and
-        # must not leak into pickles: state fingerprints compare pickled
-        # bytes, so lazily cached fields would make equal states diverge.
-        return {k: v for k, v in self.__dict__.items() if k != "_hash"}
+        # Cached fields are lazily populated and process-local (string
+        # hashing is seeded) and must not leak into pickles: state
+        # fingerprints compare pickled bytes, so lazily cached fields
+        # would make equal states diverge.
+        return {k: v for k, v in self.__dict__.items()
+                if k not in ("_hash", "_tag")}
 
     def __repr__(self) -> str:
+        if self.wid:
+            return f"<{self.ts}.{self.wid},{self.value!r}>"
         return f"<{self.ts},{self.value!r}>"
 
 
@@ -312,6 +407,10 @@ class WriteTuple:
     @property
     def ts(self) -> int:
         return self.tsval.ts
+
+    @property
+    def tag(self) -> WriterTag:
+        return self.tsval.tag
 
     @property
     def value(self) -> Any:

@@ -32,18 +32,18 @@ class TestAtomicObject:
         [(receiver, ack)] = object_.on_message(
             reader(0), WriteBack(c=c, nonce=1, reader_index=0))
         assert isinstance(ack, WriteBackAck)
-        assert object_.history[3].w == c
+        assert object_.history[3, 0].w == c
 
     def test_write_back_completes_incomplete_slot(self, config):
         from repro.messages import Pw
         object_ = AtomicObject(0, config)
         c = make_tuple(config, 1, "v1")
         # PW leaves slot 1 provisional (w=None)
-        object_.on_message(WRITER, Pw(1, c.tsval, object_.history[0].w))
-        assert object_.history[1].w is None
+        object_.on_message(WRITER, Pw(1, c.tsval, object_.history[0, 0].w))
+        assert object_.history[1, 0].w is None
         object_.on_message(reader(0), WriteBack(c=c, nonce=1,
                                                 reader_index=0))
-        assert object_.history[1].w == c
+        assert object_.history[1, 0].w == c
 
     def test_write_back_never_overwrites_complete_slot(self, config):
         from repro.messages import W
@@ -54,7 +54,7 @@ class TestAtomicObject:
         replies = object_.on_message(
             reader(0), WriteBack(c=impostor, nonce=1, reader_index=0))
         assert len(replies) == 1  # still acked
-        assert object_.history[1].w == genuine
+        assert object_.history[1, 0].w == genuine
 
     def test_write_back_from_non_reader_ignored(self, config):
         object_ = AtomicObject(0, config)

@@ -80,4 +80,5 @@ class TestMessages:
         plain = ReadRequest(1, 5, 0)
         suffix = ReadRequest(1, 5, 0, from_ts=10)
         assert plain.from_ts is None
-        assert suffix.from_ts == 10
+        # Legacy bare-epoch suffixes normalize to writer-0 tags.
+        assert suffix.from_ts == (10, 0)

@@ -34,36 +34,36 @@ def config():
 class TestRegularObject:
     def test_initial_history_has_slot_zero(self, config):
         object_ = RegularObject(0, config)
-        assert 0 in object_.history
-        assert object_.history[0].pw == INITIAL_TSVAL
+        assert (0, 0) in object_.history
+        assert object_.history[0, 0].pw == INITIAL_TSVAL
 
     def test_pw_records_provisional_and_backfills(self, config):
         object_ = RegularObject(0, config)
         # simulate: write 1's PW carries w_0; write 2's PW carries w_1
         w1 = make_tuple(config, 1, "a")
         object_.on_message(WRITER, Pw(1, make_pair(1, "a"),
-                                      object_.history[0].w))
-        assert object_.history[1].w is None          # provisional
+                                      object_.history[0, 0].w))
+        assert object_.history[1, 0].w is None          # provisional
         object_.on_message(WRITER, Pw(2, make_pair(2, "b"), w1))
-        assert object_.history[1].w == w1            # back-filled
-        assert object_.history[2].pw == make_pair(2, "b")
+        assert object_.history[1, 0].w == w1            # back-filled
+        assert object_.history[2, 0].pw == make_pair(2, "b")
 
     def test_w_completes_slot(self, config):
         object_ = RegularObject(0, config)
         w1 = make_tuple(config, 1, "a")
         object_.on_message(WRITER, Pw(1, make_pair(1, "a"),
-                                      object_.history[0].w))
+                                      object_.history[0, 0].w))
         object_.on_message(WRITER, W(1, make_pair(1, "a"), w1))
-        assert object_.history[1].w == w1
+        assert object_.history[1, 0].w == w1
 
     def test_read_ships_full_history(self, config):
         object_ = RegularObject(0, config)
         object_.on_message(WRITER, Pw(1, make_pair(1, "a"),
-                                      object_.history[0].w))
+                                      object_.history[0, 0].w))
         [(_, ack)] = object_.on_message(reader(0),
                                         ReadRequest(1, 1, reader_index=0))
         assert isinstance(ack, HistoryReadAck)
-        assert set(ack.history) == {0, 1}
+        assert set(ack.history) == {(0, 0), (1, 0)}
 
     def test_read_ships_suffix_with_from_ts(self, config):
         object_ = RegularObject(0, config)
@@ -72,7 +72,7 @@ class TestRegularObject:
                                          make_tuple(config, ts, f"v{ts}")))
         [(_, ack)] = object_.on_message(
             reader(0), ReadRequest(1, 1, reader_index=0, from_ts=4))
-        assert set(ack.history) == {4, 5}
+        assert set(ack.history) == {(4, 0), (5, 0)}
 
     def test_stale_read_request_ignored(self, config):
         object_ = RegularObject(0, config)

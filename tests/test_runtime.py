@@ -55,7 +55,7 @@ class TestCodec:
                      2: HistoryEntry(pw=wtuple.tsval, w=None)})
         decoded = decode_message(encode_message(ack))
         assert decoded == ack
-        assert decoded.history[2].w is None
+        assert decoded.history[2, 0].w is None
 
     def test_bottom_survives_the_wire(self):
         message = Pw(ts=1, pw=TimestampValue(1, "x"),

@@ -164,7 +164,7 @@ class TestMultiRegisterStore:
                     for n in range(2)
                 ]
                 with pytest.raises(TransportError):
-                    await store._writer_host.run_many(operations)
+                    await store._writer_host(0).run_many(operations)
                 # The failed batch must roll back cleanly: the register is
                 # usable again immediately.
                 await store.write("dup", "recovered")

@@ -50,9 +50,11 @@ class TestProcessId:
         with pytest.raises(ValueError):
             ProcessId("object", -1)
 
-    def test_second_writer_rejected(self):
-        with pytest.raises(ValueError):
-            ProcessId("writer", 1)
+    def test_second_writer_allowed_for_mwmr(self):
+        second = ProcessId("writer", 1)
+        assert second.is_writer and second.is_client
+        assert repr(second) == "w2"
+        assert second != WRITER
 
     def test_ordering_and_hash(self):
         assert len({obj(0), obj(0), obj(1)}) == 2
