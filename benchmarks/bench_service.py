@@ -16,14 +16,22 @@ construction, operation rounds, teardown), at 64-1024 keys:
   ``(epoch, writer_id)`` arbitration), measuring what write contention
   costs on top of the multiplexing win.
 
+A fourth mode exercises **reconfiguration**: a live reshard from 2 to 3
+shard groups of a :class:`~repro.service.ShardedKVStore` while a load
+loop keeps putting/getting every key -- moved keys must hand off without
+losing a read, unmoved keys must keep serving, and mid-handoff writes
+may only fail *fast* (epoch-fenced), never silently vanish.
+
 All run the same protocol automata (Section 5.1 cached regular storage)
 on the same in-memory asyncio network.  Results go to a JSON file
 (default ``BENCH_service.json``) and the run fails if multiplexing is
-not at least 3x faster than per-key at 256 keys.
+not at least 3x faster than per-key at 256 keys, or if the reshard
+breaks any of the invariants above.
 
 Run:  python benchmarks/bench_service.py [--full] [--smoke] [--output PATH]
 (``--smoke`` is the CI configuration: 64 keys, fewer repeats, a relaxed
-2x gate -- fast enough for every push, still a real regression tripwire.)
+2x gate -- fast enough for every push, still a real regression tripwire;
+it includes the reshard-under-load case.)
 """
 
 from __future__ import annotations
@@ -39,8 +47,10 @@ from typing import Any, Dict, List
 
 from repro import SystemConfig
 from repro.core.regular import CachedRegularStorageProtocol
+from repro.errors import BusyRegisterError, FencedWriteError
 from repro.runtime import AsyncStorage
-from repro.service import MultiRegisterStore
+from repro.service import (MultiRegisterStore, ReconfigCoordinator,
+                           ShardedKVStore)
 
 CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=1)
 MWMR_WRITERS = 4
@@ -118,6 +128,77 @@ async def run_multi_writer(num_keys: int) -> Dict[str, Any]:
     }
 
 
+async def run_reshard_under_load(num_keys: int) -> Dict[str, Any]:
+    """Live reshard 2 -> 3 shard groups while puts/gets keep flowing.
+
+    The load loop hammers the keyspace for the whole duration of the
+    handoff; puts that hit a key mid-migration fail fast with
+    :class:`~repro.errors.FencedWriteError` (counted, expected), while
+    every operation on unmoved keys must succeed.  Afterwards every key
+    must read either its pre-reshard value or a load-written one.
+    """
+    started = time.perf_counter()
+    keys = [f"key:{n}" for n in range(num_keys)]
+    kv = ShardedKVStore(CachedRegularStorageProtocol, CONFIG,
+                        num_shards=2, seed=42)
+    async with kv:
+        await kv.put_many({key: f"v-{key}" for key in keys})
+        done = asyncio.Event()
+        stats = {"puts": 0, "gets": 0, "fenced": 0, "busy": 0}
+
+        async def load() -> None:
+            i = 0
+            while not done.is_set():
+                key = keys[i % num_keys]
+                try:
+                    await kv.put(key, f"load-{i}-{key}")
+                    stats["puts"] += 1
+                except FencedWriteError:
+                    stats["fenced"] += 1  # key mid-handoff: expected
+                try:
+                    value = await kv.get(keys[(i * 13) % num_keys])
+                    assert value is not None, "read lost during reshard"
+                    stats["gets"] += 1
+                except BusyRegisterError:
+                    stats["busy"] += 1  # lost the admission race to the
+                    i += 1              # coordinator's snapshot; retry
+                    continue
+                i += 1
+
+        loader = asyncio.create_task(load())
+        report = await ReconfigCoordinator(kv).add_shard()
+        done.set()
+        await loader
+        moved = len(report.moved)
+        for key in keys:
+            value = await kv.get(key)
+            assert value is not None and (
+                value == f"v-{key}" or value.startswith("load-")), \
+                f"{key} read {value!r} after reshard"
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "num_keys": num_keys,
+        "moved_keys": moved,
+        "concurrent_puts": stats["puts"],
+        "concurrent_gets": stats["gets"],
+        "fenced_writes": stats["fenced"],
+        "busy_retries": stats["busy"],
+        "ok": moved > 0 and stats["puts"] > 0 and stats["gets"] > 0,
+    }
+
+
+def bench_reshard(num_keys: int) -> Dict[str, Any]:
+    row = asyncio.run(run_reshard_under_load(num_keys))
+    print(f"  reshard 2->3 under load | {num_keys} keys | "
+          f"{row['moved_keys']} moved | "
+          f"{row['concurrent_puts']} puts + {row['concurrent_gets']} gets "
+          f"concurrent | {row['fenced_writes']} fenced | "
+          f"{row['elapsed_s']:.3f}s | "
+          f"{'OK' if row['ok'] else 'FAIL'}")
+    return row
+
+
 def _measure(runner, num_keys: int, repeats: int) -> Dict[str, Any]:
     """Best-of-N full-lifecycle time (scheduler/GC noise dominates
     one-shot numbers; the minimum is the standard least-noise estimator
@@ -193,6 +274,9 @@ def main(argv: List[str] = None) -> int:
     print(f"service-tier benchmark: {CONFIG.describe()}"
           f"{' [smoke]' if args.smoke else ''}")
     results = [bench(size, repeats=repeats) for size in sizes]
+    # Reshard-under-load runs in every mode (smoke included): it is the
+    # CI tripwire for reconfiguration regressions.
+    reshard = bench_reshard(gate_keys)
 
     gated = next(r for r in results if r["num_keys"] == gate_keys)
     verdict = {
@@ -204,15 +288,19 @@ def main(argv: List[str] = None) -> int:
                     "key, then read each key once",
         "smoke": args.smoke,
         "results": results,
+        "reshard_under_load": reshard,
         "claim": f"multiplexed >= {gate}x per-key baseline at "
-                 f"{gate_keys} keys",
+                 f"{gate_keys} keys; reshard 2->3 completes under load "
+                 "with no lost reads",
         f"speedup_at_{gate_keys}": gated["speedup"],
-        "ok": gated["speedup"] >= gate,
+        "ok": gated["speedup"] >= gate and reshard["ok"],
     }
     with open(args.output, "w") as fh:
         json.dump(verdict, fh, indent=2)
     print(f"wrote {args.output}; speedup at {gate_keys} keys: "
-          f"{gated['speedup']:.1f}x ({'OK' if verdict['ok'] else 'FAIL'})")
+          f"{gated['speedup']:.1f}x; reshard "
+          f"{'OK' if reshard['ok'] else 'FAIL'} "
+          f"({'OK' if verdict['ok'] else 'FAIL'})")
     return 0 if verdict["ok"] else 1
 
 

@@ -20,7 +20,8 @@ import asyncio
 from repro import SystemConfig
 from repro.adversary.byzantine import ValueForger
 from repro.core.regular import CachedRegularStorageProtocol
-from repro.service import ShardedKVStore
+from repro.errors import FencedWriteError
+from repro.service import ReconfigCoordinator, ShardedKVStore
 
 
 async def main() -> None:
@@ -71,6 +72,26 @@ async def main() -> None:
              if kv.shard_for(k) == kv.shard_for("user:42")])
         print("sibling keys on the compromised shard still read true:",
               siblings)
+
+        # Live reshard: add a third shard group while the store serves.
+        # The coordinator fences each moved key at its source (stale
+        # writes are refused, not lost), snapshots it with a regular
+        # read, replays it into the new group under a higher epoch, and
+        # flips routing atomically.
+        old_ring = kv.ring
+        report = await ReconfigCoordinator(kv).add_shard()
+        print("live reshard:", report.describe())
+        moved_key = next(iter(report.moved), None)
+        if moved_key is not None:
+            print(f"  {moved_key!r} now on shard "
+                  f"{kv.shard_for(moved_key)} =",
+                  await kv.get(moved_key))
+            # A straggler writing through the old placement is fenced:
+            try:
+                await kv.shards[old_ring.shard_for(moved_key)].write(
+                    moved_key, "stale write from the past")
+            except FencedWriteError as error:
+                print("  stale write fenced:", error)
     print(kv.describe())
 
 

@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from typing import Any, List, Optional, Tuple
 
 from ..errors import ProtocolError
+from ..messages import EpochFenceAck, WriteFenced
 from ..types import DEFAULT_REGISTER, ProcessId, fresh_operation_id
 
 #: Outgoing messages: ``(receiver, payload)`` pairs.
@@ -69,11 +70,26 @@ class MultiRegisterObject(ObjectAutomaton):
     look their slot up via :meth:`_slot`; everything else about the automaton
     -- one inbox, one identity, one channel per client -- is shared, which is
     what lets a single replica set serve arbitrarily many registers.
+
+    Every multi-register object also understands *epoch fences*
+    (:class:`~repro.messages.EpochFence`), the reconfiguration
+    primitive: ``fences[register_id]`` is the minimum tag epoch a write
+    round must carry to be applied.  Fenced write rounds are refused with
+    a :class:`~repro.messages.WriteFenced` report instead of being
+    silently applied, so a stale writer terminates (with an error) rather
+    than corrupting a register that has been handed to another replica
+    set.  Concrete automata consult :meth:`_fence_rejects` on their write
+    paths and dispatch :class:`~repro.messages.EpochFence` to
+    :meth:`_on_epoch_fence`.
     """
 
     def __init__(self, object_index: int):
         super().__init__(object_index)
         self.slots: dict = {}
+        #: register_id -> minimum tag epoch accepted by write rounds.
+        self.fences: dict = {}
+        #: registers retired here outright: every write round refused.
+        self.hard_fences: set = set()
 
     @abstractmethod
     def _new_slot(self) -> Any:
@@ -88,6 +104,55 @@ class MultiRegisterObject(ObjectAutomaton):
     def registers(self) -> List[str]:
         """Ids of every register this object has (lazily) materialized."""
         return sorted(self.slots)
+
+    # -- epoch fencing (reconfiguration) --------------------------------
+    def _on_epoch_fence(self, sender: ProcessId, message: Any) -> Outgoing:
+        """Ratchet the register's fence upward and acknowledge it.
+
+        Fence messages never weaken a fence (epochs only rise, hard
+        stays hard); the one exception is an explicit ``lift`` -- the
+        control plane handing a previously moved-away register back to
+        this replica set -- which clears both fences.  Clients are
+        trusted in the model, and tag arbitration still buries any
+        stale write below the replayed tag.
+        """
+        register_id = message.register_id
+        if getattr(message, "lift", False):
+            self.fences.pop(register_id, None)
+            self.hard_fences.discard(register_id)
+            return [(sender, EpochFenceAck(
+                nonce=message.nonce,
+                object_index=self.object_index,
+                epoch=message.epoch,
+                register_id=register_id))]
+        current = self.fences.get(register_id, 0)
+        if message.epoch > current:
+            self.fences[register_id] = message.epoch
+        if getattr(message, "hard", False):
+            self.hard_fences.add(register_id)
+        return [(sender, EpochFenceAck(
+            nonce=message.nonce,
+            object_index=self.object_index,
+            epoch=self.fences[register_id],
+            register_id=register_id))]
+
+    def _fence_rejects(self, register_id: str, epoch: int) -> bool:
+        """Whether a write round installing ``epoch`` must be refused."""
+        if register_id in self.hard_fences:
+            return True  # retired: no epoch passes, however high
+        fence = self.fences.get(register_id)
+        return fence is not None and epoch < fence
+
+    def _fence_nack(self, sender: ProcessId, register_id: str, epoch: int,
+                    wid: int = 0, nonce: int = 0) -> Outgoing:
+        """The :class:`~repro.messages.WriteFenced` report for a refusal."""
+        return [(sender, WriteFenced(
+            object_index=self.object_index,
+            epoch=epoch,
+            fence_epoch=self.fences[register_id],
+            wid=wid,
+            nonce=nonce,
+            register_id=register_id))]
 
 
 class ClientOperation(ABC):

@@ -9,8 +9,10 @@ from ...automata.base import (ClientOperation, MultiRegisterObject,
                               Outgoing)
 from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
-from ...errors import ConfigurationError, ProtocolError
-from ...messages import Message
+from ...errors import (ConfigurationError, FencedWriteError,
+                       ProtocolError)
+from ...messages import (EpochFence, Message, TagQuery, TagQueryAck,
+                         WriteFenced)
 from ...protocols import ATOMIC, REGULAR, StorageProtocol
 from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
                       TimestampValue, WRITER, WriterTag, _Bottom, obj,
@@ -24,11 +26,19 @@ from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
 
 @dataclass(frozen=True)
 class AbdStore(Message):
-    """Install <ts, v> (used by the writer and by read write-backs)."""
+    """Install <ts, v> (used by the writer and by read write-backs).
+
+    ``write_back`` distinguishes a reader's write-back from a writer's
+    store: epoch fences (reconfiguration) refuse stale writer stores but
+    let write-backs through -- a write-back only re-installs a tag that
+    already exists at a quorum, so it cannot smuggle a new write past a
+    fence.  Legacy frames omit the flag and decode as writer stores.
+    """
 
     tsval: TimestampValue
     nonce: int
     register_id: str = DEFAULT_REGISTER
+    write_back: bool = False
 
 
 @dataclass(frozen=True)
@@ -87,16 +97,34 @@ class AbdObject(MultiRegisterObject):
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, AbdStore):
+            if (not message.write_back
+                    and self._fence_rejects(message.register_id,
+                                            message.tsval.ts)):
+                return self._fence_nack(sender, message.register_id,
+                                        message.tsval.ts,
+                                        message.tsval.wid,
+                                        nonce=message.nonce)
             slot = self._slot(message.register_id)
             if message.tsval.tag > slot.tsval.tag:
                 slot.tsval = message.tsval
             return [(sender, AbdStoreAck(nonce=message.nonce,
                                          ts=slot.tsval.ts,
                                          register_id=message.register_id))]
+        if isinstance(message, EpochFence):
+            return self._on_epoch_fence(sender, message)
         if isinstance(message, AbdQuery):
             slot = self._slot(message.register_id)
             return [(sender, AbdQueryAck(nonce=message.nonce,
                                          tsval=slot.tsval,
+                                         register_id=message.register_id))]
+        if isinstance(message, TagQuery):
+            # The protocol's own discovery speaks AbdQuery; TagQuery is
+            # the control plane's protocol-agnostic discovery (fencing).
+            tag = self._slot(message.register_id).tsval.tag
+            return [(sender, TagQueryAck(nonce=message.nonce,
+                                         object_index=self.object_index,
+                                         epoch=tag.epoch,
+                                         wid=tag.writer_id,
                                          register_id=message.register_id))]
         return []
 
@@ -153,6 +181,7 @@ class AbdWriteOperation(ClientOperation):
         self.query_nonce = 0
         self.discovery: Optional[TagDiscovery] = None
         self._ackers: Set[int] = set()
+        self._fencers: Set[int] = set()
 
     def start(self) -> Outgoing:
         if self.discover_tag:
@@ -191,6 +220,16 @@ class AbdWriteOperation(ClientOperation):
                                  message.tsval.tag)
             if self.discovery.ready():
                 return self._start_store(self.discovery.chosen_tag().epoch)
+            return []
+        if isinstance(message, WriteFenced):
+            if (self.phase == "store" and message.nonce == self.nonce
+                    and message.register_id == self.register_id):
+                self._fencers.add(sender.index)
+                if len(self._fencers) > self.config.b:
+                    raise FencedWriteError(
+                        f"WRITE#{self.operation_id} on "
+                        f"{self.register_id!r} (epoch {self.state.ts}) "
+                        f"refused by epoch fence {message.fence_epoch}")
             return []
         if not isinstance(message, AbdStoreAck):
             return []
@@ -258,7 +297,7 @@ class AbdReadOperation(ClientOperation):
         self.wb_nonce = self.state.next_nonce()
         self.begin_round()
         message = AbdStore(tsval=self._chosen, nonce=self.wb_nonce,
-                           register_id=self.register_id)
+                           register_id=self.register_id, write_back=True)
         return [(obj(i), message) for i in range(self.config.num_objects)]
 
 

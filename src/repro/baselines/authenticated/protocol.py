@@ -10,8 +10,9 @@ from ...automata.base import (ClientOperation, MultiRegisterObject,
 from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
 from ...crypto_sim import PublicKey, SignedValue, Signer
-from ...errors import ProtocolError
-from ...messages import Message
+from ...errors import FencedWriteError, ProtocolError
+from ...messages import (EpochFence, Message, TagQuery, TagQueryAck,
+                         WriteFenced)
 from ...protocols import REGULAR, StorageProtocol
 from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, TAG0,
                       ProcessId, TimestampValue, WRITER, WriterTag,
@@ -82,18 +83,35 @@ class AuthObject(MultiRegisterObject):
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, AuthStore):
-            slot = self._slot(message.register_id)
             payload = message.signed.payload
+            if (isinstance(payload, TimestampValue)
+                    and self._fence_rejects(message.register_id,
+                                            payload.ts)):
+                return self._fence_nack(sender, message.register_id,
+                                        payload.ts, payload.wid,
+                                        nonce=message.nonce)
+            slot = self._slot(message.register_id)
             if (isinstance(payload, TimestampValue)
                     and payload.tag > slot.current_tag()):
                 slot.signed = message.signed
             return [(sender, AuthStoreAck(nonce=message.nonce,
                                           register_id=message.register_id))]
+        if isinstance(message, EpochFence):
+            return self._on_epoch_fence(sender, message)
         if isinstance(message, AuthQuery):
             slot = self._slot(message.register_id)
             return [(sender, AuthQueryAck(nonce=message.nonce,
                                           signed=slot.signed,
                                           register_id=message.register_id))]
+        if isinstance(message, TagQuery):
+            # Control-plane discovery (fencing): protocol-agnostic, so
+            # reconfiguration works on authenticated stores too.
+            tag = self._slot(message.register_id).current_tag()
+            return [(sender, TagQueryAck(nonce=message.nonce,
+                                         object_index=self.object_index,
+                                         epoch=tag.epoch,
+                                         wid=tag.writer_id,
+                                         register_id=message.register_id))]
         return []
 
 
@@ -152,6 +170,7 @@ class AuthWriteOperation(ClientOperation):
         self.query_nonce = 0
         self.discovery: Optional[TagDiscovery] = None
         self._ackers: Set[int] = set()
+        self._fencers: Set[int] = set()
 
     def start(self) -> Outgoing:
         if self.discover_tag:
@@ -198,6 +217,16 @@ class AuthWriteOperation(ClientOperation):
             self.discovery.offer(sender.index, message.nonce, tag)
             if self.discovery.ready():
                 return self._start_store(self.discovery.chosen_tag().epoch)
+            return []
+        if isinstance(message, WriteFenced):
+            if (self.phase == "store" and message.nonce == self.nonce
+                    and message.register_id == self.register_id):
+                self._fencers.add(sender.index)
+                if len(self._fencers) > self.config.b:
+                    raise FencedWriteError(
+                        f"WRITE#{self.operation_id} on "
+                        f"{self.register_id!r} (epoch {self.state.ts}) "
+                        f"refused by epoch fence {message.fence_epoch}")
             return []
         if not isinstance(message, AuthStoreAck):
             return []

@@ -11,8 +11,8 @@ from ...config import SystemConfig
 from ...core.safe.predicates import CandidateTracker
 from ...core.safe.writer import SafeWriterState, SafeWriteOperation
 from ...errors import SimulationError
-from ...messages import (Pw, PwAck, ReadAck, ReadRequest, TagQuery,
-                         TagQueryAck, W, WriteAck)
+from ...messages import (EpochFence, Pw, PwAck, ReadAck, ReadRequest,
+                         TagQuery, TagQueryAck, W, WriteAck)
 from ...protocols import SAFE, StorageProtocol
 from ...quorums import confirmation_threshold, elimination_threshold
 from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, TAG0,
@@ -63,6 +63,12 @@ class PassiveObject(MultiRegisterObject):
         return self._slot(DEFAULT_REGISTER).w
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if isinstance(message, EpochFence):
+            return self._on_epoch_fence(sender, message)
+        if isinstance(message, (Pw, W)) and self._fence_rejects(
+                message.register_id, message.ts):
+            return self._fence_nack(sender, message.register_id,
+                                    message.ts, message.wid)
         if isinstance(message, Pw):
             slot = self._slot(message.register_id)
             if message.tag > slot.tag:

@@ -30,8 +30,9 @@ from typing import Any, Dict, List
 
 from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
-from ...messages import (HistoryEntry, HistoryReadAck, Pw, ReadRequest, PwAck,
-                         TagQuery, TagQueryAck, W, WriteAck)
+from ...messages import (EpochFence, HistoryEntry, HistoryReadAck, Pw,
+                         ReadRequest, PwAck, TagQuery, TagQueryAck, W,
+                         WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, TAG0, ProcessId,
                       WriterTag, initial_write_tuple)
 
@@ -92,6 +93,8 @@ class RegularObject(MultiRegisterObject):
             return self._on_w(sender, message)
         if isinstance(message, TagQuery):
             return self._on_tag_query(sender, message)
+        if isinstance(message, EpochFence):
+            return self._on_epoch_fence(sender, message)
         return []
 
     # -- MWMR tag discovery ----------------------------------------------
@@ -106,6 +109,9 @@ class RegularObject(MultiRegisterObject):
 
     # -- lines 4-9 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
+        if self._fence_rejects(message.register_id, message.ts):
+            return self._fence_nack(sender, message.register_id,
+                                    message.ts, message.wid)
         slot = self._slot(message.register_id)
         fresh = (message.ts > slot.ts
                  or (message.ts == slot.ts and message.wid > slot.wid))
@@ -137,6 +143,9 @@ class RegularObject(MultiRegisterObject):
 
     # -- lines 10-14 -----------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
+        if self._fence_rejects(message.register_id, message.ts):
+            return self._fence_nack(sender, message.register_id,
+                                    message.ts, message.wid)
         slot = self._slot(message.register_id)
         fresh = (message.ts > slot.ts
                  or (message.ts == slot.ts and message.wid >= slot.wid))

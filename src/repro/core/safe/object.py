@@ -35,8 +35,8 @@ from typing import Any, List
 
 from ...automata.base import MultiRegisterObject, Outgoing
 from ...config import SystemConfig
-from ...messages import (Pw, PwAck, ReadAck, ReadRequest, TagQuery,
-                         TagQueryAck, W, WriteAck)
+from ...messages import (EpochFence, Pw, PwAck, ReadAck, ReadRequest,
+                         TagQuery, TagQueryAck, W, WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
                       TimestampValue, WriterTag, WriteTuple,
                       initial_write_tuple)
@@ -105,6 +105,8 @@ class SafeObject(MultiRegisterObject):
             return self._on_read(sender, message)
         if isinstance(message, TagQuery):
             return self._on_tag_query(sender, message)
+        if isinstance(message, EpochFence):
+            return self._on_epoch_fence(sender, message)
         # Unknown traffic (e.g. probes from baselines wired incorrectly) is
         # ignored rather than crashing the object: a storage element must
         # never be taken down by a malformed client message.
@@ -122,6 +124,9 @@ class SafeObject(MultiRegisterObject):
 
     # -- lines 3-7 -------------------------------------------------------
     def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
+        if self._fence_rejects(message.register_id, message.ts):
+            return self._fence_nack(sender, message.register_id,
+                                    message.ts, message.wid)
         slot = self._slot(message.register_id)
         # Tag comparison inlined (epoch first, writer id tie-break): this
         # guard runs per message and tuple construction is measurable.
@@ -143,6 +148,9 @@ class SafeObject(MultiRegisterObject):
 
     # -- lines 8-12 ------------------------------------------------------
     def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
+        if self._fence_rejects(message.register_id, message.ts):
+            return self._fence_nack(sender, message.register_id,
+                                    message.ts, message.wid)
         slot = self._slot(message.register_id)
         if message.ts > slot.ts or (message.ts == slot.ts
                                     and message.wid >= slot.wid):

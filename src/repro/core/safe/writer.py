@@ -33,8 +33,9 @@ from typing import Any, Optional, Set
 from ...automata.base import ClientOperation, Outgoing
 from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
-from ...errors import ProtocolError
-from ...messages import Pw, PwAck, TagQuery, TagQueryAck, W, WriteAck
+from ...errors import FencedWriteError, ProtocolError
+from ...messages import (Pw, PwAck, TagQuery, TagQueryAck, W, WriteAck,
+                         WriteFenced)
 from ...types import (ProcessId, TimestampValue, TsrArray, WriterTag,
                       WriteTuple, _Bottom, initial_write_tuple, obj, writer)
 
@@ -82,6 +83,7 @@ class SafeWriteOperation(ClientOperation):
         self.discovery: Optional[TagDiscovery] = None
         self._pw_ackers: Set[int] = set()
         self._w_ackers: Set[int] = set()
+        self._fencers: Set[int] = set()
 
     # ------------------------------------------------------------------
     def start(self) -> Outgoing:
@@ -127,6 +129,32 @@ class SafeWriteOperation(ClientOperation):
             return self._on_pw_ack(sender, message)
         if isinstance(message, WriteAck):
             return self._on_write_ack(sender, message)
+        if isinstance(message, WriteFenced):
+            return self._on_write_fenced(sender, message)
+        return []
+
+    def _on_write_fenced(self, sender: ProcessId,
+                         message: WriteFenced) -> Outgoing:
+        """Abort once ``b + 1`` objects report an epoch fence.
+
+        A single report may be a Byzantine lie, but ``b + 1`` distinct
+        reports include a correct fenced object -- and a fence installed
+        at a quorum leaves at most ``t + b < S - t`` objects that could
+        still acknowledge, so this write can never complete.  Raising
+        here fails the caller's waiter instead of hanging it; the value
+        was not applied at any correct fenced object.
+        """
+        if (message.register_id != self.register_id
+                or message.epoch != self.ts or message.wid != self.wid
+                or self.phase not in (PHASE_PW, PHASE_W)):
+            return []
+        self._fencers.add(sender.index)
+        if len(self._fencers) > self.config.b:
+            raise FencedWriteError(
+                f"WRITE#{self.operation_id} on {self.register_id!r} "
+                f"(epoch {self.ts}) refused by epoch fence "
+                f"{message.fence_epoch}: the register was handed off; "
+                f"re-route and retry")
         return []
 
     def _on_tag_ack(self, sender: ProcessId,

@@ -73,12 +73,36 @@ class SpecificationViolation(ReproError):
         self.explanation = explanation
 
 
+class FencedWriteError(ProtocolError):
+    """A WRITE was rejected by an epoch fence installed at the objects.
+
+    Reconfiguration (:mod:`repro.service.reconfig`) fences a register
+    before handing it to another shard group: base objects refuse write
+    rounds whose ``(epoch, writer_id)`` tag lies below the fence and
+    report the refusal.  Once ``b + 1`` objects report it, at least one
+    correct object is fenced, so the write can never gather a quorum --
+    the operation aborts with this error instead of hanging.  Callers
+    should re-route the write to the register's new home and retry.
+    """
+
+
 class AuthenticationError(ReproError):
     """A simulated signature failed verification (:mod:`repro.crypto_sim`)."""
 
 
 class TransportError(ReproError):
     """An asyncio runtime transport failed (:mod:`repro.runtime`)."""
+
+
+class BusyRegisterError(TransportError):
+    """A client host already has an operation in flight on the register.
+
+    Raised at admission time by :class:`~repro.runtime.hosts.
+    MuxClientHost`: one client process drives at most one operation per
+    register at a time (well-formedness per register).  Callers that
+    share a host -- e.g. the reconfiguration coordinator snapshotting a
+    key an application reader is also reading -- should yield and retry.
+    """
 
 
 class BackpressureError(TransportError):

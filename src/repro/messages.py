@@ -189,6 +189,73 @@ class TagQueryAck(Message):
 
 
 # ---------------------------------------------------------------------------
+# Epoch fencing (reconfiguration / shard handoff)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EpochFence(Message):
+    """Coordinator-to-object: refuse write rounds below ``epoch``.
+
+    Installed during a shard handoff (:mod:`repro.service.reconfig`):
+    after a quorum acknowledges the fence, no write with tag epoch
+    ``< epoch`` can gather a quorum on this register, so the coordinator
+    may snapshot and replay the register elsewhere without losing a
+    completed write.  Fences only ever ratchet upward.
+
+    ``hard`` retires the register at this replica set outright: *every*
+    write round is refused, whatever its epoch.  Handoffs to another
+    replica set use hard fences -- concurrent writers can chain tag
+    discoveries past any finite epoch margin, but no epoch passes a
+    hard fence.  Epoch fences remain for same-store re-installs
+    (replica healing), where the coordinator's own replay must still
+    get through.
+
+    ``lift`` is the inverse control-plane verb: a later reconfiguration
+    handing the register *back* to this replica set clears both fences
+    before replaying.  Clients are non-malicious in the model (only
+    objects are Byzantine), so honouring a lift does not weaken the
+    fault assumptions -- and write arbitration still ignores any stale
+    tag below the replayed one.
+    """
+
+    nonce: int
+    epoch: int
+    register_id: str = DEFAULT_REGISTER
+    hard: bool = False
+    lift: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EpochFenceAck(Message):
+    """``FENCE_ACK_i<epoch>``: the fence object ``i`` now enforces."""
+
+    nonce: int
+    object_index: int
+    epoch: int
+    register_id: str = DEFAULT_REGISTER
+
+
+@dataclass(frozen=True, slots=True)
+class WriteFenced(Message):
+    """Object-to-writer: a write round was refused by an epoch fence.
+
+    ``epoch``/``wid``/``nonce`` echo the refused round so the writer can
+    match the report to its in-flight operation; ``fence_epoch`` is the
+    fence that refused it.  A writer aborts with
+    :class:`~repro.errors.FencedWriteError` once ``b + 1`` distinct
+    objects report the fence (a Byzantine minority cannot forge that).
+    """
+
+    object_index: int
+    epoch: int
+    fence_epoch: int
+    wid: int = 0
+    nonce: int = 0
+    register_id: str = DEFAULT_REGISTER
+
+
+# ---------------------------------------------------------------------------
 # Safe read protocol (Figure 3 / Figure 4)
 # ---------------------------------------------------------------------------
 
@@ -341,6 +408,14 @@ def summarize(message: Message) -> str:
     if isinstance(message, TagQueryAck):
         return (f"TAG_ACK(s{message.object_index + 1}, "
                 f"tag={message.tag!r})")
+    if isinstance(message, EpochFence):
+        return f"FENCE<epoch={message.epoch}>"
+    if isinstance(message, EpochFenceAck):
+        return (f"FENCE_ACK(s{message.object_index + 1}, "
+                f"epoch={message.epoch})")
+    if isinstance(message, WriteFenced):
+        return (f"WRITE_FENCED(s{message.object_index + 1}, "
+                f"epoch={message.epoch} < fence={message.fence_epoch})")
     if isinstance(message, ReadRequest):
         return f"READ{message.round_index}<tsr={message.tsr}>"
     if isinstance(message, ReadAck):
@@ -366,6 +441,9 @@ __all__ = [
     "WriteAck",
     "TagQuery",
     "TagQueryAck",
+    "EpochFence",
+    "EpochFenceAck",
+    "WriteFenced",
     "ReadRequest",
     "ReadAck",
     "HistoryEntry",

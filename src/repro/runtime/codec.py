@@ -16,9 +16,9 @@ import json
 from typing import Any, Callable, Dict
 
 from ..errors import TransportError
-from ..messages import (Batch, HistoryEntry, HistoryReadAck, Pw, PwAck,
-                        ReadAck, ReadRequest, TagQuery, TagQueryAck, W,
-                        WriteAck)
+from ..messages import (Batch, EpochFence, EpochFenceAck, HistoryEntry,
+                        HistoryReadAck, Pw, PwAck, ReadAck, ReadRequest,
+                        TagQuery, TagQueryAck, W, WriteAck, WriteFenced)
 from ..types import (BOTTOM, DEFAULT_REGISTER, TimestampValue, TsrArray,
                      WriterTag, WriteTuple, _Bottom, as_tag)
 
@@ -144,6 +144,15 @@ _ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     TagQueryAck: lambda m: _maybe_wid(
         {"nonce": m.nonce, "i": m.object_index, "epoch": m.epoch,
          "r": m.register_id}, m.wid),
+    EpochFence: lambda m: (
+        {"nonce": m.nonce, "epoch": m.epoch, "r": m.register_id,
+         **({"hard": True} if m.hard else {}),
+         **({"lift": True} if m.lift else {})}),
+    EpochFenceAck: lambda m: {"nonce": m.nonce, "i": m.object_index,
+                              "epoch": m.epoch, "r": m.register_id},
+    WriteFenced: lambda m: _maybe_wid(
+        {"i": m.object_index, "epoch": m.epoch, "fence": m.fence_epoch,
+         "nonce": m.nonce, "r": m.register_id}, m.wid),
     ReadRequest: lambda m: {"k": m.round_index, "tsr": m.tsr,
                             "j": m.reader_index,
                             "from_ts": _encode_from_ts(m.from_ts),
@@ -175,6 +184,19 @@ _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "TagQueryAck": lambda d: TagQueryAck(nonce=d["nonce"],
                                          object_index=d["i"],
                                          epoch=d["epoch"], wid=_wid(d),
+                                         register_id=_register(d)),
+    "EpochFence": lambda d: EpochFence(nonce=d["nonce"], epoch=d["epoch"],
+                                       register_id=_register(d),
+                                       hard=d.get("hard", False),
+                                       lift=d.get("lift", False)),
+    "EpochFenceAck": lambda d: EpochFenceAck(nonce=d["nonce"],
+                                             object_index=d["i"],
+                                             epoch=d["epoch"],
+                                             register_id=_register(d)),
+    "WriteFenced": lambda d: WriteFenced(object_index=d["i"],
+                                         epoch=d["epoch"],
+                                         fence_epoch=d["fence"],
+                                         wid=_wid(d), nonce=d["nonce"],
                                          register_id=_register(d)),
     "ReadRequest": lambda d: ReadRequest(round_index=d["k"], tsr=d["tsr"],
                                          reader_index=d["j"],
@@ -257,12 +279,19 @@ def _register_extras() -> None:
     from ..core.atomic.protocol import WriteBack, WriteBackAck
     from ..crypto_sim import SignedValue
 
+    def encode_abd_store(m):
+        body = {"tsval": encode_value(m.tsval), "nonce": m.nonce,
+                "r": m.register_id}
+        if m.write_back:  # legacy writer frames stay byte-identical
+            body["wb"] = True
+        return body
+
     register_codec(
         AbdStore,
-        lambda m: {"tsval": encode_value(m.tsval), "nonce": m.nonce,
-                   "r": m.register_id},
+        encode_abd_store,
         lambda d: AbdStore(tsval=decode_value(d["tsval"]),
-                           nonce=d["nonce"], register_id=_register(d)))
+                           nonce=d["nonce"], register_id=_register(d),
+                           write_back=d.get("wb", False)))
     register_codec(
         AbdStoreAck,
         lambda m: {"nonce": m.nonce, "ts": m.ts, "r": m.register_id},

@@ -18,7 +18,7 @@ import asyncio
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
-from ..errors import BackpressureError, TransportError
+from ..errors import BackpressureError, BusyRegisterError, TransportError
 from ..messages import Batch, Message, register_of, unbatch
 from ..spec.histories import History, READ, WRITE
 from ..types import ProcessId, obj
@@ -62,13 +62,19 @@ class ObjectHost:
     Batched envelopes are unwrapped, processed back to back, and the
     replies re-coalesced per destination -- N same-round requests from a
     multiplexed client come back as one ack envelope.
+
+    Constructing a host for an already-registered pid takes over that
+    pid's *existing* inbox (see :meth:`AsyncNetwork.register`): replica
+    replacement swaps the automaton and the pump task while every
+    message already in flight to the object survives the swap.  The
+    previous host must be stopped first.
     """
 
     def __init__(self, automaton: ObjectAutomaton, network: AsyncNetwork):
         self.automaton = automaton
         self.pid = obj(automaton.object_index)
         self.network = network
-        network.register(self.pid)
+        self.inbox = network.register(self.pid)
         self._task: Optional[asyncio.Task] = None
 
     def start(self) -> None:
@@ -76,7 +82,7 @@ class ObjectHost:
             self._task = asyncio.get_running_loop().create_task(self._loop())
 
     async def _loop(self) -> None:
-        inbox = self.network.inbox(self.pid)
+        inbox = self.inbox
         while True:
             envelope = await inbox.get()
             replies: Outgoing = []
@@ -180,9 +186,22 @@ class MuxClientHost:
                 self._pump())
 
     def stop(self) -> None:
+        """Cancel the pump and fail every blocked waiter.
+
+        Without the eviction a caller awaiting an in-flight operation
+        would hang forever once the pump is gone; failing fast with a
+        :class:`TransportError` turns a lifecycle bug into a visible
+        error at the call site.
+        """
         if self._pump_task is not None:
             self._pump_task.cancel()
             self._pump_task = None
+        if self._pending:
+            error = TransportError(
+                f"client host {self.pid!r} stopped with operations "
+                f"in flight")
+            for operation in list(self._pending.values()):
+                self._evict(operation, error)
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, outgoing: Outgoing) -> None:
@@ -199,7 +218,7 @@ class MuxClientHost:
         register_id = operation.register_id
         existing = self._pending.get(register_id)
         if existing is not None and not existing.done:
-            raise TransportError(
+            raise BusyRegisterError(
                 f"client {self.pid!r} already has an operation in flight "
                 f"on register {register_id!r}")
         if (self.max_pending is not None

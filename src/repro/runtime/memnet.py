@@ -37,9 +37,20 @@ class AsyncNetwork:
         self._pending: Set[asyncio.Task] = set()
         self.messages_sent = 0
 
-    def register(self, pid: ProcessId) -> None:
-        if pid not in self._inboxes:
-            self._inboxes[pid] = asyncio.Queue()
+    def register(self, pid: ProcessId) -> "asyncio.Queue[AsyncEnvelope]":
+        """Bind ``pid`` to an inbox and return it.
+
+        Re-registering an already-known pid *hands over the existing
+        queue* rather than dropping or shadowing it: a replacement host
+        for the same process identity (replica repair, Byzantine swap)
+        inherits every in-flight message.  Callers must stop the old
+        host's pump before starting the replacement's, or two tasks
+        would race on one queue.
+        """
+        inbox = self._inboxes.get(pid)
+        if inbox is None:
+            inbox = self._inboxes[pid] = asyncio.Queue()
+        return inbox
 
     def inbox(self, pid: ProcessId) -> "asyncio.Queue[AsyncEnvelope]":
         try:
@@ -50,6 +61,14 @@ class AsyncNetwork:
     def crash(self, pid: ProcessId) -> None:
         """Messages to a crashed process are silently parked forever."""
         self._crashed.add(pid)
+
+    def restore(self, pid: ProcessId) -> None:
+        """Lift a crash: a replacement process receives traffic again.
+
+        Messages sent while the pid was crashed stay dropped (a crashed
+        process never saw them); only delivery from now on resumes.
+        """
+        self._crashed.discard(pid)
 
     def send(self, sender: ProcessId, receiver: ProcessId,
              payload: Any) -> None:

@@ -8,18 +8,29 @@ This package turns that into a serving layer:
   slots in the object automata, batched client rounds);
 * :class:`ShardedKVStore` -- a key-value facade consistent-hashing keys
   across several shard groups, each its own replica set;
-* :class:`HashRing` -- the stable key -> shard placement.
+* :class:`HashRing` -- the stable key -> shard placement, with
+  :func:`owned_diff` enumerating moved ranges between two rings;
+* :class:`ReconfigCoordinator` -- live reconfiguration: add/drain shard
+  groups with epoch-fenced key handoff, replace crashed replicas.
 
 See ``examples/replicated_kv_store.py`` for the end-to-end demo and
-``benchmarks/bench_service.py`` for the multiplexing throughput numbers.
+``benchmarks/bench_service.py`` for the multiplexing throughput numbers
+(including the reshard-under-load mode).
 """
 
-from .hashing import HashRing
+from .hashing import HashRing, MovedRange, owned_diff
+from .reconfig import (FenceOperation, ReconfigCoordinator,
+                       ReconfigReport)
 from .sharded import ShardedKVStore
 from .store import MultiRegisterStore
 
 __all__ = [
+    "FenceOperation",
     "HashRing",
+    "MovedRange",
     "MultiRegisterStore",
+    "ReconfigCoordinator",
+    "ReconfigReport",
     "ShardedKVStore",
+    "owned_diff",
 ]

@@ -5,7 +5,21 @@ pseudo-random positions on a 160-bit circle; a key belongs to the shard
 of the first virtual node at or after the key's own position.  Virtual
 nodes smooth the load imbalance of small rings, and consistency means
 that adding or removing one shard only moves the keys adjacent to its
-virtual nodes -- the property a future reconfiguration PR will rely on.
+virtual nodes -- the property live reconfiguration
+(:mod:`repro.service.reconfig`) relies on.
+
+Rings are immutable values: :meth:`HashRing.add_shard` and
+:meth:`HashRing.remove_shard` derive *new* rings, so a reconfiguration
+coordinator can compute the target placement, migrate state, and flip an
+atomic reference from the old ring to the new one.  Shards are
+identified by arbitrary integer ids (``HashRing(n)`` uses ``0..n-1``).
+A ring is a pure value and cannot remember drained ids;
+:class:`~repro.service.reconfig.ReconfigCoordinator` tracks them at the
+store level so retired ids are never implicitly reused.
+
+:func:`owned_diff` enumerates *exactly* the arcs of the circle whose
+owner differs between two rings -- the moved key-ranges of a
+reconfiguration.  A key moves iff its position falls in one of the arcs.
 
 Hashes come from SHA-1 (stability matters, cryptographic strength does
 not): Python's builtin ``hash`` is randomized per process and would send
@@ -16,7 +30,10 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import List, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Tuple
+
+#: Size of the hash circle: SHA-1 positions live in ``[0, RING_SPACE)``.
+RING_SPACE = 1 << 160
 
 
 def _position(label: str) -> int:
@@ -24,31 +41,124 @@ def _position(label: str) -> int:
                           "big")
 
 
-class HashRing:
-    """Maps string keys onto ``num_shards`` shards, consistently."""
+def key_position(key: str) -> int:
+    """The position of ``key`` on the hash circle (public for tooling)."""
+    return _position(key)
 
-    def __init__(self, num_shards: int, vnodes: int = 64):
-        if num_shards < 1:
+
+class MovedRange(NamedTuple):
+    """One half-open arc ``[start, stop)`` whose owner changed.
+
+    Arcs never wrap: the wrap-around region is reported as two entries
+    (``[p_last, RING_SPACE)`` and ``[0, p_first)``).
+    """
+
+    start: int
+    stop: int
+    old_shard: int
+    new_shard: int
+
+    def contains(self, position: int) -> bool:
+        return self.start <= position < self.stop
+
+
+class HashRing:
+    """Maps string keys onto a set of shard ids, consistently."""
+
+    def __init__(self, num_shards: Optional[int] = None, vnodes: int = 64,
+                 shard_ids: Optional[Iterable[int]] = None):
+        if shard_ids is None:
+            if num_shards is None or num_shards < 1:
+                raise ValueError("at least one shard is required")
+            shard_ids = range(num_shards)
+        ids = tuple(sorted(shard_ids))
+        if not ids:
             raise ValueError("at least one shard is required")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids: {ids}")
         if vnodes < 1:
             raise ValueError("at least one virtual node per shard")
-        self.num_shards = num_shards
+        self.shard_ids: Tuple[int, ...] = ids
         self.vnodes = vnodes
         points: List[Tuple[int, int]] = []
-        for shard in range(num_shards):
+        for shard in ids:
             for v in range(vnodes):
                 points.append((_position(f"shard:{shard}:vnode:{v}"), shard))
         points.sort()
         self._positions = [p for p, _ in points]
         self._shards = [s for _, s in points]
 
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_ids)
+
+    # -- placement -------------------------------------------------------
     def shard_for(self, key: str) -> int:
         """The shard owning ``key`` (first vnode clockwise of its hash)."""
-        index = bisect.bisect_right(self._positions, _position(key))
+        return self.shard_at(_position(key))
+
+    def shard_at(self, position: int) -> int:
+        """The shard owning circle ``position`` directly."""
+        index = bisect.bisect_right(self._positions, position)
         if index == len(self._positions):
             index = 0  # wrap around the circle
         return self._shards[index]
 
+    # -- reconfiguration -------------------------------------------------
+    def add_shard(self, shard_id: Optional[int] = None) -> "HashRing":
+        """A new ring with one more shard (default: smallest unused id)."""
+        if shard_id is None:
+            shard_id = max(self.shard_ids) + 1
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard {shard_id} is already on the ring")
+        return HashRing(vnodes=self.vnodes,
+                        shard_ids=self.shard_ids + (shard_id,))
+
+    def remove_shard(self, shard_id: int) -> "HashRing":
+        """A new ring without ``shard_id`` (its arcs fall to neighbours)."""
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"shard {shard_id} is not on the ring")
+        if len(self.shard_ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        return HashRing(vnodes=self.vnodes,
+                        shard_ids=(s for s in self.shard_ids
+                                   if s != shard_id))
+
+    def owned_diff(self, new: "HashRing") -> "List[MovedRange]":
+        """Moved arcs from this ring to ``new`` (see :func:`owned_diff`)."""
+        return owned_diff(self, new)
+
     def __repr__(self) -> str:
-        return (f"HashRing({self.num_shards} shards x "
+        ids = ",".join(map(str, self.shard_ids))
+        return (f"HashRing(shards=[{ids}] x "
                 f"{self.vnodes} vnodes)")
+
+
+def owned_diff(old: HashRing, new: HashRing) -> List[MovedRange]:
+    """Exactly the arcs of the circle whose owner differs between rings.
+
+    The union of both rings' vnode positions cuts the circle into arcs
+    on which ownership is constant *in each ring* (every boundary of
+    either ring is a cut).  Comparing owners per arc therefore
+    enumerates the moved key-ranges exactly: a key moves from
+    ``old.shard_for`` to ``new.shard_for`` iff its position lies in one
+    of the returned ranges.
+    """
+    boundaries = sorted(set(old._positions) | set(new._positions))
+    if not boundaries:
+        return []
+    arcs: List[Tuple[int, int]] = [
+        (boundaries[i], boundaries[i + 1])
+        for i in range(len(boundaries) - 1)
+    ]
+    # The wrap-around region, split so ranges never wrap.
+    arcs.append((boundaries[-1], RING_SPACE))
+    if boundaries[0] > 0:
+        arcs.append((0, boundaries[0]))
+    moved = [
+        MovedRange(lo, hi, old.shard_at(lo), new.shard_at(lo))
+        for lo, hi in arcs
+        if old.shard_at(lo) != new.shard_at(lo)
+    ]
+    moved.sort()
+    return moved

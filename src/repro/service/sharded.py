@@ -1,11 +1,11 @@
 """A sharded Byzantine-tolerant key-value service.
 
-:class:`ShardedKVStore` consistent-hashes keys across ``num_shards``
-shard groups, each one an independent :class:`~repro.service.store.
-MultiRegisterStore` (its own replica set, its own fault budget ``t``/``b``).
-Keys are SWMR regular registers; the API speaks dictionary (``put``/
-``get``, ``None`` for missing keys) and maps straight onto register
-writes and reads underneath.
+:class:`ShardedKVStore` consistent-hashes keys across shard groups, each
+one an independent :class:`~repro.service.store.MultiRegisterStore` (its
+own replica set, its own fault budget ``t``/``b``).  Keys are SWMR
+regular registers; the API speaks dictionary (``put``/``get``, ``None``
+for missing keys) and maps straight onto register writes and reads
+underneath.
 
 Capacity therefore scales two ways at once:
 
@@ -13,7 +13,13 @@ Capacity therefore scales two ways at once:
   fixed replica set (no per-key tasks);
 * *horizontally* -- adding shard groups divides the keyspace, and the
   consistent ring keeps almost all keys in place when the shard count
-  changes (reconfiguration is a roadmap follow-on).
+  changes.
+
+Shard groups are keyed by integer shard id (``self.shards`` is a dict),
+matching the ring's id set so groups can be added and drained *live*:
+:class:`~repro.service.reconfig.ReconfigCoordinator` fences, snapshots
+and replays the moved keys, then calls :meth:`apply_reconfiguration` to
+flip routing atomically.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
 from ..protocols import StorageProtocol
 from ..spec.histories import History
-from ..types import BOTTOM, _Bottom
+from ..types import _Bottom
 from .hashing import HashRing
 from .store import MultiRegisterStore
 
@@ -38,8 +44,9 @@ class ShardedKVStore:
     identity) and the underlying protocols arbitrate concurrent writes
     with ``(epoch, writer_id)`` tags.  ``record_history=True`` captures
     every operation of every shard into one shared history for the
-    consistency checkers (a key lives wholly in one shard, so
-    per-register checks are exact).
+    consistency checkers (a key lives wholly in one shard at any moment,
+    and reconfiguration replays carry strictly larger tags, so
+    per-register checks stay exact across a handoff).
     """
 
     def __init__(self, protocol_factory: Callable[[], StorageProtocol],
@@ -55,29 +62,50 @@ class ShardedKVStore:
         self.ring = HashRing(num_shards, vnodes=vnodes)
         self.history: Optional[History] = \
             History() if record_history else None
-        self.shards: List[MultiRegisterStore] = [
-            MultiRegisterStore(protocol_factory(), config,
-                               jitter=jitter, seed=seed + shard,
-                               default_timeout=default_timeout,
-                               batching=batching,
-                               max_pending_per_host=max_pending_per_host,
-                               history=self.history)
-            for shard in range(num_shards)
-        ]
+        self._protocol_factory = protocol_factory
+        self._jitter = jitter
+        self._seed = seed
+        self._default_timeout = default_timeout
+        self._batching = batching
+        self._max_pending = max_pending_per_host
+        self.shards: Dict[int, MultiRegisterStore] = {
+            shard: self.make_shard_store(shard)
+            for shard in self.ring.shard_ids
+        }
+        #: ids of drained shard groups -- never implicitly reused, so
+        #: logs/reports/seeds keyed by shard id stay unambiguous.
+        self.retired_shard_ids: set = set()
         self._started = False
+
+    def make_shard_store(self, shard_id: int) -> MultiRegisterStore:
+        """A fresh shard group wired like the originals (reconfiguration).
+
+        The store is *not* started and *not* routed to; a coordinator
+        starts it, replays moved keys into it, and flips routing via
+        :meth:`apply_reconfiguration`.
+        """
+        return MultiRegisterStore(self._protocol_factory(), self.config,
+                                  jitter=self._jitter,
+                                  seed=self._seed + shard_id,
+                                  default_timeout=self._default_timeout,
+                                  batching=self._batching,
+                                  max_pending_per_host=self._max_pending,
+                                  history=self.history)
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "ShardedKVStore":
         if not self._started:
-            for shard in self.shards:
+            for shard in self.shards.values():
                 await shard.start()
             self._started = True
         return self
 
     async def stop(self) -> None:
-        for shard in self.shards:
-            await shard.stop()
+        if not self._started:
+            return  # idempotent, like the shard stores underneath
         self._started = False
+        for shard in self.shards.values():
+            await shard.stop()
 
     async def __aenter__(self) -> "ShardedKVStore":
         return await self.start()
@@ -91,6 +119,25 @@ class ShardedKVStore:
 
     def store_for(self, key: str) -> MultiRegisterStore:
         return self.shards[self.shard_for(key)]
+
+    def apply_reconfiguration(
+            self, ring: HashRing,
+            shards: Dict[int, MultiRegisterStore]) -> None:
+        """Atomically flip routing to a new ring + shard map.
+
+        No awaits: on the single-threaded event loop every operation
+        routed before this call used the old placement end to end, and
+        every one after it the new -- there is no torn state in between.
+        The coordinator is responsible for having migrated the moved
+        keys first.
+        """
+        if set(ring.shard_ids) != set(shards):
+            raise ValueError(
+                f"ring ids {ring.shard_ids} do not match shard map ids "
+                f"{sorted(shards)}")
+        self.retired_shard_ids |= set(self.shards) - set(shards)
+        self.ring = ring
+        self.shards = shards
 
     # -- KV API -------------------------------------------------------------
     async def put(self, key: str, value: Any,
@@ -121,19 +168,24 @@ class ShardedKVStore:
     async def get_many(self, keys: Iterable[str], reader_index: int = 0,
                        timeout: Optional[float] = None
                        ) -> Dict[str, Optional[Any]]:
+        ordered = list(dict.fromkeys(keys))  # dedupe, keep caller order
         by_shard: Dict[int, List[str]] = {}
-        for key in dict.fromkeys(keys):  # dedupe, keep caller order
+        for key in ordered:
             by_shard.setdefault(self.shard_for(key), []).append(key)
         chunks = await asyncio.gather(*(
             self.shards[shard].read_many(chunk, reader_index=reader_index,
                                          timeout=timeout)
             for shard, chunk in by_shard.items()
         ))
-        merged: Dict[str, Optional[Any]] = {}
+        fetched: Dict[str, Any] = {}
         for chunk in chunks:
-            for key, value in chunk.items():
-                merged[key] = None if isinstance(value, _Bottom) else value
-        return merged
+            fetched.update(chunk)
+        # Merge in *caller* order, not shard-chunk order: dict iteration
+        # order is part of the API surface and callers zip against their
+        # own key lists.
+        return {key: (None if isinstance(fetched[key], _Bottom)
+                      else fetched[key])
+                for key in ordered}
 
     # -- faults ------------------------------------------------------------
     def compromise_replica(self, key: str, index: int,
@@ -145,7 +197,14 @@ class ShardedKVStore:
         self.store_for(key).crash_object(index)
 
     # -- observability -----------------------------------------------------
+    def known_keys(self) -> List[str]:
+        """Every key any shard group has client state for."""
+        keys = set()
+        for shard in self.shards.values():
+            keys.update(shard.registers())
+        return sorted(keys)
+
     def describe(self) -> str:
-        keys = sum(len(shard.registers()) for shard in self.shards)
+        keys = sum(len(shard.registers()) for shard in self.shards.values())
         return (f"ShardedKVStore({len(self.shards)} shard groups x "
                 f"[{self.config.describe()}]; {keys} keys; {self.ring!r})")

@@ -22,16 +22,22 @@ the service tier's write batching.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
-from ..errors import TransportError
+from ..errors import ConfigurationError, TransportError
 from ..protocols import StorageProtocol
 from ..runtime.hosts import MuxClientHost, ObjectHost
 from ..runtime.memnet import AsyncNetwork
 from ..spec.histories import History
 from ..types import WRITER, obj, reader, writer
+
+#: Writer index of the out-of-band control identity (fence/reconfig
+#: traffic).  Far above any plausible ``config.num_writers`` so it never
+#: collides with an application writer host.
+CONTROL_WRITER_INDEX = 1 << 20
 
 
 class MultiRegisterStore:
@@ -74,6 +80,7 @@ class MultiRegisterStore:
             self._make_client_host(reader(j))
             for j in range(config.num_readers)
         ]
+        self._control_host: Optional[MuxClientHost] = None
         self._started = False
 
     def _make_client_host(self, pid) -> MuxClientHost:
@@ -82,7 +89,13 @@ class MultiRegisterStore:
                              history=self.history)
 
     def _writer_host(self, writer_index: int = 0) -> MuxClientHost:
-        """The host of writer ``writer_index`` (created lazily)."""
+        """The host of writer ``writer_index`` (created lazily).
+
+        Lazy creation is gated on the store being started: a host
+        created after ``stop()`` would spawn a pump task nothing ever
+        cancels again.
+        """
+        self._require_started()
         if not 0 <= writer_index < self.config.num_writers:
             raise TransportError(
                 f"writer index {writer_index} out of range for "
@@ -93,6 +106,21 @@ class MultiRegisterStore:
                 self._make_client_host(writer(writer_index))
         return host
 
+    def control_host(self) -> MuxClientHost:
+        """The out-of-band control host (fence/reconfig operations).
+
+        One per store, shared by every coordinator, so two coordinators
+        can never double-bind the control identity's inbox.  Control
+        traffic bypasses history recording -- fences are not register
+        operations.
+        """
+        self._require_started()
+        if self._control_host is None:
+            self._control_host = MuxClientHost(
+                writer(CONTROL_WRITER_INDEX), self.network,
+                batching=self._batching)
+        return self._control_host
+
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "MultiRegisterStore":
         if not self._started:
@@ -102,13 +130,33 @@ class MultiRegisterStore:
         return self
 
     async def stop(self) -> None:
+        if not self._started:
+            return  # idempotent: a second stop must not touch fresh hosts
+        # Flip the flag first so concurrent writers cannot lazily create
+        # a host (and its pump task) between the sweep and the return.
+        self._started = False
         for host in self._object_hosts:
             host.stop()
-        for host in self._writer_hosts.values():
+        for host in list(self._writer_hosts.values()):
             host.stop()
         for host in self._reader_hosts:
             host.stop()
-        self._started = False
+        if self._control_host is not None:
+            self._control_host.stop()
+
+    async def quiesce(self) -> None:
+        """Wait until no client host has an operation in flight.
+
+        Used before retiring a store (shard drain): operations admitted
+        earlier complete normally instead of being evicted by
+        ``stop()``.  New admissions are the caller's responsibility to
+        prevent (e.g. by flipping routing away first).
+        """
+        hosts = list(self._writer_hosts.values()) + self._reader_hosts
+        if self._control_host is not None:
+            hosts.append(self._control_host)
+        while any(host._pending for host in hosts):
+            await asyncio.sleep(0)
 
     async def __aenter__(self) -> "MultiRegisterStore":
         return await self.start()
@@ -183,7 +231,7 @@ class MultiRegisterStore:
             operations, timeout or self.default_timeout)
         return dict(zip(register_ids, results))
 
-    # -- faults ------------------------------------------------------------
+    # -- faults & repair ----------------------------------------------------
     def crash_object(self, index: int) -> None:
         """Crash one base object for *every* register it serves."""
         self.network.crash(obj(index))
@@ -191,15 +239,57 @@ class MultiRegisterStore:
 
     def make_byzantine(self, index: int,
                        automaton: ObjectAutomaton) -> None:
-        """Replace one replica's automaton (affects all registers at once)."""
+        """Replace one replica's automaton (affects all registers at once).
+
+        The replacement host takes over the replica's existing inbox
+        (:meth:`~repro.runtime.memnet.AsyncNetwork.register` hands the
+        queue over), so messages in flight to the replica survive the
+        swap; the old pump is stopped before the new host binds.
+        """
         self._object_hosts[index].stop()
         host = ObjectHost(automaton, self.network)
         self._object_hosts[index] = host
         if self._started:
             host.start()
 
+    def replace_object(self, index: int,
+                       automaton: Optional[ObjectAutomaton] = None
+                       ) -> ObjectAutomaton:
+        """Replace a (crashed) base object with a fresh replica.
+
+        The replacement starts from the automaton's initial state (or
+        ``automaton`` if given), inherits the replica's surviving inbox,
+        and receives network traffic again even if the pid had been
+        crashed.  The new replica is *stale* until it observes writes;
+        :meth:`~repro.service.reconfig.ReconfigCoordinator.heal_replica`
+        re-installs current values on top of this swap.
+        """
+        if automaton is None:
+            automaton = self.protocol.make_objects(self.config)[index]
+        self.network.restore(obj(index))
+        self.make_byzantine(index, automaton)  # same swap, honest automaton
+        return automaton
+
     def object_automaton(self, index: int) -> ObjectAutomaton:
         return self._object_hosts[index].automaton
+
+    # -- reconfiguration support --------------------------------------------
+    def seed_writer_epoch(self, register_id: str, epoch: int,
+                          writer_index: int = 0) -> None:
+        """Raise a register's writer epoch floor (shard handoff replay).
+
+        The next WRITE to ``register_id`` by that writer uses an epoch
+        ``> epoch``: single-writer protocols bump the seeded counter,
+        multi-writer tag discovery uses it as its floor.  Replaying a
+        moved register into its target shard seeds the *fence* epoch
+        here so the replayed value's tag exceeds every pre-handoff tag.
+        """
+        state = self._states.writer(register_id, writer_index)
+        if not hasattr(state, "ts"):
+            raise ConfigurationError(
+                f"{self.protocol.name} writer state exposes no epoch "
+                f"counter; cannot seed a handoff epoch")
+        state.ts = max(state.ts, epoch)
 
     # -- observability -----------------------------------------------------
     def describe(self) -> str:

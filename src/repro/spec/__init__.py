@@ -1,9 +1,9 @@
 """Register specifications and history checkers (Section 2.2)."""
 
 from .checkers import (CheckResult, check_atomicity, check_mwmr_atomicity,
-                       check_mwmr_regularity, check_regularity,
-                       check_round_complexity, check_safety,
-                       check_wait_freedom)
+                       check_mwmr_regularity, check_per_register,
+                       check_regularity, check_round_complexity,
+                       check_safety, check_wait_freedom)
 from .explore import (ExplorationResult, explore_schedules,
                       sample_schedules)
 from .histories import History, OperationRecord, READ, WRITE
@@ -24,6 +24,7 @@ __all__ = [
     "check_atomicity",
     "check_mwmr_regularity",
     "check_mwmr_atomicity",
+    "check_per_register",
     "check_wait_freedom",
     "check_round_complexity",
 ]

@@ -74,3 +74,33 @@ class TestRegisterCodec:
                        lambda m: {"label": m.label},
                        lambda d: Probe(label=d["label"]))
         roundtrip(Probe(label="hello"))
+
+
+class TestFenceCodecs:
+    def test_epoch_fence_roundtrip(self):
+        from repro.messages import EpochFence, EpochFenceAck, WriteFenced
+        roundtrip(EpochFence(nonce=7, epoch=12, register_id="k"))
+        roundtrip(EpochFenceAck(nonce=7, object_index=2, epoch=12,
+                                register_id="k"))
+        roundtrip(WriteFenced(object_index=1, epoch=9, fence_epoch=12,
+                              wid=3, nonce=5, register_id="k"))
+
+    def test_write_fenced_writer_zero_omits_wid(self):
+        import json
+        from repro.messages import WriteFenced
+        from repro.runtime import encode_message
+        wire = json.loads(encode_message(
+            WriteFenced(object_index=0, epoch=1, fence_epoch=4)))
+        assert "wid" not in wire  # legacy-stable framing
+
+    def test_abd_store_write_back_flag(self):
+        import json
+        from repro.runtime import encode_message
+        plain = AbdStore(tsval=TimestampValue(5, "v"), nonce=9)
+        wb = AbdStore(tsval=TimestampValue(5, "v"), nonce=9,
+                      write_back=True)
+        roundtrip(plain)
+        roundtrip(wb)
+        # Writer stores encode exactly as before the flag existed.
+        assert "wb" not in json.loads(encode_message(plain))
+        assert json.loads(encode_message(wb))["wb"] is True
