@@ -22,6 +22,13 @@ loop keeps putting/getting every key -- moved keys must hand off without
 losing a read, unmoved keys must keep serving, and mid-handoff writes
 may only fail *fast* (epoch-fenced), never silently vanish.
 
+A fifth mode exercises **cross-shard snapshot reads** through the client
+API (:mod:`repro.api`): writer sessions keep mutating a keyspace
+spanning both shard groups while a reader session takes repeated
+``session.snapshot()`` cuts; every certified cut must pass
+:func:`~repro.spec.checkers.check_snapshot_consistency` against the
+recorded history (and the whole run per-register tag regularity).
+
 All run the same protocol automata (Section 5.1 cached regular storage)
 on the same in-memory asyncio network.  Results go to a JSON file
 (default ``BENCH_service.json``) and the run fails if multiplexing is
@@ -46,11 +53,16 @@ import time
 from typing import Any, Dict, List
 
 from repro import SystemConfig
+from repro.api import Cluster, RetryPolicy
 from repro.core.regular import CachedRegularStorageProtocol
-from repro.errors import BusyRegisterError, FencedWriteError
+from repro.errors import (BusyRegisterError, FencedWriteError,
+                          SnapshotContentionError)
 from repro.runtime import AsyncStorage
 from repro.service import (MultiRegisterStore, ReconfigCoordinator,
                            ShardedKVStore)
+from repro.spec.checkers import (check_mwmr_regularity,
+                                 check_per_register,
+                                 check_snapshot_consistency)
 
 CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=1)
 MWMR_WRITERS = 4
@@ -188,6 +200,89 @@ async def run_reshard_under_load(num_keys: int) -> Dict[str, Any]:
     }
 
 
+async def run_snapshot_reads(num_keys: int) -> Dict[str, Any]:
+    """Mixed writers vs. repeated cross-shard snapshot reads.
+
+    Two writer sessions keep mutating a keyspace spanning both shard
+    groups while a reader session takes consistent snapshots of all of
+    it through the client API.  Snapshots that cannot certify a cut
+    within their round budget count as *contended* (expected under
+    write pressure); every snapshot that does certify must pass
+    :func:`check_snapshot_consistency` against the recorded history --
+    along with per-register tag regularity for the whole run.
+    """
+    started = time.perf_counter()
+    keys = [f"key:{n}" for n in range(num_keys)]
+    cluster = Cluster(CachedRegularStorageProtocol, MWMR_CONFIG,
+                      num_shards=2, seed=7, record_history=True)
+    stats = {"writes": 0, "snapshots": 0, "contended": 0}
+    async with cluster:
+        shards_spanned = len({cluster.kv.shard_for(k) for k in keys})
+        writers = [cluster.session(retry=RetryPolicy(attempts=10))
+                   for _ in range(2)]
+        snapper = cluster.session()
+        await writers[0].put_many({key: "init" for key in keys})
+        done = asyncio.Event()
+
+        async def write_load(session, w):
+            i = 0
+            while not done.is_set():
+                await session.put(keys[(i * 2 + w) % num_keys],
+                                  f"w{w}-{i}")
+                stats["writes"] += 1
+                i += 1
+                # Paced: back-to-back writes on every key would deny
+                # snapshots any quiet window to certify a cut in.
+                await asyncio.sleep(0.002)
+
+        load = [asyncio.create_task(write_load(s, w))
+                for w, s in enumerate(writers)]
+        for _ in range(10):
+            try:
+                snap = await snapper.snapshot(keys, max_rounds=16)
+                assert len(snap) == num_keys
+                stats["snapshots"] += 1
+            except SnapshotContentionError:
+                stats["contended"] += 1
+        done.set()
+        await asyncio.gather(*load)
+        # Disjoint reports: per-register write/read semantics vs the
+        # snapshot cuts (admin().check() would merge the two).
+        registers = check_per_register(cluster.history,
+                                       check_mwmr_regularity)
+        cuts = check_snapshot_consistency(cluster.history)
+        recorded = len(cluster.history.snapshots())
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "num_keys": num_keys,
+        "shards_spanned": shards_spanned,
+        "writers": 2,
+        "concurrent_writes": stats["writes"],
+        "snapshots_certified": stats["snapshots"],
+        "snapshots_contended": stats["contended"],
+        "cut_violations": len(cuts.violations),
+        "register_violations": len(registers.violations),
+        "ok": (stats["snapshots"] > 0 and stats["writes"] > 0
+               and shards_spanned >= 2
+               and recorded == stats["snapshots"]
+               and registers.ok and cuts.ok),
+    }
+
+
+def bench_snapshots(num_keys: int) -> Dict[str, Any]:
+    row = asyncio.run(run_snapshot_reads(num_keys))
+    print(f"  snapshot reads under write load | {num_keys} keys over "
+          f"{row['shards_spanned']} shards | "
+          f"{row['snapshots_certified']} certified + "
+          f"{row['snapshots_contended']} contended | "
+          f"{row['concurrent_writes']} concurrent writes | "
+          f"{row['cut_violations']} cut violations | "
+          f"{row['elapsed_s']:.3f}s | "
+          f"{'OK' if row['ok'] else 'FAIL'}")
+    return row
+
+
 def bench_reshard(num_keys: int) -> Dict[str, Any]:
     row = asyncio.run(run_reshard_under_load(num_keys))
     print(f"  reshard 2->3 under load | {num_keys} keys | "
@@ -274,9 +369,11 @@ def main(argv: List[str] = None) -> int:
     print(f"service-tier benchmark: {CONFIG.describe()}"
           f"{' [smoke]' if args.smoke else ''}")
     results = [bench(size, repeats=repeats) for size in sizes]
-    # Reshard-under-load runs in every mode (smoke included): it is the
-    # CI tripwire for reconfiguration regressions.
+    # Reshard-under-load and snapshot-reads-under-load run in every mode
+    # (smoke included): the CI tripwires for reconfiguration and
+    # cross-shard snapshot-consistency regressions.
     reshard = bench_reshard(gate_keys)
+    snapshots = bench_snapshots(min(gate_keys, 16))
 
     gated = next(r for r in results if r["num_keys"] == gate_keys)
     verdict = {
@@ -289,17 +386,21 @@ def main(argv: List[str] = None) -> int:
         "smoke": args.smoke,
         "results": results,
         "reshard_under_load": reshard,
+        "snapshot_reads_under_load": snapshots,
         "claim": f"multiplexed >= {gate}x per-key baseline at "
                  f"{gate_keys} keys; reshard 2->3 completes under load "
-                 "with no lost reads",
+                 "with no lost reads; cross-shard snapshots certify "
+                 "consistent cuts under mixed writers",
         f"speedup_at_{gate_keys}": gated["speedup"],
-        "ok": gated["speedup"] >= gate and reshard["ok"],
+        "ok": (gated["speedup"] >= gate and reshard["ok"]
+               and snapshots["ok"]),
     }
     with open(args.output, "w") as fh:
         json.dump(verdict, fh, indent=2)
     print(f"wrote {args.output}; speedup at {gate_keys} keys: "
           f"{gated['speedup']:.1f}x; reshard "
-          f"{'OK' if reshard['ok'] else 'FAIL'} "
+          f"{'OK' if reshard['ok'] else 'FAIL'}; snapshots "
+          f"{'OK' if snapshots['ok'] else 'FAIL'} "
           f"({'OK' if verdict['ok'] else 'FAIL'})")
     return 0 if verdict["ok"] else 1
 

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""A sharded, Byzantine-tolerant replicated key-value store.
+"""A sharded, Byzantine-tolerant replicated key-value store -- client API.
 
 The paper's motivating deployment at service scale: clients store
 *unsigned* data on commodity storage nodes, some of which may be
-compromised.  Each key is one SWMR regular register (the Section 5
-protocol with the §5.1 cached-suffix optimization) -- but unlike a
-register-per-replica-set design, every shard group here multiplexes its
-whole keyspace over ONE replica set of 4 objects.  Keys are placed on
-shard groups by consistent hashing; batched puts coalesce same-round
-messages per object into single envelopes.  Everything runs on real
-asyncio tasks with randomized message jitter -- the same protocol
-automata the simulator verifies.
+compromised.  Underneath, every key is a multi-writer regular register
+(the Section 5 protocol with the §5.1 cached-suffix optimization),
+multiplexed over shard groups of 4 replicas each and placed by
+consistent hashing.
+
+This walkthrough uses the **client API** (`repro.api`), the one
+documented way in: a `Cluster` owns topology and lifecycle, `Session`s
+carry identity (leased writer index), a `RetryPolicy` and a declared
+`Consistency` level, and `session.snapshot()` reads a *consistent cut*
+across shard groups -- something no sequence of per-key gets provides.
+Operator verbs (resharding, fault injection, checking) live behind
+`cluster.admin()`.
 
 Run:  python examples/replicated_kv_store.py
 """
@@ -19,80 +23,85 @@ import asyncio
 
 from repro import SystemConfig
 from repro.adversary.byzantine import ValueForger
+from repro.api import Cluster, Consistency, RetryPolicy
 from repro.core.regular import CachedRegularStorageProtocol
-from repro.errors import FencedWriteError
-from repro.service import ReconfigCoordinator, ShardedKVStore
 
 
 async def main() -> None:
-    # Per shard group: 4 replicas tolerate one arbitrary failure (t = b = 1).
-    config = SystemConfig.optimal(t=1, b=1, num_readers=2)
-    kv = ShardedKVStore(CachedRegularStorageProtocol, config,
-                        num_shards=2, jitter=0.002)
-    print(f"shard groups: 2 x [{config.describe()}]")
+    # Per shard group: 4 replicas tolerate one arbitrary failure
+    # (t = b = 1).  Three writer identities -> up to three concurrently
+    # writing sessions, arbitrated by (epoch, writer_id) tags.
+    config = SystemConfig.optimal(t=1, b=1, num_readers=2, num_writers=3)
+    cluster = Cluster(CachedRegularStorageProtocol, config, num_shards=2,
+                      jitter=0.002, record_history=True)
+    print(f"cluster: 2 shard groups x [{config.describe()}]")
 
-    async with kv:
-        # Normal operation.
-        await kv.put("user:42", "ada")
-        await kv.put("feature:dark-mode", True)
-        print("user:42      =", await kv.get("user:42"),
-              f"(shard {kv.shard_for('user:42')})")
-        print("feature flag =", await kv.get("feature:dark-mode"),
-              f"(shard {kv.shard_for('feature:dark-mode')})")
-        print("missing key  =", await kv.get("nope"))
+    async with cluster:
+        # Sessions bundle identity + retries + consistency.  Nobody
+        # passes writer_index/reader_index anymore.
+        async with cluster.session(consistency=Consistency.REGULAR) as s:
+            await s.put("user:42", "ada")
+            await s.put("feature:dark-mode", True)
+            print("user:42      =", await s.get("user:42"))
+            print("feature flag =", await s.get("feature:dark-mode"))
+            print("missing key  =", await s.get("nope"))
 
-        # Batched writes: one coalesced round per shard group, however
-        # many keys -- the multiplexing win in one call.
-        await kv.put_many({f"session:{n}": f"token-{n}" for n in range(8)})
-        sessions = await kv.get_many([f"session:{n}" for n in range(8)])
-        print("batched sessions:", dict(sorted(sessions.items())))
+            # Batched writes: one coalesced round per shard group.
+            await s.put_many({f"session:{n}": f"token-{n}"
+                              for n in range(8)})
 
-        # Two readers, concurrent with an update.
-        results = await asyncio.gather(
-            kv.put("user:42", "ada lovelace"),
-            kv.get("user:42", reader_index=0),
-            kv.get("user:42", reader_index=1),
-        )
-        print("concurrent readers saw:", results[1:], "(either value is "
-              "regular)")
+            # Two sessions writing concurrently = two leased writer
+            # identities racing through tag arbitration.
+            async with cluster.session() as other:
+                await asyncio.gather(s.put("user:42", "ada lovelace"),
+                                     other.put("user:42", "countess"))
+                value, tag = await s.get_tagged("user:42")
+                print(f"after racing writers: {value!r} "
+                      f"(winning tag {tag!r})")
 
-        # Compromise one replica of the shard holding user:42.  The forged
-        # high-timestamp value cannot gather b+1 confirmations, so reads
-        # keep returning the truth -- for user:42 AND for every other key
-        # that shard serves.
-        store = kv.store_for("user:42")
-        kv.compromise_replica("user:42", 0, ValueForger(
-            store.object_automaton(0), config,
-            forged_value="$TAMPERED$", ts_boost=10**6))
-        print("after compromising replica s1:", await kv.get("user:42"))
-        await kv.put("user:42", "still consistent")
-        print("after another write:", await kv.get("user:42", 1))
-        siblings = await kv.get_many(
-            [k for k in sorted(sessions)
-             if kv.shard_for(k) == kv.shard_for("user:42")])
-        print("sibling keys on the compromised shard still read true:",
-              siblings)
+            # The headline: a cross-shard consistent snapshot.  Collects
+            # converge on a cut of (epoch, writer_id) tags; per-key gets
+            # could interleave with writers, a snapshot cannot.
+            snap = await s.snapshot([f"session:{n}" for n in range(8)])
+            print(f"snapshot of 8 keys across both shard groups "
+                  f"({snap.rounds} collects):",
+                  dict(sorted(snap.items())))
 
-        # Live reshard: add a third shard group while the store serves.
-        # The coordinator fences each moved key at its source (stale
-        # writes are refused, not lost), snapshots it with a regular
-        # read, replays it into the new group under a higher epoch, and
-        # flips routing atomically.
-        old_ring = kv.ring
-        report = await ReconfigCoordinator(kv).add_shard()
-        print("live reshard:", report.describe())
-        moved_key = next(iter(report.moved), None)
-        if moved_key is not None:
-            print(f"  {moved_key!r} now on shard "
-                  f"{kv.shard_for(moved_key)} =",
-                  await kv.get(moved_key))
-            # A straggler writing through the old placement is fenced:
-            try:
-                await kv.shards[old_ring.shard_for(moved_key)].write(
-                    moved_key, "stale write from the past")
-            except FencedWriteError as error:
-                print("  stale write fenced:", error)
-    print(kv.describe())
+            # Compromise one replica of the shard group holding user:42.
+            # The forged high-tag value cannot gather b+1 confirmations,
+            # so reads keep returning the truth -- for every key that
+            # shard serves.
+            admin = cluster.admin()
+            store = cluster.kv.store_for("user:42")
+            admin.compromise_replica("user:42", 0, ValueForger(
+                store.object_automaton(0), config,
+                forged_value="$TAMPERED$", ts_boost=10**6))
+            print("after compromising replica s1:", await s.get("user:42"))
+            await s.put("user:42", "still consistent")
+            print("after another write:", await s.get("user:42"))
+
+            # Live reshard while serving.  The session's RetryPolicy
+            # absorbs the migration's epoch fences: a put hitting a
+            # mid-handoff key retries after the routing flip instead of
+            # surfacing FencedWriteError.
+            patient = cluster.session(
+                retry=RetryPolicy(attempts=20, backoff=0.001))
+            load = asyncio.create_task(
+                patient.put("session:3", "written-mid-reshard"))
+            report = await admin.add_shard()
+            await load
+            print("live reshard:", report.describe())
+            print("mid-reshard put landed:", await s.get("session:3"))
+
+            # Snapshots keep working across the handed-off keyspace.
+            async with s.snapshot() as snap:
+                print(f"post-reshard snapshot: {len(snap)} keys, "
+                      f"{snap.rounds} collects")
+
+        # Everything the run did -- per-register semantics AND every
+        # snapshot cut -- checks clean against the recorded history.
+        print("history check:", cluster.admin().check())
+    print(cluster.describe())
 
 
 if __name__ == "__main__":

@@ -24,12 +24,14 @@ Quickstart::
     assert system.read(reader_index=0) == "hello"
 """
 
+from .api import (Cluster, Consistency, RetryPolicy, Session, Snapshot)
 from .config import (SystemConfig, fast_read_impossibility_threshold,
                      optimal_resilience)
 from .core.safe import SafeStorageProtocol
-from .errors import (ConfigurationError, ProtocolError, ReproError,
-                     ResilienceError, SimulationError,
-                     SpecificationViolation)
+from .errors import (ConfigurationError, ConsistencyError, ProtocolError,
+                     ReproError, ResilienceError, RetryExhaustedError,
+                     SimulationError, SnapshotContentionError,
+                     SpecificationViolation, WriterLeaseExhaustedError)
 from .protocols import ATOMIC, REGULAR, SAFE, StorageProtocol
 from .system import StorageSystem
 from .types import (BOTTOM, TAG0, ProcessId, TimestampValue, TsrArray,
@@ -61,8 +63,17 @@ __all__ = [
     "writer",
     "ReproError",
     "ConfigurationError",
+    "ConsistencyError",
     "ResilienceError",
+    "RetryExhaustedError",
     "SimulationError",
+    "SnapshotContentionError",
     "ProtocolError",
     "SpecificationViolation",
+    "WriterLeaseExhaustedError",
+    "Cluster",
+    "Session",
+    "Snapshot",
+    "Consistency",
+    "RetryPolicy",
 ]

@@ -1,0 +1,39 @@
+"""The client API: sessions over the sharded storage service.
+
+This package is the documented way to *use* the system (the service
+tier underneath remains the mechanism).  It separates session concerns
+-- identity, retries, declared consistency -- from transport:
+
+* :class:`Cluster` owns topology and lifecycle (a
+  :class:`~repro.service.ShardedKVStore` plus, behind
+  :meth:`Cluster.admin`, the reconfiguration coordinator and fault
+  injection);
+* :class:`Session` (from :meth:`Cluster.session`) leases an exclusive
+  writer identity, absorbs transient failures per its
+  :class:`RetryPolicy`, and declares the :class:`Consistency` level it
+  relies on;
+* :meth:`Session.snapshot` is the capability the raw tier lacks: a
+  cross-shard multi-key read returning a consistent cut, certified by
+  converging ``(epoch, writer_id)`` tag collects and checkable with
+  :func:`~repro.spec.checkers.check_snapshot_consistency`.
+
+See ``examples/replicated_kv_store.py`` for the end-to-end tour and the
+README's *Using the KV service* section for the migration table from
+the raw ``put(key, value, writer_index=...)`` idioms.
+"""
+
+from .cluster import Admin, Cluster
+from .leases import WriterLeaseAllocator
+from .policy import Consistency, RETRYABLE, RetryPolicy
+from .session import Session, Snapshot
+
+__all__ = [
+    "Admin",
+    "Cluster",
+    "Consistency",
+    "RETRYABLE",
+    "RetryPolicy",
+    "Session",
+    "Snapshot",
+    "WriterLeaseAllocator",
+]

@@ -1,0 +1,73 @@
+"""Writer-identity leases: exclusive writer indices for sessions.
+
+Tag arbitration orders concurrent writes by ``(epoch, writer_id)``; the
+whole construction rests on writer ids being unique per concurrently
+writing client.  The service tier exposes that as a raw ``writer_index``
+argument and trusts callers to keep indices disjoint.  The client API
+removes the trust: a :class:`WriterLeaseAllocator` owns the cluster's
+``config.num_writers`` indices and leases each to at most one live
+session at a time, so two sessions can never write under the same
+identity by accident.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import TransportError, WriterLeaseExhaustedError
+
+
+class WriterLeaseAllocator:
+    """Leases writer indices ``0 .. num_writers-1``, each to one holder.
+
+    Single event loop, so no locking: acquire/release are plain calls.
+    Indices are recycled lowest-first, which keeps single-session
+    clusters on the classic writer 0 (the paper's ``w``) and makes runs
+    reproducible.
+    """
+
+    def __init__(self, num_writers: int):
+        if num_writers < 1:
+            raise TransportError("a cluster needs at least one writer")
+        self.num_writers = num_writers
+        self._free: List[int] = list(range(num_writers))
+        #: leased index -> holder (for error messages and introspection).
+        self._holders: Dict[int, Any] = {}
+
+    def acquire(self, holder: Any = None) -> int:
+        if not self._free:
+            raise WriterLeaseExhaustedError(
+                f"all {self.num_writers} writer identities are leased "
+                f"(holders: {sorted(map(repr, self._holders.values()))}); "
+                f"close a session or raise config.num_writers")
+        index = self._free.pop(0)
+        self._holders[index] = holder
+        return index
+
+    def release(self, index: int) -> None:
+        """Return a leased index to the pool (idempotent per lease)."""
+        if index not in self._holders:
+            raise TransportError(
+                f"writer index {index} is not currently leased")
+        del self._holders[index]
+        # Keep the free list sorted so acquisition order is deterministic.
+        self._free.append(index)
+        self._free.sort()
+
+    def holder_of(self, index: int) -> Optional[Any]:
+        return self._holders.get(index)
+
+    @property
+    def leased(self) -> List[int]:
+        return sorted(self._holders)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return (f"WriterLeaseAllocator({len(self._holders)}/"
+                f"{self.num_writers} leased)")
+
+
+__all__ = ["WriterLeaseAllocator"]

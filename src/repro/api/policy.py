@@ -1,0 +1,113 @@
+"""Session policies: consistency levels and retry behaviour.
+
+Both are *declarative* knobs a caller sets once per session (or per
+call): :class:`Consistency` states which register semantics the caller
+relies on, :class:`RetryPolicy` states which transient failures the
+session absorbs and how it backs off between attempts.  Neither touches
+protocol code -- consistency is validated against what the cluster's
+protocol actually emulates, and retries replay operations through the
+ordinary service-tier paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import (BackpressureError, BusyRegisterError, ConsistencyError,
+                      FencedWriteError)
+from ..protocols import ATOMIC, REGULAR, SAFE, StorageProtocol
+
+
+class Consistency(enum.IntEnum):
+    """Register semantics a session relies on (Lamport's hierarchy).
+
+    Ordered: ``SAFE < REGULAR < ATOMIC``.  A protocol that provides a
+    level also provides every weaker one, so a session may always declare
+    *less* than the deployment offers -- declaring more raises
+    :class:`~repro.errors.ConsistencyError` at session creation.  The
+    declaration is the contract the history checkers verify
+    (:func:`~repro.spec.checkers.check_regularity` and friends);
+    cross-shard snapshots additionally require the protocol to provide at
+    least :attr:`REGULAR` (safe reads concurrent with writes may return
+    anything, which no multi-key cut can be built on).
+    """
+
+    SAFE = 1
+    REGULAR = 2
+    ATOMIC = 3
+
+    @classmethod
+    def of_protocol(cls, protocol: StorageProtocol) -> "Consistency":
+        """The level a protocol's advertised ``semantics`` provides."""
+        return {SAFE: cls.SAFE, REGULAR: cls.REGULAR,
+                ATOMIC: cls.ATOMIC}[protocol.semantics]
+
+    def require_at_most(self, provided: "Consistency",
+                        context: str) -> None:
+        if self > provided:
+            raise ConsistencyError(
+                f"{context} requires {self.name} semantics but the "
+                f"cluster's protocol provides only {provided.name}")
+
+
+#: The transient failures a retry policy may absorb, and why each is
+#: retryable: a fence clears once the reconfiguration flips routing,
+#: backpressure clears as in-flight operations drain, and a busy
+#: register clears when the competing same-register operation settles.
+RETRYABLE = (FencedWriteError, BackpressureError, BusyRegisterError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff for transient failures.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).  The
+    sleep before retry ``n`` is ``backoff * multiplier**(n-1)`` capped at
+    ``max_backoff``; the first retry after a fence additionally rides the
+    event-loop yield inside the sleep, which is what lets an in-flight
+    routing flip land.  Per-class switches turn absorption off for any of
+    the three retryable errors; everything else always propagates
+    immediately.  On exhaustion the session raises
+    :class:`~repro.errors.RetryExhaustedError` with the final failure
+    chained.
+    """
+
+    attempts: int = 5
+    backoff: float = 0.001
+    multiplier: float = 2.0
+    max_backoff: float = 0.05
+    retry_fenced: bool = True
+    retry_backpressure: bool = True
+    retry_busy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays are non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("the backoff multiplier must be >= 1")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail fast: every error propagates on the first occurrence."""
+        return cls(attempts=1)
+
+    def handles(self, error: BaseException) -> bool:
+        """Whether this policy absorbs ``error`` (given attempts remain)."""
+        if isinstance(error, FencedWriteError):
+            return self.retry_fenced
+        if isinstance(error, BackpressureError):
+            return self.retry_backpressure
+        if isinstance(error, BusyRegisterError):
+            return self.retry_busy
+        return False
+
+    def delay(self, retry_number: int) -> float:
+        """Sleep before the ``retry_number``-th retry (1-based)."""
+        return min(self.backoff * self.multiplier ** (retry_number - 1),
+                   self.max_backoff)
+
+
+__all__ = ["Consistency", "RetryPolicy", "RETRYABLE"]

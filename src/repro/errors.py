@@ -86,8 +86,53 @@ class FencedWriteError(ProtocolError):
     """
 
 
+class ConsistencyError(ConfigurationError):
+    """A session requested stronger semantics than the protocol provides.
+
+    The client API (:mod:`repro.api`) lets a session declare the register
+    semantics it relies on (safe < regular < atomic, Lamport's hierarchy).
+    The declaration is checked against what the cluster's protocol
+    actually emulates, so a deployment swap that silently weakens
+    semantics fails loudly at session creation -- not in production data.
+    """
+
+
 class AuthenticationError(ReproError):
     """A simulated signature failed verification (:mod:`repro.crypto_sim`)."""
+
+
+class RetryExhaustedError(ReproError):
+    """A session retried an operation to its policy's limit and gave up.
+
+    Raised by :class:`~repro.api.Session` when a
+    :class:`~repro.api.RetryPolicy` absorbed as many
+    :class:`FencedWriteError` / :class:`BackpressureError` /
+    :class:`BusyRegisterError` failures as it allows.  The final failure
+    is chained (``__cause__``) and kept in :attr:`last_error`.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 last_error: Exception):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class SnapshotContentionError(ReproError):
+    """A cross-shard snapshot could not converge on a consistent cut.
+
+    :meth:`~repro.api.Session.snapshot` repeats tag collects until two
+    consecutive collects agree on every key's tag; under sustained write
+    pressure on every snapshotted key that may never happen within the
+    bounded number of rounds.  :attr:`unstable_keys` lists the keys whose
+    tags were still moving in the final round.
+    """
+
+    def __init__(self, message: str, rounds: int,
+                 unstable_keys: list):
+        super().__init__(message)
+        self.rounds = rounds
+        self.unstable_keys = unstable_keys
 
 
 class TransportError(ReproError):
@@ -112,4 +157,16 @@ class BackpressureError(TransportError):
     registers with an operation in flight; beyond the cap new admissions
     are rejected immediately instead of silently queueing behind thousands
     of registers sharing one inbox.  Callers should back off and retry.
+    """
+
+
+class WriterLeaseExhaustedError(TransportError):
+    """Every writer identity of the cluster is leased to a live session.
+
+    The client API hands each writing session an exclusive writer index
+    (writer ids must be unique for ``(epoch, writer_id)`` tag arbitration
+    to totally order writes).  ``config.num_writers`` bounds the pool;
+    when all indices are out, opening another writing session fails with
+    this error instead of silently sharing an identity.  Close a session
+    (releasing its lease) or configure more writers.
     """

@@ -210,7 +210,8 @@ class MuxClientHost:
         for receiver, payload in outgoing:
             self.network.send(self.pid, receiver, payload)
 
-    def _admit(self, operation: ClientOperation) -> "asyncio.Future[Any]":
+    def _admit(self, operation: ClientOperation,
+               record: bool = True) -> "asyncio.Future[Any]":
         if operation.client_id != self.pid:
             raise TransportError(
                 f"operation belongs to {operation.client_id!r}, "
@@ -231,7 +232,8 @@ class MuxClientHost:
         future: "asyncio.Future[Any]" = \
             asyncio.get_running_loop().create_future()
         self._waiters[register_id] = future
-        self._record_invocation(operation)
+        if record:
+            self._record_invocation(operation)
         return future
 
     # -- history recording --------------------------------------------------
@@ -250,6 +252,8 @@ class MuxClientHost:
     def _record_completion(self, operation: ClientOperation) -> None:
         if self.history is None:
             return
+        if not self.history.has_record(operation.operation_id):
+            return  # admitted with record=False (control-plane replay)
         self.history.record_completion(
             operation_id=operation.operation_id,
             result=operation.result,
@@ -318,10 +322,17 @@ class MuxClientHost:
 
     # -- operations ----------------------------------------------------------
     async def run(self, operation: ClientOperation,
-                  timeout: Optional[float] = None) -> Any:
-        """Run one operation; concurrent calls must target distinct registers."""
+                  timeout: Optional[float] = None,
+                  record: bool = True) -> Any:
+        """Run one operation; concurrent calls must target distinct registers.
+
+        ``record=False`` keeps the operation out of the shared history:
+        control-plane replays re-install values that already have history
+        records, and recording the duplicate would distort the checkers'
+        write serialization.
+        """
         self._ensure_pump()
-        future = self._admit(operation)
+        future = self._admit(operation, record=record)
         self._dispatch(operation.start() or [])
         if operation.done:  # zero-communication completion
             self._settle(operation.register_id, operation)
@@ -376,6 +387,16 @@ class MuxClientHost:
             if timeout is None:
                 return await gathered
             return await asyncio.wait_for(gathered, timeout)
+        except BaseException:
+            # One operation failing (or the batch timing out) must not
+            # leave its siblings dangling: cancel every unfinished waiter
+            # so their exceptions are consumed and nothing awaits a
+            # future the cleanup below is about to orphan.  The first
+            # failure propagates to the caller.
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            raise
         finally:
             for operation in operations:
                 if not operation.done:

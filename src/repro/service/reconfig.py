@@ -301,9 +301,10 @@ class ReconfigCoordinator:
             report.fence_epochs[key] = fence_epoch
             # Authoritative snapshot *after* the fence: it captures every
             # write that completed, and none can complete anymore.
-            value = await self._with_retry(lambda: store.read(key))
+            value, pre_tag = await self._with_retry(
+                lambda: store.read_tagged(key))
             store.seed_writer_epoch(key, fence_epoch - 1)
-            await self._with_retry(lambda: store.write(key, value))
+            await self._replay(store, key, value, pre_tag)
             report.moved[key] = (shard_id, shard_id)
         return report
 
@@ -348,15 +349,35 @@ class ReconfigCoordinator:
                 # fence or the hand-back replay (and all later writes)
                 # would be refused forever.
                 await self._lift(target, key)
-                value = await self._with_retry(lambda: source.read(key))
+                value, pre_tag = await self._with_retry(
+                    lambda: source.read_tagged(key))
                 if isinstance(value, _Bottom):
                     # Fenced while unwritten: it can never gain a value
                     # at the source, so one visit is enough.
                     report.skipped.append(key)
                     continue
                 target.seed_writer_epoch(key, fence_epoch - 1)
-                await self._with_retry(lambda: target.write(key, value))
+                await self._replay(target, key, value, pre_tag)
                 report.moved[key] = (src, dst)
+
+    async def _replay(self, target: MultiRegisterStore, key: str,
+                      value: Any, pre_tag) -> None:
+        """Re-install ``value`` at ``target`` under the seeded epoch.
+
+        The replay is control-plane traffic: it duplicates a value whose
+        original write is already on record, so it is kept *out* of the
+        shared history and registered as a **republication** alias (new
+        tag -> ``pre_tag``) instead.  Recording it as an application
+        write would make the checkers demand that reads served by the
+        source during the pre-flip window already observe the replay's
+        fresher tag -- a staleness that no client can distinguish,
+        since the value is identical.
+        """
+        _, new_tag = await self._with_retry(
+            lambda: target.write_tagged(key, value, record=False))
+        if (target.history is not None and new_tag is not None
+                and pre_tag is not None):
+            target.history.record_republication(key, new_tag, pre_tag)
 
     async def _fence(self, store: MultiRegisterStore, key: str,
                      hard: bool = False) -> int:

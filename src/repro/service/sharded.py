@@ -25,15 +25,35 @@ flip routing atomically.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Tuple)
 
 from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
+from ..errors import FencedWriteError
 from ..protocols import StorageProtocol
 from ..spec.histories import History
-from ..types import _Bottom
+from ..types import WriterTag, _Bottom
 from .hashing import HashRing
 from .store import MultiRegisterStore
+
+
+async def _gather_abort_siblings(coros: List[Any]) -> List[Any]:
+    """Gather per-shard chunks; on the first failure, cancel the rest.
+
+    A plain ``asyncio.gather`` raises on the first failed chunk but lets
+    its siblings run on detached -- operations nobody will ever await.
+    Here the siblings are cancelled and drained before the first failure
+    re-raises, so a failed batch leaves no orphaned per-key work behind.
+    """
+    tasks = [asyncio.ensure_future(coro) for coro in coros]
+    try:
+        return await asyncio.gather(*tasks)
+    except BaseException:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
 
 
 class ShardedKVStore:
@@ -142,15 +162,45 @@ class ShardedKVStore:
     # -- KV API -------------------------------------------------------------
     async def put(self, key: str, value: Any,
                   timeout: Optional[float] = None,
-                  writer_index: int = 0) -> None:
-        await self.store_for(key).write(key, value, timeout=timeout,
-                                        writer_index=writer_index)
+                  writer_index: int = 0, retries: int = 0) -> None:
+        """PUT one key.
+
+        ``retries`` bounds how many :class:`~repro.errors.
+        FencedWriteError` aborts are absorbed by re-resolving the key's
+        routing and writing again: a fence means the key is (or was)
+        mid-handoff, and once the coordinator flips routing the retry
+        lands on the key's new shard group.  A short sleep between
+        attempts gives the in-flight migration wall-clock time to reach
+        its flip (a bare event-loop yield would burn the whole budget in
+        a few turns).  ``retries=0`` (the default) keeps the historical
+        fail-fast behaviour; for policy-shaped backoff use the session
+        API (:class:`~repro.api.RetryPolicy`), which this sugar
+        deliberately does not duplicate.
+        """
+        while True:
+            try:
+                await self.store_for(key).write(key, value, timeout=timeout,
+                                                writer_index=writer_index)
+                return
+            except FencedWriteError:
+                if retries <= 0:
+                    raise
+                retries -= 1
+                await asyncio.sleep(0.001)
 
     async def get(self, key: str, reader_index: int = 0,
                   timeout: Optional[float] = None) -> Optional[Any]:
         value = await self.store_for(key).read(key, reader_index=reader_index,
                                                timeout=timeout)
         return None if isinstance(value, _Bottom) else value
+
+    async def get_tagged(self, key: str, reader_index: int = 0,
+                         timeout: Optional[float] = None
+                         ) -> Tuple[Optional[Any], Optional[WriterTag]]:
+        """GET one key together with the version tag the read observed."""
+        value, tag = await self.store_for(key).read_tagged(
+            key, reader_index=reader_index, timeout=timeout)
+        return (None if isinstance(value, _Bottom) else value), tag
 
     async def put_many(self, items: Mapping[str, Any],
                        timeout: Optional[float] = None,
@@ -159,11 +209,11 @@ class ShardedKVStore:
         by_shard: Dict[int, Dict[str, Any]] = {}
         for key, value in items.items():
             by_shard.setdefault(self.shard_for(key), {})[key] = value
-        await asyncio.gather(*(
+        await _gather_abort_siblings([
             self.shards[shard].write_many(chunk, timeout=timeout,
                                           writer_index=writer_index)
             for shard, chunk in by_shard.items()
-        ))
+        ])
 
     async def get_many(self, keys: Iterable[str], reader_index: int = 0,
                        timeout: Optional[float] = None
@@ -172,11 +222,11 @@ class ShardedKVStore:
         by_shard: Dict[int, List[str]] = {}
         for key in ordered:
             by_shard.setdefault(self.shard_for(key), []).append(key)
-        chunks = await asyncio.gather(*(
+        chunks = await _gather_abort_siblings([
             self.shards[shard].read_many(chunk, reader_index=reader_index,
                                          timeout=timeout)
             for shard, chunk in by_shard.items()
-        ))
+        ])
         fetched: Dict[str, Any] = {}
         for chunk in chunks:
             fetched.update(chunk)
@@ -185,6 +235,33 @@ class ShardedKVStore:
         # own key lists.
         return {key: (None if isinstance(fetched[key], _Bottom)
                       else fetched[key])
+                for key in ordered}
+
+    async def get_many_tagged(self, keys: Iterable[str],
+                              reader_index: int = 0,
+                              timeout: Optional[float] = None
+                              ) -> Dict[str, Tuple[Optional[Any],
+                                                   Optional[WriterTag]]]:
+        """Batched :meth:`get_tagged` across shard groups, caller order.
+
+        One tag collect of a snapshot round: every shard group reads its
+        chunk concurrently (rounds coalesced per object as usual) and
+        each key reports the version tag its read observed.
+        """
+        ordered = list(dict.fromkeys(keys))
+        by_shard: Dict[int, List[str]] = {}
+        for key in ordered:
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        chunks = await _gather_abort_siblings([
+            self.shards[shard].read_many_tagged(
+                chunk, reader_index=reader_index, timeout=timeout)
+            for shard, chunk in by_shard.items()
+        ])
+        fetched: Dict[str, Tuple[Any, Optional[WriterTag]]] = {}
+        for chunk in chunks:
+            fetched.update(chunk)
+        return {key: ((None if isinstance(fetched[key][0], _Bottom)
+                       else fetched[key][0]), fetched[key][1])
                 for key in ordered}
 
     # -- faults ------------------------------------------------------------

@@ -23,7 +23,7 @@ the service tier's write batching.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
@@ -32,7 +32,7 @@ from ..protocols import StorageProtocol
 from ..runtime.hosts import MuxClientHost, ObjectHost
 from ..runtime.memnet import AsyncNetwork
 from ..spec.histories import History
-from ..types import WRITER, obj, reader, writer
+from ..types import WRITER, WriterTag, obj, reader, writer
 
 #: Writer index of the out-of-band control identity (fence/reconfig
 #: traffic).  Far above any plausible ``config.num_writers`` so it never
@@ -176,13 +176,32 @@ class MultiRegisterStore:
     # -- single operations ----------------------------------------------------
     async def write(self, register_id: str, value: Any,
                     timeout: Optional[float] = None,
-                    writer_index: int = 0) -> Any:
+                    writer_index: int = 0, record: bool = True) -> Any:
         self._require_started()
         operation = self.protocol.make_write_to(
             self._states.writer(register_id, writer_index), value,
             register_id)
         return await self._writer_host(writer_index).run(
-            operation, timeout or self.default_timeout)
+            operation, timeout or self.default_timeout, record=record)
+
+    async def write_tagged(self, register_id: str, value: Any,
+                           timeout: Optional[float] = None,
+                           writer_index: int = 0, record: bool = True
+                           ) -> Tuple[Any, Optional[WriterTag]]:
+        """WRITE and report the ``(epoch, writer_id)`` tag installed.
+
+        ``record=False`` keeps the write out of the shared history --
+        the reconfiguration coordinator uses this for replays, recording
+        a *republication* alias instead (the replay duplicates a value
+        whose original write is already on record).
+        """
+        self._require_started()
+        operation = self.protocol.make_write_to(
+            self._states.writer(register_id, writer_index), value,
+            register_id)
+        result = await self._writer_host(writer_index).run(
+            operation, timeout or self.default_timeout, record=record)
+        return result, operation.tag
 
     async def read(self, register_id: str, reader_index: int = 0,
                    timeout: Optional[float] = None) -> Any:
@@ -191,6 +210,24 @@ class MultiRegisterStore:
             self._states.reader(register_id, reader_index), register_id)
         return await self._reader_hosts[reader_index].run(
             operation, timeout or self.default_timeout)
+
+    async def read_tagged(self, register_id: str, reader_index: int = 0,
+                          timeout: Optional[float] = None
+                          ) -> Tuple[Any, Optional[WriterTag]]:
+        """READ one register and report the ``(epoch, writer_id)`` tag.
+
+        The tag is the version the read observed (``TAG0`` for ⊥) --
+        already discovered by every protocol's read path, exposed here
+        instead of discarded.  Cross-shard snapshot reads
+        (:meth:`~repro.api.Session.snapshot`) cut against these tags;
+        no extra round and no new wire frame is involved.
+        """
+        self._require_started()
+        operation = self.protocol.make_read_from(
+            self._states.reader(register_id, reader_index), register_id)
+        value = await self._reader_hosts[reader_index].run(
+            operation, timeout or self.default_timeout)
+        return value, operation.tag
 
     # -- batched operations ----------------------------------------------------
     async def write_many(self, items: Mapping[str, Any],
@@ -230,6 +267,26 @@ class MultiRegisterStore:
         results = await self._reader_hosts[reader_index].run_many(
             operations, timeout or self.default_timeout)
         return dict(zip(register_ids, results))
+
+    async def read_many_tagged(self, register_ids: Iterable[str],
+                               reader_index: int = 0,
+                               timeout: Optional[float] = None
+                               ) -> Dict[str, Tuple[Any,
+                                                    Optional[WriterTag]]]:
+        """Batched :meth:`read_tagged`: id -> (value, observed tag)."""
+        self._require_started()
+        register_ids = list(dict.fromkeys(register_ids))
+        operations = [
+            self.protocol.make_read_from(
+                self._states.reader(register_id, reader_index),
+                register_id)
+            for register_id in register_ids
+        ]
+        results = await self._reader_hosts[reader_index].run_many(
+            operations, timeout or self.default_timeout)
+        return {register_id: (value, operation.tag)
+                for register_id, value, operation
+                in zip(register_ids, results, operations)}
 
     # -- faults & repair ----------------------------------------------------
     def crash_object(self, index: int) -> None:

@@ -3,10 +3,12 @@
 from .checkers import (CheckResult, check_atomicity, check_mwmr_atomicity,
                        check_mwmr_regularity, check_per_register,
                        check_regularity, check_round_complexity,
-                       check_safety, check_wait_freedom)
+                       check_safety, check_snapshot_consistency,
+                       check_wait_freedom)
 from .explore import (ExplorationResult, explore_schedules,
                       sample_schedules)
-from .histories import History, OperationRecord, READ, WRITE
+from .histories import (History, OperationRecord, READ, SnapshotRecord,
+                        WRITE)
 from .recorder import HistoryRecorder
 
 __all__ = [
@@ -15,6 +17,7 @@ __all__ = [
     "sample_schedules",
     "History",
     "OperationRecord",
+    "SnapshotRecord",
     "READ",
     "WRITE",
     "HistoryRecorder",
@@ -25,6 +28,7 @@ __all__ = [
     "check_mwmr_regularity",
     "check_mwmr_atomicity",
     "check_per_register",
+    "check_snapshot_consistency",
     "check_wait_freedom",
     "check_round_complexity",
 ]

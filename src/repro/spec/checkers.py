@@ -244,11 +244,14 @@ def _check_mwmr_write_order(ordered, result: CheckResult,
 
 
 def _mwmr_read_clauses(read: OperationRecord, ordered, by_tag,
-                       result: CheckResult) -> None:
+                       result: CheckResult, history: History) -> None:
     """Per-read MWMR regularity: observed tag exists, is fresh enough and
     not from the future.  ``ordered``/``by_tag`` are the tag-sorted write
-    list and tag index, computed once per check."""
-    tag = read.tag
+    list and tag index, computed once per check.  Observed tags are
+    normalized through the history's republication aliases first: a read
+    that observed a control-plane replay observed the *duplicated*
+    version, not a new one."""
+    tag = history.resolve_tag(read.register, read.tag)
     value = read.result
     if tag is None:
         result.violations.append(
@@ -308,7 +311,7 @@ def check_mwmr_regularity(history: History) -> CheckResult:
     _check_mwmr_write_order(ordered, result, history)
     for read in history.reads(complete_only=True):
         result.checked_reads += 1
-        _mwmr_read_clauses(read, ordered, by_tag, result)
+        _mwmr_read_clauses(read, ordered, by_tag, result, history)
     return result
 
 
@@ -324,20 +327,21 @@ def check_mwmr_atomicity(history: History) -> CheckResult:
     result.property_name = "mwmr-atomicity"
     if not result.ok:
         return result
-    reads = [r for r in history.reads(complete_only=True)
+    reads = [(r, history.resolve_tag(r.register, r.tag))
+             for r in history.reads(complete_only=True)
              if r.tag is not None]
-    for i, r1 in enumerate(reads):
-        for r2 in reads[i + 1:]:
-            if r1.precedes(r2) and r2.tag < r1.tag:
+    for i, (r1, t1) in enumerate(reads):
+        for r2, t2 in reads[i + 1:]:
+            if r1.precedes(r2) and t2 < t1:
                 result.violations.append(
                     f"new/old inversion: {r1.describe()} observed "
-                    f"{r1.tag!r} but the later {r2.describe()} observed "
-                    f"{r2.tag!r}")
-            elif r2.precedes(r1) and r1.tag < r2.tag:
+                    f"{t1!r} but the later {r2.describe()} observed "
+                    f"{t2!r}")
+            elif r2.precedes(r1) and t1 < t2:
                 result.violations.append(
                     f"new/old inversion: {r2.describe()} observed "
-                    f"{r2.tag!r} but the later {r1.describe()} observed "
-                    f"{r1.tag!r}")
+                    f"{t2!r} but the later {r1.describe()} observed "
+                    f"{t1!r}")
     return result
 
 
@@ -371,6 +375,99 @@ def check_per_register(history: History, checker=None) -> CheckResult:
         result.checked_reads += sub.checked_reads
         result.violations.extend(
             f"[{register}] {violation}" for violation in sub.violations)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Cross-register snapshot consistency
+# ---------------------------------------------------------------------------
+
+
+def check_snapshot_consistency(history: History) -> CheckResult:
+    """Every recorded snapshot is a consistent cut of the write history.
+
+    A snapshot's *cut* maps each key to the tag of the version it
+    returned.  Against the totally tag-ordered writes of each register
+    (the MWMR version order; single-writer histories are the writer-0
+    special case) the cut must satisfy:
+
+    * **validity** -- every non-``TAG0`` cut tag was installed by a write
+      of that register (and, when values were recorded, the snapshot
+      returned that write's value); a write invoked only after the
+      snapshot responded cannot be observed;
+    * **freshness** -- a write that completed before the snapshot was
+      invoked is reflected: the cut tag of its register is at least its
+      tag;
+    * **cut closure** (the cross-register clause) -- the cut is closed
+      under real-time order *across* registers: if the snapshot reflects
+      a write ``w2`` and some write ``w1`` (to another snapshotted key)
+      precedes ``w2``, then ``w1`` is reflected too.  This is what
+      per-register regularity alone cannot give a multi-key read.
+    """
+    result = CheckResult("snapshot-consistency")
+    writes_by_register: dict = {}
+    for w in history.writes():
+        writes_by_register.setdefault(w.register, []).append(w)
+    for snap in history.snapshots():
+        result.checked_reads += len(snap.cut)
+        reflected: List[OperationRecord] = []
+        excluded: List[OperationRecord] = []
+        for key, raw_tag in snap.cut.items():
+            tag = history.resolve_tag(key, raw_tag)
+            if tag is None:
+                tag = TAG0  # a tagless protocol cut: treat as initial
+            writes = writes_by_register.get(key, [])
+            if tag != TAG0:
+                source = next((w for w in writes if w.tag == tag), None)
+                if source is None:
+                    result.violations.append(
+                        f"{snap.describe()} returned tag {tag!r} for "
+                        f"{key!r} which no write installed")
+                elif source.invoked_seq >= snap.completed_seq:
+                    result.violations.append(
+                        f"{snap.describe()} observed {source.describe()} "
+                        f"which was invoked only after the snapshot "
+                        f"responded")
+                elif (snap.values is not None
+                        and snap.values.get(key) != source.argument):
+                    result.violations.append(
+                        f"{snap.describe()} returned "
+                        f"{snap.values.get(key)!r} for {key!r} but the "
+                        f"write with tag {tag!r} installed "
+                        f"{source.argument!r}")
+            for w in writes:
+                if w.tag is None:
+                    # In-flight or untagged: no completion event to order
+                    # against (recorders set the tag at completion).
+                    continue
+                if w.tag <= tag:
+                    reflected.append(w)
+                else:
+                    excluded.append(w)
+                    if w.completed_seq < snap.invoked_seq:
+                        result.violations.append(
+                            f"{snap.describe()} returned stale tag "
+                            f"{tag!r} for {key!r} although "
+                            f"{w.describe()} (tag {w.tag!r}) completed "
+                            f"before the snapshot began")
+        if not reflected:
+            continue
+        # Closure in one pass: an excluded write violates the cut iff it
+        # precedes *some* reflected write, i.e. iff it completed before
+        # the latest reflected invocation.
+        horizon = max(reflected, key=lambda w: w.invoked_seq)
+        for w1 in excluded:
+            if (w1.completed_seq is not None
+                    and w1.completed_seq < horizon.invoked_seq):
+                witness = next(
+                    w2 for w2 in reflected
+                    if w1.completed_seq < w2.invoked_seq)
+                result.violations.append(
+                    f"{snap.describe()} is not a consistent cut: it "
+                    f"reflects {witness.describe()} (tag "
+                    f"{witness.tag!r} <= cut[{witness.register!r}]) but "
+                    f"excludes {w1.describe()} (tag {w1.tag!r} > "
+                    f"cut[{w1.register!r}]) which precedes it")
     return result
 
 

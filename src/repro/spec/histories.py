@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..types import BOTTOM, DEFAULT_REGISTER, ProcessId, WriterTag
 
@@ -67,6 +67,37 @@ class OperationRecord:
         return f"READ#{self.operation_id} {tag}-> {self.result!r} {span}"
 
 
+@dataclass
+class SnapshotRecord:
+    """One multi-key snapshot's observable lifecycle and returned cut.
+
+    A snapshot is a composite operation: many per-register reads whose
+    results are published together as one consistent *cut* (register ->
+    observed :class:`~repro.types.WriterTag`).  The record keeps the
+    snapshot's own invocation/response events -- spanning all component
+    reads -- and the cut, which is what
+    :func:`~repro.spec.checkers.check_snapshot_consistency` validates
+    against the write history.
+    """
+
+    snapshot_id: int
+    client: Optional[ProcessId]
+    invoked_seq: int
+    completed_seq: int
+    #: register -> tag of the version the snapshot returned (TAG0 = ⊥).
+    cut: Dict[str, WriterTag]
+    #: register -> value returned, when the recorder kept them.
+    values: Optional[Dict[str, Any]] = None
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        return self.completed_seq < other.invoked_seq
+
+    def describe(self) -> str:
+        keys = ",".join(sorted(self.cut))
+        return (f"SNAPSHOT#{self.snapshot_id}[{keys}] "
+                f"[{self.invoked_seq}..{self.completed_seq}]")
+
+
 class History:
     """An append-only collection of operation records."""
 
@@ -74,6 +105,15 @@ class History:
         self._records: Dict[int, OperationRecord] = {}
         self._seq = itertools.count(1)
         self._write_count = 0
+        self._snapshots: List[SnapshotRecord] = []
+        self._snapshot_count = 0
+        #: (register, new tag) -> original tag, for control-plane
+        #: *republications* (shard-handoff replays, replica re-installs):
+        #: the same value re-installed under a fresher tag.  Checkers
+        #: normalize observed tags through this map, so a republication
+        #: is invisible to the specifications -- exactly as a write-back
+        #: of an already-written value should be.
+        self._republications: Dict[Tuple[str, WriterTag], WriterTag] = {}
 
     # -- recording ----------------------------------------------------------
     def record_invocation(self, operation_id: int, client: ProcessId,
@@ -135,6 +175,75 @@ class History:
         record.rounds_used = rounds_used
         record.tag = tag
         return record
+
+    # -- snapshot recording -------------------------------------------------
+    def mark(self) -> int:
+        """Allocate one event in the global order and return its number.
+
+        Composite operations (snapshots) call this at *invocation* time so
+        their span covers every component read recorded afterwards; the
+        matching response event is allocated by :meth:`record_snapshot`.
+        """
+        return next(self._seq)
+
+    def record_snapshot(self, invoked_seq: int,
+                        cut: Dict[str, WriterTag],
+                        values: Optional[Dict[str, Any]] = None,
+                        client: Optional[ProcessId] = None
+                        ) -> SnapshotRecord:
+        """Record a completed snapshot; its response event is allocated now.
+
+        ``invoked_seq`` must come from :meth:`mark` called before the
+        snapshot's first component read, so precedence against writes is
+        exactly the snapshot's real span.
+        """
+        self._snapshot_count += 1
+        record = SnapshotRecord(
+            snapshot_id=self._snapshot_count,
+            client=client,
+            invoked_seq=invoked_seq,
+            completed_seq=next(self._seq),
+            cut=dict(cut),
+            values=dict(values) if values is not None else None,
+        )
+        self._snapshots.append(record)
+        return record
+
+    def snapshots(self) -> List[SnapshotRecord]:
+        return list(self._snapshots)
+
+    # -- republications (control-plane replays) -----------------------------
+    def record_republication(self, register: str, new_tag: WriterTag,
+                             of_tag: WriterTag) -> None:
+        """Declare ``new_tag`` a re-installation of ``of_tag``'s value.
+
+        Reconfiguration replays a moved register's last value into its
+        target shard group under the fence epoch -- a *duplicate* of an
+        existing version, not a new client write.  The replay itself is
+        not recorded as an operation; this alias lets the checkers remap
+        a read that observed the replayed tag back onto the version it
+        duplicates.
+        """
+        if new_tag == of_tag:
+            return
+        self._republications[(register, new_tag)] = of_tag
+
+    def resolve_tag(self, register: str,
+                    tag: Optional[WriterTag]) -> Optional[WriterTag]:
+        """Follow republication aliases to the originating write's tag.
+
+        Chains (a register handed off twice republishes a republication)
+        are followed to the fixpoint.
+        """
+        while tag is not None:
+            original = self._republications.get((register, tag))
+            if original is None:
+                return tag
+            tag = original
+        return tag
+
+    def has_record(self, operation_id: int) -> bool:
+        return operation_id in self._records
 
     # -- queries ----------------------------------------------------------------
     def operations(self) -> List[OperationRecord]:
@@ -225,6 +334,11 @@ class History:
         sub._records = {op_id: record
                         for op_id, record in self._records.items()
                         if record.register == register}
+        sub._republications = {
+            key: original
+            for key, original in self._republications.items()
+            if key[0] == register
+        }
         return sub
 
     def render(self) -> str:

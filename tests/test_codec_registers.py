@@ -7,11 +7,11 @@ from repro.baselines.abd.protocol import (AbdQuery, AbdQueryAck, AbdStore,
 from repro.core.atomic.protocol import WriteBack, WriteBackAck
 from repro.errors import TransportError
 from repro.messages import (Batch, HistoryEntry, HistoryReadAck, Pw, PwAck,
-                            ReadAck, ReadRequest, W, WriteAck, register_of,
-                            unbatch)
+                            ReadAck, ReadRequest, TagQueryAck, W, WriteAck,
+                            register_of, unbatch)
 from repro.runtime import decode_message, encode_message
 from repro.types import (DEFAULT_REGISTER, TimestampValue, TsrArray,
-                         WriteTuple)
+                         WriterTag, WriteTuple)
 
 
 @pytest.fixture
@@ -58,6 +58,54 @@ class TestRegisterFieldRoundTrips:
         ]
         for message in messages:
             assert roundtrip(message) == message
+
+    def test_tag_returning_read_frames_keep_tags(self, wtuple):
+        """The frames a tag-returning read rides on round-trip their
+        MWMR tags exactly -- the observed tag a read reports (and a
+        snapshot cut records) comes entirely out of these fields; there
+        is no extra wire frame."""
+        tagged = TimestampValue(3, "v3", wid=2)
+        messages = [
+            # Suffix request anchored at a multi-writer tag.
+            ReadRequest(round_index=1, tsr=5, reader_index=1,
+                        from_ts=WriterTag(4, 2), register_id="snap:k"),
+            # Safe-protocol ack: the tag lives in the pw pair.
+            ReadAck(round_index=2, tsr=6, object_index=0, pw=tagged,
+                    w=wtuple, register_id="snap:k"),
+            # Regular-protocol ack: tags key the history mapping.
+            HistoryReadAck(round_index=2, tsr=7, object_index=3,
+                           history={WriterTag(3, 2): HistoryEntry(
+                               pw=tagged, w=None)},
+                           register_id="snap:k"),
+            # The discovery ack of the MWMR write path.
+            TagQueryAck(nonce=11, object_index=2, epoch=9, wid=3,
+                        register_id="snap:k"),
+        ]
+        for message in messages:
+            decoded = roundtrip(message)
+            assert decoded == message
+        decoded_request = roundtrip(messages[0])
+        assert decoded_request.from_ts == WriterTag(4, 2)
+        decoded_ack = roundtrip(messages[1])
+        assert decoded_ack.pw.tag == WriterTag(3, 2)
+        decoded_history = roundtrip(messages[2])
+        (key, entry), = decoded_history.history.items()
+        assert key == WriterTag(3, 2) and type(key) is WriterTag
+        assert entry.pw.tag == WriterTag(3, 2)
+        assert roundtrip(messages[3]).tag == WriterTag(9, 3)
+
+    def test_tagged_write_frames_keep_writer_ids(self, wtuple):
+        for message in [
+            Pw(ts=3, pw=wtuple.tsval, w=wtuple, register_id="k",
+               wid=7),
+            W(ts=3, pw=wtuple.tsval, w=wtuple, register_id="k", wid=7),
+            PwAck(ts=3, object_index=1, tsr=(0, 2), register_id="k",
+                  wid=7),
+            WriteAck(ts=3, object_index=2, register_id="k", wid=7),
+        ]:
+            decoded = roundtrip(message)
+            assert decoded == message
+            assert decoded.wid == 7
 
     def test_legacy_frames_decode_to_default_register(self):
         # A frame written before the register field existed has no "r" key.

@@ -8,7 +8,7 @@ from repro.adversary.byzantine import ValueForger
 from repro.config import SystemConfig
 from repro.core.regular import CachedRegularStorageProtocol
 from repro.core.safe import SafeStorageProtocol
-from repro.errors import TransportError
+from repro.errors import FencedWriteError, TransportError
 from repro.messages import Batch, WriteAck
 from repro.runtime import MuxClientHost, coalesce_outgoing
 from repro.service import HashRing, MultiRegisterStore, ShardedKVStore
@@ -367,3 +367,91 @@ class TestInboxHandover:
         parked, drained, value = run(scenario())
         assert parked > 0 and drained == 0
         assert value == "v2"
+
+
+class TestBatchFailurePropagation:
+    """A failing member of a batch must fail the batch fast -- and leave
+    no sibling task or pending operation dangling."""
+
+    def test_get_many_propagates_first_failure_and_cancels_siblings(
+            self, config):
+        async def scenario():
+            kv = ShardedKVStore(CachedRegularStorageProtocol, config,
+                                num_shards=2)
+            async with kv:
+                keys = [f"k:{n}" for n in range(12)]
+                assert len({kv.shard_for(k) for k in keys}) == 2
+                await kv.put_many({key: key for key in keys})
+                broken = kv.shards[0]
+                await broken.stop()  # one shard group down
+                with pytest.raises(TransportError):
+                    await kv.get_many(keys)
+                # The healthy shard's per-key reads were cancelled and
+                # drained, not left running detached.
+                healthy = kv.shards[1]
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                assert all(not host._pending
+                           for host in healthy._reader_hosts)
+                # The healthy group still serves normally afterwards.
+                alive = [k for k in keys if kv.shard_for(k) == 1]
+                assert await kv.get(alive[0]) == alive[0]
+        run(scenario())
+
+    def test_read_many_timeout_leaves_no_pending_operations(self, config):
+        async def scenario():
+            async with MultiRegisterStore(CachedRegularStorageProtocol(),
+                                          config) as store:
+                await store.write_many({"a": 1, "b": 2})
+                # Two crashed replicas leave only 2 < quorum=3 alive:
+                # reads cannot complete and must time out.
+                store.crash_object(0)
+                store.crash_object(1)
+                with pytest.raises(asyncio.TimeoutError):
+                    await store.read_many(["a", "b"], timeout=0.05)
+                assert all(not host._pending
+                           for host in store._reader_hosts)
+        run(scenario())
+
+    def test_put_retries_resolve_routing_after_fence_clears(self, config):
+        """`put(retries=N)` absorbs FencedWriteError and succeeds once
+        routing recovers (here: the fence is lifted, as a completed
+        reconfiguration's hand-back would)."""
+        from repro.service.reconfig import FenceOperation
+
+        async def scenario():
+            kv = ShardedKVStore(CachedRegularStorageProtocol, config,
+                                num_shards=2)
+            async with kv:
+                await kv.put("k", "v0")
+                store = kv.store_for("k")
+                fence = FenceOperation(store.config, "k", hard=True)
+                await store.control_host().run(fence, 5.0)
+                with pytest.raises(FencedWriteError):
+                    await kv.put("k", "v1")  # retries=0: fail fast
+
+                async def lift_soon():
+                    await asyncio.sleep(0.002)
+                    lift = FenceOperation(store.config, "k", lift=True)
+                    await store.control_host().run(lift, 5.0)
+
+                lifter = asyncio.create_task(lift_soon())
+                await kv.put("k", "v2", retries=100)
+                await lifter
+                assert await kv.get("k") == "v2"
+        run(scenario())
+
+    def test_put_retries_exhausted_reraises(self, config):
+        from repro.service.reconfig import FenceOperation
+
+        async def scenario():
+            kv = ShardedKVStore(CachedRegularStorageProtocol, config,
+                                num_shards=2)
+            async with kv:
+                await kv.put("k", "v0")
+                store = kv.store_for("k")
+                fence = FenceOperation(store.config, "k", hard=True)
+                await store.control_host().run(fence, 5.0)
+                with pytest.raises(FencedWriteError):
+                    await kv.put("k", "v1", retries=3)
+        run(scenario())
