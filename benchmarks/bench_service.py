@@ -97,7 +97,11 @@ async def run_per_key_baseline(num_keys: int) -> Dict[str, Any]:
 
 
 async def run_multiplexed(num_keys: int) -> Dict[str, Any]:
-    """One MultiRegisterStore serving every key over one replica set."""
+    """One MultiRegisterStore serving every key over one replica set.
+
+    Batched mode: ``write_many``/``read_many`` drive the whole keyspace
+    through the vector round engine -- one frame per (replica, step).
+    """
     started = time.perf_counter()
     keys = [f"key:{n}" for n in range(num_keys)]
     async with MultiRegisterStore(CachedRegularStorageProtocol(),
@@ -108,6 +112,35 @@ async def run_multiplexed(num_keys: int) -> Dict[str, Any]:
     elapsed = time.perf_counter() - started
     assert all(reads[key] == f"value-{key}"
                for key in keys), "multiplexed read mismatch"
+    return {
+        "elapsed_s": elapsed,
+        "replica_tasks": CONFIG.num_objects,
+        "messages_sent": messages,
+    }
+
+
+async def run_multiplexed_unbatched(num_keys: int) -> Dict[str, Any]:
+    """The same multiplexed store driven one operation per key.
+
+    Isolates the vector round engine's contribution: identical store,
+    identical protocol, but per-key ``write``/``read`` calls fanned out
+    with ``asyncio.gather`` -- no shared per-step frames, per-ack quorum
+    evaluation.  The burst coalescing of the hosts still applies, so
+    the delta versus :func:`run_multiplexed` is the batching contract,
+    not envelope counts alone.
+    """
+    started = time.perf_counter()
+    keys = [f"key:{n}" for n in range(num_keys)]
+    async with MultiRegisterStore(CachedRegularStorageProtocol(),
+                                  CONFIG) as store:
+        await asyncio.gather(*(store.write(key, f"value-{key}")
+                               for key in keys))
+        reads = dict(zip(keys, await asyncio.gather(
+            *(store.read(key) for key in keys))))
+        messages = store.network.messages_sent
+    elapsed = time.perf_counter() - started
+    assert all(reads[key] == f"value-{key}"
+               for key in keys), "unbatched read mismatch"
     return {
         "elapsed_s": elapsed,
         "replica_tasks": CONFIG.num_objects,
@@ -321,9 +354,10 @@ def _measure(runner, num_keys: int, repeats: int) -> Dict[str, Any]:
 def bench(num_keys: int, repeats: int = 7) -> Dict[str, Any]:
     baseline = _measure(run_per_key_baseline, num_keys, repeats)
     multiplexed = _measure(run_multiplexed, num_keys, repeats)
+    unbatched = _measure(run_multiplexed_unbatched, num_keys, repeats)
     multi_writer = _measure(run_multi_writer, num_keys, repeats)
     operations = 2 * num_keys  # one write + one read per key
-    for row in (baseline, multiplexed):
+    for row in (baseline, multiplexed, unbatched):
         row["ops"] = operations
         row["ops_per_s"] = operations / row["elapsed_s"]
     # The contended mode performs W writes + 1 read per key.
@@ -331,20 +365,135 @@ def bench(num_keys: int, repeats: int = 7) -> Dict[str, Any]:
     multi_writer["ops_per_s"] = multi_writer["ops"] / \
         multi_writer["elapsed_s"]
     speedup = baseline["elapsed_s"] / multiplexed["elapsed_s"]
+    batching_gain = unbatched["elapsed_s"] / multiplexed["elapsed_s"]
     print(f"  {num_keys:>5} keys | per-key {baseline['elapsed_s']:7.3f}s "
           f"({baseline['ops_per_s']:8.0f} op/s, "
           f"{baseline['replica_tasks']:>5} replica tasks) | "
           f"multiplexed {multiplexed['elapsed_s']:7.3f}s "
           f"({multiplexed['ops_per_s']:8.0f} op/s, "
           f"{multiplexed['replica_tasks']} tasks) | {speedup:5.1f}x | "
+          f"unbatched {unbatched['elapsed_s']:7.3f}s "
+          f"(vector gain {batching_gain:4.2f}x) | "
           f"mwmr x{MWMR_WRITERS} {multi_writer['elapsed_s']:7.3f}s "
           f"({multi_writer['ops_per_s']:8.0f} op/s)")
     return {
         "num_keys": num_keys,
         "per_key_baseline": baseline,
         "multiplexed": multiplexed,
+        "multiplexed_unbatched": unbatched,
         "multi_writer": multi_writer,
         "speedup": speedup,
+        "vector_batching_gain": batching_gain,
+    }
+
+
+def bench_codec(repeats: int = 120) -> Dict[str, Any]:
+    """Binary vs JSON codec on the bench_micro frame corpus."""
+    import sys as _sys
+    from pathlib import Path
+    _sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_micro import codec_corpus, time_codec
+    from repro.runtime.codec import (decode_message_binary,
+                                     encode_message_binary)
+    from repro.runtime import decode_message, encode_message
+    corpus = codec_corpus()
+    json_s = min(time_codec(encode_message, decode_message, corpus,
+                            repeats=repeats) for _ in range(3))
+    binary_s = min(time_codec(encode_message_binary,
+                              decode_message_binary, corpus,
+                              repeats=repeats) for _ in range(3))
+    row = {
+        "json_s": round(json_s, 4),
+        "binary_s": round(binary_s, 4),
+        "speedup": round(json_s / binary_s, 2),
+        "corpus": "bench_micro.codec_corpus (write/ack/history frames)",
+    }
+    print(f"  codec corpus | json {json_s:.3f}s | binary {binary_s:.3f}s "
+          f"| {row['speedup']:.2f}x")
+    return row
+
+
+#: PR-4's recorded multiplexed throughput at 256 keys (ops/s), the
+#: baseline the vector round engine is gated against (>= 1.5x).
+PR4_MULTIPLEXED_OPS_256 = 13625.7
+
+
+async def run_smoke_suite(num_keys: int) -> Dict[str, Dict[str, Any]]:
+    """All throughput modes in one event loop (the CI configuration).
+
+    One started multiplexed store is reused across the batched and
+    unbatched modes (distinct key ranges) instead of rebuilding the
+    cluster per mode, so the added batched mode does not inflate CI
+    time; per-mode timing starts after the shared setup.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    rows["per_key_baseline"] = await run_per_key_baseline(num_keys)
+    store = MultiRegisterStore(CachedRegularStorageProtocol(), CONFIG)
+    await store.start()
+    try:
+        batch_keys = [f"key:b:{n}" for n in range(num_keys)]
+        mark = store.network.messages_sent
+        started = time.perf_counter()
+        await store.write_many({key: f"value-{key}"
+                                for key in batch_keys})
+        reads = await store.read_many(batch_keys)
+        rows["multiplexed"] = {
+            "elapsed_s": time.perf_counter() - started,
+            "replica_tasks": CONFIG.num_objects,
+            # per-mode delta: the store is shared across modes
+            "messages_sent": store.network.messages_sent - mark,
+        }
+        assert all(reads[key] == f"value-{key}" for key in batch_keys)
+        solo_keys = [f"key:u:{n}" for n in range(num_keys)]
+        mark = store.network.messages_sent
+        started = time.perf_counter()
+        await asyncio.gather(*(store.write(key, f"value-{key}")
+                               for key in solo_keys))
+        solo_reads = dict(zip(solo_keys, await asyncio.gather(
+            *(store.read(key) for key in solo_keys))))
+        rows["multiplexed_unbatched"] = {
+            "elapsed_s": time.perf_counter() - started,
+            "replica_tasks": CONFIG.num_objects,
+            "messages_sent": store.network.messages_sent - mark,
+        }
+        assert all(solo_reads[key] == f"value-{key}"
+                   for key in solo_keys)
+    finally:
+        await store.stop()
+    rows["multi_writer"] = await run_multi_writer(num_keys)
+    return rows
+
+
+def bench_smoke(num_keys: int) -> Dict[str, Any]:
+    gc.collect()
+    rows = asyncio.run(run_smoke_suite(num_keys))
+    baseline = rows["per_key_baseline"]
+    multiplexed = rows["multiplexed"]
+    unbatched = rows["multiplexed_unbatched"]
+    multi_writer = rows["multi_writer"]
+    operations = 2 * num_keys
+    for row in (baseline, multiplexed, unbatched):
+        row["ops"] = operations
+        row["ops_per_s"] = operations / row["elapsed_s"]
+    multi_writer["ops"] = (MWMR_WRITERS + 1) * num_keys
+    multi_writer["ops_per_s"] = multi_writer["ops"] / \
+        multi_writer["elapsed_s"]
+    speedup = baseline["elapsed_s"] / multiplexed["elapsed_s"]
+    batching_gain = unbatched["elapsed_s"] / multiplexed["elapsed_s"]
+    print(f"  {num_keys:>5} keys [smoke, shared store] | per-key "
+          f"{baseline['elapsed_s']:7.3f}s | multiplexed "
+          f"{multiplexed['elapsed_s']:7.3f}s "
+          f"({multiplexed['ops_per_s']:8.0f} op/s) | {speedup:5.1f}x | "
+          f"vector gain {batching_gain:4.2f}x | mwmr "
+          f"{multi_writer['elapsed_s']:7.3f}s")
+    return {
+        "num_keys": num_keys,
+        "per_key_baseline": baseline,
+        "multiplexed": multiplexed,
+        "multiplexed_unbatched": unbatched,
+        "multi_writer": multi_writer,
+        "speedup": speedup,
+        "vector_batching_gain": batching_gain,
     }
 
 
@@ -353,22 +502,25 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="also run the 1024-key point")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI configuration: 64 keys, 2 repeats, "
-                             "2x gate")
+                        help="CI configuration: 64 keys, one shared "
+                             "store across modes, 2x gate")
     parser.add_argument("--output", default="BENCH_service.json",
                         help="where to write the JSON results")
     args = parser.parse_args(argv)
 
     if args.smoke:
-        sizes, repeats = [64], 2
+        sizes = [64]
         gate_keys, gate = 64, 2.0
     else:
         sizes = [64, 256, 1024] if args.full else [64, 256]
-        repeats = 7
         gate_keys, gate = 256, 3.0
     print(f"service-tier benchmark: {CONFIG.describe()}"
           f"{' [smoke]' if args.smoke else ''}")
-    results = [bench(size, repeats=repeats) for size in sizes]
+    if args.smoke:
+        results = [bench_smoke(size) for size in sizes]
+    else:
+        results = [bench(size, repeats=7) for size in sizes]
+    codec = bench_codec(repeats=30 if args.smoke else 120)
     # Reshard-under-load and snapshot-reads-under-load run in every mode
     # (smoke included): the CI tripwires for reconfiguration and
     # cross-shard snapshot-consistency regressions.
@@ -376,29 +528,43 @@ def main(argv: List[str] = None) -> int:
     snapshots = bench_snapshots(min(gate_keys, 16))
 
     gated = next(r for r in results if r["num_keys"] == gate_keys)
+    vs_pr4 = (gated["multiplexed"]["ops_per_s"] / PR4_MULTIPLEXED_OPS_256
+              if gate_keys == 256 else None)
     verdict = {
         "config": CONFIG.describe(),
         "mwmr_config": MWMR_CONFIG.describe(),
         "protocol": "gv-regular-cached",
         "workload": "write each key once, then read each key once; "
+                    "multiplexed_unbatched: same store, one operation "
+                    "per key (no vector rounds); "
                     f"multi_writer: {MWMR_WRITERS} writers race on every "
                     "key, then read each key once",
         "smoke": args.smoke,
         "results": results,
+        "codec_microbench": codec,
         "reshard_under_load": reshard,
         "snapshot_reads_under_load": snapshots,
         "claim": f"multiplexed >= {gate}x per-key baseline at "
-                 f"{gate_keys} keys; reshard 2->3 completes under load "
-                 "with no lost reads; cross-shard snapshots certify "
-                 "consistent cuts under mixed writers",
+                 f"{gate_keys} keys; multiplexed at 256 keys >= 1.5x "
+                 f"the PR-4 recording ({PR4_MULTIPLEXED_OPS_256:.0f} "
+                 "op/s); binary codec beats JSON on the frame corpus; "
+                 "reshard 2->3 completes under load with no lost "
+                 "reads; cross-shard snapshots certify consistent cuts "
+                 "under mixed writers",
         f"speedup_at_{gate_keys}": gated["speedup"],
+        "pr4_multiplexed_ops_per_s_256": PR4_MULTIPLEXED_OPS_256,
+        "speedup_vs_pr4": (round(vs_pr4, 2)
+                           if vs_pr4 is not None else None),
         "ok": (gated["speedup"] >= gate and reshard["ok"]
-               and snapshots["ok"]),
+               and snapshots["ok"] and codec["speedup"] > 1.0
+               and (vs_pr4 is None or vs_pr4 >= 1.5)),
     }
     with open(args.output, "w") as fh:
         json.dump(verdict, fh, indent=2)
     print(f"wrote {args.output}; speedup at {gate_keys} keys: "
-          f"{gated['speedup']:.1f}x; reshard "
+          f"{gated['speedup']:.1f}x"
+          + (f"; vs PR-4: {vs_pr4:.2f}x" if vs_pr4 is not None else "")
+          + f"; codec {codec['speedup']:.2f}x; reshard "
           f"{'OK' if reshard['ok'] else 'FAIL'}; snapshots "
           f"{'OK' if snapshots['ok'] else 'FAIL'} "
           f"({'OK' if verdict['ok'] else 'FAIL'})")

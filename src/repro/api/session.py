@@ -302,6 +302,12 @@ class Session:
                              "(one to propose a cut, one to certify it)")
         return _SnapshotCall(self, keys, max_rounds, timeout)
 
+    # Each collect is one ``get_many_tagged`` sweep, which rides the
+    # vector round engine underneath: a whole collect costs one frame
+    # per (replica, step) per shard group, whatever the key count.
+    # Collects must span the *full* key list every round -- certifying
+    # per-key stability across different round pairs would not be a cut.
+
     async def _take_snapshot(self, keys: Optional[Iterable[str]],
                              max_rounds: int,
                              timeout: Optional[float]) -> Snapshot:

@@ -22,14 +22,21 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ProtocolError
-from ..messages import EpochFenceAck, WriteFenced
-from ..types import DEFAULT_REGISTER, ProcessId, fresh_operation_id
+from ..messages import Batch, EpochFenceAck, Message, WriteFenced
+from ..types import DEFAULT_REGISTER, ProcessId, fresh_operation_id, obj
 
 #: Outgoing messages: ``(receiver, payload)`` pairs.
 Outgoing = List[Tuple[ProcessId, Any]]
+
+#: Broadcast messages collected by the vector round engine: every message
+#: appended to a sink is sent, once, to *all* base objects (wrapped with
+#: its burst siblings into a single :class:`~repro.messages.Batch` per
+#: object).  All client rounds of the protocols in this library are full
+#: broadcasts, which is what makes the shared sink sound.
+Sink = List[Message]
 
 
 class ObjectAutomaton(ABC):
@@ -48,6 +55,31 @@ class ObjectAutomaton(ABC):
     @abstractmethod
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         """Process one message, return replies (usually to ``sender``)."""
+
+    # -- batched delivery (vector rounds) -----------------------------------
+    def handle_batch(self, sender: ProcessId, parts: Tuple[Any, ...],
+                     sink: Sink) -> Outgoing:
+        """Process a batch of same-sender messages in one call.
+
+        Replies addressed back to ``sender`` are appended to ``sink`` --
+        the transport wraps the whole sink into one reply frame -- and
+        anything else (raw probes, replies routed elsewhere) is returned
+        as ordinary ``(receiver, payload)`` pairs.  The default simply
+        loops :meth:`on_message`, so every automaton (including
+        adversarial ones that override only ``on_message``) keeps its
+        exact semantics; hot automata override this with a tight loop
+        that decodes once and dispatches per-register slots directly.
+        """
+        leftovers: Outgoing = []
+        append = sink.append
+        for part in parts:
+            for receiver, payload in self.on_message(sender, part) or []:
+                if receiver == sender and isinstance(payload, Message) \
+                        and not isinstance(payload, Batch):
+                    append(payload)
+                else:
+                    leftovers.append((receiver, payload))
+        return leftovers
 
     # -- state capture (lower-bound machinery) ------------------------------
     def snapshot_state(self) -> Any:
@@ -143,16 +175,74 @@ class MultiRegisterObject(ObjectAutomaton):
         fence = self.fences.get(register_id)
         return fence is not None and epoch < fence
 
-    def _fence_nack(self, sender: ProcessId, register_id: str, epoch: int,
-                    wid: int = 0, nonce: int = 0) -> Outgoing:
+    def _fence_nack_msg(self, register_id: str, epoch: int,
+                        wid: int = 0, nonce: int = 0) -> WriteFenced:
         """The :class:`~repro.messages.WriteFenced` report for a refusal."""
-        return [(sender, WriteFenced(
+        return WriteFenced(
             object_index=self.object_index,
             epoch=epoch,
-            fence_epoch=self.fences[register_id],
+            fence_epoch=self.fences.get(register_id, 0),
             wid=wid,
             nonce=nonce,
-            register_id=register_id))]
+            register_id=register_id)
+
+    def _fence_nack(self, sender: ProcessId, register_id: str, epoch: int,
+                    wid: int = 0, nonce: int = 0) -> Outgoing:
+        """``_fence_nack_msg`` addressed back to the refused sender."""
+        return [(sender, self._fence_nack_msg(register_id, epoch,
+                                              wid, nonce))]
+
+
+def split_broadcast(outgoing: Outgoing, sink: Sink,
+                    leftovers: Outgoing) -> None:
+    """Split an operation's outgoing into broadcasts vs. directed sends.
+
+    Protocol rounds are built once and paired with every object --
+    ``[(obj(0), m), (obj(1), m), ...]`` with the *same* message object --
+    so a full broadcast is recognized by payload identity plus the
+    in-order object receivers, and collapses to one sink entry.
+    Anything else stays a directed ``(receiver, payload)`` pair.
+    """
+    n = len(outgoing)
+    if n > 1:
+        payload = outgoing[0][1]
+        if (isinstance(payload, Message)
+                and all(pair[1] is payload for pair in outgoing)
+                and all(pair[0] is obj(i)
+                        for i, pair in enumerate(outgoing))):
+            sink.append(payload)
+            return
+    leftovers.extend(outgoing)
+
+
+def resolve_batch_handler(
+        automaton: ObjectAutomaton
+) -> Callable[[ProcessId, Tuple[Any, ...], Sink], Outgoing]:
+    """The batch entry point that is *provably consistent* with the
+    automaton's ``on_message``.
+
+    A specialized :meth:`ObjectAutomaton.handle_batch` bypasses
+    ``on_message`` for its hot message types, so a subclass that
+    overrides ``on_message`` *below* the class that declared the fast
+    path (a Byzantine variant, say) must not inherit it silently.  The
+    rule: use the specialized handler only if ``on_message`` is declared
+    at or above it in the MRO, or the overriding class opts back in with
+    ``_on_message_batch_compatible = True`` (for overrides that only add
+    new message types, like the atomic object's write-back).
+    """
+    cls = type(automaton)
+    mro = cls.__mro__
+    hb_owner = next(c for c in mro if "handle_batch" in c.__dict__)
+    if hb_owner is ObjectAutomaton:
+        return automaton.handle_batch  # generic loop: always consistent
+    om_owner = next(c for c in mro if "on_message" in c.__dict__)
+    if (mro.index(om_owner) >= mro.index(hb_owner)
+            or om_owner.__dict__.get("_on_message_batch_compatible", False)):
+        return automaton.handle_batch
+    # on_message was overridden after the fast path was declared: fall
+    # back to the generic loop so the override keeps full authority.
+    return lambda sender, parts, sink: ObjectAutomaton.handle_batch(
+        automaton, sender, parts, sink)
 
 
 class ClientOperation(ABC):
@@ -186,6 +276,40 @@ class ClientOperation(ABC):
     @abstractmethod
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         """Consume a reply; possibly emit the next round's messages."""
+
+    # -- vector rounds -------------------------------------------------------
+    # The multi-key round engine drives many same-client operations with
+    # one frame per (replica, step): inbound acks are *absorbed* (cheap
+    # recording, no decisions) part by part, then each touched operation
+    # *advances* once per burst -- round conditions are evaluated once
+    # over all the evidence that arrived together instead of once per
+    # ack.  The default implementation adapts any operation by buffering
+    # and replaying through :meth:`on_message`, so every protocol rides
+    # the batched frames; hot operations override all three with native
+    # array-tracked state.
+
+    def start_vector(self, sink: Sink, leftovers: Outgoing) -> None:
+        """Invocation step for the vector engine (broadcasts to sink)."""
+        split_broadcast(self.start() or [], sink, leftovers)
+
+    def absorb(self, sender: ProcessId, message: Any) -> None:
+        """Record one inbound part; decisions are deferred to advance()."""
+        buffer = getattr(self, "_vector_buffer", None)
+        if buffer is None:
+            buffer = self._vector_buffer = []
+        buffer.append((sender, message))
+
+    def advance(self, sink: Sink, leftovers: Outgoing) -> None:
+        """Evaluate round conditions once over everything absorbed."""
+        buffer = getattr(self, "_vector_buffer", None)
+        if not buffer:
+            return
+        self._vector_buffer = []
+        for sender, message in buffer:
+            if self.done:
+                break
+            split_broadcast(self.on_message(sender, message) or [],
+                            sink, leftovers)
 
     # -- round & completion accounting ----------------------------------------
     def begin_round(self) -> None:

@@ -60,8 +60,17 @@ class SystemConfig:
     num_objects: int
     num_readers: int = 1
     num_writers: int = 1
+    #: Serialization of the socket transports: ``"binary"`` (the fast
+    #: struct-packed framing) or ``"json"`` (the legacy line format).
+    #: Inbound frames of either format always decode -- this selects
+    #: what *this* system emits.
+    wire_format: str = "binary"
 
     def __post_init__(self) -> None:
+        if self.wire_format not in ("binary", "json"):
+            raise ConfigurationError(
+                f"unknown wire format {self.wire_format!r}; "
+                f"expected 'binary' or 'json'")
         if self.t < 0:
             raise ConfigurationError("t must be non-negative")
         if self.b < 0:

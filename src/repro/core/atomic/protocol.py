@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Set
 
-from ...automata.base import Outgoing
+from ...automata.base import Outgoing, Sink
 from ...config import SystemConfig
 from ...messages import HistoryEntry, Message
 from ...protocols import ATOMIC
@@ -38,6 +38,11 @@ class WriteBackAck(Message):
 
 class AtomicObject(RegularObject):
     """Regular object that additionally accepts reader write-backs."""
+
+    #: The write-back override only *adds* a message type; the regular
+    #: object's batched fast path stays valid for the types it handles
+    #: (unknown types fall through to ``on_message`` there).
+    _on_message_batch_compatible = True
 
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, WriteBack):
@@ -72,25 +77,30 @@ class AtomicReadOperation(RegularReadOperation):
         self._outbox: Outgoing = []
 
     # ------------------------------------------------------------------
-    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
-        if self.done:
-            return []
+    def absorb(self, sender: ProcessId, message: Any) -> None:
+        if self.done or not sender.is_object:
+            return
         if isinstance(message, WriteBackAck):
-            if self.phase == 3 and message.nonce == self._wb_nonce \
-                    and message.register_id == self.register_id \
-                    and sender.is_object:
+            if (self.phase == 3 and message.nonce == self._wb_nonce
+                    and message.register_id == self.register_id):
                 self._wb_ackers.add(sender.index)
-                if len(self._wb_ackers) >= self.config.quorum_size:
-                    self.tag = self._chosen.tag
-                    self.complete(self._chosen.tsval.value)
-            return []
-        outgoing = super().on_message(sender, message)
+            return
+        super().absorb(sender, message)
+
+    def advance(self, sink: Sink, leftovers: Outgoing) -> None:
+        if self.done:
+            return
+        if self.phase == 3:
+            if len(self._wb_ackers) >= self.config.quorum_size:
+                self.tag = self._chosen.tag
+                self.complete(self._chosen.tsval.value)
+            return
+        super().advance(sink, leftovers)
         # The overridden _maybe_return may have queued the write-back
         # broadcast; splice it into this step's sends.
         if self._outbox:
-            outgoing = list(outgoing) + self._outbox
+            sink.append(self._outbox[0][1])
             self._outbox = []
-        return outgoing
 
     # ------------------------------------------------------------------
     def _maybe_return(self) -> None:

@@ -52,23 +52,25 @@ class RegularEvidence:
 
     # -- ingestion ---------------------------------------------------------
     def record(self, round_index: int, object_index: int,
-               history: Mapping[WriterTag, HistoryEntry]) -> bool:
+               history: Mapping[WriterTag, HistoryEntry],
+               normalized: bool = False) -> bool:
         """Store a round's history for an object (dedup: first ack wins).
 
         Round-1 histories contribute their non-nil ``w`` entries to the
-        candidate set (line 20).
+        candidate set (line 20).  ``normalized=True`` is the reader's
+        hot path: histories arriving through :class:`HistoryReadAck` are
+        guaranteed tag-keyed and privately snapshotted by the ack's
+        constructors, so the ack's own frozen dict is stored as-is.
+        Direct callers (tests, tools) may pass legacy integer keys and
+        mutable dicts and get the normalizing copy.
         """
         per_round = self.round_histories[round_index]
         if object_index in per_round:
             return False
-        # Normalize legacy integer keys (writer 0) to tags; acks arriving
-        # through HistoryReadAck are already normalized and take the
-        # plain-copy path.
-        if all(type(tag) is WriterTag for tag in history):
-            per_round[object_index] = dict(history)
-        else:
-            per_round[object_index] = {as_tag(tag): entry
-                                       for tag, entry in history.items()}
+        if not normalized:
+            history = {as_tag(tag): entry
+                       for tag, entry in history.items()}
+        per_round[object_index] = history
         if round_index == 1:
             for entry in history.values():
                 if entry.w is not None:
@@ -78,6 +80,10 @@ class RegularEvidence:
 
     def responded_first(self) -> Set[int]:
         return set(self.round_histories[1])
+
+    def responded_first_count(self) -> int:
+        """``|Resp1|`` without materializing the set."""
+        return len(self.round_histories[1])
 
     def first_round_accusers(self) -> Dict[WriteTuple, Set[int]]:
         """``FirstRW``-equivalent: who exhibited each candidate in round 1."""
@@ -108,12 +114,13 @@ class RegularEvidence:
         if cached is not None and cached[0] == self._generation:
             return cached[1]
         voters: Set[int] = set()
-        for round_index in (1, 2):
-            for i in self.round_histories[round_index]:
-                entry = self._slot(round_index, i, c.tag)
-                if entry is None:
-                    continue
-                if entry.w is None or entry.pw != c.tsval or entry.w != c:
+        tag = c.tag
+        tsval = c.tsval
+        for per_round in (self.round_histories[1],
+                          self.round_histories[2]):
+            for i, history in per_round.items():
+                entry = history.get(tag, _EMPTY_ENTRY)
+                if entry.w is None or entry.pw != tsval or entry.w != c:
                     voters.add(i)
         self._voter_cache[("invalid", c)] = (self._generation, voters)
         return voters
@@ -127,12 +134,13 @@ class RegularEvidence:
         if cached is not None and cached[0] == self._generation:
             return cached[1]
         voters: Set[int] = set()
-        for round_index in (1, 2):
-            for i in self.round_histories[round_index]:
-                entry = self._slot(round_index, i, c.tag)
-                if entry is None:
-                    continue
-                if entry.pw == c.tsval or entry.w == c:
+        tag = c.tag
+        tsval = c.tsval
+        for per_round in (self.round_histories[1],
+                          self.round_histories[2]):
+            for i, history in per_round.items():
+                entry = history.get(tag, _EMPTY_ENTRY)
+                if entry.pw == tsval or entry.w == c:
                     voters.add(i)
         self._voter_cache[("safe", c)] = (self._generation, voters)
         return voters

@@ -26,15 +26,26 @@ lazily created slots, so one replica set serves many registers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
-from ...automata.base import MultiRegisterObject, Outgoing
+from ...automata.base import MultiRegisterObject, Outgoing, Sink
 from ...config import SystemConfig
-from ...messages import (EpochFence, HistoryEntry, HistoryReadAck, Pw,
-                         ReadRequest, PwAck, TagQuery, TagQueryAck, W,
+from ...messages import (Batch, EpochFence, HistoryEntry, HistoryReadAck,
+                         Message,
+                         Pw, ReadRequest, PwAck, TagQuery, TagQueryAck, W,
                          WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, TAG0, ProcessId,
                       WriterTag, initial_write_tuple)
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def initial_history_entry(num_objects: int,
+                          num_readers: int) -> HistoryEntry:
+    """``history[tag0] = <pw_0, w_0>`` -- shared per system shape."""
+    return HistoryEntry(pw=INITIAL_TSVAL,
+                        w=initial_write_tuple(num_objects, num_readers))
 
 
 @dataclass
@@ -45,10 +56,28 @@ class RegularSlot:
     history: Dict[WriterTag, HistoryEntry]
     tsr: List[int]
     wid: int = 0
+    #: memoized ``(len(history), max(history))`` -- tag arbitration asks
+    #: for the top tag on every TagQuery, and history keys only ever
+    #: accumulate, so the max is stable while the key count is.
+    _top_key: Optional[Tuple[int, WriterTag]] = None
 
     @property
     def tag(self) -> WriterTag:
         return WriterTag(self.ts, self.wid)
+
+    def top_tag(self) -> WriterTag:
+        """``max(slot tag, max(history))`` with the history max cached."""
+        cached = self._top_key
+        n = len(self.history)
+        if cached is None or cached[0] != n:
+            top = max(self.history)
+            self._top_key = (n, top)
+        else:
+            top = cached[1]
+        if self.ts > top.epoch or (self.ts == top.epoch
+                                   and self.wid > top.writer_id):
+            return WriterTag(self.ts, self.wid)
+        return top
 
 
 class RegularObject(MultiRegisterObject):
@@ -59,12 +88,13 @@ class RegularObject(MultiRegisterObject):
         self.config = config
 
     def _new_slot(self) -> RegularSlot:
-        # Initialization (lines 1-3): history[tag0] = <pw_0, w_0>.
-        w0 = initial_write_tuple(self.config.num_objects,
-                                 self.config.num_readers)
+        # Initialization (lines 1-3): history[tag0] = <pw_0, w_0>.  The
+        # initial entry is immutable and identical for every slot of a
+        # system shape, so one shared instance serves all of them.
         return RegularSlot(
             ts=0,
-            history={TAG0: HistoryEntry(pw=INITIAL_TSVAL, w=w0)},
+            history={TAG0: initial_history_entry(self.config.num_objects,
+                                                 self.config.num_readers)},
             tsr=[0] * self.config.num_readers,
         )
 
@@ -84,39 +114,86 @@ class RegularObject(MultiRegisterObject):
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         # Dispatch ordered by message frequency: two read rounds per READ
-        # make ReadRequest the most common arrival.
+        # make ReadRequest the most common arrival.  The hot handlers
+        # return a single reply message (always to the sender) so the
+        # batched path can append it to a shared sink without the
+        # per-part list/tuple wrapping.
         if isinstance(message, ReadRequest):
-            return self._on_read(sender, message)
-        if isinstance(message, Pw):
-            return self._on_pw(sender, message)
-        if isinstance(message, W):
-            return self._on_w(sender, message)
-        if isinstance(message, TagQuery):
-            return self._on_tag_query(sender, message)
-        if isinstance(message, EpochFence):
+            reply = self._read_reply(message)
+        elif isinstance(message, Pw):
+            reply = self._pw_reply(message)
+        elif isinstance(message, W):
+            reply = self._w_reply(message)
+        elif isinstance(message, TagQuery):
+            reply = self._tag_reply(message)
+        elif isinstance(message, EpochFence):
             return self._on_epoch_fence(sender, message)
-        return []
+        else:
+            return []
+        return [] if reply is None else [(sender, reply)]
+
+    def handle_batch(self, sender: ProcessId, parts: Tuple[Any, ...],
+                     sink: Sink) -> Outgoing:
+        """Vector fast path: one decode, per-register dispatch in a tight
+        loop, every reply coalesced into the caller's sink (one ack frame
+        back to ``sender``)."""
+        leftovers: Outgoing = []
+        append = sink.append
+        for message in parts:
+            kind = message.__class__
+            if kind is ReadRequest:
+                reply = self._read_reply(message)
+            elif kind is Pw:
+                reply = self._pw_reply(message)
+            elif kind is W:
+                reply = self._w_reply(message)
+            elif kind is TagQuery:
+                reply = self._tag_reply(message)
+            else:  # rare control traffic and subclass extensions
+                for receiver, payload in self.on_message(sender, message) \
+                        or []:
+                    if receiver == sender and isinstance(payload, Message) \
+                            and not isinstance(payload, Batch):
+                        append(payload)
+                    else:
+                        leftovers.append((receiver, payload))
+                continue
+            if reply is not None:
+                append(reply)
+        return leftovers
 
     # -- MWMR tag discovery ----------------------------------------------
-    def _on_tag_query(self, sender: ProcessId,
-                      message: TagQuery) -> Outgoing:
+    def _tag_reply(self, message: TagQuery) -> TagQueryAck:
         slot = self._slot(message.register_id)
-        top = max(slot.tag, max(slot.history))
-        return [(sender, TagQueryAck(nonce=message.nonce,
-                                     object_index=self.object_index,
-                                     epoch=top.epoch, wid=top.writer_id,
-                                     register_id=message.register_id))]
+        top = slot.top_tag()
+        return TagQueryAck(nonce=message.nonce,
+                           object_index=self.object_index,
+                           epoch=top.epoch, wid=top.writer_id,
+                           register_id=message.register_id)
 
     # -- lines 4-9 -------------------------------------------------------
-    def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
-        if self._fence_rejects(message.register_id, message.ts):
-            return self._fence_nack(sender, message.register_id,
-                                    message.ts, message.wid)
-        slot = self._slot(message.register_id)
+    def _pw_reply(self, message: Pw) -> Optional[Message]:
+        # Fence state short-circuit: both containers are empty unless a
+        # reconfiguration ever touched this replica, so the common case
+        # costs two truthiness checks.
+        if ((self.fences or self.hard_fences)
+                and self._fence_rejects(message.register_id, message.ts)):
+            return self._fence_nack_msg(message.register_id,
+                                        message.ts, message.wid)
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         fresh = (message.ts > slot.ts
                  or (message.ts == slot.ts and message.wid > slot.wid))
         if fresh or self.config.is_multi_writer:
-            tag = message.tag
+            # The tag via the (shared, cached) pw pair: one WriterTag per
+            # broadcast instead of one per receiving object.  Honest
+            # writers always agree; a forged frame whose pair disagrees
+            # with its header falls back to the header tag, exactly as
+            # before.
+            tag = message.pw.tag
+            if tag.epoch != message.ts or tag.writer_id != message.wid:
+                tag = WriterTag(message.ts, message.wid)
             # Record the new pre-write and back-fill the previous write's
             # complete tuple carried by the PW message.  Never demote a
             # completed entry to a provisional one (a concurrent writer's
@@ -134,39 +211,47 @@ class RegularObject(MultiRegisterObject):
             if fresh:
                 slot.ts = message.ts
                 slot.wid = message.wid
-            return [(sender, PwAck(ts=message.ts,
-                                   object_index=self.object_index,
-                                   tsr=tuple(slot.tsr),
-                                   register_id=message.register_id,
-                                   wid=message.wid))]
-        return []
+            return PwAck(ts=message.ts,
+                         object_index=self.object_index,
+                         tsr=tuple(slot.tsr),
+                         register_id=message.register_id,
+                         wid=message.wid)
+        return None
 
     # -- lines 10-14 -----------------------------------------------------
-    def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
-        if self._fence_rejects(message.register_id, message.ts):
-            return self._fence_nack(sender, message.register_id,
-                                    message.ts, message.wid)
-        slot = self._slot(message.register_id)
+    def _w_reply(self, message: W) -> Optional[Message]:
+        if ((self.fences or self.hard_fences)
+                and self._fence_rejects(message.register_id, message.ts)):
+            return self._fence_nack_msg(message.register_id,
+                                        message.ts, message.wid)
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         fresh = (message.ts > slot.ts
                  or (message.ts == slot.ts and message.wid >= slot.wid))
         if fresh or self.config.is_multi_writer:
             if fresh:
                 slot.ts = message.ts
                 slot.wid = message.wid
-            slot.history[message.tag] = HistoryEntry(pw=message.pw,
-                                                     w=message.w)
-            return [(sender, WriteAck(ts=message.ts,
-                                      object_index=self.object_index,
-                                      register_id=message.register_id,
-                                      wid=message.wid))]
-        return []
+            tag = message.pw.tag
+            if tag.epoch != message.ts or tag.writer_id != message.wid:
+                tag = WriterTag(message.ts, message.wid)
+            slot.history[tag] = HistoryEntry(pw=message.pw, w=message.w)
+            return WriteAck(ts=message.ts,
+                            object_index=self.object_index,
+                            register_id=message.register_id,
+                            wid=message.wid)
+        return None
 
     # -- lines 15-19 -----------------------------------------------------
-    def _on_read(self, sender: ProcessId, message: ReadRequest) -> Outgoing:
+    def _read_reply(self, message: ReadRequest
+                    ) -> Optional[HistoryReadAck]:
         j = message.reader_index
         if not 0 <= j < self.config.num_readers:
-            return []
-        slot = self._slot(message.register_id)
+            return None
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         if message.tsr > slot.tsr[j]:
             slot.tsr[j] = message.tsr
             history = slot.history
@@ -177,17 +262,17 @@ class RegularObject(MultiRegisterObject):
                 from_tag = message.from_ts
                 history = {tag: entry for tag, entry in history.items()
                            if tag >= from_tag}
-            # No pre-copy: the ack's __post_init__ freezes its own copy,
-            # insulating it from this slot's future mutations.
-            ack = HistoryReadAck(
+            # The ack freezes its own copy, insulating it from this
+            # slot's future mutations (fast constructor: slot histories
+            # are tag-keyed already, no normalization pass needed).
+            return HistoryReadAck.from_tagged(
                 round_index=message.round_index,
                 tsr=slot.tsr[j],
                 object_index=self.object_index,
                 history=history,
                 register_id=message.register_id,
             )
-            return [(sender, ack)]
-        return []
+        return None
 
     # ------------------------------------------------------------------
     def describe_state(self) -> str:

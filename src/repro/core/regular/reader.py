@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ...automata.base import ClientOperation, Outgoing
+from ...automata.base import ClientOperation, Outgoing, Sink
 from ...config import SystemConfig
 from ...errors import ProtocolError
 from ...messages import HistoryReadAck, ReadRequest
@@ -91,63 +91,101 @@ class RegularReadOperation(ClientOperation):
                               register_id=self.register_id)
         return [(obj(i), request) for i in range(self.config.num_objects)]
 
+    # -- vector rounds (native) ------------------------------------------
+    def start_vector(self, sink: Sink, leftovers: Outgoing) -> None:
+        self.state.tsr += 1
+        self.tsr_first_round = self.state.tsr
+        self.begin_round()
+        sink.append(ReadRequest(round_index=1, tsr=self.tsr_first_round,
+                                reader_index=self.reader_index,
+                                from_ts=self._from_ts(),
+                                register_id=self.register_id))
+
+    def absorb(self, sender: ProcessId, message: Any) -> None:
+        """Record one history ack; the predicates run in advance()."""
+        if (self.done or sender.role != "object"
+                or message.__class__ is not HistoryReadAck
+                or message.register_id != self.register_id):
+            return
+        if (self.phase == 1 and message.round_index == 1
+                and message.tsr == self.tsr_first_round):
+            if self.evidence.record(1, sender.index, message.history,
+                                    normalized=True):
+                self.history_entries_received += len(message.history)
+        elif (self.phase == 2 and message.round_index == 2
+                and message.tsr == self.tsr_first_round + 1):
+            if self.evidence.record(2, sender.index, message.history,
+                                    normalized=True):
+                self.history_entries_received += len(message.history)
+
+    def advance(self, sink: Sink, leftovers: Outgoing) -> None:
+        """Evaluate the round predicates once per burst of acks.
+
+        Burst absorption means the line-11 check may first run with more
+        than a quorum of responders -- sound, because a conflict-free
+        quorum among some responders remains one among more (conflicts
+        are pairwise; extra responders only add more subsets to choose
+        from), exactly as if the scheduler had interleaved the checks
+        between individual ack deliveries.
+        """
+        if self.done:
+            return
+        if self.phase == 1:
+            if self._round1_condition():
+                sink.append(self._enter_round2())
+                # The line-14 wait condition may already hold on round-1
+                # evidence alone (uncontended runs).
+                self._maybe_return()
+            return
+        self._maybe_return()
+
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not sender.is_object:
             return []
-        if not isinstance(message, HistoryReadAck):
-            return []
-        if message.register_id != self.register_id:
-            return []
-        i = sender.index
-        if (self.phase == 1 and message.round_index == 1
-                and message.tsr == self.tsr_first_round):
-            if self.evidence.record(1, i, message.history):
-                self.history_entries_received += len(message.history)
-            if self._round1_condition():
-                return self._enter_round2()
-            return []
-        if (self.phase == 2 and message.round_index == 2
-                and message.tsr == self.tsr_first_round + 1):
-            if self.evidence.record(2, i, message.history):
-                self.history_entries_received += len(message.history)
-            self._maybe_return()
-            return []
-        return []
+        self.absorb(sender, message)
+        sink: Sink = []
+        outgoing: Outgoing = []
+        self.advance(sink, outgoing)
+        for broadcast in sink:
+            outgoing.extend((obj(i), broadcast)
+                            for i in range(self.config.num_objects))
+        return outgoing
 
     # ------------------------------------------------------------------
     def _round1_condition(self) -> bool:
         # Below quorum responders no conflict-free quorum can exist; skip
         # the conflict analysis until enough acks are even in.
-        if len(self.evidence.responded_first()) < self.config.quorum_size:
+        quorum = self.config.quorum_size
+        if self.evidence.responded_first_count() < quorum:
             return False
         pairs = conflict_pairs(
             candidates=self.evidence.candidates(),
-            first_rw=self.evidence.first_round_accusers(),
+            first_rw=self.evidence.first_round_accusers,
             reader_index=self.reader_index,
             tsr_first_round=self.tsr_first_round,
         )
+        if not pairs:
+            # No accusations in flight: every responder subset is
+            # conflict-free and the quorum count already passed.
+            return True
         return exists_conflict_free_quorum(
             responders=self.evidence.responded_first(),
             pairs=pairs,
-            quorum=self.config.quorum_size,
+            quorum=quorum,
         )
 
-    def _enter_round2(self) -> Outgoing:
+    def _enter_round2(self) -> ReadRequest:
         self.phase = 2
         self.state.tsr += 1
         if self.state.tsr != self.tsr_first_round + 1:
             raise ProtocolError(
                 "reader timestamp advanced outside this operation")
         self.begin_round()
-        request = ReadRequest(round_index=2, tsr=self.state.tsr,
-                              reader_index=self.reader_index,
-                              from_ts=self._from_ts(),
-                              register_id=self.register_id)
-        outgoing: Outgoing = [(obj(i), request)
-                              for i in range(self.config.num_objects)]
-        self._maybe_return()
-        return outgoing
+        return ReadRequest(round_index=2, tsr=self.state.tsr,
+                           reader_index=self.reader_index,
+                           from_ts=self._from_ts(),
+                           register_id=self.register_id)
 
     def _maybe_return(self) -> None:
         if self.done:

@@ -31,12 +31,12 @@ replica set multiplexes a whole keyspace without extra processes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional, Tuple
 
-from ...automata.base import MultiRegisterObject, Outgoing
+from ...automata.base import MultiRegisterObject, Outgoing, Sink
 from ...config import SystemConfig
-from ...messages import (EpochFence, Pw, PwAck, ReadAck, ReadRequest,
-                         TagQuery, TagQueryAck, W, WriteAck)
+from ...messages import (Batch, EpochFence, Message, Pw, PwAck, ReadAck,
+                         ReadRequest, TagQuery, TagQueryAck, W, WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
                       TimestampValue, WriterTag, WriteTuple,
                       initial_write_tuple)
@@ -98,36 +98,72 @@ class SafeObject(MultiRegisterObject):
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if isinstance(message, Pw):
-            return self._on_pw(sender, message)
-        if isinstance(message, W):
-            return self._on_w(sender, message)
-        if isinstance(message, ReadRequest):
-            return self._on_read(sender, message)
-        if isinstance(message, TagQuery):
-            return self._on_tag_query(sender, message)
-        if isinstance(message, EpochFence):
+            reply = self._pw_reply(message)
+        elif isinstance(message, W):
+            reply = self._w_reply(message)
+        elif isinstance(message, ReadRequest):
+            reply = self._read_reply(message)
+        elif isinstance(message, TagQuery):
+            reply = self._tag_reply(message)
+        elif isinstance(message, EpochFence):
             return self._on_epoch_fence(sender, message)
-        # Unknown traffic (e.g. probes from baselines wired incorrectly) is
-        # ignored rather than crashing the object: a storage element must
-        # never be taken down by a malformed client message.
-        return []
+        else:
+            # Unknown traffic (e.g. probes from baselines wired
+            # incorrectly) is ignored rather than crashing the object: a
+            # storage element must never be taken down by a malformed
+            # client message.
+            return []
+        return [] if reply is None else [(sender, reply)]
+
+    def handle_batch(self, sender: ProcessId, parts: Tuple[Any, ...],
+                     sink: Sink) -> Outgoing:
+        """Vector fast path: per-register dispatch in a tight loop, all
+        replies coalesced into one ack frame back to ``sender``."""
+        leftovers: Outgoing = []
+        append = sink.append
+        for message in parts:
+            kind = message.__class__
+            if kind is Pw:
+                reply = self._pw_reply(message)
+            elif kind is W:
+                reply = self._w_reply(message)
+            elif kind is ReadRequest:
+                reply = self._read_reply(message)
+            elif kind is TagQuery:
+                reply = self._tag_reply(message)
+            else:  # rare control traffic and subclass extensions
+                for receiver, payload in self.on_message(sender, message) \
+                        or []:
+                    if receiver == sender and isinstance(payload, Message) \
+                            and not isinstance(payload, Batch):
+                        append(payload)
+                    else:
+                        leftovers.append((receiver, payload))
+                continue
+            if reply is not None:
+                append(reply)
+        return leftovers
 
     # -- MWMR tag discovery ----------------------------------------------
-    def _on_tag_query(self, sender: ProcessId,
-                      message: TagQuery) -> Outgoing:
+    def _tag_reply(self, message: TagQuery) -> TagQueryAck:
         slot = self._slot(message.register_id)
         top = max(slot.tag, slot.pw.tag, slot.w.tag)
-        return [(sender, TagQueryAck(nonce=message.nonce,
-                                     object_index=self.object_index,
-                                     epoch=top.epoch, wid=top.writer_id,
-                                     register_id=message.register_id))]
+        return TagQueryAck(nonce=message.nonce,
+                           object_index=self.object_index,
+                           epoch=top.epoch, wid=top.writer_id,
+                           register_id=message.register_id)
 
     # -- lines 3-7 -------------------------------------------------------
-    def _on_pw(self, sender: ProcessId, message: Pw) -> Outgoing:
-        if self._fence_rejects(message.register_id, message.ts):
-            return self._fence_nack(sender, message.register_id,
-                                    message.ts, message.wid)
-        slot = self._slot(message.register_id)
+    def _pw_reply(self, message: Pw) -> Optional[Message]:
+        # Fence state short-circuit: both containers are empty unless a
+        # reconfiguration ever touched this replica.
+        if ((self.fences or self.hard_fences)
+                and self._fence_rejects(message.register_id, message.ts)):
+            return self._fence_nack_msg(message.register_id,
+                                        message.ts, message.wid)
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         # Tag comparison inlined (epoch first, writer id tie-break): this
         # guard runs per message and tuple construction is measurable.
         if message.ts > slot.ts or (message.ts == slot.ts
@@ -140,18 +176,20 @@ class SafeObject(MultiRegisterObject):
             if message.w.tag > slot.w.tag:
                 slot.w = message.w
         elif not self.config.is_multi_writer:
-            return []  # figure semantics: stale traffic earns no reply
-        ack = PwAck(ts=message.ts, object_index=self.object_index,
-                    tsr=tuple(slot.tsr),
-                    register_id=message.register_id, wid=message.wid)
-        return [(sender, ack)]
+            return None  # figure semantics: stale traffic earns no reply
+        return PwAck(ts=message.ts, object_index=self.object_index,
+                     tsr=tuple(slot.tsr),
+                     register_id=message.register_id, wid=message.wid)
 
     # -- lines 8-12 ------------------------------------------------------
-    def _on_w(self, sender: ProcessId, message: W) -> Outgoing:
-        if self._fence_rejects(message.register_id, message.ts):
-            return self._fence_nack(sender, message.register_id,
-                                    message.ts, message.wid)
-        slot = self._slot(message.register_id)
+    def _w_reply(self, message: W) -> Optional[Message]:
+        if ((self.fences or self.hard_fences)
+                and self._fence_rejects(message.register_id, message.ts)):
+            return self._fence_nack_msg(message.register_id,
+                                        message.ts, message.wid)
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         if message.ts > slot.ts or (message.ts == slot.ts
                                     and message.wid >= slot.wid):
             slot.ts = message.ts
@@ -159,24 +197,26 @@ class SafeObject(MultiRegisterObject):
             slot.pw = message.pw
             slot.w = message.w
         elif not self.config.is_multi_writer:
-            return []
+            return None
         elif message.w.tag > slot.w.tag:
             # Losing writer's tuple is still news for the w field.
             slot.w = message.w
-        return [(sender, WriteAck(ts=message.ts,
-                                  object_index=self.object_index,
-                                  register_id=message.register_id,
-                                  wid=message.wid))]
+        return WriteAck(ts=message.ts,
+                        object_index=self.object_index,
+                        register_id=message.register_id,
+                        wid=message.wid)
 
     # -- lines 13-17 -----------------------------------------------------
-    def _on_read(self, sender: ProcessId, message: ReadRequest) -> Outgoing:
+    def _read_reply(self, message: ReadRequest) -> Optional[ReadAck]:
         j = message.reader_index
         if not 0 <= j < self.config.num_readers:
-            return []
-        slot = self._slot(message.register_id)
+            return None
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
         if message.tsr > slot.tsr[j]:
             slot.tsr[j] = message.tsr
-            ack = ReadAck(
+            return ReadAck(
                 round_index=message.round_index,
                 tsr=slot.tsr[j],
                 object_index=self.object_index,
@@ -184,8 +224,7 @@ class SafeObject(MultiRegisterObject):
                 w=slot.w,
                 register_id=message.register_id,
             )
-            return [(sender, ack)]
-        return []
+        return None
 
     # ------------------------------------------------------------------
     def describe_state(self) -> str:

@@ -24,7 +24,8 @@ legal run.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Set, Tuple, Union)
 
 from ...types import TimestampValue, WriteTuple
 
@@ -35,7 +36,9 @@ from ...types import TimestampValue, WriteTuple
 
 
 def conflict_pairs(candidates: Iterable[WriteTuple],
-                   first_rw: Dict[WriteTuple, Set[int]],
+                   first_rw: Union[Dict[WriteTuple, Set[int]],
+                                   Callable[[], Dict[WriteTuple,
+                                                     Set[int]]]],
                    reader_index: int,
                    tsr_first_round: int) -> Set[Tuple[int, int]]:
     """All pairs ``(i, k)`` with ``conflict(i, k)`` true (line 1).
@@ -44,17 +47,29 @@ def conflict_pairs(candidates: Iterable[WriteTuple],
     c.tsrarray[i][j] > tsrFR``.  The pair is *directed* in the definition
     (``k`` accuses ``i``), but the round-1 condition quantifies over both
     orders, so callers treat the relation symmetrically.
+
+    ``first_rw`` may be passed as a zero-argument callable: accusations
+    only exist when a Byzantine object forged a future reader timestamp,
+    so in the overwhelmingly common conflict-free case the exhibitor map
+    is never materialized at all.
     """
     pairs: Set[Tuple[int, int]] = set()
+    first_rw_map: Optional[Dict[WriteTuple, Set[int]]] = \
+        None if callable(first_rw) else first_rw
     for c in candidates:
-        accusers = first_rw.get(c)
+        accused = [i for i, row in enumerate(c.tsrarray)
+                   if row[reader_index] is not None
+                   and row[reader_index] > tsr_first_round]
+        if not accused:
+            continue
+        if first_rw_map is None:
+            first_rw_map = first_rw()
+        accusers = first_rw_map.get(c)
         if not accusers:
             continue
-        for i in c.tsrarray.non_nil_rows_for_reader(reader_index):
-            reported = c.tsrarray.get(i, reader_index)
-            if reported is not None and reported > tsr_first_round:
-                for k in accusers:
-                    pairs.add((i, k))
+        for i in accused:
+            for k in accusers:
+                pairs.add((i, k))
     return pairs
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ...automata.base import ClientOperation, Outgoing
+from ...automata.base import ClientOperation, Outgoing, Sink
 from ...config import SystemConfig
 from ...errors import ProtocolError
 from ...messages import ReadAck, ReadRequest
@@ -77,31 +77,64 @@ class SafeReadOperation(ClientOperation):
                               register_id=self.register_id)
         return [(obj(i), request) for i in range(self.config.num_objects)]
 
+    # -- vector rounds (native) ------------------------------------------
+    def start_vector(self, sink: Sink, leftovers: Outgoing) -> None:
+        # Line 9: tsrFR := tsr'_j := tsr'_j + 1.
+        self.state.tsr += 1
+        self.tsr_first_round = self.state.tsr
+        self.begin_round()
+        sink.append(ReadRequest(round_index=1, tsr=self.tsr_first_round,
+                                reader_index=self.reader_index,
+                                register_id=self.register_id))
+
+    def absorb(self, sender: ProcessId, message: Any) -> None:
+        """Record one ack; the line-11/14 predicates run in advance().
+
+        Anything failing the "upon" pattern match -- stale replies from
+        previous READs, early/forged round tags -- is dropped here.
+        """
+        if (self.done or not sender.is_object
+                or not isinstance(message, ReadAck)
+                or message.register_id != self.register_id):
+            return
+        if (self.phase == 1 and message.round_index == 1
+                and message.tsr == self.tsr_first_round):
+            # Lines 21-24 -- the ack matches the pattern <tsr'_j, pw', w'>.
+            self.tracker.record_first_round(sender.index, message.pw,
+                                            message.w)
+        elif (self.phase == 2 and message.round_index == 2
+                and message.tsr == self.tsr_first_round + 1):
+            # Lines 25-26.
+            self.tracker.record_second_round(sender.index, message.pw,
+                                             message.w)
+
+    def advance(self, sink: Sink, leftovers: Outgoing) -> None:
+        """Evaluate round conditions once per burst (sound: a
+        conflict-free quorum among some responders remains one among
+        more, conflicts being pairwise)."""
+        if self.done:
+            return
+        if self.phase == 1:
+            if self._round1_condition():
+                sink.append(self._enter_round2())
+                # The line-14 wait condition may already hold on round-1
+                # evidence alone (uncontended runs).
+                self._maybe_return()
+            return
+        self._maybe_return()
+
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not sender.is_object:
             return []
-        if not isinstance(message, ReadAck):
-            return []
-        if message.register_id != self.register_id:
-            return []
-        i = sender.index
-        if (self.phase == 1 and message.round_index == 1
-                and message.tsr == self.tsr_first_round):
-            # Lines 21-24 -- the ack matches the pattern <tsr'_j, pw', w'>.
-            self.tracker.record_first_round(i, message.pw, message.w)
-            if self._round1_condition():
-                return self._enter_round2()
-            return []
-        if (self.phase == 2 and message.round_index == 2
-                and message.tsr == self.tsr_first_round + 1):
-            # Lines 25-26.
-            self.tracker.record_second_round(i, message.pw, message.w)
-            self._maybe_return()
-            return []
-        # Anything else fails the "upon" pattern match: stale replies from
-        # previous READs, early/forged round tags, etc.
-        return []
+        self.absorb(sender, message)
+        sink: Sink = []
+        outgoing: Outgoing = []
+        self.advance(sink, outgoing)
+        for broadcast in sink:
+            outgoing.extend((obj(i), broadcast)
+                            for i in range(self.config.num_objects))
+        return outgoing
 
     # ------------------------------------------------------------------
     def _round1_condition(self) -> bool:
@@ -121,7 +154,7 @@ class SafeReadOperation(ClientOperation):
             quorum=self.config.quorum_size,
         )
 
-    def _enter_round2(self) -> Outgoing:
+    def _enter_round2(self) -> ReadRequest:
         # Lines 12-13: inc(tsr'_j); READ2<tsr'_j> to all objects.
         self.phase = 2
         self.state.tsr += 1
@@ -130,15 +163,9 @@ class SafeReadOperation(ClientOperation):
                 "reader timestamp advanced outside this operation; "
                 "concurrent READs by one reader violate well-formedness")
         self.begin_round()
-        request = ReadRequest(round_index=2, tsr=self.state.tsr,
-                              reader_index=self.reader_index,
-                              register_id=self.register_id)
-        outgoing: Outgoing = [(obj(i), request)
-                              for i in range(self.config.num_objects)]
-        # The line-14 wait condition may already hold on round-1 evidence
-        # alone (uncontended runs): evaluate before waiting for any ack.
-        self._maybe_return()
-        return outgoing
+        return ReadRequest(round_index=2, tsr=self.state.tsr,
+                           reader_index=self.reader_index,
+                           register_id=self.register_id)
 
     def _maybe_return(self) -> None:
         """Lines 14-20: return when a safe high candidate exists or C = ∅."""

@@ -28,14 +28,14 @@ mirroring the paper's process-local state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Set
+from typing import Any, Dict, Optional, Set, Tuple
 
-from ...automata.base import ClientOperation, Outgoing
+from ...automata.base import ClientOperation, Outgoing, Sink
 from ...automata.rounds import TagDiscovery
 from ...config import SystemConfig
 from ...errors import FencedWriteError, ProtocolError
-from ...messages import (Pw, PwAck, TagQuery, TagQueryAck, W, WriteAck,
-                         WriteFenced)
+from ...messages import (Message, Pw, PwAck, TagQuery, TagQueryAck, W,
+                         WriteAck, WriteFenced)
 from ...types import (ProcessId, TimestampValue, TsrArray, WriterTag,
                       WriteTuple, _Bottom, initial_write_tuple, obj, writer)
 
@@ -61,7 +61,19 @@ class SafeWriterState:
 
 
 class SafeWriteOperation(ClientOperation):
-    """One ``WRITE(v)`` invocation (Figure 2, lines 3-11)."""
+    """One ``WRITE(v)`` invocation (Figure 2, lines 3-11).
+
+    Implemented in the *absorb/advance* shape of the vector round engine:
+    inbound acks are recorded with no decisions, and :meth:`advance`
+    evaluates the round conditions over everything recorded so far.  The
+    classic per-message :meth:`on_message` composes the two, which keeps
+    one copy of the protocol logic for both execution modes.  Note one
+    (sound) behavioural freedom: ``currenttsrarray`` is assembled from
+    *every* PW-ack absorbed when the quorum condition is evaluated --
+    under burst delivery that may be more than ``S - t`` rows, exactly
+    as if the scheduler had delivered those acks before the writer's
+    step.
+    """
 
     kind = "WRITE"
 
@@ -81,9 +93,11 @@ class SafeWriteOperation(ClientOperation):
         self.pw: TimestampValue = None  # type: ignore[assignment]
         self.current_tsrarray: TsrArray = None  # type: ignore[assignment]
         self.discovery: Optional[TagDiscovery] = None
-        self._pw_ackers: Set[int] = set()
+        #: Line 11 evidence: object index -> reported tsr row.
+        self._pw_rows: Dict[int, Tuple[Optional[int], ...]] = {}
         self._w_ackers: Set[int] = set()
         self._fencers: Set[int] = set()
+        self._fence_epoch_seen: int = 0
 
     # ------------------------------------------------------------------
     def start(self) -> Outgoing:
@@ -101,119 +115,132 @@ class SafeWriteOperation(ClientOperation):
             return [(obj(i), query)
                     for i in range(self.config.num_objects)]
         # Lines 3-4: inc(ts); the single writer's counter is authoritative.
-        return self._start_pw_round(self.state.ts + 1)
+        message = self._start_pw_round(self.state.ts + 1)
+        return [(obj(i), message) for i in range(self.config.num_objects)]
 
-    def _start_pw_round(self, epoch: int) -> Outgoing:
-        cfg = self.config
+    def _start_pw_round(self, epoch: int) -> Pw:
         self.phase = PHASE_PW
         self.state.ts = epoch
         self.ts = epoch
         self.pw = TimestampValue(self.ts, self.value, wid=self.wid)
         self.tag = self.pw.tag
-        self.current_tsrarray = TsrArray.empty(cfg.num_objects,
-                                               cfg.num_readers)
         # Line 5: PW carries the new pair plus the *previous* write tuple,
         # so laggards catch up on the last complete write.
-        message = Pw(ts=self.ts, pw=self.pw, w=self.state.w,
-                     register_id=self.register_id, wid=self.wid)
         self.begin_round()
-        return [(obj(i), message) for i in range(cfg.num_objects)]
+        return Pw(ts=self.ts, pw=self.pw, w=self.state.w,
+                  register_id=self.register_id, wid=self.wid)
+
+    # -- vector rounds (native) ------------------------------------------
+    def start_vector(self, sink: Sink, leftovers: Outgoing) -> None:
+        if self.discover_tag:
+            self.discovery = TagDiscovery(
+                nonce=self.operation_id,
+                quorum=self.config.quorum_size,
+                writer_id=self.wid,
+                floor=WriterTag(self.state.ts, self.wid),
+            )
+            self.begin_round()
+            sink.append(TagQuery(nonce=self.operation_id,
+                                 register_id=self.register_id))
+            return
+        sink.append(self._start_pw_round(self.state.ts + 1))
+
+    def absorb(self, sender: ProcessId, message: Any) -> None:
+        """Record one ack (no decisions).  Freshness: acks must echo this
+        write's tag and register; identity comes from the channel
+        (sender), never from the payload -- a Byzantine object cannot
+        impersonate a peer."""
+        if self.done or sender.role != "object":
+            return
+        kind = message.__class__
+        if kind is PwAck:
+            if (self.phase == PHASE_PW and message.ts == self.ts
+                    and message.wid == self.wid
+                    and message.register_id == self.register_id
+                    and sender.index not in self._pw_rows):
+                tsr_row = tuple(message.tsr)
+                if len(tsr_row) != self.config.num_readers:
+                    # Malformed (necessarily Byzantine) row: count the ack
+                    # but record nothing -- nil entries are always sound.
+                    tsr_row = (None,) * self.config.num_readers
+                # Line 11: currenttsrarray[i] := tsr.
+                self._pw_rows[sender.index] = tsr_row
+        elif kind is WriteAck:
+            if (self.phase == PHASE_W and message.ts == self.ts
+                    and message.wid == self.wid
+                    and message.register_id == self.register_id):
+                self._w_ackers.add(sender.index)
+        elif kind is TagQueryAck:
+            if (self.phase == PHASE_TAG and self.discovery is not None
+                    and message.register_id == self.register_id):
+                self.discovery.offer(sender.index, message.nonce,
+                                     message.tag)
+        elif kind is WriteFenced:
+            if (message.register_id == self.register_id
+                    and message.epoch == self.ts
+                    and message.wid == self.wid
+                    and self.phase in (PHASE_PW, PHASE_W)):
+                self._fencers.add(sender.index)
+                self._fence_epoch_seen = message.fence_epoch
+
+    def advance(self, sink: Sink, leftovers: Outgoing) -> None:
+        """Evaluate the round conditions once over the absorbed acks."""
+        if self.done:
+            return
+        if len(self._fencers) > self.config.b:
+            # ``b + 1`` distinct fence reports include a correct fenced
+            # object -- and a fence installed at a quorum leaves at most
+            # ``t + b < S - t`` objects that could still acknowledge, so
+            # this write can never complete.  Raising fails the caller's
+            # waiter instead of hanging it; the value was not applied at
+            # any correct fenced object.
+            raise FencedWriteError(
+                f"WRITE#{self.operation_id} on {self.register_id!r} "
+                f"(epoch {self.ts}) refused by epoch fence "
+                f"{self._fence_epoch_seen}: the register was handed off; "
+                f"re-route and retry")
+        phase = self.phase
+        if phase == PHASE_PW:
+            # Line 6: proceed after S - t distinct acks.
+            if len(self._pw_rows) >= self.config.quorum_size:
+                sink.append(self._start_w_round())
+        elif phase == PHASE_W:
+            # Lines 9-10: S - t acks complete the WRITE.
+            if len(self._w_ackers) >= self.config.quorum_size:
+                self.complete("OK")
+        elif phase == PHASE_TAG:
+            if self.discovery is not None and self.discovery.ready():
+                sink.append(
+                    self._start_pw_round(self.discovery.chosen_tag().epoch))
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
         if self.done or not sender.is_object:
             return []
-        if isinstance(message, TagQueryAck):
-            return self._on_tag_ack(sender, message)
-        if isinstance(message, PwAck):
-            return self._on_pw_ack(sender, message)
-        if isinstance(message, WriteAck):
-            return self._on_write_ack(sender, message)
-        if isinstance(message, WriteFenced):
-            return self._on_write_fenced(sender, message)
-        return []
+        self.absorb(sender, message)
+        sink: Sink = []
+        outgoing: Outgoing = []
+        self.advance(sink, outgoing)
+        for broadcast in sink:
+            outgoing.extend((obj(i), broadcast)
+                            for i in range(self.config.num_objects))
+        return outgoing
 
-    def _on_write_fenced(self, sender: ProcessId,
-                         message: WriteFenced) -> Outgoing:
-        """Abort once ``b + 1`` objects report an epoch fence.
-
-        A single report may be a Byzantine lie, but ``b + 1`` distinct
-        reports include a correct fenced object -- and a fence installed
-        at a quorum leaves at most ``t + b < S - t`` objects that could
-        still acknowledge, so this write can never complete.  Raising
-        here fails the caller's waiter instead of hanging it; the value
-        was not applied at any correct fenced object.
-        """
-        if (message.register_id != self.register_id
-                or message.epoch != self.ts or message.wid != self.wid
-                or self.phase not in (PHASE_PW, PHASE_W)):
-            return []
-        self._fencers.add(sender.index)
-        if len(self._fencers) > self.config.b:
-            raise FencedWriteError(
-                f"WRITE#{self.operation_id} on {self.register_id!r} "
-                f"(epoch {self.ts}) refused by epoch fence "
-                f"{message.fence_epoch}: the register was handed off; "
-                f"re-route and retry")
-        return []
-
-    def _on_tag_ack(self, sender: ProcessId,
-                    message: TagQueryAck) -> Outgoing:
-        if (self.phase != PHASE_TAG or self.discovery is None
-                or message.register_id != self.register_id):
-            return []
-        self.discovery.offer(sender.index, message.nonce, message.tag)
-        if self.discovery.ready():
-            chosen = self.discovery.chosen_tag()
-            return self._start_pw_round(chosen.epoch)
-        return []
-
-    def _on_pw_ack(self, sender: ProcessId, message: PwAck) -> Outgoing:
-        # Freshness: the ack must echo this write's tag and register.
-        # Identity comes from the channel (sender), never from the payload
-        # -- a Byzantine object cannot impersonate a peer.
-        if (message.ts != self.ts or message.wid != self.wid
-                or self.phase != PHASE_PW
-                or message.register_id != self.register_id):
-            return []
-        i = sender.index
-        if i in self._pw_ackers:
-            return []
-        self._pw_ackers.add(i)
-        tsr_row = tuple(message.tsr)
-        if len(tsr_row) != self.config.num_readers:
-            # Malformed (necessarily Byzantine) row: count the ack but
-            # record nothing for it -- nil entries are always sound.
-            tsr_row = (None,) * self.config.num_readers
-        # Line 11: currenttsrarray[i] := tsr.
-        self.current_tsrarray = self.current_tsrarray.with_row(i, tsr_row)
-        # Line 6: proceed after S - t distinct acks.
-        if len(self._pw_ackers) >= self.config.quorum_size:
-            return self._start_w_round()
-        return []
-
-    def _start_w_round(self) -> Outgoing:
+    def _start_w_round(self) -> W:
         # Line 7: freeze w := <pw, currenttsrarray> (persists for the next
         # write's PW message).
+        cfg = self.config
+        nil_row = (None,) * cfg.num_readers
+        rows = self._pw_rows
+        self.current_tsrarray = TsrArray(tuple(
+            rows.get(i, nil_row) for i in range(cfg.num_objects)))
         w_tuple = WriteTuple(self.pw, self.current_tsrarray)
         self.state.w = w_tuple
         self.phase = PHASE_W
-        message = W(ts=self.ts, pw=self.pw, w=w_tuple,
-                    register_id=self.register_id, wid=self.wid)
         self.begin_round()
         # Line 8: second round to all objects.
-        return [(obj(i), message) for i in range(self.config.num_objects)]
-
-    def _on_write_ack(self, sender: ProcessId, message: WriteAck) -> Outgoing:
-        if (message.ts != self.ts or message.wid != self.wid
-                or self.phase != PHASE_W
-                or message.register_id != self.register_id):
-            return []
-        self._w_ackers.add(sender.index)
-        # Lines 9-10: S - t acks complete the WRITE.
-        if len(self._w_ackers) >= self.config.quorum_size:
-            return self.complete("OK")
-        return []
+        return W(ts=self.ts, pw=self.pw, w=w_tuple,
+                 register_id=self.register_id, wid=self.wid)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -342,6 +342,27 @@ class HistoryReadAck(Message):
             history = {as_tag(tag): entry for tag, entry in history.items()}
         object.__setattr__(self, "history", history)
 
+    @classmethod
+    def from_tagged(cls, round_index: int, tsr: int, object_index: int,
+                    history: Mapping[WriterTag, HistoryEntry],
+                    register_id: str) -> "HistoryReadAck":
+        """Fast constructor for already tag-keyed histories.
+
+        Object automata key their slot histories by :class:`WriterTag`
+        exclusively, so the ``__post_init__`` normalization scan is pure
+        overhead on their (hottest) ack-construction path; this still
+        snapshots the mapping, insulating the ack from future slot
+        mutations.
+        """
+        ack = object.__new__(cls)
+        set_ = object.__setattr__
+        set_(ack, "round_index", round_index)
+        set_(ack, "tsr", tsr)
+        set_(ack, "object_index", object_index)
+        set_(ack, "history", dict(history))
+        set_(ack, "register_id", register_id)
+        return ack
+
     def __hash__(self) -> int:  # history dict prevents default hash
         return hash((self.round_index, self.tsr, self.object_index,
                      self.register_id,

@@ -15,14 +15,37 @@ Two client-side shapes exist:
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ..automata.base import (ClientOperation, ObjectAutomaton, Outgoing,
+                             Sink, resolve_batch_handler)
 from ..errors import BackpressureError, BusyRegisterError, TransportError
 from ..messages import Batch, Message, register_of, unbatch
 from ..spec.histories import History, READ, WRITE
-from ..types import ProcessId, obj
+from ..types import DEFAULT_REGISTER, ProcessId, obj
 from .memnet import AsyncNetwork
+
+
+def fast_batch(messages: Tuple[Message, ...]) -> Batch:
+    """A :class:`Batch` from already-vetted protocol messages.
+
+    Callers guarantee every element is a non-batch :class:`Message`, so
+    construction skips ``Batch.__post_init__``'s re-scan.
+    """
+    batch = object.__new__(Batch)
+    object.__setattr__(batch, "messages", messages)
+    return batch
+
+
+def as_frame(sink: List[Message]) -> Any:
+    """One wire payload for a non-empty reply sink.
+
+    Centralizes the singleton-vs-batch idiom *and* the
+    :func:`fast_batch` precondition: sinks only ever collect non-batch
+    protocol messages (the batch handlers route anything else to their
+    leftovers), so the no-nesting re-scan can be skipped.
+    """
+    return sink[0] if len(sink) == 1 else fast_batch(tuple(sink))
 
 
 def coalesce_outgoing(outgoing: Outgoing) -> Outgoing:
@@ -46,11 +69,8 @@ def coalesce_outgoing(outgoing: Outgoing) -> Outgoing:
             result.append((receiver, payloads[0]))
         elif all(isinstance(p, Message) and not isinstance(p, Batch)
                  for p in payloads):
-            # One pass vets both batchability and the no-nesting rule, so
-            # construction can skip Batch.__post_init__'s re-scan.
-            batch = object.__new__(Batch)
-            object.__setattr__(batch, "messages", tuple(payloads))
-            result.append((receiver, batch))
+            # One pass vets both batchability and the no-nesting rule.
+            result.append((receiver, fast_batch(tuple(payloads))))
         else:  # raw probes / nested batches cannot ride in a Batch
             result.extend((receiver, p) for p in payloads)
     return result
@@ -75,6 +95,7 @@ class ObjectHost:
         self.pid = obj(automaton.object_index)
         self.network = network
         self.inbox = network.register(self.pid)
+        self._handle_batch = resolve_batch_handler(automaton)
         self._task: Optional[asyncio.Task] = None
 
     def start(self) -> None:
@@ -83,24 +104,39 @@ class ObjectHost:
 
     async def _loop(self) -> None:
         inbox = self.inbox
+        handle_batch = self._handle_batch
+        send = self.network.send
+        pid = self.pid
         while True:
             envelope = await inbox.get()
-            replies: Outgoing = []
+            # Replies to each client collect in one per-sender sink; the
+            # whole sink goes back as a single ack envelope.  Insertion
+            # order of the dict preserves first-seen sender order, so
+            # receivers observe exactly the unbatched semantics.
+            sinks: Dict[ProcessId, Sink] = {}
+            leftovers: Outgoing = []
             while True:
                 # Drain everything already queued before replying: one
                 # wakeup handles a whole burst (e.g. many clients' same
-                # round), and the replies re-coalesce across all of it --
+                # round), and the replies coalesce across all of it --
                 # fewer envelopes, fewer downstream wakeups.
-                for part in unbatch(envelope.payload):
-                    replies.extend(
-                        self.automaton.on_message(envelope.sender, part)
-                        or [])
+                sender = envelope.sender
+                sink = sinks.get(sender)
+                if sink is None:
+                    sink = sinks[sender] = []
+                leftovers.extend(
+                    handle_batch(sender, unbatch(envelope.payload), sink)
+                    or [])
                 try:
                     envelope = inbox.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-            for receiver, payload in coalesce_outgoing(replies):
-                self.network.send(self.pid, receiver, payload)
+            for sender, sink in sinks.items():
+                if sink:
+                    send(pid, sender, as_frame(sink))
+            if leftovers:
+                for receiver, payload in coalesce_outgoing(leftovers):
+                    send(pid, receiver, payload)
 
     def stop(self) -> None:
         if self._task is not None:
@@ -145,6 +181,31 @@ class ClientHost:
         return await asyncio.wait_for(pump(), timeout)
 
 
+class _VectorGroup:
+    """One ``run_many`` batch driven by the vector round engine.
+
+    The group shares a single future across all its operations; the pump
+    absorbs inbound parts into the per-register operations and advances
+    each touched operation once per burst, so per-register quorum
+    conditions are evaluated once over the whole burst's evidence
+    instead of once per ack.  Round broadcasts from every member
+    collect in one sink and leave as a single :class:`Batch` frame per
+    base object -- one vector round per (replica, step).
+    """
+
+    __slots__ = ("operations", "num_objects", "future", "remaining",
+                 "dirty")
+
+    def __init__(self, operations: List[ClientOperation],
+                 num_objects: int, future: "asyncio.Future[List[Any]]"):
+        self.operations = operations
+        self.num_objects = num_objects
+        self.future = future
+        self.remaining = len(operations)
+        #: operations touched by the current burst, advanced at its end.
+        self.dirty: List[ClientOperation] = []
+
+
 class MuxClientHost:
     """One client process driving concurrent per-register operations.
 
@@ -152,7 +213,9 @@ class MuxClientHost:
     operation of the register it addresses; operations on distinct
     registers therefore proceed concurrently over one inbox, one socket
     set, one process identity.  Outgoing message batches are coalesced
-    per destination object.
+    per destination object, and ``run_many`` batches are driven as
+    *vector rounds*: one :class:`Batch` frame per (replica, step)
+    carrying every member register's payload for that step.
     """
 
     def __init__(self, pid: ProcessId, network: AsyncNetwork,
@@ -177,6 +240,8 @@ class MuxClientHost:
         network.register(pid)
         self._pending: Dict[str, ClientOperation] = {}
         self._waiters: Dict[str, "asyncio.Future[Any]"] = {}
+        #: register id -> the vector group driving that register (if any).
+        self._vector: Dict[str, _VectorGroup] = {}
         self._pump_task: Optional[asyncio.Task] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -196,10 +261,12 @@ class MuxClientHost:
         if self._pump_task is not None:
             self._pump_task.cancel()
             self._pump_task = None
-        if self._pending:
+        if self._pending or self._vector:
             error = TransportError(
                 f"client host {self.pid!r} stopped with operations "
                 f"in flight")
+            for group in {g for g in self._vector.values()}:
+                self._fail_vector(group, error)
             for operation in list(self._pending.values()):
                 self._evict(operation, error)
 
@@ -278,8 +345,180 @@ class MuxClientHost:
             if future is not None and not future.done() and error is not None:
                 future.set_exception(error)
 
+    # -- vector rounds ------------------------------------------------------
+    def _broadcast(self, sink: Sink, num_objects: int) -> None:
+        """Send one frame carrying the whole sink to every base object.
+
+        Messages are immutable, so the *same* batch object rides every
+        channel -- S sends, zero per-receiver grouping work.
+        """
+        payload = as_frame(sink)
+        send = self.network.send
+        pid = self.pid
+        for i in range(num_objects):
+            send(pid, obj(i), payload)
+
+    def _finish_vector_op(self, group: _VectorGroup,
+                          operation: ClientOperation) -> None:
+        register_id = operation.register_id
+        if self._pending.get(register_id) is operation:
+            del self._pending[register_id]
+        if self._vector.get(register_id) is group:
+            del self._vector[register_id]
+        group.remaining -= 1
+        if self.history is not None:
+            self._record_completion(operation)
+
+    def _fail_vector(self, group: _VectorGroup,
+                     error: BaseException) -> None:
+        """Fail a whole vector batch: the first failure propagates and
+        every sibling is withdrawn (matching ``run_many``'s classic
+        cancel-siblings semantics)."""
+        for operation in group.operations:
+            register_id = operation.register_id
+            if self._pending.get(register_id) is operation:
+                del self._pending[register_id]
+            if self._vector.get(register_id) is group:
+                del self._vector[register_id]
+        if not group.future.done():
+            group.future.set_exception(error)
+
+    def _advance_vector(self, group: _VectorGroup) -> None:
+        """Advance every operation the burst touched, once, and flush
+        the resulting round broadcasts as one frame per object."""
+        dirty = group.dirty
+        if group.future.done():  # group failed or caller gave up
+            for operation in dirty:
+                operation._vector_dirty = False
+            dirty.clear()
+            return
+        sink: Sink = []
+        leftovers: Outgoing = []
+        for operation in dirty:
+            operation._vector_dirty = False
+            if operation.done:
+                continue
+            try:
+                operation.advance(sink, leftovers)
+            except Exception as exc:
+                dirty.clear()
+                self._fail_vector(group, exc)
+                return
+            if operation.done:
+                self._finish_vector_op(group, operation)
+        dirty.clear()
+        try:
+            if sink:
+                self._broadcast(sink, group.num_objects)
+            if leftovers:
+                self._dispatch(leftovers)
+        except Exception as exc:
+            self._fail_vector(group, exc)
+            return
+        if group.remaining == 0 and not group.future.done():
+            group.future.set_result(
+                [operation.result for operation in group.operations])
+
+    def _admit_vector(self, operation: ClientOperation,
+                      group: _VectorGroup) -> None:
+        """Admission for one vector member: same busy/backpressure rules
+        as :meth:`_admit`, but completion flows through the group future
+        instead of a per-register waiter."""
+        if operation.client_id != self.pid:
+            raise TransportError(
+                f"operation belongs to {operation.client_id!r}, "
+                f"host is {self.pid!r}")
+        register_id = operation.register_id
+        existing = self._pending.get(register_id)
+        if existing is not None and not existing.done:
+            raise BusyRegisterError(
+                f"client {self.pid!r} already has an operation in flight "
+                f"on register {register_id!r}")
+        if (self.max_pending is not None
+                and len(self._pending) >= self.max_pending):
+            raise BackpressureError(
+                f"client {self.pid!r} has {len(self._pending)} operations "
+                f"in flight (cap {self.max_pending}); rejecting "
+                f"register {register_id!r}")
+        self._pending[register_id] = operation
+        self._vector[register_id] = group
+        operation._vector_dirty = False
+        if self.history is not None:
+            self._record_invocation(operation)
+
+    async def _run_vector(self, operations: List[ClientOperation],
+                          timeout: Optional[float]) -> List[Any]:
+        """Drive a batch as vector rounds: one frame per (replica, step)."""
+        future: "asyncio.Future[List[Any]]" = \
+            asyncio.get_running_loop().create_future()
+        group = _VectorGroup(operations,
+                             operations[0].config.num_objects, future)
+        admitted: List[ClientOperation] = []
+        try:
+            for operation in operations:
+                self._admit_vector(operation, group)
+                admitted.append(operation)
+        except Exception:
+            # Roll back every member this call admitted: their start()
+            # never ran, so leaving them pending would brick the
+            # registers -- and their invocation records must go too, or
+            # the shared history would accumulate phantom forever-pending
+            # writes that every later read counts as concurrent.
+            for operation in admitted:
+                self._pending.pop(operation.register_id, None)
+                self._vector.pop(operation.register_id, None)
+                if self.history is not None:
+                    self.history.discard_invocation(operation.operation_id)
+            raise
+        try:
+            sink: Sink = []
+            leftovers: Outgoing = []
+            for operation in operations:
+                operation.start_vector(sink, leftovers)
+                if operation.done:  # zero-communication completion
+                    self._finish_vector_op(group, operation)
+            if sink:
+                self._broadcast(sink, group.num_objects)
+            if leftovers:
+                self._dispatch(leftovers)
+        except BaseException:
+            # A failure while launching the first round (a broken
+            # start_vector, an undeliverable send) must not strand the
+            # admitted members: withdraw them or their registers would
+            # refuse all later work with BusyRegisterError.  Their
+            # invocation records stay -- the operations were genuinely
+            # invoked and lost, exactly as on a pump dispatch failure.
+            for operation in operations:
+                if not operation.done:
+                    register_id = operation.register_id
+                    if self._pending.get(register_id) is operation:
+                        del self._pending[register_id]
+                    if self._vector.get(register_id) is group:
+                        del self._vector[register_id]
+            raise
+        if group.remaining == 0:
+            return [operation.result for operation in operations]
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            # On timeout, failure or caller cancellation every unfinished
+            # member must be withdrawn, or its register would refuse work
+            # forever.  Identity-guarded: the register may already carry a
+            # later admission.
+            for operation in operations:
+                if not operation.done:
+                    register_id = operation.register_id
+                    if self._pending.get(register_id) is operation:
+                        del self._pending[register_id]
+                    if self._vector.get(register_id) is group:
+                        del self._vector[register_id]
+
     async def _pump(self) -> None:
         inbox = self.network.inbox(self.pid)
+        pending = self._pending
+        vector = self._vector
         while True:
             envelope = await inbox.get()
             # Aggregate the whole burst's outgoing before dispatching:
@@ -288,15 +527,34 @@ class MuxClientHost:
             # broadcasts -- S envelopes, not N x S.
             outgoing: Outgoing = []
             settled: List[Tuple[str, ClientOperation]] = []
+            touched: List[_VectorGroup] = []
             while True:
+                sender = envelope.sender
                 for part in unbatch(envelope.payload):
-                    register_id = register_of(part)
-                    operation = self._pending.get(register_id)
+                    # register_of() inlined: this getattr runs once per
+                    # inbound part, the hottest line of the service tier.
+                    register_id = getattr(part, "register_id",
+                                          DEFAULT_REGISTER)
+                    operation = pending.get(register_id)
                     if operation is None or operation.done:
                         continue  # stale traffic for a finished operation
+                    group = vector.get(register_id)
+                    if group is not None:
+                        # Vector path: record now, decide at burst end.
+                        try:
+                            operation.absorb(sender, part)
+                        except Exception as exc:
+                            self._fail_vector(group, exc)
+                            continue
+                        if not getattr(operation, "_vector_dirty", False):
+                            operation._vector_dirty = True
+                            group.dirty.append(operation)
+                            if len(group.dirty) == 1:
+                                touched.append(group)
+                        continue
                     try:
                         outgoing.extend(
-                            operation.on_message(envelope.sender, part)
+                            operation.on_message(sender, part)
                             or [])
                     except Exception as exc:
                         # A broken operation must not kill the pump (it
@@ -310,6 +568,8 @@ class MuxClientHost:
                     envelope = inbox.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+            for group in touched:
+                self._advance_vector(group)
             try:
                 self._dispatch(outgoing)
             except Exception as exc:
@@ -352,12 +612,25 @@ class MuxClientHost:
                        timeout: Optional[float] = None) -> List[Any]:
         """Run a batch of same-client operations, one per register.
 
-        All first-round messages are coalesced before anything is sent:
-        with R registers writing to S objects this produces S envelopes
-        instead of R x S -- the service tier's write batching.
+        Batches ride the *vector round engine*: every round's messages
+        leave as one :class:`Batch` frame per base object (R registers
+        writing to S objects cost S frames per step, not R x S), inbound
+        ack frames are absorbed part by part, and each member operation
+        advances once per burst with its quorum conditions evaluated
+        over the whole burst's evidence.  Operations that do not expose
+        a ``config`` (the broadcast width) fall back to the classic
+        per-operation pump with first-round coalescing.
         """
         operations = list(operations)
         self._ensure_pump()
+        if self.batching and len(operations) > 1 and operations:
+            num_objects = getattr(
+                getattr(operations[0], "config", None), "num_objects", None)
+            if num_objects is not None and all(
+                    getattr(getattr(op, "config", None), "num_objects",
+                            None) == num_objects
+                    for op in operations):
+                return await self._run_vector(operations, timeout)
         futures = []
         try:
             for operation in operations:

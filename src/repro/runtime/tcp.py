@@ -1,11 +1,24 @@
 """Localhost TCP transport: the same automata over real sockets.
 
-Deployment shape: each base object runs a :class:`TcpObjectServer`
-(newline-delimited JSON frames, see :mod:`repro.runtime.codec`); a client
-opens one connection per object and drives its operation automata through
-:class:`TcpStorageClient`.  Objects answer on the connection the request
-arrived on -- the data-centric model's "objects only reply to clients"
-rule falls out of the transport naturally.
+Deployment shape: each base object runs a :class:`TcpObjectServer`; a
+client opens one connection per object and drives its operation automata
+through :class:`TcpStorageClient`.  Objects answer on the connection the
+request arrived on -- the data-centric model's "objects only reply to
+clients" rule falls out of the transport naturally.
+
+Two frame formats coexist on every connection (see
+:mod:`repro.runtime.codec`):
+
+* **binary** (default, ``SystemConfig.wire_format = "binary"``) --
+  ``0xB1``, a little-endian ``u32`` body length, a compact sender id,
+  then the struct-packed message body;
+* **json** (legacy) -- the original newline-delimited JSON frames.
+
+Inbound frames are sniffed by their first byte (JSON frames always open
+with ``{``), so old and new peers interoperate; ``wire_format`` only
+selects what a process *emits*.  Batched requests are dispatched through
+the automata's ``handle_batch`` fast path and all replies to the
+requester coalesce into a single response frame.
 
 This is the integration-test tier: slower than the in-memory network but
 exercising serialization, framing and genuine OS-level interleaving.
@@ -15,14 +28,22 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ..automata.base import (ClientOperation, ObjectAutomaton, Outgoing,
+                             Sink, resolve_batch_handler)
 from ..errors import TransportError
-from ..messages import register_of, unbatch
-from ..types import ProcessId
-from .codec import decode_message, encode_message
-from .hosts import coalesce_outgoing
+from ..messages import Batch, Message, register_of, unbatch
+from ..types import (ProcessId, ROLE_OBJECT, ROLE_READER, ROLE_WRITER,
+                     obj)
+from .codec import (BINARY_MAGIC, decode_message, decode_message_binary,
+                    encode_message, encode_message_binary)
+from .hosts import as_frame, coalesce_outgoing
+
+_S_LEN = struct.Struct("<I")
+_ROLE_TO_CODE = {ROLE_WRITER: 0, ROLE_READER: 1, ROLE_OBJECT: 2}
+_CODE_TO_ROLE = {code: role for role, code in _ROLE_TO_CODE.items()}
 
 
 def _encode_pid(pid: ProcessId) -> Dict[str, Any]:
@@ -33,14 +54,32 @@ def _decode_pid(data: Dict[str, Any]) -> ProcessId:
     return ProcessId(role=data["role"], index=data["index"])
 
 
-def _frame(sender: ProcessId, payload: Any) -> bytes:
+def _frame_json(sender: ProcessId, payload: Any) -> bytes:
     body = json.dumps({"sender": _encode_pid(sender),
                        "msg": encode_message(payload)},
                       separators=(",", ":"))
     return body.encode("utf-8") + b"\n"
 
 
-def _parse(line: bytes) -> Tuple[ProcessId, Any]:
+def _frame_binary(sender: ProcessId, payload: Any) -> bytes:
+    # [0xB1][u32 len][role u8][u32 index][message-frame]
+    body = encode_message_binary(payload)
+    head = bytearray()
+    head.append(BINARY_MAGIC)
+    head += _S_LEN.pack(len(body) + 5)
+    head.append(_ROLE_TO_CODE[sender.role])
+    head += _S_LEN.pack(sender.index)
+    return bytes(head) + body
+
+
+def _frame(sender: ProcessId, payload: Any,
+           wire_format: str = "binary") -> bytes:
+    if wire_format == "json":
+        return _frame_json(sender, payload)
+    return _frame_binary(sender, payload)
+
+
+def _parse_json_line(line: bytes) -> Tuple[ProcessId, Any]:
     try:
         body = json.loads(line.decode("utf-8"))
         return _decode_pid(body["sender"]), decode_message(body["msg"])
@@ -48,14 +87,64 @@ def _parse(line: bytes) -> Tuple[ProcessId, Any]:
         raise TransportError(f"malformed frame: {exc}") from exc
 
 
+def _parse_binary_body(body: bytes) -> Tuple[ProcessId, Any]:
+    try:
+        role = _CODE_TO_ROLE.get(body[0])
+        if role is None:
+            raise TransportError(f"unknown sender role code {body[0]}")
+        (index,) = _S_LEN.unpack_from(body, 1)
+        sender = ProcessId(role=role, index=index)
+    except (IndexError, struct.error) as exc:
+        raise TransportError(f"malformed frame header: {exc}") from exc
+    return sender, decode_message_binary(memoryview(body)[5:])
+
+
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> Optional[Tuple[ProcessId, Any]]:
+    """Read one frame of either format; ``None`` on clean EOF.
+
+    The first byte decides: ``{`` opens a legacy newline-delimited JSON
+    frame, :data:`~repro.runtime.codec.BINARY_MAGIC` a length-prefixed
+    binary one.
+    """
+    try:
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError:
+        return None
+    if first == b"{":
+        line = await reader.readline()
+        return _parse_json_line(first + line)
+    if first[0] == BINARY_MAGIC:
+        try:
+            (length,) = _S_LEN.unpack(await reader.readexactly(4))
+            if length > 1 << 28:
+                raise TransportError("binary frame implausibly large")
+            return _parse_binary_body(await reader.readexactly(length))
+        except asyncio.IncompleteReadError as exc:
+            raise TransportError("truncated binary frame") from exc
+    raise TransportError(
+        f"unknown frame format (first byte {first[0]:#x})")
+
+
 class TcpObjectServer:
-    """Serves one object automaton on a localhost TCP port."""
+    """Serves one object automaton on a localhost TCP port.
+
+    ``wire_format`` selects the format of the *replies* ("binary",
+    "json", or ``None`` to inherit the automaton config's setting);
+    requests of either format are always accepted.
+    """
 
     def __init__(self, automaton: ObjectAutomaton,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 wire_format: Optional[str] = None):
         self.automaton = automaton
         self.host = host
         self.port = port
+        if wire_format is None:
+            wire_format = getattr(
+                getattr(automaton, "config", None), "wire_format", "binary")
+        self.wire_format = wire_format
+        self._handle_batch = resolve_batch_handler(automaton)
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> int:
@@ -72,23 +161,38 @@ class TcpObjectServer:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
-        from ..types import obj
         my_pid = obj(self.automaton.object_index)
+        wire_format = self.wire_format
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                parsed = await read_frame(reader)
+                if parsed is None:
                     break
-                sender, message = _parse(line)
-                replies: Outgoing = []
-                for part in unbatch(message):
-                    replies.extend(
-                        self.automaton.on_message(sender, part) or [])
-                for receiver, payload in coalesce_outgoing(replies):
-                    # Objects reply only to the requesting client; replies
-                    # addressed elsewhere cannot be routed on this socket.
-                    if receiver == sender:
-                        writer.write(_frame(my_pid, payload))
+                sender, message = parsed
+                # One request frame -> at most one response frame: the
+                # batch fast path appends every reply to the requester
+                # into one sink, coalesced into a single Batch frame.
+                sink: Sink = []
+                leftovers = self._handle_batch(
+                    sender, unbatch(message), sink) or []
+                for receiver, payload in coalesce_outgoing(leftovers):
+                    # Objects reply only to the requesting client;
+                    # replies addressed elsewhere cannot be routed on
+                    # this socket.
+                    if receiver != sender:
+                        continue
+                    if isinstance(payload, Message) \
+                            and not isinstance(payload, Batch):
+                        sink.append(payload)
+                    else:
+                        # An already-batched (or exotic) reply cannot
+                        # ride inside the sink frame; ship it as its
+                        # own frame, as the pre-batching server did.
+                        writer.write(_frame(my_pid, payload,
+                                            wire_format))
+                if sink:
+                    writer.write(_frame(my_pid, as_frame(sink),
+                                        wire_format))
                 await writer.drain()
         except (ConnectionResetError, asyncio.IncompleteReadError,
                 asyncio.CancelledError):
@@ -101,11 +205,13 @@ class TcpStorageClient:
     """Drives client operations against a set of TCP object endpoints."""
 
     def __init__(self, pid: ProcessId,
-                 endpoints: List[Tuple[str, int]]):
+                 endpoints: List[Tuple[str, int]],
+                 wire_format: str = "binary"):
         if not pid.is_client:
             raise TransportError(f"{pid!r} is not a client")
         self.pid = pid
         self.endpoints = endpoints
+        self.wire_format = wire_format
         self._connections: List[
             Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._inbox: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
@@ -133,10 +239,10 @@ class TcpStorageClient:
 
     async def _pump(self, reader: asyncio.StreamReader) -> None:
         while True:
-            line = await reader.readline()
-            if not line:
+            parsed = await read_frame(reader)
+            if parsed is None:
                 return
-            self._inbox.put_nowait(_parse(line))
+            self._inbox.put_nowait(parsed)
 
     async def _send(self, receiver: ProcessId, payload: Any) -> None:
         if not receiver.is_object:
@@ -144,8 +250,18 @@ class TcpStorageClient:
         if receiver.index >= len(self._connections):
             return  # endpoint not configured: behaves like a slow object
         _, writer = self._connections[receiver.index]
-        writer.write(_frame(self.pid, payload))
+        writer.write(_frame(self.pid, payload, self.wire_format))
         await writer.drain()
+
+    async def _broadcast(self, sink: Sink) -> None:
+        """One frame carrying the whole sink to every endpoint."""
+        if not sink:
+            return
+        frame = _frame(self.pid, as_frame(sink), self.wire_format)
+        for _, writer in self._connections:
+            writer.write(frame)
+        for _, writer in self._connections:
+            await writer.drain()
 
     async def run(self, operation: ClientOperation,
                   timeout: Optional[float] = 30.0) -> Any:
@@ -169,11 +285,11 @@ class TcpStorageClient:
 
     async def run_many(self, operations: List[ClientOperation],
                        timeout: Optional[float] = 30.0) -> List[Any]:
-        """Run same-client operations concurrently, one per register.
+        """Run same-client operations as vector rounds, one per register.
 
-        First-round messages are coalesced per object into single batch
-        frames; inbound frames are routed to the operation of the register
-        they address, so R registers share this client's connections.
+        Each round leaves as one frame per endpoint carrying every
+        member's payload for that step; inbound frames are absorbed part
+        by part and each touched operation advances once per frame.
         """
         by_register: Dict[str, ClientOperation] = {}
         for operation in operations:
@@ -182,22 +298,33 @@ class TcpStorageClient:
                     f"two operations address register "
                     f"{operation.register_id!r}")
             by_register[operation.register_id] = operation
-        first_round: Outgoing = []
+        sink: Sink = []
+        leftovers: Outgoing = []
         for operation in operations:
-            first_round.extend(operation.start() or [])
-        for receiver, payload in coalesce_outgoing(first_round):
+            operation.start_vector(sink, leftovers)
+        await self._broadcast(sink)
+        for receiver, payload in coalesce_outgoing(leftovers):
             await self._send(receiver, payload)
 
         async def pump() -> List[Any]:
             while not all(op.done for op in by_register.values()):
                 sender, message = await self._inbox.get()
+                dirty: List[ClientOperation] = []
                 for part in unbatch(message):
                     operation = by_register.get(register_of(part))
                     if operation is None or operation.done:
                         continue
-                    outgoing = operation.on_message(sender, part) or []
-                    for receiver, payload in coalesce_outgoing(outgoing):
-                        await self._send(receiver, payload)
+                    operation.absorb(sender, part)
+                    if operation not in dirty:
+                        dirty.append(operation)
+                sink: Sink = []
+                leftovers: Outgoing = []
+                for operation in dirty:
+                    if not operation.done:
+                        operation.advance(sink, leftovers)
+                await self._broadcast(sink)
+                for receiver, payload in coalesce_outgoing(leftovers):
+                    await self._send(receiver, payload)
             return [op.result for op in operations]
 
         if all(op.done for op in operations):

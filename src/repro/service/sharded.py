@@ -205,10 +205,21 @@ class ShardedKVStore:
     async def put_many(self, items: Mapping[str, Any],
                        timeout: Optional[float] = None,
                        writer_index: int = 0) -> None:
-        """Batch-write: one coalesced round per shard group."""
+        """Batch-write: one vector round per (replica, step) per shard.
+
+        Each shard group drives its chunk through the vector round
+        engine -- a single frame per base object per protocol step.  A
+        batch landing wholly in one shard skips the per-shard task
+        fan-out.
+        """
         by_shard: Dict[int, Dict[str, Any]] = {}
         for key, value in items.items():
             by_shard.setdefault(self.shard_for(key), {})[key] = value
+        if len(by_shard) == 1:
+            (shard, chunk), = by_shard.items()
+            await self.shards[shard].write_many(chunk, timeout=timeout,
+                                                writer_index=writer_index)
+            return
         await _gather_abort_siblings([
             self.shards[shard].write_many(chunk, timeout=timeout,
                                           writer_index=writer_index)
@@ -222,11 +233,17 @@ class ShardedKVStore:
         by_shard: Dict[int, List[str]] = {}
         for key in ordered:
             by_shard.setdefault(self.shard_for(key), []).append(key)
-        chunks = await _gather_abort_siblings([
-            self.shards[shard].read_many(chunk, reader_index=reader_index,
-                                         timeout=timeout)
-            for shard, chunk in by_shard.items()
-        ])
+        if len(by_shard) == 1:
+            (shard, chunk), = by_shard.items()
+            chunks = [await self.shards[shard].read_many(
+                chunk, reader_index=reader_index, timeout=timeout)]
+        else:
+            chunks = await _gather_abort_siblings([
+                self.shards[shard].read_many(chunk,
+                                             reader_index=reader_index,
+                                             timeout=timeout)
+                for shard, chunk in by_shard.items()
+            ])
         fetched: Dict[str, Any] = {}
         for chunk in chunks:
             fetched.update(chunk)
@@ -252,11 +269,16 @@ class ShardedKVStore:
         by_shard: Dict[int, List[str]] = {}
         for key in ordered:
             by_shard.setdefault(self.shard_for(key), []).append(key)
-        chunks = await _gather_abort_siblings([
-            self.shards[shard].read_many_tagged(
-                chunk, reader_index=reader_index, timeout=timeout)
-            for shard, chunk in by_shard.items()
-        ])
+        if len(by_shard) == 1:
+            (shard, chunk), = by_shard.items()
+            chunks = [await self.shards[shard].read_many_tagged(
+                chunk, reader_index=reader_index, timeout=timeout)]
+        else:
+            chunks = await _gather_abort_siblings([
+                self.shards[shard].read_many_tagged(
+                    chunk, reader_index=reader_index, timeout=timeout)
+                for shard, chunk in by_shard.items()
+            ])
         fetched: Dict[str, Tuple[Any, Optional[WriterTag]]] = {}
         for chunk in chunks:
             fetched.update(chunk)

@@ -235,9 +235,13 @@ class MultiRegisterStore:
                          writer_index: int = 0) -> Dict[str, Any]:
         """WRITE a batch of registers concurrently over the one replica set.
 
-        All first-round messages of the batch are coalesced per object:
-        ``len(items)`` registers cost ``S`` envelopes per round instead of
-        ``len(items) * S``.
+        Batches are driven as *vector rounds*
+        (:meth:`~repro.runtime.hosts.MuxClientHost.run_many`): every
+        protocol step of the whole batch leaves as a single
+        :class:`~repro.messages.Batch` frame per base object
+        (``len(items)`` registers cost ``S`` frames per round instead of
+        ``len(items) * S``), and per-register quorum conditions are
+        evaluated once per inbound burst instead of once per ack.
         """
         self._require_started()
         operations = [
@@ -253,7 +257,11 @@ class MultiRegisterStore:
     async def read_many(self, register_ids: Iterable[str],
                         reader_index: int = 0,
                         timeout: Optional[float] = None) -> Dict[str, Any]:
-        """READ a batch of registers concurrently; returns id -> value."""
+        """READ a batch of registers concurrently; returns id -> value.
+
+        Rides the same vector rounds as :meth:`write_many`: one frame
+        per (replica, step) for the whole batch.
+        """
         self._require_started()
         # Dedupe while preserving order: a repeated id is one read, not a
         # same-register concurrency violation.

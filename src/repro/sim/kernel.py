@@ -23,9 +23,10 @@ be dropped.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..automata.base import ClientOperation, ObjectAutomaton, Outgoing
+from ..automata.base import (ClientOperation, ObjectAutomaton, Outgoing,
+                             Sink)
 from ..config import SystemConfig
 from ..errors import (PendingOperationError, ProtocolError,
                       SchedulerExhaustedError, SimulationError)
@@ -73,6 +74,23 @@ class OperationHandle:
         return f"OperationHandle({self.operation.describe()}, {state})"
 
 
+class _SimVectorGroup:
+    """Bookkeeping of one :meth:`SimKernel.invoke_many` batch.
+
+    Mirrors the asyncio vector engine deterministically: one delivery
+    step absorbs every part of an envelope, then each touched operation
+    advances once and the next round leaves as one :class:`Batch` per
+    base object.
+    """
+
+    __slots__ = ("client", "dirty")
+
+    def __init__(self, client: ProcessId):
+        self.client = client
+        #: handles touched by the envelope being delivered.
+        self.dirty: List[OperationHandle] = []
+
+
 class SimKernel:
     """Deterministic simulator for one storage system instance."""
 
@@ -99,6 +117,9 @@ class SimKernel:
         #: which degenerates to the classic one-op-per-client rule when
         #: everything addresses DEFAULT_REGISTER.
         self._pending_ops: Dict[ProcessId, Dict[str, OperationHandle]] = {}
+        #: (client, register) -> vector group driving that register.
+        self._vector_groups: Dict[Tuple[ProcessId, str],
+                                  _SimVectorGroup] = {}
         self._completion_callbacks: List[Callable[[OperationHandle], None]] = []
         self._invocation_callbacks: List[Callable[[OperationHandle], None]] = []
 
@@ -214,6 +235,77 @@ class SimKernel:
         self._dispatch_outgoing(operation, operation.start())
         self._check_completion(client, handle)
         return handle
+
+    def invoke_many(self, operations: List[ClientOperation]
+                    ) -> List[OperationHandle]:
+        """Invoke a batch of same-client operations as *vector rounds*.
+
+        The deterministic twin of the asyncio vector engine: every round
+        of the batch leaves as one :class:`~repro.messages.Batch` per
+        base object, each delivery step absorbs a whole inbound frame
+        and advances the touched operations once.  Per-operation
+        ``messages_sent``/``bytes_sent`` counters are not maintained for
+        vector rounds (frames are shared across the batch); the
+        network-level totals in :meth:`metrics` account for everything.
+        """
+        operations = list(operations)
+        if not operations:
+            return []
+        client = operations[0].client_id
+        if not client.is_client:
+            raise ProtocolError(f"{client!r} is not a client")
+        if client in self._crashed:
+            raise ProtocolError(f"client {client!r} has crashed")
+        per_register = self._pending_ops.setdefault(client, {})
+        batch_registers: Set[str] = set()
+        for operation in operations:
+            if operation.client_id != client:
+                raise ProtocolError(
+                    "invoke_many requires same-client operations")
+            register_id = operation.register_id
+            if register_id in batch_registers:
+                raise PendingOperationError(
+                    f"two operations in one invoke_many batch address "
+                    f"register {register_id!r}")
+            batch_registers.add(register_id)
+            existing = per_register.get(register_id)
+            if existing is not None and not existing.done:
+                raise PendingOperationError(
+                    f"client {client!r} already has {existing!r} in "
+                    f"progress on register {register_id!r}")
+        group = _SimVectorGroup(client)
+        handles: List[OperationHandle] = []
+        for operation in operations:
+            handle = OperationHandle(operation, invoked_at=self.now)
+            per_register[operation.register_id] = handle
+            self._vector_groups[(client, operation.register_id)] = group
+            self.trace.append(time=self.now, kind=tracing.INVOKE,
+                              process=client,
+                              operation_id=operation.operation_id,
+                              detail=operation.describe())
+            for callback in self._invocation_callbacks:
+                callback(handle)
+            handles.append(handle)
+        sink: Sink = []
+        leftovers: Outgoing = []
+        for operation in operations:
+            operation.start_vector(sink, leftovers)
+        self._dispatch_vector(client, sink, leftovers)
+        for handle in handles:
+            self._check_completion(client, handle)
+            if handle.done:
+                self._vector_groups.pop(
+                    (client, handle.operation.register_id), None)
+        return handles
+
+    def _dispatch_vector(self, client: ProcessId, sink: Sink,
+                         leftovers: Outgoing) -> None:
+        if sink:
+            payload: Any = sink[0] if len(sink) == 1 else Batch(tuple(sink))
+            for i in range(self.config.num_objects):
+                self._submit(client, obj(i), payload)
+        for receiver, payload in leftovers:
+            self._submit(client, receiver, payload)
 
     def pending_operation(self, client: ProcessId,
                           register_id: str = DEFAULT_REGISTER
@@ -370,18 +462,44 @@ class SimKernel:
             return
         # Client delivery: route each part to the pending operation of the
         # register it addresses; clients with no pending operation on that
-        # register simply ignore stale traffic.
+        # register simply ignore stale traffic.  Parts addressed to a
+        # vector group are absorbed first and the touched operations
+        # advance once at the end of the (atomic) delivery step.
         per_register = self._pending_ops.get(receiver)
         if per_register is None:
             return
+        vector_groups = self._vector_groups
+        touched: List[_SimVectorGroup] = []
         for part in unbatch(envelope.payload):
-            handle = per_register.get(register_of(part))
+            register_id = register_of(part)
+            handle = per_register.get(register_id)
             if handle is None or handle.done:
                 continue
             operation = handle.operation
+            group = vector_groups.get((receiver, register_id))
+            if group is not None:
+                operation.absorb(envelope.sender, part)
+                if handle not in group.dirty:
+                    group.dirty.append(handle)
+                    if len(group.dirty) == 1:
+                        touched.append(group)
+                continue
             outgoing = operation.on_message(envelope.sender, part)
             self._dispatch_outgoing(operation, outgoing or [])
             self._check_completion(receiver, handle)
+        for group in touched:
+            sink: Sink = []
+            leftovers: Outgoing = []
+            for handle in group.dirty:
+                if not handle.done:
+                    handle.operation.advance(sink, leftovers)
+            self._dispatch_vector(receiver, sink, leftovers)
+            for handle in group.dirty:
+                self._check_completion(receiver, handle)
+                if handle.done:
+                    vector_groups.pop(
+                        (receiver, handle.operation.register_id), None)
+            group.dirty.clear()
 
     def _check_completion(self, client: ProcessId,
                           handle: OperationHandle) -> None:

@@ -430,6 +430,22 @@ class WriteTuple:
         return f"W({self.tsval!r})"
 
 
+@functools.lru_cache(maxsize=65536)
+def intern_write_tuple(tsval: TimestampValue,
+                       tsrarray: TsrArray) -> WriteTuple:
+    """One shared :class:`WriteTuple` per ``(tag, shape)`` contents.
+
+    Wire decoding re-materializes the same logical write tuple once per
+    replica per round; interning makes those decodes pointer-equal, so
+    candidate-set membership, history lookups and equality checks on the
+    reader's hot path hit the identity fast path exactly as they do on
+    the in-memory transport (where every replica shares the writer's one
+    instance).  Bounded: pathological workloads fall back to fresh
+    instances rather than growing without bound.
+    """
+    return WriteTuple(tsval, tsrarray)
+
+
 @functools.lru_cache(maxsize=None)
 def initial_write_tuple(num_objects: int, num_readers: int) -> WriteTuple:
     """``w_0 = <<0, ⊥>, inittsrarray>`` -- initial ``w`` field of objects.
