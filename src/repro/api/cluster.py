@@ -122,13 +122,17 @@ class Cluster:
                  default_timeout: Optional[float] = 30.0,
                  batching: bool = True,
                  max_pending_per_host: Optional[int] = None,
-                 record_history: bool = False):
+                 record_history: bool = False,
+                 data_dir: Optional[str] = None,
+                 granularity: str = "group",
+                 auto_heal: bool = True):
         self.kv = ShardedKVStore(
             protocol_factory, config, num_shards=num_shards,
             jitter=jitter, seed=seed, vnodes=vnodes,
             default_timeout=default_timeout, batching=batching,
             max_pending_per_host=max_pending_per_host,
-            record_history=record_history)
+            record_history=record_history, data_dir=data_dir,
+            granularity=granularity, auto_heal=auto_heal)
         self._owns_store = True
         self._bind()
 

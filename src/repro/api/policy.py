@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import (BackpressureError, BusyRegisterError, ConsistencyError,
-                      FencedWriteError)
+                      FencedWriteError, ReplicaUnavailableError)
 from ..protocols import ATOMIC, REGULAR, SAFE, StorageProtocol
 
 
@@ -53,9 +53,12 @@ class Consistency(enum.IntEnum):
 
 #: The transient failures a retry policy may absorb, and why each is
 #: retryable: a fence clears once the reconfiguration flips routing,
-#: backpressure clears as in-flight operations drain, and a busy
-#: register clears when the competing same-register operation settles.
-RETRYABLE = (FencedWriteError, BackpressureError, BusyRegisterError)
+#: backpressure clears as in-flight operations drain, a busy register
+#: clears when the competing same-register operation settles, and an
+#: unreachable replica clears when its supervisor restarts the process
+#: (multiproc deployments) or the network blip passes.
+RETRYABLE = (FencedWriteError, BackpressureError, BusyRegisterError,
+             ReplicaUnavailableError)
 
 
 @dataclass(frozen=True)
@@ -67,7 +70,7 @@ class RetryPolicy:
     ``max_backoff``; the first retry after a fence additionally rides the
     event-loop yield inside the sleep, which is what lets an in-flight
     routing flip land.  Per-class switches turn absorption off for any of
-    the three retryable errors; everything else always propagates
+    the retryable errors; everything else always propagates
     immediately.  On exhaustion the session raises
     :class:`~repro.errors.RetryExhaustedError` with the final failure
     chained.
@@ -80,6 +83,7 @@ class RetryPolicy:
     retry_fenced: bool = True
     retry_backpressure: bool = True
     retry_busy: bool = True
+    retry_unavailable: bool = True
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -102,6 +106,8 @@ class RetryPolicy:
             return self.retry_backpressure
         if isinstance(error, BusyRegisterError):
             return self.retry_busy
+        if isinstance(error, ReplicaUnavailableError):
+            return self.retry_unavailable
         return False
 
     def delay(self, retry_number: int) -> float:

@@ -36,9 +36,9 @@ import asyncio
 from collections.abc import Mapping as MappingABC
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..errors import (RetryExhaustedError, SnapshotContentionError,
-                      TransportError)
-from ..types import WriterTag, reader
+from ..errors import (PreconditionFailedError, RetryExhaustedError,
+                      SnapshotContentionError, TransportError)
+from ..types import TAG0, WriterTag, reader
 from .policy import Consistency, RETRYABLE, RetryPolicy
 
 
@@ -222,6 +222,53 @@ class Session:
                 lambda: kv.put(key, value, timeout=timeout,
                                writer_index=writer_index),
                 f"put({key!r})")
+        finally:
+            self._writes_in_flight -= 1
+            self._release_if_drained()
+
+    async def put_if(self, key: str, value: Any,
+                     expected_tag: Optional[WriterTag],
+                     timeout: Optional[float] = None
+                     ) -> Optional[WriterTag]:
+        """Conditional write: PUT only if the key's tag still matches.
+
+        ``expected_tag`` is the ``(epoch, writer_id)`` tag a previous
+        :meth:`get_tagged` (or :meth:`put_if`) reported; ``None`` means
+        "I expect the key has never been written".  The observed tag is
+        compared first and a mismatch raises
+        :class:`~repro.errors.PreconditionFailedError` *without*
+        writing; on a match the write proceeds and the tag it installed
+        is returned (feed it to the next :meth:`put_if` for chained
+        updates).
+
+        The check is optimistic, not a wire-level CAS: read, compare,
+        write are separate quorum rounds, so a concurrent writer can
+        still land between the compare and the write (last-tag-wins as
+        always).  What the method guarantees is that a *stale* caller
+        -- one whose expectation is already outdated at compare time --
+        fails fast instead of silently clobbering the newer value,
+        which is the contract optimistic concurrency needs.
+        """
+        self._check_open()
+        kv = self._cluster.kv
+        writer_index = self.writer_index
+        self._writes_in_flight += 1
+        try:
+            async def attempt() -> Optional[WriterTag]:
+                _, observed = await kv.get_tagged(
+                    key, reader_index=self.reader_index, timeout=timeout)
+                expected = (TAG0 if expected_tag is None else expected_tag)
+                found = TAG0 if observed is None else observed
+                if found != expected:
+                    raise PreconditionFailedError(
+                        f"put_if({key!r}) expected tag "
+                        f"{None if expected == TAG0 else expected} but "
+                        f"observed {None if found == TAG0 else found}",
+                        expected=(None if expected == TAG0 else expected),
+                        observed=(None if found == TAG0 else found))
+                return await kv.put_tagged(key, value, timeout=timeout,
+                                           writer_index=writer_index)
+            return await self._retrying(attempt, f"put_if({key!r})")
         finally:
             self._writes_in_flight -= 1
             self._release_if_drained()

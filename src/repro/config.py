@@ -16,8 +16,8 @@ bound ``2t + b + 1`` [17], and the fast-read impossibility threshold
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 from .errors import ConfigurationError, ResilienceError
 from .types import ProcessId, WRITER, obj, reader, writer
@@ -65,12 +65,32 @@ class SystemConfig:
     #: Inbound frames of either format always decode -- this selects
     #: what *this* system emits.
     wire_format: str = "binary"
+    #: Where base objects run: ``"inproc"`` (asyncio tasks on the
+    #: in-memory network -- the historical deployment) or
+    #: ``"multiproc"`` (each replica / shard group is a child OS
+    #: process serving :class:`~repro.runtime.tcp.TcpObjectServer` on
+    #: the binary wire format, supervised with health checks, WAL +
+    #: snapshot durability and automatic restart).
+    deployment: str = "inproc"
+    #: Write-ahead-log fsync policy of multiproc replicas: ``"always"``
+    #: (fsync per durable record), ``"batch"`` (fsync every few records
+    #: and at snapshot/close -- the default), ``"never"`` (leave it to
+    #: the OS; still torn-tail safe, but the tail may be shorter).
+    wal_fsync: str = "batch"
 
     def __post_init__(self) -> None:
         if self.wire_format not in ("binary", "json"):
             raise ConfigurationError(
                 f"unknown wire format {self.wire_format!r}; "
                 f"expected 'binary' or 'json'")
+        if self.deployment not in ("inproc", "multiproc"):
+            raise ConfigurationError(
+                f"unknown deployment {self.deployment!r}; "
+                f"expected 'inproc' or 'multiproc'")
+        if self.wal_fsync not in ("always", "batch", "never"):
+            raise ConfigurationError(
+                f"unknown WAL fsync policy {self.wal_fsync!r}; "
+                f"expected 'always', 'batch' or 'never'")
         if self.t < 0:
             raise ConfigurationError("t must be non-negative")
         if self.b < 0:
@@ -114,6 +134,13 @@ class SystemConfig:
         return cls(t=t, b=b,
                    num_objects=fast_read_impossibility_threshold(t, b),
                    num_readers=num_readers)
+
+    def with_deployment(self, deployment: str,
+                        wal_fsync: Optional[str] = None) -> "SystemConfig":
+        """The same configuration under another deployment topology."""
+        if wal_fsync is None:
+            return replace(self, deployment=deployment)
+        return replace(self, deployment=deployment, wal_fsync=wal_fsync)
 
     # -- derived quantities --------------------------------------------------
     @property

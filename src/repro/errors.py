@@ -135,8 +135,39 @@ class SnapshotContentionError(ReproError):
         self.unstable_keys = unstable_keys
 
 
+class PreconditionFailedError(ProtocolError):
+    """A conditional write's expected version tag did not match.
+
+    Raised by :meth:`~repro.api.Session.put_if` when the key's observed
+    ``(epoch, writer_id)`` tag differs from the caller's expectation.
+    The check is optimistic (read-compare-write, not a wire-level CAS):
+    a concurrent writer can still slip between the compare and the
+    write, but a *stale* expectation always fails fast here instead of
+    silently clobbering the newer value.  :attr:`expected` and
+    :attr:`observed` carry both tags (``None`` for "never written").
+    """
+
+    def __init__(self, message: str, expected, observed):
+        super().__init__(message)
+        self.expected = expected
+        self.observed = observed
+
+
 class TransportError(ReproError):
     """An asyncio runtime transport failed (:mod:`repro.runtime`)."""
+
+
+class ReplicaUnavailableError(TransportError):
+    """A replica's transport endpoint is (momentarily) unreachable.
+
+    The typed form of a broken socket: a peer that died mid-connection
+    surfaces as :class:`ConnectionResetError`/:class:`BrokenPipeError`
+    at the OS level, which no retry policy can be expected to pattern-
+    match.  The TCP client maps those to this error after one immediate
+    reconnect attempt fails, so a :class:`~repro.api.RetryPolicy`
+    absorbs the window in which a killed replica process is being
+    restarted by its supervisor.
+    """
 
 
 class BusyRegisterError(TransportError):

@@ -6,6 +6,9 @@ Two tiers:
   optional seeded jitter);
 * :class:`TcpObjectServer` / :class:`TcpStorageClient` over localhost TCP
   with the JSON wire codec (integration tier).
+
+:mod:`repro.runtime.wal` adds per-replica durability (write-ahead log +
+snapshots of raw binary wire frames) for the multiproc deployment.
 """
 
 from .codec import (decode_message, decode_value, encode_message,
@@ -14,8 +17,14 @@ from .hosts import ClientHost, MuxClientHost, ObjectHost, coalesce_outgoing
 from .memnet import AsyncEnvelope, AsyncNetwork
 from .storage import AsyncStorage
 from .tcp import TcpObjectServer, TcpStorageClient
+from .wal import (FrameCompactor, ReplicaDurability, SnapshotStore,
+                  WriteAheadLog)
 
 __all__ = [
+    "FrameCompactor",
+    "ReplicaDurability",
+    "SnapshotStore",
+    "WriteAheadLog",
     "AsyncStorage",
     "AsyncNetwork",
     "AsyncEnvelope",

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..automata.base import (ClientOperation, ObjectAutomaton, Outgoing,
                              Sink, resolve_batch_handler)
-from ..errors import TransportError
+from ..errors import ReplicaUnavailableError, TransportError
 from ..messages import Batch, Message, register_of, unbatch
 from ..types import (ProcessId, ROLE_OBJECT, ROLE_READER, ROLE_WRITER,
                      obj)
@@ -131,12 +131,18 @@ class TcpObjectServer:
 
     ``wire_format`` selects the format of the *replies* ("binary",
     "json", or ``None`` to inherit the automaton config's setting);
-    requests of either format are always accepted.
+    requests of either format are always accepted.  ``frame_hook``
+    (if given) observes every inbound ``(sender, message)`` part
+    *before* the automaton processes it -- the multiproc replica
+    runtime hangs its write-ahead log here, so a message's effects
+    cannot be acknowledged without its frame having been offered to
+    the log first.
     """
 
     def __init__(self, automaton: ObjectAutomaton,
                  host: str = "127.0.0.1", port: int = 0,
-                 wire_format: Optional[str] = None):
+                 wire_format: Optional[str] = None,
+                 frame_hook=None):
         self.automaton = automaton
         self.host = host
         self.port = port
@@ -144,6 +150,7 @@ class TcpObjectServer:
             wire_format = getattr(
                 getattr(automaton, "config", None), "wire_format", "binary")
         self.wire_format = wire_format
+        self.frame_hook = frame_hook
         self._handle_batch = resolve_batch_handler(automaton)
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -169,12 +176,15 @@ class TcpObjectServer:
                 if parsed is None:
                     break
                 sender, message = parsed
+                parts = unbatch(message)
+                if self.frame_hook is not None:
+                    for part in parts:
+                        self.frame_hook(sender, part)
                 # One request frame -> at most one response frame: the
                 # batch fast path appends every reply to the requester
                 # into one sink, coalesced into a single Batch frame.
                 sink: Sink = []
-                leftovers = self._handle_batch(
-                    sender, unbatch(message), sink) or []
+                leftovers = self._handle_batch(sender, parts, sink) or []
                 for receiver, payload in coalesce_outgoing(leftovers):
                     # Objects reply only to the requesting client;
                     # replies addressed elsewhere cannot be routed on
@@ -238,30 +248,79 @@ class TcpStorageClient:
         self._connections.clear()
 
     async def _pump(self, reader: asyncio.StreamReader) -> None:
-        while True:
-            parsed = await read_frame(reader)
-            if parsed is None:
-                return
-            self._inbox.put_nowait(parsed)
+        try:
+            while True:
+                parsed = await read_frame(reader)
+                if parsed is None:
+                    return
+                self._inbox.put_nowait(parsed)
+        except (ConnectionResetError, TransportError, OSError):
+            return  # dead peer: the next send reconnects
+
+    async def _reconnect(self, index: int) -> asyncio.StreamWriter:
+        """Re-open one endpoint's connection after a broken pipe."""
+        _, old_writer = self._connections[index]
+        old_writer.close()
+        host, port = self.endpoints[index]
+        reader, writer = await asyncio.open_connection(host, port)
+        self._connections[index] = (reader, writer)
+        self._pumps.append(asyncio.get_running_loop().create_task(
+            self._pump(reader)))
+        return writer
+
+    async def _write_frame(self, index: int, frame: bytes) -> None:
+        """Write to one endpoint, reconnecting once on a broken pipe.
+
+        A peer that died surfaces as a raw ``ConnectionResetError`` /
+        ``BrokenPipeError``; after one failed reconnect attempt it is
+        re-raised as the *typed*
+        :class:`~repro.errors.ReplicaUnavailableError`, which retry
+        policies absorb -- the window in which a killed replica process
+        is being restarted by its supervisor looks like any other
+        transient failure to callers.
+        """
+        _, writer = self._connections[index]
+        try:
+            writer.write(frame)
+            await writer.drain()
+            return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        try:
+            writer = await self._reconnect(index)
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ReplicaUnavailableError(
+                f"object endpoint {index} "
+                f"({self.endpoints[index][0]}:{self.endpoints[index][1]}) "
+                f"is unreachable: {exc}") from exc
 
     async def _send(self, receiver: ProcessId, payload: Any) -> None:
         if not receiver.is_object:
             raise TransportError("TCP clients only talk to objects")
         if receiver.index >= len(self._connections):
             return  # endpoint not configured: behaves like a slow object
-        _, writer = self._connections[receiver.index]
-        writer.write(_frame(self.pid, payload, self.wire_format))
-        await writer.drain()
+        await self._write_frame(
+            receiver.index, _frame(self.pid, payload, self.wire_format))
 
     async def _broadcast(self, sink: Sink) -> None:
-        """One frame carrying the whole sink to every endpoint."""
+        """One frame carrying the whole sink to every endpoint.
+
+        A single unreachable endpoint is *skipped* rather than failing
+        the broadcast: to the protocol it is a slow object, and every
+        round is quorum-based -- failing the whole operation over one
+        dead replica would throw away exactly the fault tolerance the
+        replication pays for.
+        """
         if not sink:
             return
         frame = _frame(self.pid, as_frame(sink), self.wire_format)
-        for _, writer in self._connections:
-            writer.write(frame)
-        for _, writer in self._connections:
-            await writer.drain()
+        for index in range(len(self._connections)):
+            try:
+                await self._write_frame(index, frame)
+            except ReplicaUnavailableError:
+                continue
 
     async def run(self, operation: ClientOperation,
                   timeout: Optional[float] = 30.0) -> Any:

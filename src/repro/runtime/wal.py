@@ -1,0 +1,361 @@
+"""Per-replica durability: write-ahead log + compacting snapshots.
+
+The paper's model is crash-*stop*: a crashed base object never comes
+back, and :meth:`~repro.service.reconfig.ReconfigCoordinator.
+heal_replica` replaces it with a blank one.  The multiproc deployment
+(:mod:`repro.service.procs`) upgrades replicas to crash-*recovery*: every
+state-mutating message a replica receives is appended to a write-ahead
+log before its effects can be acknowledged durably, and the log is
+periodically compacted into a snapshot file.  A restarted replica
+replays snapshot + WAL and rejoins with the state of a slow-but-correct
+replica -- then the ordinary ``heal_replica`` path re-installs current
+values on top, exactly as for an in-proc replacement.
+
+Record layout (both the WAL and snapshot files)::
+
+    [u32 payload length][u32 crc32(payload)][payload]
+
+where the payload is one **binary wire frame** -- the same
+``[0xB1][u32 len][sender][message]`` bytes the TCP tier ships
+(:func:`repro.runtime.tcp._frame_binary`).  Storing raw frames means the
+log needs no schema of its own: recovery feeds the frames back through
+the automaton's ``handle_batch`` with a discarded reply sink, and any
+message the codec can carry, the log can carry.
+
+Durability is *torn-tail safe*: a crash mid-append leaves a final record
+with a short or corrupt payload; :meth:`WriteAheadLog.replay` verifies
+each record's CRC, truncates the file back to the last intact record,
+and returns only the verified prefix.  Snapshot files are written to a
+temp name and atomically renamed, so a crash mid-snapshot leaves the
+previous snapshot in place.
+
+Only *durable* messages are logged (:func:`is_durable`): ``Pw`` and
+``W`` rounds mutate register slots, ``EpochFence`` mutates fence state.
+Queries (``TagQuery``, ``ReadRequest``) are read-only and replayable
+from nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TransportError
+from ..messages import EpochFence, Message, Pw, W
+from ..types import ProcessId, WriterTag
+
+_S_RECORD = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Message types whose receipt mutates object state and must therefore
+#: survive a restart.  Everything else is a query or an ack.
+DURABLE_TYPES = (Pw, W, EpochFence)
+
+#: ``"batch"`` fsync cadence: records between forced syncs.
+FSYNC_BATCH_INTERVAL = 64
+
+
+def is_durable(message: Any) -> bool:
+    """Whether a message mutates object state (must be logged)."""
+    return isinstance(message, DURABLE_TYPES)
+
+
+def pack_frame(sender: ProcessId, message: Message) -> bytes:
+    """One WAL/snapshot payload: the message as a binary wire frame."""
+    from .tcp import _frame_binary  # late: tcp imports hosts, not wal
+    return _frame_binary(sender, message)
+
+
+def unpack_frame(frame: bytes) -> Tuple[ProcessId, Any]:
+    """Decode a stored frame back to ``(sender, message)``."""
+    from .tcp import _parse_binary_body
+    if len(frame) < 5:
+        raise TransportError("stored frame shorter than its header")
+    (length,) = struct.unpack_from("<I", frame, 1)
+    return _parse_binary_body(frame[5:5 + length])
+
+
+def _pack_record(payload: bytes) -> bytes:
+    return _S_RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_records(blob: bytes) -> Tuple[List[bytes], int]:
+    """Parse length-delimited records; returns ``(payloads, good_end)``.
+
+    ``good_end`` is the offset just past the last record whose length
+    and CRC both verify -- everything beyond it is a torn tail.
+    """
+    payloads: List[bytes] = []
+    offset = 0
+    size = len(blob)
+    while offset + _S_RECORD.size <= size:
+        length, crc = _S_RECORD.unpack_from(blob, offset)
+        start = offset + _S_RECORD.size
+        end = start + length
+        if end > size:
+            break  # short payload: torn mid-append
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record: everything after is suspect
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
+
+
+class WriteAheadLog:
+    """An append-only log of binary wire frames with CRC framing.
+
+    ``fsync`` selects the durability/latency trade-off: ``"always"``
+    syncs every append, ``"batch"`` every
+    :data:`FSYNC_BATCH_INTERVAL` appends (and on :meth:`sync`/
+    :meth:`close`), ``"never"`` leaves flushing to the OS.  All three
+    keep the format torn-tail safe; the policy only bounds how much of
+    the tail a power loss may cost.
+    """
+
+    def __init__(self, path: str, fsync: str = "batch"):
+        if fsync not in ("always", "batch", "never"):
+            raise TransportError(f"unknown WAL fsync policy {fsync!r}")
+        self.path = path
+        self.fsync = fsync
+        self._appends_since_sync = 0
+        self._fh = open(path, "ab")
+
+    # -- writing ------------------------------------------------------------
+    def append(self, payload: bytes) -> None:
+        self._fh.write(_pack_record(payload))
+        if self.fsync == "always":
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        elif self.fsync == "batch":
+            self._appends_since_sync += 1
+            if self._appends_since_sync >= FSYNC_BATCH_INTERVAL:
+                self.sync()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        if self.fsync != "never":
+            os.fsync(self._fh.fileno())
+        self._appends_since_sync = 0
+
+    def reset(self) -> None:
+        """Discard every record (the snapshot now covers them)."""
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self.sync()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.sync()
+            self._fh.close()
+
+    # -- recovery -----------------------------------------------------------
+    def replay(self) -> List[bytes]:
+        """Verified record payloads, oldest first; truncates a torn tail.
+
+        Safe to call on the open log (recovery happens before serving);
+        the write handle is repositioned past the verified prefix so
+        later appends continue exactly where the intact log ends.
+        """
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        payloads, good_end = scan_records(blob)
+        if good_end < len(blob):
+            self._fh.truncate(good_end)
+        self._fh.seek(0, os.SEEK_END)
+        return payloads
+
+
+class SnapshotStore:
+    """Atomic snapshot files next to a replica's WAL.
+
+    One current snapshot per replica (``snapshot.bin``), written via a
+    temp file + ``os.replace`` so readers only ever observe a complete
+    snapshot or the previous one.  The record framing is the WAL's, so
+    a damaged snapshot degrades the same way: the verified prefix loads,
+    the torn tail is dropped.
+    """
+
+    FILENAME = "snapshot.bin"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, self.FILENAME)
+
+    def save(self, payloads: List[bytes]) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            for payload in payloads:
+                fh.write(_pack_record(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self) -> List[bytes]:
+        try:
+            with open(self.path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return []
+        payloads, _ = scan_records(blob)
+        return payloads
+
+
+class _RegisterDigest:
+    """The compacted durable state of one register slot.
+
+    Keeps the maximum-tag ``Pw`` and ``W`` frame seen (the write rounds
+    every lower-tagged round is superseded by) and the fence ratchet
+    (mirroring :meth:`~repro.automata.base.MultiRegisterObject.
+    _on_epoch_fence`: epochs only ratchet up, ``hard`` is sticky, and a
+    ``lift`` clears both).  Replaying these two-or-three frames leaves a
+    fresh automaton holding the same top tag, top value and fence state
+    as one that processed the whole log -- lower history entries are
+    dropped, which is the state of a correct-but-slow replica and
+    exactly what ``heal_replica`` is specified to top up.
+    """
+
+    __slots__ = ("pw", "w", "fence")
+
+    def __init__(self):
+        self.pw: Optional[Tuple[WriterTag, ProcessId, Message]] = None
+        self.w: Optional[Tuple[WriterTag, ProcessId, Message]] = None
+        self.fence: Optional[Tuple[ProcessId, EpochFence]] = None
+
+    def observe(self, sender: ProcessId, message: Message) -> None:
+        if isinstance(message, Pw):
+            if self.pw is None or message.tag >= self.pw[0]:
+                self.pw = (message.tag, sender, message)
+        elif isinstance(message, W):
+            if self.w is None or message.tag >= self.w[0]:
+                self.w = (message.tag, sender, message)
+        elif isinstance(message, EpochFence):
+            if message.lift:
+                self.fence = None
+                return
+            current = self.fence[1] if self.fence is not None else None
+            epoch = max(message.epoch,
+                        current.epoch if current is not None else 0)
+            hard = message.hard or (current is not None and current.hard)
+            merged = EpochFence(nonce=message.nonce, epoch=epoch,
+                                register_id=message.register_id,
+                                hard=hard)
+            self.fence = (sender, merged)
+
+    def frames(self) -> List[bytes]:
+        """Replay frames, write rounds before the fence.
+
+        The fence comes last so replaying the write rounds is never
+        refused by the very fence that postdates them.
+        """
+        out: List[bytes] = []
+        if self.pw is not None:
+            out.append(pack_frame(self.pw[1], self.pw[2]))
+        if self.w is not None:
+            out.append(pack_frame(self.w[1], self.w[2]))
+        if self.fence is not None:
+            out.append(pack_frame(self.fence[0], self.fence[1]))
+        return out
+
+
+class FrameCompactor:
+    """Folds the durable message stream into a bounded snapshot.
+
+    Observing every durable message (recovered *and* newly logged), it
+    maintains per-register digests whose total size is ``O(registers)``
+    regardless of write volume -- the log can be truncated after every
+    snapshot without losing recoverability.
+    """
+
+    def __init__(self):
+        self._registers: Dict[str, _RegisterDigest] = {}
+
+    def observe(self, sender: ProcessId, message: Message) -> None:
+        register_id = getattr(message, "register_id", None)
+        if register_id is None:
+            return
+        digest = self._registers.get(register_id)
+        if digest is None:
+            digest = self._registers[register_id] = _RegisterDigest()
+        digest.observe(sender, message)
+
+    def snapshot_frames(self) -> List[bytes]:
+        frames: List[bytes] = []
+        for register_id in sorted(self._registers):
+            frames.extend(self._registers[register_id].frames())
+        return frames
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+
+class ReplicaDurability:
+    """One replica's durable state: WAL + snapshots + compactor.
+
+    The facade the multiproc replica runtime drives:
+
+    * :meth:`recover` -- load snapshot + WAL, return the frames to feed
+      through the automaton (and prime the compactor with them);
+    * :meth:`log` -- called per inbound message; durable ones are
+      appended to the WAL and folded into the compactor;
+    * :meth:`take_snapshot` -- persist the compactor's digest
+      atomically, then truncate the WAL;
+    * :meth:`close` -- final sync.
+    """
+
+    def __init__(self, directory: str, fsync: str = "batch"):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.snapshots = SnapshotStore(directory)
+        self.wal = WriteAheadLog(os.path.join(directory, "wal.bin"),
+                                 fsync=fsync)
+        self.compactor = FrameCompactor()
+        #: durable records appended since the last snapshot; drives the
+        #: serving loop's snapshot cadence.
+        self.records_since_snapshot = 0
+
+    def recover(self) -> List[Tuple[ProcessId, Any]]:
+        recovered: List[Tuple[ProcessId, Any]] = []
+        wal_payloads = self.wal.replay()
+        self.records_since_snapshot = len(wal_payloads)
+        for payload in self.snapshots.load() + wal_payloads:
+            try:
+                sender, message = unpack_frame(payload)
+            except TransportError:
+                continue  # an undecodable frame cannot be replayed
+            self.compactor.observe(sender, message)
+            recovered.append((sender, message))
+        return recovered
+
+    def log(self, sender: ProcessId, message: Any) -> None:
+        if not is_durable(message):
+            return
+        self.compactor.observe(sender, message)
+        self.wal.append(pack_frame(sender, message))
+        self.records_since_snapshot += 1
+
+    def take_snapshot(self) -> int:
+        """Persist the digest and truncate the WAL; returns frame count."""
+        frames = self.compactor.snapshot_frames()
+        self.snapshots.save(frames)
+        self.wal.reset()
+        self.records_since_snapshot = 0
+        return len(frames)
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+__all__ = [
+    "DURABLE_TYPES",
+    "FrameCompactor",
+    "ReplicaDurability",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "is_durable",
+    "pack_frame",
+    "scan_records",
+    "unpack_frame",
+]

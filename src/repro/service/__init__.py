@@ -11,14 +11,20 @@ This package turns that into a serving layer:
 * :class:`HashRing` -- the stable key -> shard placement, with
   :func:`owned_diff` enumerating moved ranges between two rings;
 * :class:`ReconfigCoordinator` -- live reconfiguration: add/drain shard
-  groups with epoch-fenced key handoff, replace crashed replicas.
+  groups with epoch-fenced key handoff, replace crashed replicas;
+* :class:`ProcMultiRegisterStore` / :class:`ReplicaProcessSupervisor` --
+  the multiproc deployment: replicas as supervised child OS processes
+  with WAL + snapshot durability and automatic crash-recovery
+  (``SystemConfig.deployment = "multiproc"``).
 
 See ``examples/replicated_kv_store.py`` for the end-to-end demo and
 ``benchmarks/bench_service.py`` for the multiplexing throughput numbers
-(including the reshard-under-load mode).
+(including the reshard-under-load and multiproc scaling modes).
 """
 
 from .hashing import HashRing, MovedRange, owned_diff
+from .procs import (ProcMultiRegisterStore, ProcNetwork, ReplicaProcess,
+                    ReplicaProcessSupervisor, ReplicaSpec)
 from .reconfig import (FenceOperation, ReconfigCoordinator,
                        ReconfigReport)
 from .sharded import ShardedKVStore
@@ -29,8 +35,13 @@ __all__ = [
     "HashRing",
     "MovedRange",
     "MultiRegisterStore",
+    "ProcMultiRegisterStore",
+    "ProcNetwork",
     "ReconfigCoordinator",
     "ReconfigReport",
+    "ReplicaProcess",
+    "ReplicaProcessSupervisor",
+    "ReplicaSpec",
     "ShardedKVStore",
     "owned_diff",
 ]

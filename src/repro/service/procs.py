@@ -1,0 +1,615 @@
+"""Multi-process replica serving: supervised child processes + WAL.
+
+The in-proc deployment runs every replica, client host and shard group
+on one asyncio loop -- the GIL caps the whole cluster at one core.
+This module promotes replicas to **child OS processes**, each serving
+its object automata through :class:`~repro.runtime.tcp.TcpObjectServer`
+on the binary wire format, with the paper's fault model upgraded from
+crash-stop to crash-*recovery*:
+
+* :class:`ReplicaProcess` -- one spawned child hosting one replica (or a
+  whole shard group, see ``granularity``), reporting its listen ports
+  back over a pipe;
+* :class:`ReplicaProcessSupervisor` -- spawn, liveness monitoring
+  (``is_alive`` + optional TCP health pings), ``kill -9`` fault
+  injection and automatic restart.  A restarted replica recovers its
+  durable state from WAL + snapshot
+  (:class:`~repro.runtime.wal.ReplicaDurability`) before it starts
+  serving, and the supervisor's ``on_restart`` hook lets the service
+  tier run :meth:`~repro.service.reconfig.ReconfigCoordinator.
+  heal_replica` to top up whatever the replica missed while dead;
+* :class:`ProcNetwork` -- an :class:`~repro.runtime.memnet.AsyncNetwork`
+  drop-in whose object-bound sends travel real sockets: per
+  (client, replica) channels that encode each payload once per
+  broadcast, queue frames while a replica is down (crash semantics:
+  the replica never saw them) and transparently reconnect to the
+  replica's *new* port after a restart;
+* :class:`ProcMultiRegisterStore` -- a
+  :class:`~repro.service.store.MultiRegisterStore` whose base objects
+  live in the supervised children.  Client hosts, per-register states,
+  vector rounds, fences and the reconfiguration machinery are inherited
+  unchanged -- the deployment switch (``SystemConfig.deployment``)
+  only swaps the transport underneath them.
+
+Children are started with the ``spawn`` context: a fresh interpreter
+per replica (no inherited event loop or fds), the price being ~0.5 s of
+import time per child -- paid once per process lifetime.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+from dataclasses import dataclass
+from typing import (Any, Awaitable, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
+
+from ..automata.base import Sink, resolve_batch_handler
+from ..config import SystemConfig
+from ..errors import ConfigurationError, TransportError
+from ..messages import TagQuery
+from ..protocols import StorageProtocol
+from ..runtime.memnet import AsyncEnvelope, AsyncNetwork
+from ..runtime.tcp import TcpObjectServer, _frame_binary, read_frame
+from ..runtime.wal import ReplicaDurability
+from ..types import ProcessId, reader
+from .store import MultiRegisterStore
+
+#: Seconds between supervisor liveness sweeps.
+MONITOR_INTERVAL = 0.05
+#: Consecutive failed health pings before a live-but-wedged child is
+#: killed and restarted (generous: a busy single-core box must not get
+#: its replicas shot for scheduling latency).
+PING_FAILURE_THRESHOLD = 5
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything a child process needs to serve its replicas.
+
+    Must stay picklable (``spawn`` ships it to the child): the protocol
+    travels as a zero-argument *factory* (typically the protocol class
+    itself), never as an instance.
+    """
+
+    protocol_factory: Callable[[], StorageProtocol]
+    config: SystemConfig
+    #: object indices this child hosts (one for ``granularity="replica"``,
+    #: all of them for ``granularity="group"``).
+    indices: Tuple[int, ...]
+    data_dir: str
+    host: str = "127.0.0.1"
+    #: durable records between automatic snapshots.
+    snapshot_every: int = 512
+
+
+async def _serve_replicas(spec: ReplicaSpec,
+                          conn: "multiprocessing.connection.Connection"
+                          ) -> None:
+    """Child-side serving loop: recover, listen, report ports, run.
+
+    Runs until the parent sends anything on the pipe (graceful stop) or
+    the pipe breaks (parent died) -- children never outlive their
+    supervisor.
+    """
+    protocol = spec.protocol_factory()
+    automata = protocol.make_objects(spec.config)
+    servers: Dict[int, TcpObjectServer] = {}
+    durability: Dict[int, ReplicaDurability] = {}
+    for index in spec.indices:
+        automaton = automata[index]
+        store = ReplicaDurability(
+            os.path.join(spec.data_dir, f"replica-{index}"),
+            fsync=spec.config.wal_fsync)
+        handler = resolve_batch_handler(automaton)
+        for sender, message in store.recover():
+            sink: Sink = []  # recovery replies go nowhere
+            handler(sender, (message,), sink)
+        server = TcpObjectServer(automaton, host=spec.host, port=0,
+                                 frame_hook=store.log)
+        await server.start()
+        servers[index] = server
+        durability[index] = store
+    conn.send({index: server.port for index, server in servers.items()})
+    try:
+        while True:
+            await asyncio.sleep(MONITOR_INTERVAL)
+            if conn.poll():
+                break  # any parent message means stop
+            for store in durability.values():
+                if store.records_since_snapshot >= spec.snapshot_every:
+                    store.take_snapshot()
+    except (EOFError, OSError):
+        pass  # parent is gone; fall through to cleanup
+    finally:
+        for server in servers.values():
+            await server.stop()
+        for store in durability.values():
+            store.take_snapshot()
+            store.close()
+
+
+def _replica_child_main(spec: ReplicaSpec,
+                        conn: "multiprocessing.connection.Connection"
+                        ) -> None:
+    try:
+        asyncio.run(_serve_replicas(spec, conn))
+    except KeyboardInterrupt:
+        pass
+
+
+class ReplicaProcess:
+    """One supervised child process hosting ``spec.indices``."""
+
+    def __init__(self, spec: ReplicaSpec):
+        self.spec = spec
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn: Optional[
+            "multiprocessing.connection.Connection"] = None
+        #: object index -> TCP port, valid once :meth:`start` returns.
+        self.ports: Dict[int, int] = {}
+
+    async def start(self, timeout: float = 30.0) -> Dict[int, int]:
+        """Spawn the child and await its port report."""
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_replica_child_main, args=(self.spec, child_conn),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not parent_conn.poll():
+            if not self.process.is_alive():
+                raise TransportError(
+                    f"replica child for objects {self.spec.indices} died "
+                    f"during startup (exit code "
+                    f"{self.process.exitcode})")
+            if loop.time() > deadline:
+                self.process.kill()
+                raise TransportError(
+                    f"replica child for objects {self.spec.indices} did "
+                    f"not report ports within {timeout}s")
+            await asyncio.sleep(0.01)
+        self.ports = parent_conn.recv()
+        return self.ports
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def kill(self) -> None:
+        """``kill -9``: no flush, no goodbye -- the crash being modeled."""
+        if self.process is not None and self.process.pid is not None:
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    async def stop(self, timeout: float = 5.0) -> None:
+        """Graceful stop: the child snapshots and exits on its own."""
+        if self.process is None:
+            return
+        try:
+            if self.conn is not None:
+                self.conn.send("stop")
+        except (BrokenPipeError, OSError):
+            pass
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self.process.is_alive() and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=1.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+
+class ReplicaProcessSupervisor:
+    """Spawns, watches and restarts the replica children of one store.
+
+    ``granularity`` decides the process layout: ``"replica"`` gives
+    every base object its own child (independent failure domains, the
+    paper's model), ``"group"`` puts the whole replica set in one child
+    (one spawn per shard group -- the scaling unit of the multiproc
+    bench).  The monitor task restarts any dead child; a restarted
+    child recovers from WAL + snapshot before reporting ports, and
+    ``on_restart(index)`` then fires once per hosted object index so
+    the service tier can run its ``heal_replica`` catch-up.
+
+    ``ping_interval`` (seconds, ``None`` disables) adds active health
+    checks: a live child that fails :data:`PING_FAILURE_THRESHOLD`
+    consecutive TCP pings is presumed wedged, killed, and restarted
+    through the same path as a crash.
+    """
+
+    def __init__(self, protocol_factory: Callable[[], StorageProtocol],
+                 config: SystemConfig, data_dir: str,
+                 granularity: str = "group",
+                 host: str = "127.0.0.1",
+                 snapshot_every: int = 512,
+                 ping_interval: Optional[float] = None,
+                 on_restart: Optional[
+                     Callable[[int], Awaitable[None]]] = None):
+        if granularity not in ("replica", "group"):
+            raise ConfigurationError(
+                f"unknown process granularity {granularity!r}; "
+                f"expected 'replica' or 'group'")
+        self.config = config
+        self.data_dir = data_dir
+        self.granularity = granularity
+        self.host = host
+        self.ping_interval = ping_interval
+        self.on_restart = on_restart
+        if granularity == "replica":
+            index_groups: List[Tuple[int, ...]] = [
+                (i,) for i in range(config.num_objects)]
+        else:
+            index_groups = [tuple(range(config.num_objects))]
+        self._procs: List[ReplicaProcess] = [
+            ReplicaProcess(ReplicaSpec(
+                protocol_factory=protocol_factory, config=config,
+                indices=indices, data_dir=data_dir, host=host,
+                snapshot_every=snapshot_every))
+            for indices in index_groups
+        ]
+        self._proc_of: Dict[int, ReplicaProcess] = {
+            index: proc for proc in self._procs
+            for index in proc.spec.indices
+        }
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._started = False
+        #: object index -> restarts performed by the monitor.
+        self.restarts: Dict[int, int] = {}
+        self._ping_failures: Dict[int, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "ReplicaProcessSupervisor":
+        if self._started:
+            return self
+        await asyncio.gather(*(proc.start() for proc in self._procs))
+        self._started = True
+        self._monitor_task = asyncio.get_running_loop().create_task(
+            self._monitor())
+        return self
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        await asyncio.gather(*(proc.stop() for proc in self._procs))
+
+    # -- topology -----------------------------------------------------------
+    def port_of(self, index: int) -> Optional[int]:
+        """The current TCP port of object ``index`` (``None`` if down)."""
+        proc = self._proc_of.get(index)
+        if proc is None or not proc.is_alive():
+            return None
+        return proc.ports.get(index)
+
+    def endpoints(self) -> Dict[int, Tuple[str, int]]:
+        return {index: (self.host, port)
+                for index in self._proc_of
+                for port in [self.port_of(index)] if port is not None}
+
+    # -- fault injection ----------------------------------------------------
+    def kill_replica(self, index: int) -> None:
+        """SIGKILL the child hosting ``index``; the monitor restarts it."""
+        proc = self._proc_of.get(index)
+        if proc is None:
+            raise ConfigurationError(f"no replica process hosts {index}")
+        proc.kill()
+
+    # -- health -------------------------------------------------------------
+    async def ping(self, index: int, timeout: float = 2.0) -> bool:
+        """One TCP round-trip through a replica's serving loop.
+
+        A :class:`~repro.messages.TagQuery` on a reserved register id:
+        cheap, read-only, and answered by every protocol's object
+        automaton -- a reply proves the child's event loop is serving,
+        not merely that the process exists.
+        """
+        port = self.port_of(index)
+        if port is None:
+            return False
+        try:
+            reader_s, writer_s = await asyncio.wait_for(
+                asyncio.open_connection(self.host, port), timeout)
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            probe = TagQuery(nonce=0, register_id="__health__")
+            writer_s.write(_frame_binary(reader(0), probe))
+            await writer_s.drain()
+            parsed = await asyncio.wait_for(read_frame(reader_s), timeout)
+            return parsed is not None
+        except (OSError, asyncio.TimeoutError, TransportError):
+            return False
+        finally:
+            writer_s.close()
+
+    async def _monitor(self) -> None:
+        loop = asyncio.get_running_loop()
+        next_ping = (loop.time() + self.ping_interval
+                     if self.ping_interval is not None else None)
+        while True:
+            await asyncio.sleep(MONITOR_INTERVAL)
+            for proc in self._procs:
+                if not proc.is_alive():
+                    await self._restart(proc)
+            if next_ping is not None and loop.time() >= next_ping:
+                next_ping = loop.time() + self.ping_interval
+                await self._ping_sweep()
+
+    async def _ping_sweep(self) -> None:
+        for proc in self._procs:
+            if not proc.is_alive():
+                continue  # the liveness check owns dead children
+            index = proc.spec.indices[0]  # one serving loop per child
+            if await self.ping(index):
+                self._ping_failures[index] = 0
+                continue
+            failures = self._ping_failures.get(index, 0) + 1
+            self._ping_failures[index] = failures
+            if failures >= PING_FAILURE_THRESHOLD:
+                self._ping_failures[index] = 0
+                proc.kill()  # wedged: the liveness sweep restarts it
+
+    async def _restart(self, proc: ReplicaProcess) -> None:
+        proc.process.join(timeout=0)  # reap the corpse
+        if proc.conn is not None:
+            proc.conn.close()
+        await proc.start()
+        for index in proc.spec.indices:
+            self.restarts[index] = self.restarts.get(index, 0) + 1
+        if self.on_restart is not None:
+            for index in proc.spec.indices:
+                await self.on_restart(index)
+
+
+class _ObjectChannel:
+    """One client's socket to one replica, with reconnect-on-restart.
+
+    Sends are fire-and-forget from the caller's perspective (matching
+    :meth:`AsyncNetwork.send`): frames queue here and a writer task
+    drains them over the live connection.  While the replica is down
+    the queue simply grows -- those frames reach the replica after
+    restart, interleaved exactly as a slow network would deliver them
+    -- and frames written into a dying socket are lost, which is
+    precisely the crash semantics the protocols tolerate.  Replies pump
+    straight into the owning client's inbox.
+    """
+
+    __slots__ = ("network", "client", "index", "queue", "wakeup", "task")
+
+    def __init__(self, network: "ProcNetwork", client: ProcessId,
+                 index: int):
+        self.network = network
+        self.client = client
+        self.index = index
+        self.queue: List[bytes] = []
+        self.wakeup = asyncio.Event()
+        self.task = asyncio.get_running_loop().create_task(self._run())
+
+    def enqueue(self, frame: bytes) -> None:
+        self.queue.append(frame)
+        self.wakeup.set()
+
+    def close(self) -> None:
+        self.task.cancel()
+
+    async def _run(self) -> None:
+        while True:
+            port = self.network.port_of(self.index)
+            if port is None:
+                await asyncio.sleep(0.05)  # replica down or restarting
+                continue
+            try:
+                reader_s, writer_s = await asyncio.open_connection(
+                    self.network.host, port)
+            except OSError:
+                await asyncio.sleep(0.05)
+                continue
+            pump = asyncio.get_running_loop().create_task(
+                self._pump(reader_s))
+            try:
+                while True:
+                    if not self.queue:
+                        self.wakeup.clear()
+                        await self.wakeup.wait()
+                    frames, self.queue = self.queue, []
+                    for frame in frames:
+                        writer_s.write(frame)
+                    await writer_s.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # replica died mid-write: reconnect loop takes over
+            finally:
+                pump.cancel()
+                writer_s.close()
+
+    async def _pump(self, reader_s: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                parsed = await read_frame(reader_s)
+                if parsed is None:
+                    return
+                sender, message = parsed
+                self.network.deliver_local(sender, self.client, message)
+        except (ConnectionResetError, TransportError, OSError):
+            return
+
+
+class ProcNetwork(AsyncNetwork):
+    """The in-memory network's interface over real replica sockets.
+
+    Client pids keep ordinary in-memory inboxes (client hosts are
+    unchanged); sends *to object pids* are encoded once and fanned out
+    over per-(client, object) :class:`_ObjectChannel` s.  Port lookups
+    go through the supervisor on every (re)connect, so a replica coming
+    back on a fresh port is picked up without any rewiring.
+    """
+
+    def __init__(self, supervisor: ReplicaProcessSupervisor,
+                 jitter: float = 0.0, seed: int = 0):
+        super().__init__(jitter=0.0, seed=seed)  # real sockets jitter
+        self.supervisor = supervisor
+        self.host = supervisor.host
+        self._channels: Dict[Tuple[ProcessId, int], _ObjectChannel] = {}
+        #: single-entry encode memo: a vector broadcast sends the *same*
+        #: payload object to every replica -- encode it once, not S
+        #: times.  The strong payload ref makes the identity check safe.
+        self._memo: Optional[Tuple[ProcessId, Any, bytes]] = None
+
+    def port_of(self, index: int) -> Optional[int]:
+        return self.supervisor.port_of(index)
+
+    def deliver_local(self, sender: ProcessId, receiver: ProcessId,
+                      message: Any) -> None:
+        if receiver in self._crashed:
+            return
+        inbox = self._inboxes.get(receiver)
+        if inbox is not None:
+            inbox.put_nowait(AsyncEnvelope(sender, receiver, message))
+
+    def send(self, sender: ProcessId, receiver: ProcessId,
+             payload: Any) -> None:
+        if not receiver.is_object:
+            super().send(sender, receiver, payload)
+            return
+        self.messages_sent += 1
+        if receiver in self._crashed:
+            return
+        memo = self._memo
+        if memo is not None and memo[0] == sender and memo[1] is payload:
+            frame = memo[2]
+        else:
+            frame = _frame_binary(sender, payload)
+            self._memo = (sender, payload, frame)
+        key = (sender, receiver.index)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self._channels[key] = _ObjectChannel(
+                self, sender, receiver.index)
+        channel.enqueue(frame)
+
+    def close(self) -> None:
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+
+
+class ProcMultiRegisterStore(MultiRegisterStore):
+    """A multi-register store whose replicas are supervised processes.
+
+    The client half (multiplexed hosts, per-register states, vector
+    rounds, epoch seeding) is inherited; the object half is replaced by
+    a :class:`ReplicaProcessSupervisor` + :class:`ProcNetwork` pair.
+    Fault verbs map onto process verbs: :meth:`crash_object` is a real
+    ``kill -9``, :meth:`replace_object` relies on the supervisor's
+    restart (state recovered from WAL + snapshot), and
+    :meth:`make_byzantine` is refused -- automata cannot be swapped
+    inside a child; compromise modeling stays an in-proc concern.
+    """
+
+    def __init__(self, protocol_factory: Callable[[], StorageProtocol],
+                 config: SystemConfig, data_dir: str,
+                 granularity: str = "group",
+                 jitter: float = 0.0, seed: int = 0,
+                 default_timeout: Optional[float] = 30.0,
+                 batching: bool = True,
+                 max_pending_per_host: Optional[int] = None,
+                 record_history: bool = False,
+                 history=None,
+                 snapshot_every: int = 512,
+                 ping_interval: Optional[float] = None,
+                 on_replica_restart: Optional[
+                     Callable[[int], Awaitable[None]]] = None):
+        self._on_replica_restart = on_replica_restart
+        self.supervisor = ReplicaProcessSupervisor(
+            protocol_factory, config, data_dir,
+            granularity=granularity, snapshot_every=snapshot_every,
+            ping_interval=ping_interval,
+            on_restart=self._handle_restart)
+        super().__init__(protocol_factory(), config, jitter=jitter,
+                         seed=seed, default_timeout=default_timeout,
+                         batching=batching,
+                         max_pending_per_host=max_pending_per_host,
+                         record_history=record_history, history=history)
+
+    # -- deployment hooks ---------------------------------------------------
+    def _make_network(self, jitter: float, seed: int) -> AsyncNetwork:
+        return ProcNetwork(self.supervisor, jitter=jitter, seed=seed)
+
+    def _make_object_hosts(self) -> List:
+        return []  # the objects live in the supervised children
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "ProcMultiRegisterStore":
+        if not self._started:
+            await self.supervisor.start()
+            self._started = True
+        return self
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        await super().stop()  # flips the flag, stops the client hosts
+        await self.supervisor.stop()
+        self.network.close()
+
+    # -- faults & repair ----------------------------------------------------
+    def crash_object(self, index: int) -> None:
+        """A real crash: SIGKILL the child (the supervisor restarts it,
+        recovering from WAL + snapshot -- crash-recovery, not
+        crash-stop)."""
+        self.supervisor.kill_replica(index)
+
+    def make_byzantine(self, index: int, automaton) -> None:
+        raise ConfigurationError(
+            "multiproc replicas cannot be made Byzantine in place: "
+            "automata live inside child processes; model compromise "
+            "with the inproc deployment")
+
+    def replace_object(self, index: int, automaton=None):
+        """Under process supervision, replacement *is* restart.
+
+        The supervisor's monitor respawns a dead child automatically;
+        this method only validates the request and hands back a fresh
+        automaton instance for interface parity with the in-proc
+        store.  Client traffic queued in the object's channels flushes
+        once the replica reports its new port.
+        """
+        if automaton is not None:
+            raise ConfigurationError(
+                "multiproc replicas recover their own state from WAL + "
+                "snapshot; a replacement automaton cannot be injected")
+        return self.protocol.make_objects(self.config)[index]
+
+    # -- restart plumbing ---------------------------------------------------
+    async def _handle_restart(self, index: int) -> None:
+        if self._on_replica_restart is not None:
+            await self._on_replica_restart(index)
+
+    def describe(self) -> str:
+        return (f"ProcMultiRegisterStore({self.protocol.describe()}; "
+                f"{self.config.describe()}; "
+                f"{len(self.supervisor._procs)} replica process(es), "
+                f"granularity={self.supervisor.granularity!r})")
+
+
+__all__ = [
+    "ProcMultiRegisterStore",
+    "ProcNetwork",
+    "ReplicaProcess",
+    "ReplicaProcessSupervisor",
+    "ReplicaSpec",
+]

@@ -25,6 +25,8 @@ flip routing atomically.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Tuple)
 
@@ -75,9 +77,22 @@ class ShardedKVStore:
                  default_timeout: Optional[float] = 30.0,
                  batching: bool = True,
                  max_pending_per_host: Optional[int] = None,
-                 record_history: bool = False):
+                 record_history: bool = False,
+                 data_dir: Optional[str] = None,
+                 granularity: str = "group",
+                 auto_heal: bool = True):
         """``protocol_factory`` builds one protocol instance per shard so
-        shard groups share no mutable protocol state (e.g. signer keys)."""
+        shard groups share no mutable protocol state (e.g. signer keys).
+
+        With ``config.deployment == "multiproc"`` each shard group's
+        replicas run as supervised child processes with WAL + snapshot
+        durability under ``data_dir`` (a fresh temp dir if omitted);
+        ``granularity`` picks one child per replica or per shard group,
+        and ``auto_heal`` runs
+        :meth:`~repro.service.reconfig.ReconfigCoordinator.heal_replica`
+        on every restarted replica so recovered-but-stale state is
+        topped up before the replica matters to quorums again.
+        """
         self.config = config
         self.ring = HashRing(num_shards, vnodes=vnodes)
         self.history: Optional[History] = \
@@ -88,6 +103,11 @@ class ShardedKVStore:
         self._default_timeout = default_timeout
         self._batching = batching
         self._max_pending = max_pending_per_host
+        self._granularity = granularity
+        self._auto_heal = auto_heal
+        if data_dir is None and config.deployment == "multiproc":
+            data_dir = tempfile.mkdtemp(prefix="repro-multiproc-")
+        self.data_dir = data_dir
         self.shards: Dict[int, MultiRegisterStore] = {
             shard: self.make_shard_store(shard)
             for shard in self.ring.shard_ids
@@ -103,7 +123,28 @@ class ShardedKVStore:
         The store is *not* started and *not* routed to; a coordinator
         starts it, replays moved keys into it, and flips routing via
         :meth:`apply_reconfiguration`.
+
+        This is the deployment switch: ``config.deployment`` selects
+        in-proc object hosts or supervised replica processes
+        (:class:`~repro.service.procs.ProcMultiRegisterStore`) -- the
+        client machinery above is identical either way.
         """
+        if self.config.deployment == "multiproc":
+            from functools import partial
+
+            from .procs import ProcMultiRegisterStore
+            return ProcMultiRegisterStore(
+                self._protocol_factory, self.config,
+                os.path.join(self.data_dir, f"shard-{shard_id}"),
+                granularity=self._granularity,
+                jitter=self._jitter, seed=self._seed + shard_id,
+                default_timeout=self._default_timeout,
+                batching=self._batching,
+                max_pending_per_host=self._max_pending,
+                history=self.history,
+                on_replica_restart=(
+                    partial(self._heal_after_restart, shard_id)
+                    if self._auto_heal else None))
         return MultiRegisterStore(self._protocol_factory(), self.config,
                                   jitter=self._jitter,
                                   seed=self._seed + shard_id,
@@ -111,6 +152,27 @@ class ShardedKVStore:
                                   batching=self._batching,
                                   max_pending_per_host=self._max_pending,
                                   history=self.history)
+
+    async def _heal_after_restart(self, shard_id: int, index: int) -> None:
+        """Top up a restarted replica: WAL recovery + protocol healing.
+
+        The restarted child already replayed its snapshot + WAL, so it
+        rejoins *almost* current -- missing only what was acked while it
+        was dead.  ``heal_replica`` closes that gap with the paper's own
+        machinery (fence, snapshot reads, replay at higher tags), after
+        which the replica counts toward quorums without any special
+        casing.  Failures are swallowed: a heal that loses a race with
+        another kill just leaves the replica where WAL recovery put it
+        -- a slow replica, which the protocols tolerate by design.
+        """
+        store = self.shards.get(shard_id)
+        if store is None or not self._started:
+            return
+        from .reconfig import ReconfigCoordinator  # avoid import cycle
+        try:
+            await ReconfigCoordinator(self).heal_replica(shard_id, index)
+        except Exception:
+            pass
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "ShardedKVStore":
@@ -187,6 +249,20 @@ class ShardedKVStore:
                     raise
                 retries -= 1
                 await asyncio.sleep(0.001)
+
+    async def put_tagged(self, key: str, value: Any,
+                         timeout: Optional[float] = None,
+                         writer_index: int = 0
+                         ) -> Optional[WriterTag]:
+        """PUT one key and report the ``(epoch, writer_id)`` tag installed.
+
+        The conditional-write path (:meth:`~repro.api.Session.put_if`)
+        needs the tag the write actually got, so callers can chain
+        compare-and-set style updates without an extra read.
+        """
+        _, tag = await self.store_for(key).write_tagged(
+            key, value, timeout=timeout, writer_index=writer_index)
+        return tag
 
     async def get(self, key: str, reader_index: int = 0,
                   timeout: Optional[float] = None) -> Optional[Any]:

@@ -62,17 +62,14 @@ class MultiRegisterStore:
         protocol.validate_config(config)
         self.protocol = protocol
         self.config = config
-        self.network = AsyncNetwork(jitter=jitter, seed=seed)
+        self.network = self._make_network(jitter, seed)
         self.default_timeout = default_timeout
         self.history: Optional[History] = (
             history if history is not None
             else (History() if record_history else None))
         self._batching = batching
         self._max_pending = max_pending_per_host
-        self._object_hosts: List[ObjectHost] = [
-            ObjectHost(automaton, self.network)
-            for automaton in protocol.make_objects(config)
-        ]
+        self._object_hosts: List[ObjectHost] = self._make_object_hosts()
         self._states = protocol.client_states(config)
         self._writer_hosts: Dict[int, MuxClientHost] = {
             0: self._make_client_host(WRITER)}
@@ -82,6 +79,16 @@ class MultiRegisterStore:
         ]
         self._control_host: Optional[MuxClientHost] = None
         self._started = False
+
+    # -- deployment hooks ---------------------------------------------------
+    # Subclasses (the multiproc deployment) override these to swap the
+    # transport underneath the unchanged client machinery.
+    def _make_network(self, jitter: float, seed: int) -> AsyncNetwork:
+        return AsyncNetwork(jitter=jitter, seed=seed)
+
+    def _make_object_hosts(self) -> List[ObjectHost]:
+        return [ObjectHost(automaton, self.network)
+                for automaton in self.protocol.make_objects(self.config)]
 
     def _make_client_host(self, pid) -> MuxClientHost:
         return MuxClientHost(pid, self.network, batching=self._batching,

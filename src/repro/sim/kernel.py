@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..automata.base import (ClientOperation, ObjectAutomaton, Outgoing,
-                             Sink)
+                             Sink, resolve_batch_handler)
 from ..config import SystemConfig
 from ..errors import (PendingOperationError, ProtocolError,
                       SchedulerExhaustedError, SimulationError)
@@ -41,6 +41,15 @@ from .schedulers import FifoScheduler, Scheduler
 
 #: Safety valve for ``run_until`` loops.
 DEFAULT_MAX_STEPS = 1_000_000
+
+
+def _ack_frame(sink: Sink) -> Any:
+    """One reply payload for a non-empty ack sink (vector-ack path).
+
+    The sim-side twin of :func:`repro.runtime.hosts.as_frame`, kept
+    local because the runtime package transitively imports this module.
+    """
+    return sink[0] if len(sink) == 1 else Batch(tuple(sink))
 
 
 class OperationHandle:
@@ -110,6 +119,11 @@ class SimKernel:
 
         self._envelope_counter = 0
         self._objects: Dict[ProcessId, ObjectAutomaton] = {}
+        #: per-object cached batch entry point for vector-ack replies;
+        #: keyed by the automaton *instance* so a Byzantine swap
+        #: (``replace_automaton``) re-resolves against the new class.
+        self._batch_handlers: Dict[ProcessId,
+                                   Tuple[ObjectAutomaton, Callable]] = {}
         self._crashed: Set[ProcessId] = set()
         self._byzantine: Set[ProcessId] = set()
         #: pending operations, keyed (client, register): one client may run
@@ -438,6 +452,15 @@ class SimKernel:
                 if isinstance(payload, Message) else estimate_size(payload))
             del envelope
 
+    def _batch_handler_for(self, receiver: ProcessId,
+                           automaton: ObjectAutomaton) -> Callable:
+        cached = self._batch_handlers.get(receiver)
+        if cached is None or cached[0] is not automaton:
+            handler = resolve_batch_handler(automaton)
+            self._batch_handlers[receiver] = (automaton, handler)
+            return handler
+        return cached[1]
+
     def _deliver(self, envelope: Envelope) -> None:
         self.network.remove(envelope)
         self.now = max(self.now, envelope.available_at)
@@ -452,9 +475,24 @@ class SimKernel:
             automaton = self._objects.get(receiver)
             if automaton is None:
                 raise SimulationError(f"no automaton for {receiver!r}")
-            # A batched envelope is one delivery step whose parts are
-            # processed back to back (schedulers can emulate batches by
-            # back-to-back deliveries; a Batch makes it one atomic step).
+            if isinstance(envelope.payload, Batch):
+                # A batched envelope is one atomic delivery step -- and
+                # its acks leave the same way: every reply to the sender
+                # collects into one sink and ships as a single Batch
+                # frame (the vector-ack path), instead of one envelope
+                # per register.  Singleton deliveries keep the plain
+                # per-message path below, so adversary plans and message
+                # counts over unbatched traffic are unchanged.
+                handler = self._batch_handler_for(receiver, automaton)
+                sink: Sink = []
+                leftovers = handler(envelope.sender,
+                                    unbatch(envelope.payload), sink)
+                if sink:
+                    self._submit(receiver, envelope.sender,
+                                 _ack_frame(sink))
+                for reply_receiver, payload in leftovers or []:
+                    self._submit(receiver, reply_receiver, payload)
+                return
             for part in unbatch(envelope.payload):
                 replies = automaton.on_message(envelope.sender, part)
                 for reply_receiver, payload in replies or []:

@@ -1,0 +1,233 @@
+"""Multi-process replica serving (:mod:`repro.service.procs`).
+
+Covers the deployment switch, put/get over supervised child processes,
+kill -9 + WAL/snapshot recovery gated on the MWMR atomicity checker,
+the session-level conditional write, and the typed reconnect error of
+the TCP client.
+
+The process-spawning tests use ``granularity="group"`` (one child per
+replica set) wherever the scenario allows, keeping spawn costs to one
+interpreter per test.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api.cluster import Cluster
+from repro.api.policy import RETRYABLE, RetryPolicy
+from repro.config import SystemConfig
+from repro.core.atomic import AtomicStorageProtocol
+from repro.core.regular import RegularStorageProtocol
+from repro.errors import (ConfigurationError, PreconditionFailedError,
+                          ReplicaUnavailableError)
+from repro.messages import TagQuery
+from repro.runtime.tcp import (TcpObjectServer, TcpStorageClient,
+                               _frame_binary)
+from repro.service.procs import ProcMultiRegisterStore
+from repro.service.sharded import ShardedKVStore
+from repro.spec.checkers import check_mwmr_atomicity
+from repro.types import WRITER
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+MULTIPROC = SystemConfig.optimal(t=1, b=1).with_deployment("multiproc")
+
+
+# ---------------------------------------------------------------------------
+# deployment switch
+# ---------------------------------------------------------------------------
+
+
+class TestDeploymentSwitch:
+    def test_multiproc_config_builds_proc_stores(self, tmp_path):
+        kv = ShardedKVStore(RegularStorageProtocol, MULTIPROC,
+                            num_shards=2, data_dir=str(tmp_path))
+        assert all(isinstance(shard, ProcMultiRegisterStore)
+                   for shard in kv.shards.values())
+        # per-shard durability directories are disjoint
+        dirs = {shard.supervisor.data_dir for shard in kv.shards.values()}
+        assert len(dirs) == 2
+
+    def test_inproc_config_builds_plain_stores(self):
+        kv = ShardedKVStore(RegularStorageProtocol,
+                            SystemConfig.optimal(t=1, b=1), num_shards=2)
+        assert not any(isinstance(shard, ProcMultiRegisterStore)
+                       for shard in kv.shards.values())
+
+    def test_granularity_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ProcMultiRegisterStore(RegularStorageProtocol, MULTIPROC,
+                                   str(tmp_path), granularity="thread")
+
+
+# ---------------------------------------------------------------------------
+# serving over child processes
+# ---------------------------------------------------------------------------
+
+
+class TestMultiprocServing:
+    def test_put_get_over_processes(self, tmp_path):
+        async def scenario():
+            store = ProcMultiRegisterStore(
+                RegularStorageProtocol, MULTIPROC, str(tmp_path),
+                granularity="group")
+            async with store:
+                await store.write("k1", "v1")
+                assert await store.read("k1") == "v1"
+                await store.write_many({f"b{i}": i for i in range(16)})
+                got = await store.read_many([f"b{i}" for i in range(16)])
+                assert got == {f"b{i}": i for i in range(16)}
+            # a second stop is idempotent
+            await store.stop()
+
+        run(scenario())
+
+    def test_multiproc_fault_verbs(self, tmp_path):
+        async def scenario():
+            store = ProcMultiRegisterStore(
+                RegularStorageProtocol, MULTIPROC, str(tmp_path),
+                granularity="group")
+            async with store:
+                with pytest.raises(ConfigurationError):
+                    store.make_byzantine(0, object())
+                with pytest.raises(ConfigurationError):
+                    store.replace_object(0, automaton=object())
+                # replacement-is-restart: hands back a fresh automaton
+                assert store.replace_object(0) is not None
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# kill -9 and recover (WAL + snapshot + heal), atomicity-checked
+# ---------------------------------------------------------------------------
+
+
+class TestKillAndRecover:
+    def test_kill_recover_preserves_atomicity(self, tmp_path):
+        """SIGKILL one replica mid-load; recovery must leave zero
+        violations under :func:`check_mwmr_atomicity`."""
+
+        async def scenario():
+            config = SystemConfig.optimal(
+                t=1, b=1, num_writers=2).with_deployment("multiproc")
+            cluster = Cluster(AtomicStorageProtocol, config, num_shards=1,
+                              granularity="replica", record_history=True,
+                              data_dir=str(tmp_path))
+            async with cluster:
+                shard = next(iter(cluster.kv.shards.values()))
+                async with cluster.session() as session:
+                    for i in range(6):
+                        await session.put(f"k{i}", i)
+                    cluster.kv.crash_replica("k0", 1)  # real SIGKILL
+                    for i in range(6, 12):
+                        await session.put(f"k{i}", i)
+                    for _ in range(400):  # await supervisor restart
+                        if shard.supervisor.restarts.get(1):
+                            break
+                        await asyncio.sleep(0.05)
+                    assert shard.supervisor.restarts.get(1) == 1
+                    await asyncio.sleep(0.3)  # let auto-heal settle
+                    for i in range(12):
+                        assert await session.get(f"k{i}") == i
+                result = cluster.admin().check(check_mwmr_atomicity)
+                assert result.checked_reads > 0
+                assert not result.violations, result.violations
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# conditional writes
+# ---------------------------------------------------------------------------
+
+
+class TestPutIf:
+    def _cluster(self):
+        return Cluster(RegularStorageProtocol,
+                       SystemConfig.optimal(t=1, b=1, num_writers=2),
+                       num_shards=2)
+
+    def test_put_if_matches_and_chains(self):
+        async def scenario():
+            async with self._cluster() as cluster:
+                async with cluster.session() as s:
+                    tag1 = await s.put_if("a", 1, None)  # fresh key
+                    assert tag1 is not None
+                    tag2 = await s.put_if("a", 2, tag1)
+                    assert tag2 > tag1
+                    assert await s.get("a") == 2
+
+        run(scenario())
+
+    def test_put_if_mismatch_raises_without_writing(self):
+        async def scenario():
+            async with self._cluster() as cluster:
+                async with cluster.session() as s:
+                    await s.put("a", 1)
+                    _, tag = await s.get_tagged("a")
+                    with pytest.raises(PreconditionFailedError) as exc:
+                        await s.put_if("a", 99, None)
+                    assert exc.value.expected is None
+                    assert exc.value.observed == tag
+                    assert await s.get("a") == 1  # untouched
+                    # stale tag (pre-bump) also refused
+                    await s.put("a", 2)
+                    with pytest.raises(PreconditionFailedError):
+                        await s.put_if("a", 99, tag)
+                    assert await s.get("a") == 2
+
+        run(scenario())
+
+    def test_precondition_failure_is_not_retried(self):
+        assert not any(issubclass(PreconditionFailedError, cls)
+                       for cls in RETRYABLE)
+        assert not RetryPolicy().handles(
+            PreconditionFailedError("x", None, None))
+
+
+# ---------------------------------------------------------------------------
+# typed reconnect error
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaUnavailable:
+    def test_policy_absorbs_unavailability(self):
+        assert ReplicaUnavailableError in RETRYABLE
+        assert RetryPolicy().handles(ReplicaUnavailableError("gone"))
+        assert not RetryPolicy(retry_unavailable=False).handles(
+            ReplicaUnavailableError("gone"))
+
+    def test_broken_pipe_maps_to_typed_error_then_reconnects(self):
+        async def scenario():
+            protocol = RegularStorageProtocol()
+            config = SystemConfig.optimal(t=1, b=1)
+            automaton = protocol.make_objects(config)[0]
+            server = TcpObjectServer(automaton)
+            port = await server.start()
+            client = TcpStorageClient(WRITER, [("127.0.0.1", port)])
+            await client.connect()
+            frame = _frame_binary(WRITER, TagQuery(nonce=0))
+            try:
+                # the replica dies: listener gone, connection reset
+                await server.stop()
+                client._connections[0][1].transport.abort()
+                await asyncio.sleep(0)
+                with pytest.raises(ReplicaUnavailableError):
+                    # dead peer: one reconnect attempt, then typed error
+                    await client._write_frame(0, frame)
+                # replica back on the same port: the write path recovers
+                server2 = TcpObjectServer(automaton, port=port)
+                await server2.start()
+                try:
+                    await client._write_frame(0, frame)
+                finally:
+                    await server2.stop()
+            finally:
+                await client.close()
+
+        run(scenario())

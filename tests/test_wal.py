@@ -1,0 +1,334 @@
+"""WAL + snapshot durability (:mod:`repro.runtime.wal`).
+
+Three families:
+
+1. record framing: CRC-framed round-trips over generated frame
+   payloads, including torn-tail truncation on arbitrary cut points;
+2. frame codec: ``unpack_frame(pack_frame(...))`` over generated
+   durable protocol messages;
+3. snapshot + replay equivalence: an automaton recovered from
+   snapshot + WAL holds the same top tag, value and fence state as the
+   automaton that processed the original message stream.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata.base import resolve_batch_handler
+from repro.config import SystemConfig
+from repro.core.regular import RegularStorageProtocol
+from repro.messages import EpochFence, Pw, ReadRequest, TagQuery, W
+from repro.runtime.wal import (DURABLE_TYPES, FrameCompactor,
+                               ReplicaDurability, SnapshotStore,
+                               WriteAheadLog, is_durable, pack_frame,
+                               scan_records, unpack_frame)
+from repro.types import (TimestampValue, TsrArray, WriteTuple, WriterTag,
+                         obj, reader, writer)
+
+CONFIG = SystemConfig.optimal(t=1, b=1, num_readers=2)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+registers = st.sampled_from(["k0", "key:1", "a/b·c"])
+epochs = st.integers(min_value=1, max_value=2**32)
+wids = st.integers(min_value=0, max_value=2**10)
+
+
+def _tsval(ts, wid):
+    return TimestampValue(ts, f"v{ts}.{wid}", wid=wid)
+
+
+def _wtuple(ts, wid):
+    tsr = TsrArray(tuple((0,) * CONFIG.num_readers
+                         for _ in range(CONFIG.num_objects)))
+    return WriteTuple(_tsval(ts, wid), tsr)
+
+
+@st.composite
+def durable_messages(draw):
+    register_id = draw(registers)
+    shape = draw(st.integers(min_value=0, max_value=2))
+    if shape == 2:
+        return EpochFence(nonce=draw(st.integers(0, 2**20)),
+                          epoch=draw(epochs), register_id=register_id,
+                          hard=draw(st.booleans()),
+                          lift=draw(st.booleans()))
+    ts, wid = draw(epochs), draw(wids)
+    cls = Pw if shape == 0 else W
+    return cls(ts=ts, pw=_tsval(ts, wid), w=_wtuple(ts - 1 or 1, wid),
+               register_id=register_id, wid=wid)
+
+
+@st.composite
+def senders(draw):
+    role = draw(st.integers(0, 2))
+    index = draw(st.integers(0, 8))
+    return (writer, reader, obj)[role](index)
+
+
+# ---------------------------------------------------------------------------
+# 1. record framing
+# ---------------------------------------------------------------------------
+
+
+class TestRecordFraming:
+    @given(payloads=st.lists(st.binary(min_size=0, max_size=200),
+                             max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_scan_recovers_all_records(self, tmp_path_factory, payloads):
+        path = str(tmp_path_factory.mktemp("wal") / "wal.bin")
+        log = WriteAheadLog(path, fsync="never")
+        for payload in payloads:
+            log.append(payload)
+        log.close()
+        with open(path, "rb") as fh:
+            recovered, good_end = scan_records(fh.read())
+        assert recovered == payloads
+        assert good_end == os.path.getsize(path)
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=12),
+           st.integers(min_value=1, max_value=10_000),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_torn_tail_is_truncated(self, payloads, cut, flip):
+        blob = b""
+        boundaries = [0]
+        log_records = []
+        for payload in payloads:
+            import struct
+            import zlib
+            blob += struct.pack("<II", len(payload),
+                                zlib.crc32(payload)) + payload
+            boundaries.append(len(blob))
+            log_records.append(payload)
+        cut = min(cut, len(blob))
+        torn = blob[:cut]
+        if flip and cut > 0:
+            # also corrupt the final byte, not just shorten the file
+            torn = torn[:-1] + bytes([torn[-1] ^ 0xFF])
+        recovered, good_end = scan_records(torn)
+        # the verified prefix is exactly the records wholly intact
+        assert good_end in boundaries
+        assert recovered == log_records[:boundaries.index(good_end)]
+
+    def test_replay_truncates_file_and_appends_continue(self, tmp_path):
+        path = str(tmp_path / "wal.bin")
+        log = WriteAheadLog(path, fsync="always")
+        log.append(b"one")
+        log.append(b"two")
+        log.close()
+        # simulate a torn append
+        with open(path, "ab") as fh:
+            fh.write(b"\x99\x00\x00\x00garbage")
+        log = WriteAheadLog(path, fsync="always")
+        assert log.replay() == [b"one", b"two"]
+        log.append(b"three")
+        log.close()
+        log = WriteAheadLog(path)
+        assert log.replay() == [b"one", b"two", b"three"]
+        log.close()
+
+    def test_reset_empties_the_log(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.bin"))
+        log.append(b"gone")
+        log.reset()
+        assert log.replay() == []
+        log.append(b"kept")
+        assert log.replay() == [b"kept"]
+        log.close()
+
+
+# ---------------------------------------------------------------------------
+# 2. frame codec
+# ---------------------------------------------------------------------------
+
+
+class TestFrameCodec:
+    @given(senders(), durable_messages())
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_roundtrip(self, sender, message):
+        sender2, message2 = unpack_frame(pack_frame(sender, message))
+        assert sender2 == sender
+        assert message2 == message
+
+    def test_is_durable_classification(self):
+        assert is_durable(Pw(ts=1, pw=_tsval(1, 0), w=_wtuple(1, 0)))
+        assert is_durable(W(ts=1, pw=_tsval(1, 0), w=_wtuple(1, 0)))
+        assert is_durable(EpochFence(nonce=0, epoch=3))
+        assert not is_durable(TagQuery(nonce=0))
+        assert not is_durable(ReadRequest(round_index=1, tsr=1,
+                                          reader_index=0))
+
+    @given(sender=senders(), message=durable_messages())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_durability_roundtrip_through_files(self, tmp_path_factory,
+                                                sender, message):
+        directory = str(tmp_path_factory.mktemp("replica"))
+        store = ReplicaDurability(directory, fsync="never")
+        store.log(sender, message)
+        store.close()
+        recovered = ReplicaDurability(directory).recover()
+        assert recovered == [(sender, message)]
+
+
+# ---------------------------------------------------------------------------
+# 3. snapshot + replay equivalence
+# ---------------------------------------------------------------------------
+
+
+def _drive(automaton, stream, durability=None):
+    """Feed ``(sender, message)`` pairs, optionally logging them."""
+    handler = resolve_batch_handler(automaton)
+    for sender, message in stream:
+        if durability is not None:
+            durability.log(sender, message)
+        handler(sender, (message,), [])
+
+
+def _write_stream(keys, writes_per_key):
+    stream = []
+    for key in keys:
+        for ts in range(1, writes_per_key + 1):
+            pw, w = _tsval(ts, 0), _wtuple(max(ts - 1, 1), 0)
+            stream.append((writer(0), Pw(ts=ts, pw=pw, w=w,
+                                         register_id=key)))
+            stream.append((writer(0), W(ts=ts, pw=pw, w=_wtuple(ts, 0),
+                                        register_id=key)))
+    return stream
+
+
+class TestSnapshotReplayEquivalence:
+    def _fresh(self):
+        return RegularStorageProtocol().make_objects(CONFIG)[0]
+
+    def _assert_equivalent(self, reference, recovered, keys):
+        for key in keys:
+            ref, rec = reference._slot(key), recovered._slot(key)
+            assert rec.top_tag() == ref.top_tag()
+            top = ref.top_tag()
+            assert rec.history[top] == ref.history[top]
+
+    def test_wal_only_replay_matches(self, tmp_path):
+        keys = ["a", "b", "c"]
+        stream = _write_stream(keys, writes_per_key=5)
+        durability = ReplicaDurability(str(tmp_path), fsync="never")
+        reference = self._fresh()
+        _drive(reference, stream, durability)
+        durability.close()
+
+        recovered_store = ReplicaDurability(str(tmp_path))
+        recovered = self._fresh()
+        _drive(recovered, recovered_store.recover())
+        self._assert_equivalent(reference, recovered, keys)
+
+    def test_snapshot_plus_wal_replay_matches(self, tmp_path):
+        keys = ["a", "b"]
+        durability = ReplicaDurability(str(tmp_path), fsync="never")
+        reference = self._fresh()
+        # first burst -> snapshot, second burst stays in the WAL
+        first = _write_stream(keys, writes_per_key=4)
+        _drive(reference, first, durability)
+        assert durability.take_snapshot() > 0
+        second = []
+        for key in keys:
+            for ts in range(5, 8):
+                pw, w = _tsval(ts, 0), _wtuple(ts - 1, 0)
+                second.append((writer(0), Pw(ts=ts, pw=pw, w=w,
+                                             register_id=key)))
+                second.append((writer(0), W(ts=ts, pw=pw,
+                                            w=_wtuple(ts, 0),
+                                            register_id=key)))
+        _drive(reference, second, durability)
+        durability.close()
+
+        recovered_store = ReplicaDurability(str(tmp_path))
+        recovered = self._fresh()
+        _drive(recovered, recovered_store.recover())
+        self._assert_equivalent(reference, recovered, keys)
+
+    def test_snapshot_bounds_state_and_truncates_wal(self, tmp_path):
+        durability = ReplicaDurability(str(tmp_path), fsync="never")
+        _drive(self._fresh(), _write_stream(["k"], 50), durability)
+        assert durability.records_since_snapshot == 100
+        frames = durability.take_snapshot()
+        # 50 writes compact to the top Pw + W of the one register
+        assert frames == 2
+        assert durability.records_since_snapshot == 0
+        assert durability.wal.replay() == []
+        durability.close()
+
+    def test_fence_state_survives_recovery(self, tmp_path):
+        durability = ReplicaDurability(str(tmp_path), fsync="never")
+        reference = self._fresh()
+        stream = _write_stream(["k"], 3) + [
+            (writer(0), EpochFence(nonce=1, epoch=9, register_id="k")),
+        ]
+        _drive(reference, stream, durability)
+        durability.take_snapshot()
+        durability.close()
+
+        recovered = self._fresh()
+        _drive(recovered, ReplicaDurability(str(tmp_path)).recover())
+        # a write below the recovered fence is refused on both automata
+        low = Pw(ts=5, pw=_tsval(5, 0), w=_wtuple(4, 0), register_id="k")
+        for automaton in (reference, recovered):
+            sink = []
+            resolve_batch_handler(automaton)(writer(0), (low,), sink)
+            kinds = [type(m).__name__ for m in sink]
+            assert "WriteFenced" in kinds, kinds
+
+    def test_fence_lift_clears_digest(self):
+        compactor = FrameCompactor()
+        compactor.observe(writer(0), EpochFence(nonce=1, epoch=9,
+                                                register_id="k",
+                                                hard=True))
+        compactor.observe(writer(0), EpochFence(nonce=2, epoch=0,
+                                                register_id="k",
+                                                lift=True))
+        frames = compactor.snapshot_frames()
+        assert frames == []  # nothing durable left for the register
+
+    def test_corrupt_snapshot_degrades_to_prefix(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        frames = [pack_frame(writer(0), m)
+                  for _, m in _write_stream(["k"], 2)]
+        store.save(frames)
+        with open(store.path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)[0]
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last ^ 0xFF]))
+        loaded = store.load()
+        assert loaded == frames[:-1]
+
+
+class TestConfigKnobs:
+    def test_deployment_validation(self):
+        with pytest.raises(Exception):
+            SystemConfig.optimal(t=1, b=1).with_deployment("clustered")
+        with pytest.raises(Exception):
+            SystemConfig.optimal(t=1, b=1).with_deployment(
+                "multiproc", wal_fsync="sometimes")
+        config = SystemConfig.optimal(t=1, b=1).with_deployment(
+            "multiproc", wal_fsync="always")
+        assert config.deployment == "multiproc"
+        assert config.wal_fsync == "always"
+        assert config.quorum_size == 3  # the rest of the config is kept
+
+    def test_fsync_policies_all_replayable(self, tmp_path):
+        for fsync in ("always", "batch", "never"):
+            path = str(tmp_path / f"wal-{fsync}.bin")
+            log = WriteAheadLog(path, fsync=fsync)
+            for i in range(70):  # crosses the batch-sync interval
+                log.append(b"x%d" % i)
+            log.close()
+            log = WriteAheadLog(path)
+            assert len(log.replay()) == 70
+            log.close()
