@@ -27,6 +27,7 @@ exercising serialization, framing and genuine OS-level interleaving.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import struct
 from typing import Any, Dict, List, Optional, Tuple
@@ -136,7 +137,10 @@ class TcpObjectServer:
     *before* the automaton processes it -- the multiproc replica
     runtime hangs its write-ahead log here, so a message's effects
     cannot be acknowledged without its frame having been offered to
-    the log first.
+    the log first.  The hook may be a coroutine function (e.g.
+    :meth:`~repro.runtime.wal.ReplicaDurability.log_async`, which
+    fsyncs in an executor); its awaitable is awaited before the
+    message is handled.
     """
 
     def __init__(self, automaton: ObjectAutomaton,
@@ -179,7 +183,9 @@ class TcpObjectServer:
                 parts = unbatch(message)
                 if self.frame_hook is not None:
                     for part in parts:
-                        self.frame_hook(sender, part)
+                        hooked = self.frame_hook(sender, part)
+                        if inspect.isawaitable(hooked):
+                            await hooked
                 # One request frame -> at most one response frame: the
                 # batch fast path appends every reply to the requester
                 # into one sink, coalesced into a single Batch frame.

@@ -37,6 +37,7 @@ from nothing.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import struct
 import zlib
@@ -106,12 +107,15 @@ def scan_records(blob: bytes) -> Tuple[List[bytes], int]:
 class WriteAheadLog:
     """An append-only log of binary wire frames with CRC framing.
 
-    ``fsync`` selects the durability/latency trade-off: ``"always"``
-    syncs every append, ``"batch"`` every
+    Every append is ``flush()``\\ ed into the kernel page cache before it
+    returns: a record acknowledged to the caller survives ``kill -9`` of
+    the logging process under *every* policy -- userspace buffers die
+    with the process, the page cache does not.  ``fsync`` then selects
+    how much a whole-machine failure (power loss, kernel panic) may
+    cost: ``"always"`` syncs every append, ``"batch"`` every
     :data:`FSYNC_BATCH_INTERVAL` appends (and on :meth:`sync`/
-    :meth:`close`), ``"never"`` leaves flushing to the OS.  All three
-    keep the format torn-tail safe; the policy only bounds how much of
-    the tail a power loss may cost.
+    :meth:`close`), ``"never"`` leaves syncing to the OS.  All three
+    keep the format torn-tail safe.
     """
 
     def __init__(self, path: str, fsync: str = "batch"):
@@ -125,13 +129,35 @@ class WriteAheadLog:
     # -- writing ------------------------------------------------------------
     def append(self, payload: bytes) -> None:
         self._fh.write(_pack_record(payload))
+        self._fh.flush()  # past userspace: a SIGKILL now loses nothing
         if self.fsync == "always":
-            self._fh.flush()
             os.fsync(self._fh.fileno())
         elif self.fsync == "batch":
             self._appends_since_sync += 1
             if self._appends_since_sync >= FSYNC_BATCH_INTERVAL:
                 self.sync()
+
+    async def append_async(self, payload: bytes) -> None:
+        """:meth:`append` with any policy ``fsync`` off the event loop.
+
+        The write + flush happen inline (so record order matches call
+        order and the record already survives a process kill); a
+        policy-mandated ``os.fsync`` runs in the default executor and is
+        awaited, so a blocking disk sync never stalls an asyncio serving
+        loop while durable-before-ack is preserved -- the caller cannot
+        reply until the await returns.
+        """
+        self._fh.write(_pack_record(payload))
+        self._fh.flush()
+        if self.fsync == "always":
+            await asyncio.get_running_loop().run_in_executor(
+                None, os.fsync, self._fh.fileno())
+        elif self.fsync == "batch":
+            self._appends_since_sync += 1
+            if self._appends_since_sync >= FSYNC_BATCH_INTERVAL:
+                self._appends_since_sync = 0
+                await asyncio.get_running_loop().run_in_executor(
+                    None, os.fsync, self._fh.fileno())
 
     def sync(self) -> None:
         self._fh.flush()
@@ -335,6 +361,16 @@ class ReplicaDurability:
         self.compactor.observe(sender, message)
         self.wal.append(pack_frame(sender, message))
         self.records_since_snapshot += 1
+
+    async def log_async(self, sender: ProcessId, message: Any) -> None:
+        """:meth:`log` for asyncio serving loops: fsyncs run in the
+        default executor (awaited, so durable-before-ack holds) instead
+        of blocking every connection hosted by the loop."""
+        if not is_durable(message):
+            return
+        self.compactor.observe(sender, message)
+        self.records_since_snapshot += 1
+        await self.wal.append_async(pack_frame(sender, message))
 
     def take_snapshot(self) -> int:
         """Persist the digest and truncate the WAL; returns frame count."""

@@ -39,6 +39,7 @@ import time per child -- paid once per process lifetime.
 from __future__ import annotations
 
 import asyncio
+import logging
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -57,6 +58,8 @@ from ..runtime.tcp import TcpObjectServer, _frame_binary, read_frame
 from ..runtime.wal import ReplicaDurability
 from ..types import ProcessId, reader
 from .store import MultiRegisterStore
+
+_log = logging.getLogger(__name__)
 
 #: Seconds between supervisor liveness sweeps.
 MONITOR_INTERVAL = 0.05
@@ -108,8 +111,11 @@ async def _serve_replicas(spec: ReplicaSpec,
         for sender, message in store.recover():
             sink: Sink = []  # recovery replies go nowhere
             handler(sender, (message,), sink)
+        # log_async: the WAL's policy fsync runs in an executor, so a
+        # strict durability policy never stalls the child's one serving
+        # loop (the await still orders ack after durability).
         server = TcpObjectServer(automaton, host=spec.host, port=0,
-                                 frame_hook=store.log)
+                                 frame_hook=store.log_async)
         await server.start()
         servers[index] = server
         durability[index] = store
@@ -154,6 +160,11 @@ class ReplicaProcess:
 
     async def start(self, timeout: float = 30.0) -> Dict[int, int]:
         """Spawn the child and await its port report."""
+        # The previous incarnation's ports are stale the moment a new
+        # child spawns; clear them so port_of()/endpoints() report the
+        # replica as down (not at a dead -- or recycled -- port) until
+        # the new port report lands.
+        self.ports = {}
         ctx = multiprocessing.get_context("spawn")
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
@@ -345,10 +356,23 @@ class ReplicaProcessSupervisor:
             await asyncio.sleep(MONITOR_INTERVAL)
             for proc in self._procs:
                 if not proc.is_alive():
-                    await self._restart(proc)
+                    try:
+                        await self._restart(proc)
+                    except Exception:
+                        # A failed respawn (child died during startup,
+                        # port-report deadline) must not kill the
+                        # monitor: the child is still dead, so the next
+                        # sweep retries.
+                        _log.exception(
+                            "restart of replica child %s failed; "
+                            "retrying on the next sweep",
+                            proc.spec.indices)
             if next_ping is not None and loop.time() >= next_ping:
                 next_ping = loop.time() + self.ping_interval
-                await self._ping_sweep()
+                try:
+                    await self._ping_sweep()
+                except Exception:
+                    _log.exception("health-ping sweep failed")
 
     async def _ping_sweep(self) -> None:
         for proc in self._procs:
@@ -373,7 +397,14 @@ class ReplicaProcessSupervisor:
             self.restarts[index] = self.restarts.get(index, 0) + 1
         if self.on_restart is not None:
             for index in proc.spec.indices:
-                await self.on_restart(index)
+                try:
+                    await self.on_restart(index)
+                except Exception:
+                    # The child itself is up; a failed catch-up hook
+                    # leaves it merely slow-but-correct (WAL-recovered),
+                    # which the protocols tolerate.
+                    _log.exception(
+                        "on_restart hook failed for object %d", index)
 
 
 class _ObjectChannel:

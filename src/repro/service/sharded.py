@@ -25,19 +25,23 @@ flip routing atomically.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
+import shutil
 import tempfile
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Tuple)
 
 from ..automata.base import ObjectAutomaton
 from ..config import SystemConfig
-from ..errors import FencedWriteError
+from ..errors import FencedWriteError, ReproError
 from ..protocols import StorageProtocol
 from ..spec.histories import History
 from ..types import WriterTag, _Bottom
 from .hashing import HashRing
 from .store import MultiRegisterStore
+
+_log = logging.getLogger(__name__)
 
 
 async def _gather_abort_siblings(coros: List[Any]) -> List[Any]:
@@ -105,8 +109,10 @@ class ShardedKVStore:
         self._max_pending = max_pending_per_host
         self._granularity = granularity
         self._auto_heal = auto_heal
+        self._owns_data_dir = False
         if data_dir is None and config.deployment == "multiproc":
             data_dir = tempfile.mkdtemp(prefix="repro-multiproc-")
+            self._owns_data_dir = True
         self.data_dir = data_dir
         self.shards: Dict[int, MultiRegisterStore] = {
             shard: self.make_shard_store(shard)
@@ -161,9 +167,12 @@ class ShardedKVStore:
         was dead.  ``heal_replica`` closes that gap with the paper's own
         machinery (fence, snapshot reads, replay at higher tags), after
         which the replica counts toward quorums without any special
-        casing.  Failures are swallowed: a heal that loses a race with
-        another kill just leaves the replica where WAL recovery put it
-        -- a slow replica, which the protocols tolerate by design.
+        casing.  *Expected* failures -- a heal losing a race with
+        another kill, a fenced or timed-out round, a dropped socket --
+        are logged and swallowed: they leave the replica where WAL
+        recovery put it, a slow replica, which the protocols tolerate
+        by design.  Programming errors propagate instead (the
+        supervisor's monitor logs them and keeps sweeping).
         """
         store = self.shards.get(shard_id)
         if store is None or not self._started:
@@ -171,8 +180,11 @@ class ShardedKVStore:
         from .reconfig import ReconfigCoordinator  # avoid import cycle
         try:
             await ReconfigCoordinator(self).heal_replica(shard_id, index)
-        except Exception:
-            pass
+        except (ReproError, asyncio.TimeoutError, OSError) as exc:
+            _log.warning(
+                "heal of shard %d replica %d after restart failed "
+                "(%s: %s); replica rejoins with WAL-recovered state",
+                shard_id, index, type(exc).__name__, exc)
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "ShardedKVStore":
@@ -188,6 +200,11 @@ class ShardedKVStore:
         self._started = False
         for shard in self.shards.values():
             await shard.stop()
+        if self._owns_data_dir and self.data_dir is not None:
+            # We created this temp dir; a stopped store's WAL/snapshots
+            # have no further reader (restart recreates per-replica
+            # dirs on demand).
+            shutil.rmtree(self.data_dir, ignore_errors=True)
 
     async def __aenter__(self) -> "ShardedKVStore":
         return await self.start()
