@@ -38,6 +38,14 @@ mode gates on correctness (zero restarts, every read correct).  A
 vector-ack tripwire also checks batched rounds move strictly fewer
 envelopes than per-key operation fan-out.
 
+A seventh mode is **read-heavy fast reads**: a 10:1 read:write workload
+on the atomic protocol, run classic-first then re-run with the tag-lease
+fast path enabled on the *same started store*.  Uncontended, the fast
+phase must beat classic ops/s and move strictly fewer messages;
+contended (racing writers), the adaptive backoff must keep it within
+10% of classic -- with zero atomicity or fast-read freshness violations
+either way.
+
 All run the same protocol automata (Section 5.1 cached regular storage)
 on the same in-memory asyncio network.  Results go to a JSON file
 (default ``BENCH_service.json``) and the run fails if multiplexing is
@@ -66,13 +74,16 @@ from typing import Any, Dict, List
 
 from repro import SystemConfig
 from repro.api import Cluster, RetryPolicy
+from repro.core.atomic import AtomicStorageProtocol
 from repro.core.regular import CachedRegularStorageProtocol
 from repro.errors import (BusyRegisterError, FencedWriteError,
                           SnapshotContentionError)
 from repro.runtime import AsyncStorage
 from repro.service import (MultiRegisterStore, ReconfigCoordinator,
                            ShardedKVStore)
-from repro.spec.checkers import (check_mwmr_regularity,
+from repro.spec.checkers import (check_fast_read_freshness,
+                                 check_mwmr_atomicity,
+                                 check_mwmr_regularity,
                                  check_per_register,
                                  check_snapshot_consistency)
 
@@ -331,6 +342,138 @@ def bench_snapshots(num_keys: int) -> Dict[str, Any]:
           f"{row['elapsed_s']:.3f}s | "
           f"{'OK' if row['ok'] else 'FAIL'}")
     return row
+
+
+#: Read-heavy workload shape: reads per write, per round.
+READ_HEAVY_RATIO = 10
+
+
+async def _read_heavy_phase(store: MultiRegisterStore, keys: List[str],
+                            rounds: int, writers: int) -> Dict[str, Any]:
+    """One timed 10:1 read:write phase against an already-started store.
+
+    Each round issues one write per writer plus ``READ_HEAVY_RATIO``
+    reads per write, all concurrently (reads race the writes, as a real
+    read-mostly service would).  A warm-up read sweep outside the timer
+    arms reader-side caches -- and, when the fast path is enabled,
+    leases -- so classic and fast phases start from symmetric state.
+    """
+    await asyncio.gather(*(store.read(key) for key in keys))
+    n = len(keys)
+    mark = store.network.messages_sent
+    reads = writes = 0
+    started = time.perf_counter()
+    for r in range(rounds):
+        write_coros = [store.write(keys[(r + w) % n], f"w{w}-r{r}",
+                                   writer_index=w)
+                       for w in range(writers)]
+        total_reads = READ_HEAVY_RATIO * writers
+        read_coros = [store.read(keys[(r * total_reads + j) % n])
+                      for j in range(total_reads)]
+        await asyncio.gather(*write_coros, *read_coros)
+        writes += writers
+        reads += total_reads
+    elapsed = time.perf_counter() - started
+    ops = reads + writes
+    return {
+        "elapsed_s": elapsed,
+        "ops": ops,
+        "ops_per_s": ops / elapsed,
+        "reads": reads,
+        "writes": writes,
+        "messages_sent": store.network.messages_sent - mark,
+    }
+
+
+async def run_read_heavy(num_keys: int, rounds: int,
+                         writers: int) -> Dict[str, Any]:
+    """Classic vs fast reads on the *same started store*.
+
+    The atomic protocol makes the comparison sharpest (classic READ is
+    up to 3 rounds incl. write-back; a fast read is 1 probe round) and
+    lets the run gate on :func:`check_mwmr_atomicity` outright.  The
+    classic phase runs first with the fast path disabled, then
+    ``enable_fast_reads()`` flips the same store and the identical
+    workload re-runs -- same replica tasks, same network, same history.
+    """
+    config = (MWMR_CONFIG if writers > 1 else CONFIG)
+    keys = [f"key:{n}" for n in range(num_keys)]
+    async with MultiRegisterStore(AtomicStorageProtocol(), config,
+                                  record_history=True, seed=5) as store:
+        await store.write_many({key: f"init-{key}" for key in keys})
+        classic = await _read_heavy_phase(store, keys, rounds, writers)
+        store.enable_fast_reads()
+        fast = await _read_heavy_phase(store, keys, rounds, writers)
+        stats = store.stats()
+        atomicity = check_per_register(store.history,
+                                       check_mwmr_atomicity)
+        freshness = check_fast_read_freshness(store.history)
+    return {
+        "num_keys": num_keys,
+        "rounds": rounds,
+        "writers": writers,
+        "read_write_ratio": READ_HEAVY_RATIO,
+        "classic": classic,
+        "fast": fast,
+        "fast_speedup": fast["ops_per_s"] / classic["ops_per_s"],
+        "fast_reads_taken": stats["fast_reads_taken"],
+        "fast_read_fallbacks": stats["fast_read_fallbacks"],
+        "lease_invalidations": stats["lease_invalidations"],
+        "atomicity_violations": len(atomicity.violations),
+        "freshness_violations": len(freshness.violations),
+        "fast_reads_checked": freshness.checked_reads,
+    }
+
+
+def bench_read_heavy(num_keys: int, rounds: int,
+                     uncontended_gate: float) -> Dict[str, Any]:
+    """The fast-read headline numbers plus their tripwires.
+
+    * uncontended (single writer): fast phase must reach
+      ``uncontended_gate``x the classic ops/s *and* move strictly fewer
+      messages for the same operation count;
+    * contended (``MWMR_WRITERS`` racing writers): the adaptive backoff
+      must keep the fast phase within 10% of classic throughput;
+    * both: zero atomicity violations, zero fast-read freshness
+      violations, and the fast path must actually have fired.
+    """
+    gc.collect()
+    solo = asyncio.run(run_read_heavy(num_keys, rounds, writers=1))
+    gc.collect()
+    contended = asyncio.run(run_read_heavy(num_keys, rounds,
+                                           writers=MWMR_WRITERS))
+    messages_ok = (solo["fast"]["messages_sent"]
+                   < solo["classic"]["messages_sent"])
+    checkers_ok = all(
+        row["atomicity_violations"] == 0
+        and row["freshness_violations"] == 0
+        and row["fast_reads_checked"] > 0
+        for row in (solo, contended))
+    ok = (solo["fast_speedup"] >= uncontended_gate
+          and contended["fast_speedup"] >= 0.9
+          and messages_ok and checkers_ok)
+    print(f"  read-heavy {READ_HEAVY_RATIO}:1 | {num_keys} keys x "
+          f"{rounds} rounds | classic "
+          f"{solo['classic']['ops_per_s']:8.0f} op/s | fast "
+          f"{solo['fast']['ops_per_s']:8.0f} op/s | "
+          f"{solo['fast_speedup']:.2f}x | msgs "
+          f"{solo['fast']['messages_sent']}/"
+          f"{solo['classic']['messages_sent']}")
+    print(f"    contended x{MWMR_WRITERS} | classic "
+          f"{contended['classic']['ops_per_s']:8.0f} op/s | fast "
+          f"{contended['fast']['ops_per_s']:8.0f} op/s | "
+          f"{contended['fast_speedup']:.2f}x | "
+          f"{contended['fast_read_fallbacks']} fallbacks | "
+          f"{'OK' if ok else 'FAIL'}")
+    return {
+        "uncontended": solo,
+        "contended": contended,
+        "uncontended_gate": uncontended_gate,
+        "contended_gate": 0.9,
+        "fast_fewer_messages": messages_ok,
+        "checkers_clean": checkers_ok,
+        "ok": ok,
+    }
 
 
 async def run_serving_rounds(kv: ShardedKVStore, keys: List[str],
@@ -659,9 +802,16 @@ def main(argv: List[str] = None) -> int:
     # cross-shard snapshot-consistency regressions.
     reshard = bench_reshard(gate_keys)
     snapshots = bench_snapshots(min(gate_keys, 16))
+    # Read-heavy mode: the contention-adaptive fast-read gate.  Smoke
+    # runs fewer rounds on the smaller keyspace with a relaxed speedup
+    # floor (same spirit as the 3x -> 2x multiplexing gate).
     if args.smoke:
+        read_heavy = bench_read_heavy(64, rounds=30,
+                                      uncontended_gate=1.15)
         multiproc = bench_multiproc(32, [1, 2], rounds=2)
     else:
+        read_heavy = bench_read_heavy(256, rounds=100,
+                                      uncontended_gate=1.3)
         multiproc = bench_multiproc(64, [1, 2, 4], rounds=3)
 
     gated = next(r for r in results if r["num_keys"] == gate_keys)
@@ -689,6 +839,7 @@ def main(argv: List[str] = None) -> int:
         "codec_microbench": codec,
         "reshard_under_load": reshard,
         "snapshot_reads_under_load": snapshots,
+        "read_heavy_fast_reads": read_heavy,
         "multiproc_scaling": multiproc,
         "vector_ack_messages": ack,
         "claim": f"multiplexed >= {gate}x per-key baseline at "
@@ -700,14 +851,18 @@ def main(argv: List[str] = None) -> int:
                  "under mixed writers; batched rounds send fewer "
                  "envelopes than unbatched; multiproc serving stays "
                  "correct with zero restarts (and scales >= 2x over "
-                 f"inproc when cpu_count >= {MULTIPROC_SCALE_MIN_CPUS})",
+                 f"inproc when cpu_count >= {MULTIPROC_SCALE_MIN_CPUS}); "
+                 f"read-heavy {READ_HEAVY_RATIO}:1 fast reads beat "
+                 "classic uncontended with strictly fewer messages, "
+                 "stay within 10% of classic contended, and pass the "
+                 "atomicity + fast-read freshness checkers",
         f"speedup_at_{gate_keys}": gated["speedup"],
         "pr4_multiplexed_ops_per_s_256": PR4_MULTIPLEXED_OPS_256,
         "speedup_vs_pr4": (round(vs_pr4, 2)
                            if vs_pr4 is not None else None),
         "ok": (gated["speedup"] >= gate and reshard["ok"]
                and snapshots["ok"] and codec["speedup"] > 1.0
-               and multiproc["ok"] and ack["ok"]
+               and multiproc["ok"] and ack["ok"] and read_heavy["ok"]
                and (vs_pr4 is None or vs_pr4 >= 1.5)),
     }
     with open(args.output, "w") as fh:
@@ -717,7 +872,9 @@ def main(argv: List[str] = None) -> int:
           + (f"; vs PR-4: {vs_pr4:.2f}x" if vs_pr4 is not None else "")
           + f"; codec {codec['speedup']:.2f}x; reshard "
           f"{'OK' if reshard['ok'] else 'FAIL'}; snapshots "
-          f"{'OK' if snapshots['ok'] else 'FAIL'}; multiproc "
+          f"{'OK' if snapshots['ok'] else 'FAIL'}; fast reads "
+          f"{read_heavy['uncontended']['fast_speedup']:.2f}x "
+          f"{'OK' if read_heavy['ok'] else 'FAIL'}; multiproc "
           f"{multiproc['scaling_ratio']:.2f}x "
           f"{'OK' if multiproc['ok'] else 'FAIL'}; vector-ack "
           f"{'OK' if ack['ok'] else 'FAIL'} "

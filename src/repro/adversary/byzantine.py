@@ -30,8 +30,9 @@ from typing import Any, List, Optional
 
 from ..automata.base import ObjectAutomaton, Outgoing
 from ..config import SystemConfig
-from ..messages import (HistoryEntry, HistoryReadAck, Pw, PwAck, ReadAck,
-                        ReadRequest, TagQueryAck, W, WriteAck)
+from ..messages import (HistoryEntry, HistoryReadAck, LeaseProbeAck, Pw,
+                        PwAck, ReadAck, ReadRequest, TagQueryAck, W,
+                        WriteAck)
 from ..types import (BOTTOM, ProcessId, TimestampValue, TsrArray, WriterTag,
                      WriteTuple, as_tag)
 
@@ -295,6 +296,10 @@ class StaleTagForger(ByzantineWrapper):
     lower it below any completed write's tag), and a forged stale
     candidate gathers at most ``b < b + 1`` confirmations so ``safe(c)``
     never holds for it -- the satellite the MWMR test suite pins down.
+
+    The same stale story is told to lease probes (fast reads): the
+    forger vouches for whatever lease is probed, so it is the honest
+    quorum majority that must -- and does -- outvote it.
     """
 
     def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
@@ -345,6 +350,25 @@ class StaleTagForger(ByzantineWrapper):
                     tsr=payload.tsr,
                     object_index=payload.object_index,
                     history=history,
+                    register_id=payload.register_id,
+                )
+            elif isinstance(payload, LeaseProbeAck):
+                # Vouch for any lease: under-report the top tag so the
+                # probe sees no newer write, claim the leased tuple is
+                # held, and hide any fence.  With at most ``b`` such
+                # forgers a probe for a genuinely superseded lease still
+                # hears the newer tag (or a fence) from every honest
+                # member of the quorum it reached -- one honest
+                # refutation forces the classic fallback -- and a probe
+                # whose value is not actually quorum-held cannot reach
+                # ``b + 1`` holds votes on forged acks alone.
+                payload = LeaseProbeAck(
+                    nonce=payload.nonce,
+                    object_index=payload.object_index,
+                    epoch=self.forged_tag.epoch,
+                    wid=self.forged_tag.writer_id,
+                    holds=True,
+                    fenced=False,
                     register_id=payload.register_id,
                 )
             out.append((receiver, payload))

@@ -125,14 +125,16 @@ class Cluster:
                  record_history: bool = False,
                  data_dir: Optional[str] = None,
                  granularity: str = "group",
-                 auto_heal: bool = True):
+                 auto_heal: bool = True,
+                 fast_reads: bool = False):
         self.kv = ShardedKVStore(
             protocol_factory, config, num_shards=num_shards,
             jitter=jitter, seed=seed, vnodes=vnodes,
             default_timeout=default_timeout, batching=batching,
             max_pending_per_host=max_pending_per_host,
             record_history=record_history, data_dir=data_dir,
-            granularity=granularity, auto_heal=auto_heal)
+            granularity=granularity, auto_heal=auto_heal,
+            fast_reads=fast_reads)
         self._owns_store = True
         self._bind()
 

@@ -260,6 +260,13 @@ class Session:
                 expected = (TAG0 if expected_tag is None else expected_tag)
                 found = TAG0 if observed is None else observed
                 if found != expected:
+                    # The caller's picture of the key is stale; so is any
+                    # read lease minted from it.  Drop the lease so the
+                    # caller's recovery read goes through classic rounds
+                    # and re-arms on fresh evidence.
+                    invalidate = getattr(kv, "invalidate_leases", None)
+                    if invalidate is not None:
+                        invalidate([key])
                     raise PreconditionFailedError(
                         f"put_if({key!r}) expected tag "
                         f"{None if expected == TAG0 else expected} but "
@@ -276,7 +283,17 @@ class Session:
     async def get(self, key: str,
                   consistency: Optional[Consistency] = None,
                   timeout: Optional[float] = None) -> Optional[Any]:
-        """Read one key (``None`` if never written)."""
+        """Read one key (``None`` if never written).
+
+        The read takes the strongest path admissible at the declared
+        consistency: when the cluster runs with fast reads enabled, a
+        held tag lease is probed first (one round) and the classic
+        quorum rounds are the transparent fallback -- lease grants are
+        taken only from evidence meeting the protocol's own semantics
+        (completed classic reads, quorum-acked writes, certified
+        snapshot cuts), so the fast path never weakens the consistency
+        this session declared.
+        """
         self._check_open()
         self._resolve(consistency, f"get({key!r})")
         kv = self._cluster.kv
@@ -393,6 +410,13 @@ class Session:
         values = {key: value for key, (value, _) in collect.items()}
         tags = {key: tag for key, (_, tag) in collect.items()}
         rounds = round_number if key_list else 0
+        # The confirming collect certified every (tag, value) pair with a
+        # completed read, which is lease-grade evidence: seed the reader
+        # caches so follow-up gets on snapshotted keys can go fast.
+        grant = getattr(kv, "grant_read_leases", None)
+        if grant is not None and key_list:
+            grant({key: (tags[key], values[key])
+                   for key in key_list if tags[key] is not None})
         if history is not None:
             history.record_snapshot(begin, tags, values,
                                     client=reader(self.reader_index))

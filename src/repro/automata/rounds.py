@@ -11,6 +11,7 @@ freshness key.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generic, List, Optional, Set, TypeVar
 
 from ..types import TAG0, WriterTag
@@ -102,3 +103,107 @@ class TagDiscovery:
     def chosen_tag(self) -> WriterTag:
         """The tag this writer installs: bumped epoch, own writer id."""
         return self.max_tag.next_for(self.writer_id)
+
+
+# ---------------------------------------------------------------------------
+# Tag leases (contention-adaptive fast reads)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TagLease:
+    """A certified ``(tag, value)`` a reader may try to fast-read from.
+
+    A lease is *granted* only from quorum-held evidence: a completed write
+    ack, an atomic read (post write-back), a regular read on a regular
+    cluster, or a certified snapshot collect.  Holding one entitles the
+    reader to attempt a single-round :class:`~repro.messages.LeaseProbe`
+    instead of full history collection; it guarantees nothing by itself --
+    the probe round re-certifies freshness against a live quorum.
+
+    ``failures`` drives contention adaptivity: consecutive fallbacks grow
+    an exponential backoff of classic reads that skip the probe entirely,
+    so a contended register degrades to classic-round cost (plus nothing)
+    instead of paying probe + classic on every read.
+    """
+
+    tag: WriterTag
+    value: Any
+    failures: int = 0
+    skips_left: int = 0
+
+    #: cap the probe-skipping backoff at this many classic reads.
+    MAX_SKIPS = 64
+
+    def refresh(self, tag: WriterTag, value: Any) -> None:
+        """Adopt newer certified evidence (monotone in the tag order)."""
+        if tag >= self.tag:
+            self.tag = tag
+            self.value = value
+
+    def record_hit(self) -> None:
+        self.failures = 0
+        self.skips_left = 0
+
+    def record_fallback(self) -> None:
+        self.failures += 1
+        self.skips_left = min(self.MAX_SKIPS, 1 << min(self.failures, 6))
+
+    def should_probe(self) -> bool:
+        """Whether the next read should attempt the fast path at all."""
+        if self.skips_left > 0:
+            self.skips_left -= 1
+            return False
+        return True
+
+
+class LeaseValidation:
+    """Collects :class:`~repro.messages.LeaseProbeAck` verdicts for a probe.
+
+    The fast read returns iff a quorum of fresh acks arrives in which
+
+    * **every** ack's top tag is at most the lease tag (any honest object
+      reporting a newer tag refutes the lease -- by quorum intersection a
+      completed newer write overlaps the responders in ``S - 2t >= b + 1``
+      objects, at least one honest),
+    * **no** ack reports a fence (a fenced register is mid-handoff; the
+      classic path re-routes), and
+    * at least ``b + 1`` acks confirm they *hold* the leased write
+      complete -- one of them is honest, so the leased value really is a
+      quorum-installed write, defending against restarted-empty replicas
+      and Byzantine confirmation.
+
+    The decision is taken at the first quorum of fresh acks, mirroring
+    :class:`TagDiscovery`; any refutation before that point short-circuits
+    to fallback immediately.
+    """
+
+    def __init__(self, nonce: int, quorum: int,
+                 confirmation_threshold: int, lease_tag: WriterTag):
+        self.collector: RoundCollector[Any] = RoundCollector(
+            round_index=0, freshness=nonce)
+        self.quorum = quorum
+        self.confirmation_threshold = confirmation_threshold
+        self.lease_tag = lease_tag
+        self.holds = 0
+        self.refuted = False
+
+    def offer(self, object_index: int, echoed_nonce: int, ack: Any) -> bool:
+        """Record one probe ack; returns True if fresh and new."""
+        if not self.collector.offer(object_index, echoed_nonce, ack):
+            return False
+        if ack.fenced or ack.tag > self.lease_tag:
+            self.refuted = True
+        if ack.holds:
+            self.holds += 1
+        return True
+
+    def decided(self) -> bool:
+        """The probe round has an outcome (valid or refuted)."""
+        return self.refuted or self.collector.has_quorum(self.quorum)
+
+    def valid(self) -> bool:
+        """Quorum collected, nothing refuted, b+1 confirmations."""
+        return (not self.refuted
+                and self.collector.has_quorum(self.quorum)
+                and self.holds >= self.confirmation_threshold)

@@ -12,6 +12,7 @@ from ...protocols import ATOMIC
 from ...types import DEFAULT_REGISTER, TAG0, ProcessId, WriteTuple, obj
 from ..regular import (RegularObject, RegularReaderState,
                        RegularReadOperation, RegularStorageProtocol)
+from ..regular.reader import PHASE_WRITE_BACK
 
 
 @dataclass(frozen=True)
@@ -81,7 +82,8 @@ class AtomicReadOperation(RegularReadOperation):
         if self.done or not sender.is_object:
             return
         if isinstance(message, WriteBackAck):
-            if (self.phase == 3 and message.nonce == self._wb_nonce
+            if (self.phase == PHASE_WRITE_BACK
+                    and message.nonce == self._wb_nonce
                     and message.register_id == self.register_id):
                 self._wb_ackers.add(sender.index)
             return
@@ -90,9 +92,14 @@ class AtomicReadOperation(RegularReadOperation):
     def advance(self, sink: Sink, leftovers: Outgoing) -> None:
         if self.done:
             return
-        if self.phase == 3:
+        if self.phase == PHASE_WRITE_BACK:
             if len(self._wb_ackers) >= self.config.quorum_size:
                 self.tag = self._chosen.tag
+                # Write-back reached a quorum: the chosen tuple is now
+                # quorum-held, which is exactly the certification a lease
+                # needs under *atomic* semantics.
+                self.state.grant_lease(self._chosen.tag,
+                                       self._chosen.tsval.value)
                 self.complete(self._chosen.tsval.value)
             return
         super().advance(sink, leftovers)
@@ -104,7 +111,7 @@ class AtomicReadOperation(RegularReadOperation):
 
     # ------------------------------------------------------------------
     def _maybe_return(self) -> None:
-        if self.done or self.phase == 3:
+        if self.done or self.phase == PHASE_WRITE_BACK:
             return
         candidate = self.evidence.returnable()
         if candidate is None:
@@ -121,7 +128,7 @@ class AtomicReadOperation(RegularReadOperation):
         self._begin_write_back(candidate)
 
     def _begin_write_back(self, candidate: WriteTuple) -> None:
-        self.phase = 3
+        self.phase = PHASE_WRITE_BACK
         self._chosen = candidate
         self.state.tsr += 1        # fresh nonce from the reader's clock
         self._wb_nonce = self.state.tsr

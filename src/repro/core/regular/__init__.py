@@ -33,6 +33,10 @@ class RegularStorageProtocol(StorageProtocol):
     read_rounds_worst_case = 2
     requires_authentication = False
     readers_write = True
+    #: reader states understand tag leases (service-tier opt-in); a
+    #: fallback fast read costs the probe round on top of the classic
+    #: bound, so the advertised worst case only holds classic-only.
+    supports_fast_reads = True
 
     #: Section 5.1 switch; the subclass flips it.
     cached_reads = False

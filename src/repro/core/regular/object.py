@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...automata.base import MultiRegisterObject, Outgoing, Sink
 from ...config import SystemConfig
 from ...messages import (Batch, EpochFence, HistoryEntry, HistoryReadAck,
-                         Message,
+                         LeaseProbe, LeaseProbeAck, Message,
                          Pw, ReadRequest, PwAck, TagQuery, TagQueryAck, W,
                          WriteAck)
 from ...types import (DEFAULT_REGISTER, INITIAL_TSVAL, TAG0, ProcessId,
@@ -126,6 +126,8 @@ class RegularObject(MultiRegisterObject):
             reply = self._w_reply(message)
         elif isinstance(message, TagQuery):
             reply = self._tag_reply(message)
+        elif isinstance(message, LeaseProbe):
+            reply = self._lease_reply(message)
         elif isinstance(message, EpochFence):
             return self._on_epoch_fence(sender, message)
         else:
@@ -149,6 +151,8 @@ class RegularObject(MultiRegisterObject):
                 reply = self._w_reply(message)
             elif kind is TagQuery:
                 reply = self._tag_reply(message)
+            elif kind is LeaseProbe:
+                reply = self._lease_reply(message)
             else:  # rare control traffic and subclass extensions
                 for receiver, payload in self.on_message(sender, message) \
                         or []:
@@ -170,6 +174,31 @@ class RegularObject(MultiRegisterObject):
                            object_index=self.object_index,
                            epoch=top.epoch, wid=top.writer_id,
                            register_id=message.register_id)
+
+    # -- tag leases (fast reads) -----------------------------------------
+    def _lease_reply(self, message: LeaseProbe) -> LeaseProbeAck:
+        """One probe, one verdict: top tag, completeness, fence state.
+
+        Read-only -- probes never touch ``slot.tsr`` or the history, so a
+        fast read is invisible to the classic protocol's freshness
+        bookkeeping and a probe storm cannot stale out concurrent classic
+        rounds.
+        """
+        slot = self.slots.get(message.register_id)
+        if slot is None:
+            slot = self.slots[message.register_id] = self._new_slot()
+        top = slot.top_tag()
+        entry = slot.history.get(message.tag)
+        fenced = bool(self.hard_fences or self.fences) and (
+            message.register_id in self.hard_fences
+            or message.register_id in self.fences)
+        return LeaseProbeAck(
+            nonce=message.nonce,
+            object_index=self.object_index,
+            epoch=top.epoch, wid=top.writer_id,
+            holds=entry is not None and entry.w is not None,
+            fenced=fenced,
+            register_id=message.register_id)
 
     # -- lines 4-9 -------------------------------------------------------
     def _pw_reply(self, message: Pw) -> Optional[Message]:

@@ -22,13 +22,24 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ...automata.base import ClientOperation, Outgoing, Sink
+from ...automata.rounds import LeaseValidation, TagLease
 from ...config import SystemConfig
 from ...errors import ProtocolError
-from ...messages import HistoryReadAck, ReadRequest
+from ...messages import HistoryReadAck, LeaseProbe, LeaseProbeAck, ReadRequest
 from ...quorums import confirmation_threshold, elimination_threshold
 from ...types import BOTTOM, TAG0, ProcessId, WriterTag, obj, reader
 from ..safe.predicates import conflict_pairs, exists_conflict_free_quorum
 from .evidence import RegularEvidence
+
+#: Explicit phases of the unified read state machine.  The fast path is
+#: phase 0; classic collection is phases 1-2; the atomic extension adds
+#: phase 3 (write-back).  A read either starts at PHASE_PROBE (holding a
+#: lease) and falls back into PHASE_ROUND1, or starts at PHASE_ROUND1
+#: directly -- from there on the two paths are the same machine.
+PHASE_PROBE = 0
+PHASE_ROUND1 = 1
+PHASE_ROUND2 = 2
+PHASE_WRITE_BACK = 3
 
 
 @dataclass
@@ -37,6 +48,12 @@ class RegularReaderState:
 
     ``cache_tag`` is the write tag of the last value this reader vouched
     for (``(ts, 0)`` in single-writer systems).
+
+    ``lease`` and ``fast_reads`` drive the contention-adaptive fast path:
+    when ``fast_reads`` is enabled (service tier opt-in; the core library
+    defaults off so figure-exact round counts stay put), completed reads
+    and service-layer write acks grant a :class:`TagLease` here, and the
+    next read attempts a single-round probe against it.
     """
 
     config: SystemConfig
@@ -44,6 +61,11 @@ class RegularReaderState:
     tsr: int = 0
     cache_tag: WriterTag = TAG0
     cache_value: Any = BOTTOM
+    fast_reads: bool = False
+    lease: Optional[TagLease] = None
+    #: lease invalidations (fences, reconfig flips, put_if misses) --
+    #: surfaced through the host/store efficacy counters.
+    lease_invalidations: int = 0
 
     @property
     def cache_ts(self) -> int:
@@ -55,6 +77,31 @@ class RegularReaderState:
             raise ProtocolError(
                 f"reader index {self.reader_index} out of range for "
                 f"R={self.config.num_readers}")
+
+    # -- tag leases ------------------------------------------------------
+    def grant_lease(self, tag: Optional[WriterTag], value: Any) -> None:
+        """Adopt certified evidence; no-op unless fast reads are on."""
+        if not self.fast_reads or tag is None or tag == TAG0:
+            return
+        if self.lease is None:
+            self.lease = TagLease(tag=tag, value=value)
+        else:
+            self.lease.refresh(tag, value)
+
+    def invalidate_lease(self) -> None:
+        """Drop the lease outright (fence observed, routing flip, stale
+        conditional write): the next read runs the classic rounds and
+        re-earns a lease from their evidence."""
+        if self.lease is not None:
+            self.lease = None
+            self.lease_invalidations += 1
+
+    def lease_to_probe(self) -> Optional[TagLease]:
+        """The lease the next read should probe, if any (backoff-gated)."""
+        lease = self.lease if self.fast_reads else None
+        if lease is not None and lease.should_probe():
+            return lease
+        return None
 
 
 class RegularReadOperation(ClientOperation):
@@ -72,8 +119,15 @@ class RegularReadOperation(ClientOperation):
             elimination_threshold=elimination_threshold(self.config),
             confirmation_threshold=confirmation_threshold(self.config),
         )
-        self.phase = 1
+        #: the lease this read probes, or None for a classic-only read.
+        self.lease = state.lease_to_probe()
+        self.validation: Optional[LeaseValidation] = None
+        self.phase = PHASE_PROBE if self.lease is not None else PHASE_ROUND1
         self.tsr_first_round: int = 0
+        #: fast-path efficacy flags, aggregated by the host counters.
+        self.fast_attempted = self.lease is not None
+        self.fast_hit = False
+        self.fell_back = False
         #: history entries received, for the E6 message-size accounting
         self.history_entries_received = 0
 
@@ -82,37 +136,68 @@ class RegularReadOperation(ClientOperation):
         return self.state.cache_tag if self.cached else None
 
     def start(self) -> Outgoing:
-        self.state.tsr += 1
-        self.tsr_first_round = self.state.tsr
-        self.begin_round()
-        request = ReadRequest(round_index=1, tsr=self.tsr_first_round,
-                              reader_index=self.reader_index,
-                              from_ts=self._from_ts(),
-                              register_id=self.register_id)
-        return [(obj(i), request) for i in range(self.config.num_objects)]
+        sink: Sink = []
+        leftovers: Outgoing = []
+        self.start_vector(sink, leftovers)
+        outgoing: Outgoing = []
+        for broadcast in sink:
+            outgoing.extend((obj(i), broadcast)
+                            for i in range(self.config.num_objects))
+        outgoing.extend(leftovers)
+        return outgoing
 
     # -- vector rounds (native) ------------------------------------------
     def start_vector(self, sink: Sink, leftovers: Outgoing) -> None:
+        if self.phase == PHASE_PROBE:
+            sink.append(self._begin_probe())
+        else:
+            sink.append(self._begin_classic())
+
+    def _begin_probe(self) -> LeaseProbe:
+        """Phase 0: one broadcast validating the lease against a quorum."""
+        self.state.tsr += 1
+        self.begin_round()
+        tag = self.lease.tag
+        self.validation = LeaseValidation(
+            nonce=self.state.tsr,
+            quorum=self.config.quorum_size,
+            confirmation_threshold=confirmation_threshold(self.config),
+            lease_tag=tag)
+        return LeaseProbe(nonce=self.state.tsr,
+                          epoch=tag.epoch, wid=tag.writer_id,
+                          reader_index=self.reader_index,
+                          register_id=self.register_id)
+
+    def _begin_classic(self) -> ReadRequest:
+        """Enter phase 1 (fresh start or fallback from a refuted probe)."""
+        self.phase = PHASE_ROUND1
         self.state.tsr += 1
         self.tsr_first_round = self.state.tsr
         self.begin_round()
-        sink.append(ReadRequest(round_index=1, tsr=self.tsr_first_round,
-                                reader_index=self.reader_index,
-                                from_ts=self._from_ts(),
-                                register_id=self.register_id))
+        return ReadRequest(round_index=1, tsr=self.tsr_first_round,
+                           reader_index=self.reader_index,
+                           from_ts=self._from_ts(),
+                           register_id=self.register_id)
 
     def absorb(self, sender: ProcessId, message: Any) -> None:
-        """Record one history ack; the predicates run in advance()."""
-        if (self.done or sender.role != "object"
-                or message.__class__ is not HistoryReadAck
+        """Record one ack; the predicates run in advance()."""
+        if self.done or sender.role != "object":
+            return
+        kind = message.__class__
+        if kind is LeaseProbeAck:
+            if (self.phase == PHASE_PROBE
+                    and message.register_id == self.register_id):
+                self.validation.offer(sender.index, message.nonce, message)
+            return
+        if (kind is not HistoryReadAck
                 or message.register_id != self.register_id):
             return
-        if (self.phase == 1 and message.round_index == 1
+        if (self.phase == PHASE_ROUND1 and message.round_index == 1
                 and message.tsr == self.tsr_first_round):
             if self.evidence.record(1, sender.index, message.history,
                                     normalized=True):
                 self.history_entries_received += len(message.history)
-        elif (self.phase == 2 and message.round_index == 2
+        elif (self.phase == PHASE_ROUND2 and message.round_index == 2
                 and message.tsr == self.tsr_first_round + 1):
             if self.evidence.record(2, sender.index, message.history,
                                     normalized=True):
@@ -130,7 +215,10 @@ class RegularReadOperation(ClientOperation):
         """
         if self.done:
             return
-        if self.phase == 1:
+        if self.phase == PHASE_PROBE:
+            self._advance_probe(sink)
+            return
+        if self.phase == PHASE_ROUND1:
             if self._round1_condition():
                 sink.append(self._enter_round2())
                 # The line-14 wait condition may already hold on round-1
@@ -138,6 +226,31 @@ class RegularReadOperation(ClientOperation):
                 self._maybe_return()
             return
         self._maybe_return()
+
+    def _advance_probe(self, sink: Sink) -> None:
+        """Decide the probe: fast return, or fall back to phase 1."""
+        validation = self.validation
+        if not validation.decided():
+            return
+        lease = self.lease
+        if validation.valid():
+            lease.record_hit()
+            if lease.tag >= self.state.cache_tag:
+                self.state.cache_tag = lease.tag
+                self.state.cache_value = lease.value
+            self.fast_hit = True
+            self.tag = lease.tag
+            self.complete(lease.value)
+            return
+        # Refuted (newer tag, fence) or unconfirmed (healed/amnesiac
+        # replicas below b+1 holders): fall back to the classic rounds.
+        self.fell_back = True
+        lease.record_fallback()
+        if any(ack.fenced for ack in validation.collector.acks.values()):
+            # A fence means the register is mid-handoff here; the lease
+            # may point into a retired replica set, so drop it outright.
+            self.state.invalidate_lease()
+        sink.append(self._begin_classic())
 
     # ------------------------------------------------------------------
     def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
@@ -176,7 +289,7 @@ class RegularReadOperation(ClientOperation):
         )
 
     def _enter_round2(self) -> ReadRequest:
-        self.phase = 2
+        self.phase = PHASE_ROUND2
         self.state.tsr += 1
         if self.state.tsr != self.tsr_first_round + 1:
             raise ProtocolError(
@@ -198,6 +311,10 @@ class RegularReadOperation(ClientOperation):
                 self.state.cache_tag = candidate.tag
                 self.state.cache_value = value
             self.tag = candidate.tag
+            # A classic read's confirmed candidate is exactly the certified
+            # evidence a lease needs (regular semantics here; the atomic
+            # extension grants only after write-back).
+            self.state.grant_lease(candidate.tag, value)
             self.complete(value)
             return
         if self.cached and self.evidence.candidates_empty():

@@ -189,6 +189,61 @@ class TagQueryAck(Message):
 
 
 # ---------------------------------------------------------------------------
+# Tag leases (contention-adaptive fast reads)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseProbe(Message):
+    """Reader-to-object: is the tag I hold still the newest?
+
+    The fast-read round.  A reader holding a certified tag ``(epoch, wid)``
+    -- from a prior read, a write ack, or a snapshot collect -- broadcasts
+    one probe instead of running full history collection.  Objects answer
+    with their top tag, whether they hold the probed write *complete*, and
+    whether the register is fenced; the reader's lease validation
+    (:class:`~repro.automata.rounds.LeaseValidation`) decides fast-return
+    versus classic fallback.  ``nonce`` matches acks to the probe (the
+    reader's own ``tsr`` counter); probes never mutate object state.
+    """
+
+    nonce: int
+    epoch: int
+    reader_index: int
+    wid: int = 0
+    register_id: str = DEFAULT_REGISTER
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.epoch, self.wid)
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseProbeAck(Message):
+    """``LEASE_ACK_i<top_tag, holds, fenced>``: object ``i``'s lease verdict.
+
+    ``epoch``/``wid`` report the object's *top* tag (its slot tag joined
+    with the maximum history tag -- exactly what a
+    :class:`TagQueryAck` reports).  ``holds`` is whether the object's
+    history holds the *probed* tag with a complete write tuple, and
+    ``fenced`` whether the register is (hard- or epoch-)fenced here.  Any
+    top tag above the probed one, or any fence, refutes the lease.
+    """
+
+    nonce: int
+    object_index: int
+    epoch: int
+    wid: int = 0
+    holds: bool = False
+    fenced: bool = False
+    register_id: str = DEFAULT_REGISTER
+
+    @property
+    def tag(self) -> WriterTag:
+        return WriterTag(self.epoch, self.wid)
+
+
+# ---------------------------------------------------------------------------
 # Epoch fencing (reconfiguration / shard handoff)
 # ---------------------------------------------------------------------------
 
@@ -429,6 +484,12 @@ def summarize(message: Message) -> str:
     if isinstance(message, TagQueryAck):
         return (f"TAG_ACK(s{message.object_index + 1}, "
                 f"tag={message.tag!r})")
+    if isinstance(message, LeaseProbe):
+        return f"LEASE<nonce={message.nonce}, tag={message.tag!r}>"
+    if isinstance(message, LeaseProbeAck):
+        return (f"LEASE_ACK(s{message.object_index + 1}, "
+                f"top={message.tag!r}, holds={message.holds}, "
+                f"fenced={message.fenced})")
     if isinstance(message, EpochFence):
         return f"FENCE<epoch={message.epoch}>"
     if isinstance(message, EpochFenceAck):
@@ -462,6 +523,8 @@ __all__ = [
     "WriteAck",
     "TagQuery",
     "TagQueryAck",
+    "LeaseProbe",
+    "LeaseProbeAck",
     "EpochFence",
     "EpochFenceAck",
     "WriteFenced",

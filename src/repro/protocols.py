@@ -38,6 +38,11 @@ class StorageProtocol(ABC):
     requires_authentication: bool = False
     #: Whether readers modify base-object state.
     readers_write: bool = True
+    #: Whether this protocol's reader states understand tag leases (the
+    #: contention-adaptive fast-read path).  Opt-in per deployment: even
+    #: capable protocols run classic-only unless the service tier enables
+    #: ``fast_reads`` on the reader states.
+    supports_fast_reads: bool = False
 
     def write_rounds_bound(self, config: SystemConfig) -> int:
         """Worst-case write rounds under ``config``.
@@ -153,6 +158,27 @@ class RegisterClientStates:
         self.config = config
         self._writers: Dict[Tuple[str, int], Any] = {}
         self._readers: Dict[Tuple[str, int], Any] = {}
+        #: when set (service-tier opt-in on a capable protocol), reader
+        #: states are created with the fast-read path enabled.
+        self.fast_reads = False
+
+    def enable_fast_reads(self) -> None:
+        """Turn the lease-probe fast path on for this pool's readers."""
+        if not self.protocol.supports_fast_reads:
+            from .errors import ConfigurationError
+            raise ConfigurationError(
+                f"{self.protocol.name} does not support fast reads")
+        self.fast_reads = True
+        for state in self._readers.values():
+            state.fast_reads = True
+
+    def reader_states_of(self, register_id: str) -> List[Any]:
+        """Existing reader states of one register (no lazy creation)."""
+        return [state for (rid, _), state in self._readers.items()
+                if rid == register_id]
+
+    def all_reader_states(self) -> List[Any]:
+        return list(self._readers.values())
 
     def writer(self, register_id: str = DEFAULT_REGISTER,
                writer_index: int = 0) -> Any:
@@ -170,6 +196,8 @@ class RegisterClientStates:
         if state is None:
             state = self._readers[key] = \
                 self.protocol.make_reader_state(self.config, reader_index)
+            if self.fast_reads:
+                state.fast_reads = True
         return state
 
     def registers(self) -> List[str]:

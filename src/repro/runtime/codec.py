@@ -33,7 +33,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import TransportError
 from ..messages import (Batch, EpochFence, EpochFenceAck, HistoryEntry,
-                        HistoryReadAck, Pw, PwAck, ReadAck, ReadRequest,
+                        HistoryReadAck, LeaseProbe, LeaseProbeAck,
+                        Pw, PwAck, ReadAck, ReadRequest,
                         TagQuery, TagQueryAck, W, WriteAck, WriteFenced)
 from ..types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL,
                      TimestampValue, TsrArray, WriterTag, WriteTuple,
@@ -182,6 +183,13 @@ _ENCODERS: Dict[type, Callable[[Any], Dict[str, Any]]] = {
         "r": m.register_id,
         "h": {_encode_tag_key(tag): encode_value(entry)
               for tag, entry in m.history.items()}},
+    LeaseProbe: lambda m: _maybe_wid(
+        {"nonce": m.nonce, "epoch": m.epoch, "j": m.reader_index,
+         "r": m.register_id}, m.wid),
+    LeaseProbeAck: lambda m: _maybe_wid(
+        {"nonce": m.nonce, "i": m.object_index, "epoch": m.epoch,
+         "holds": m.holds, "fenced": m.fenced, "r": m.register_id},
+        m.wid),
 }
 
 _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
@@ -230,6 +238,13 @@ _DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
         register_id=_register(d),
         history={_decode_tag_key(tag): decode_value(entry)
                  for tag, entry in d["h"].items()}),
+    "LeaseProbe": lambda d: LeaseProbe(nonce=d["nonce"], epoch=d["epoch"],
+                                       reader_index=d["j"], wid=_wid(d),
+                                       register_id=_register(d)),
+    "LeaseProbeAck": lambda d: LeaseProbeAck(
+        nonce=d["nonce"], object_index=d["i"], epoch=d["epoch"],
+        wid=_wid(d), holds=d.get("holds", False),
+        fenced=d.get("fenced", False), register_id=_register(d)),
 }
 
 
@@ -843,6 +858,8 @@ _BK_READREQUEST = 10
 _BK_READACK = 11
 _BK_HISTORYREADACK = 12
 _BK_BATCH = 13
+_BK_LEASEPROBE = 14
+_BK_LEASEPROBEACK = 15
 
 _S_PW = struct.Struct("<qI")            # ts, wid
 _S_PWACK = struct.Struct("<qII")        # ts, wid, object_index
@@ -853,6 +870,8 @@ _S_WFENCED = struct.Struct("<IqqIq")    # oi, epoch, fence, wid, nonce
 _S_READREQ = struct.Struct("<BqIqI")    # k, tsr, j, from_epoch+1, from_wid
 _S_READACK = struct.Struct("<BqI")      # k, tsr, object_index
 _S_HISTACK = struct.Struct("<BqII")     # k, tsr, object_index, |history|
+_S_LEASE = struct.Struct("<qqII")       # nonce, epoch, wid, reader_index
+_S_LEASEACK = struct.Struct("<qIqIB")   # nonce, oi, epoch, wid, flags
 
 _BIN_ENCODERS: Dict[type, Callable[[bytearray, Any, Dict[str, int]],
                                    None]] = {}
@@ -986,6 +1005,38 @@ def _dec_tagqueryack(data, pos: int,
     return TagQueryAck(nonce=nonce, object_index=object_index,
                        epoch=epoch, wid=wid,
                        register_id=register_id), pos
+
+
+def _enc_leaseprobe(buf: bytearray, m: LeaseProbe,
+                    strings: Dict[str, int]) -> None:
+    buf += _S_LEASE.pack(m.nonce, m.epoch, m.wid, m.reader_index)
+    _w_str(buf, m.register_id, strings)
+
+
+def _dec_leaseprobe(data, pos: int,
+                    strings: List[str]) -> Tuple[LeaseProbe, int]:
+    nonce, epoch, wid, reader_index = _unpack(_S_LEASE, data, pos)
+    register_id, pos = _r_str(data, pos + 24, strings)
+    return LeaseProbe(nonce=nonce, epoch=epoch, reader_index=reader_index,
+                      wid=wid, register_id=register_id), pos
+
+
+def _enc_leaseprobeack(buf: bytearray, m: LeaseProbeAck,
+                       strings: Dict[str, int]) -> None:
+    buf += _S_LEASEACK.pack(m.nonce, m.object_index, m.epoch, m.wid,
+                            (1 if m.holds else 0)
+                            | (2 if m.fenced else 0))
+    _w_str(buf, m.register_id, strings)
+
+
+def _dec_leaseprobeack(data, pos: int,
+                       strings: List[str]) -> Tuple[LeaseProbeAck, int]:
+    nonce, object_index, epoch, wid, flags = _unpack(_S_LEASEACK, data, pos)
+    register_id, pos = _r_str(data, pos + 25, strings)
+    return LeaseProbeAck(nonce=nonce, object_index=object_index,
+                         epoch=epoch, wid=wid,
+                         holds=bool(flags & 1), fenced=bool(flags & 2),
+                         register_id=register_id), pos
 
 
 def _enc_epochfence(buf: bytearray, m: EpochFence,
@@ -1173,6 +1224,9 @@ for _mtype, _kind, _enc, _dec in (
         (WriteFenced, _BK_WRITEFENCED, _enc_writefenced, _dec_writefenced),
         (ReadRequest, _BK_READREQUEST, _enc_readrequest, _dec_readrequest),
         (ReadAck, _BK_READACK, _enc_readack, _dec_readack),
+        (LeaseProbe, _BK_LEASEPROBE, _enc_leaseprobe, _dec_leaseprobe),
+        (LeaseProbeAck, _BK_LEASEPROBEACK, _enc_leaseprobeack,
+         _dec_leaseprobeack),
         (HistoryReadAck, _BK_HISTORYREADACK, _enc_historyreadack,
          _dec_historyreadack),
         (Batch, _BK_BATCH, _enc_batch, _dec_batch),

@@ -243,6 +243,10 @@ class MuxClientHost:
         #: register id -> the vector group driving that register (if any).
         self._vector: Dict[str, _VectorGroup] = {}
         self._pump_task: Optional[asyncio.Task] = None
+        #: fast-read efficacy counters, aggregated from completed reads
+        #: (first slice of the observability roadmap item).
+        self.fast_reads_taken = 0
+        self.fast_read_fallbacks = 0
 
     # -- lifecycle ----------------------------------------------------------
     def _ensure_pump(self) -> None:
@@ -317,6 +321,10 @@ class MuxClientHost:
         )
 
     def _record_completion(self, operation: ClientOperation) -> None:
+        if getattr(operation, "fast_hit", False):
+            self.fast_reads_taken += 1
+        elif getattr(operation, "fell_back", False):
+            self.fast_read_fallbacks += 1
         if self.history is None:
             return
         if not self.history.has_record(operation.operation_id):
@@ -326,6 +334,7 @@ class MuxClientHost:
             result=operation.result,
             rounds_used=operation.rounds_used,
             tag=getattr(operation, "tag", None),
+            fast=getattr(operation, "fast_hit", False),
         )
 
     def _settle(self, register_id: str, operation: ClientOperation) -> None:
@@ -366,8 +375,7 @@ class MuxClientHost:
         if self._vector.get(register_id) is group:
             del self._vector[register_id]
         group.remaining -= 1
-        if self.history is not None:
-            self._record_completion(operation)
+        self._record_completion(operation)
 
     def _fail_vector(self, group: _VectorGroup,
                      error: BaseException) -> None:

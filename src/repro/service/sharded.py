@@ -84,7 +84,8 @@ class ShardedKVStore:
                  record_history: bool = False,
                  data_dir: Optional[str] = None,
                  granularity: str = "group",
-                 auto_heal: bool = True):
+                 auto_heal: bool = True,
+                 fast_reads: bool = False):
         """``protocol_factory`` builds one protocol instance per shard so
         shard groups share no mutable protocol state (e.g. signer keys).
 
@@ -109,6 +110,7 @@ class ShardedKVStore:
         self._max_pending = max_pending_per_host
         self._granularity = granularity
         self._auto_heal = auto_heal
+        self._fast_reads = fast_reads
         self._owns_data_dir = False
         if data_dir is None and config.deployment == "multiproc":
             data_dir = tempfile.mkdtemp(prefix="repro-multiproc-")
@@ -139,7 +141,7 @@ class ShardedKVStore:
             from functools import partial
 
             from .procs import ProcMultiRegisterStore
-            return ProcMultiRegisterStore(
+            store = ProcMultiRegisterStore(
                 self._protocol_factory, self.config,
                 os.path.join(self.data_dir, f"shard-{shard_id}"),
                 granularity=self._granularity,
@@ -151,13 +153,17 @@ class ShardedKVStore:
                 on_replica_restart=(
                     partial(self._heal_after_restart, shard_id)
                     if self._auto_heal else None))
-        return MultiRegisterStore(self._protocol_factory(), self.config,
-                                  jitter=self._jitter,
-                                  seed=self._seed + shard_id,
-                                  default_timeout=self._default_timeout,
-                                  batching=self._batching,
-                                  max_pending_per_host=self._max_pending,
-                                  history=self.history)
+        else:
+            store = MultiRegisterStore(self._protocol_factory(), self.config,
+                                       jitter=self._jitter,
+                                       seed=self._seed + shard_id,
+                                       default_timeout=self._default_timeout,
+                                       batching=self._batching,
+                                       max_pending_per_host=self._max_pending,
+                                       history=self.history)
+        if self._fast_reads and store.protocol.supports_fast_reads:
+            store.enable_fast_reads()
+        return store
 
     async def _heal_after_restart(self, shard_id: int, index: int) -> None:
         """Top up a restarted replica: WAL recovery + protocol healing.
@@ -237,6 +243,14 @@ class ShardedKVStore:
         self.retired_shard_ids |= set(self.shards) - set(shards)
         self.ring = ring
         self.shards = shards
+        # A routing flip retires every pre-flip read lease: migrated keys
+        # were replayed into their new shard group at strictly larger
+        # tags, so a lease minted against the old placement could serve a
+        # value the handoff has already superseded.  Dropping all leases
+        # is coarse but the flip is rare; readers re-arm on their next
+        # classic read.
+        for shard in shards.values():
+            shard.invalidate_leases()
 
     # -- KV API -------------------------------------------------------------
     async def put(self, key: str, value: Any,
@@ -257,11 +271,16 @@ class ShardedKVStore:
         deliberately does not duplicate.
         """
         while True:
+            store = self.store_for(key)
             try:
-                await self.store_for(key).write(key, value, timeout=timeout,
-                                                writer_index=writer_index)
+                await store.write(key, value, timeout=timeout,
+                                  writer_index=writer_index)
                 return
             except FencedWriteError:
+                # The key is mid-handoff: any lease this shard group's
+                # readers hold on it describes pre-fence state, and the
+                # retry may land on a different group entirely.
+                store.invalidate_leases([key])
                 if retries <= 0:
                     raise
                 retries -= 1
@@ -379,6 +398,31 @@ class ShardedKVStore:
                        else fetched[key][0]), fetched[key][1])
                 for key in ordered}
 
+    def invalidate_leases(self,
+                          register_ids: Optional[Iterable[str]] = None
+                          ) -> None:
+        """Drop read leases cluster-wide, or for specific keys (routed)."""
+        if register_ids is None:
+            for shard in self.shards.values():
+                shard.invalidate_leases()
+            return
+        by_shard: Dict[int, List[str]] = {}
+        for key in register_ids:
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        for shard, chunk in by_shard.items():
+            self.shards[shard].invalidate_leases(chunk)
+
+    def grant_read_leases(
+            self, entries: Mapping[str, Tuple[Optional[WriterTag], Any]]
+            ) -> None:
+        """Seed read leases from externally certified ``(tag, value)``
+        pairs -- e.g. a snapshot's confirmed cut (routed per key)."""
+        by_shard: Dict[int, Dict[str, Tuple[Optional[WriterTag], Any]]] = {}
+        for key, entry in entries.items():
+            by_shard.setdefault(self.shard_for(key), {})[key] = entry
+        for shard, chunk in by_shard.items():
+            self.shards[shard].grant_read_leases(chunk)
+
     # -- faults ------------------------------------------------------------
     def compromise_replica(self, key: str, index: int,
                            automaton: ObjectAutomaton) -> None:
@@ -395,6 +439,25 @@ class ShardedKVStore:
         for shard in self.shards.values():
             keys.update(shard.registers())
         return sorted(keys)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate fast-read efficacy counters across shard groups."""
+        totals: Dict[str, Any] = {
+            "fast_reads_enabled": self._fast_reads,
+            "fast_reads_taken": 0,
+            "fast_read_fallbacks": 0,
+            "lease_invalidations": 0,
+            "messages_sent": 0,
+        }
+        per_shard: Dict[int, Dict[str, Any]] = {}
+        for shard_id, shard in self.shards.items():
+            stats = shard.stats()
+            per_shard[shard_id] = stats
+            for counter in ("fast_reads_taken", "fast_read_fallbacks",
+                            "lease_invalidations", "messages_sent"):
+                totals[counter] += stats[counter]
+        totals["per_shard"] = per_shard
+        return totals
 
     def describe(self) -> str:
         keys = sum(len(shard.registers()) for shard in self.shards.values())

@@ -58,7 +58,8 @@ class MultiRegisterStore:
                  batching: bool = True,
                  max_pending_per_host: Optional[int] = None,
                  record_history: bool = False,
-                 history: Optional[History] = None):
+                 history: Optional[History] = None,
+                 fast_reads: bool = False):
         protocol.validate_config(config)
         self.protocol = protocol
         self.config = config
@@ -71,6 +72,8 @@ class MultiRegisterStore:
         self._max_pending = max_pending_per_host
         self._object_hosts: List[ObjectHost] = self._make_object_hosts()
         self._states = protocol.client_states(config)
+        if fast_reads:
+            self._states.enable_fast_reads()
         self._writer_hosts: Dict[int, MuxClientHost] = {
             0: self._make_client_host(WRITER)}
         self._reader_hosts = [
@@ -180,6 +183,78 @@ class MultiRegisterStore:
         """Register ids written or read so far through this store."""
         return self._states.registers()
 
+    # -- tag leases (fast reads) ---------------------------------------------
+    @property
+    def fast_reads(self) -> bool:
+        return self._states.fast_reads
+
+    def enable_fast_reads(self) -> None:
+        """Turn the lease-probe fast path on (capable protocols only)."""
+        self._states.enable_fast_reads()
+
+    def disable_fast_reads(self) -> None:
+        """Classic-only reads from here on; existing leases are dropped."""
+        self._states.fast_reads = False
+        for state in self._states.all_reader_states():
+            state.fast_reads = False
+            state.lease = None
+
+    def invalidate_leases(self, register_ids: Optional[Iterable[str]] = None
+                          ) -> None:
+        """Drop reader leases (all registers, or just ``register_ids``).
+
+        Called on routing flips and fence-aborted writes: a lease earned
+        under the old configuration may point into a retired replica set.
+        """
+        if register_ids is None:
+            states = self._states.all_reader_states()
+        else:
+            states = [state for rid in register_ids
+                      for state in self._states.reader_states_of(rid)]
+        for state in states:
+            invalidate = getattr(state, "invalidate_lease", None)
+            if invalidate is not None:
+                invalidate()
+
+    def _grant_write_lease(self, register_id: str, tag, value: Any) -> None:
+        """A completed write's ack certifies (tag, value) quorum-held."""
+        if not self._states.fast_reads or tag is None:
+            return
+        for state in self._states.reader_states_of(register_id):
+            state.grant_lease(tag, value)
+
+    def grant_read_leases(
+            self, entries: Mapping[str, Tuple[Any, Any]]) -> None:
+        """Seed leases from certified ``{register: (tag, value)}`` pairs.
+
+        The caller vouches that each pair was returned by a *completed*
+        read (e.g. a snapshot's confirming collect), which is exactly the
+        evidence :meth:`~repro.core.regular.reader.RegularReaderState.
+        grant_lease` encodes; grants are monotone, so a stale entry is a
+        no-op.
+        """
+        if not self._states.fast_reads:
+            return
+        for register_id, (tag, value) in entries.items():
+            if tag is None:
+                continue
+            for state in self._states.reader_states_of(register_id):
+                state.grant_lease(tag, value)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters (first slice of the observability item)."""
+        hosts = list(self._writer_hosts.values()) + self._reader_hosts
+        return {
+            "fast_reads_enabled": self._states.fast_reads,
+            "fast_reads_taken": sum(h.fast_reads_taken for h in hosts),
+            "fast_read_fallbacks": sum(h.fast_read_fallbacks
+                                       for h in hosts),
+            "lease_invalidations": sum(
+                getattr(s, "lease_invalidations", 0)
+                for s in self._states.all_reader_states()),
+            "messages_sent": self.network.messages_sent,
+        }
+
     # -- single operations ----------------------------------------------------
     async def write(self, register_id: str, value: Any,
                     timeout: Optional[float] = None,
@@ -188,8 +263,10 @@ class MultiRegisterStore:
         operation = self.protocol.make_write_to(
             self._states.writer(register_id, writer_index), value,
             register_id)
-        return await self._writer_host(writer_index).run(
+        result = await self._writer_host(writer_index).run(
             operation, timeout or self.default_timeout, record=record)
+        self._grant_write_lease(register_id, operation.tag, value)
+        return result
 
     async def write_tagged(self, register_id: str, value: Any,
                            timeout: Optional[float] = None,
@@ -208,6 +285,7 @@ class MultiRegisterStore:
             register_id)
         result = await self._writer_host(writer_index).run(
             operation, timeout or self.default_timeout, record=record)
+        self._grant_write_lease(register_id, operation.tag, value)
         return result, operation.tag
 
     async def read(self, register_id: str, reader_index: int = 0,
@@ -259,6 +337,10 @@ class MultiRegisterStore:
         ]
         results = await self._writer_host(writer_index).run_many(
             operations, timeout or self.default_timeout)
+        if self._states.fast_reads:
+            for operation, (register_id, value) in zip(operations,
+                                                       items.items()):
+                self._grant_write_lease(register_id, operation.tag, value)
         return dict(zip(items.keys(), results))
 
     async def read_many(self, register_ids: Iterable[str],

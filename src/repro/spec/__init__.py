@@ -1,6 +1,7 @@
 """Register specifications and history checkers (Section 2.2)."""
 
-from .checkers import (CheckResult, check_atomicity, check_mwmr_atomicity,
+from .checkers import (CheckResult, check_atomicity,
+                       check_fast_read_freshness, check_mwmr_atomicity,
                        check_mwmr_regularity, check_per_register,
                        check_regularity, check_round_complexity,
                        check_safety, check_snapshot_consistency,
@@ -27,6 +28,7 @@ __all__ = [
     "check_atomicity",
     "check_mwmr_regularity",
     "check_mwmr_atomicity",
+    "check_fast_read_freshness",
     "check_per_register",
     "check_snapshot_consistency",
     "check_wait_freedom",

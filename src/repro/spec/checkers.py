@@ -322,6 +322,12 @@ def check_mwmr_atomicity(history: History) -> CheckResult:
     monotonically non-decreasing tags (no new/old inversion), which for
     tagged register histories is exactly the missing piece between
     regular and atomic.
+
+    Fast (lease-probe) reads record their observed tag and result exactly
+    like classic reads, so every clause here constrains them identically
+    -- a fast read returning a stale lease value shows up as a stale-tag
+    or inversion violation.  :func:`check_fast_read_freshness` isolates
+    those clauses over the fast subset for targeted gating.
     """
     result = check_mwmr_regularity(history)
     result.property_name = "mwmr-atomicity"
@@ -342,6 +348,40 @@ def check_mwmr_atomicity(history: History) -> CheckResult:
                     f"new/old inversion: {r2.describe()} observed "
                     f"{t2!r} but the later {r1.describe()} observed "
                     f"{t1!r}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fast (lease-probe) reads
+# ---------------------------------------------------------------------------
+
+
+def check_fast_read_freshness(history: History) -> CheckResult:
+    """Every fast read is as fresh as a classic one.
+
+    Fast reads short-circuit history collection by validating a tag
+    lease against a quorum; this checker re-asserts, over exactly the
+    reads flagged ``fast``, the MWMR read clauses that make that sound:
+    the observed tag was installed by a write of the returned value, is
+    at least the tag of every write preceding the read (a lease at tag
+    ``T`` must never serve a read after a write with a larger tag
+    completed), and is not from the future.  Runs per register so
+    multiplexed histories don't cross-contaminate write floors.
+
+    A history with no fast reads passes vacuously with
+    ``checked_reads == 0`` -- gate on that count when a test *requires*
+    the fast path to have fired.
+    """
+    result = CheckResult("fast-read-freshness")
+    for register in history.registers():
+        sub = history.for_register(register)
+        ordered = sub.writes_by_tag()
+        by_tag = {w.tag: w for w in ordered}
+        for read in sub.reads(complete_only=True):
+            if not read.fast:
+                continue
+            result.checked_reads += 1
+            _mwmr_read_clauses(read, ordered, by_tag, result, sub)
     return result
 
 
@@ -403,6 +443,10 @@ def check_snapshot_consistency(history: History) -> CheckResult:
       a write ``w2`` and some write ``w1`` (to another snapshotted key)
       precedes ``w2``, then ``w1`` is reflected too.  This is what
       per-register regularity alone cannot give a multi-key read.
+
+    Cut tags collected over fast (lease-probe) reads are validated by
+    the same clauses -- a stale lease surviving into a snapshot shows up
+    as a freshness or closure violation here.
     """
     result = CheckResult("snapshot-consistency")
     writes_by_register: dict = {}

@@ -43,6 +43,10 @@ class OperationRecord:
     #: the (epoch, writer_id) tag installed (WRITE) / observed (READ);
     #: recorded at completion, None when the protocol does not report one.
     tag: Optional[WriterTag] = None
+    #: whether a READ completed on the fast (lease-probe) path; fast reads
+    #: are held to the same clauses as classic ones by every checker, and
+    #: the flag lets tests/benches assert that specifically.
+    fast: bool = False
 
     @property
     def complete(self) -> bool:
@@ -164,7 +168,8 @@ class History:
     def record_completion(self, operation_id: int, result: Any,
                           at: float = 0.0,
                           rounds_used: int = 0,
-                          tag: Optional[WriterTag] = None
+                          tag: Optional[WriterTag] = None,
+                          fast: bool = False,
                           ) -> OperationRecord:
         record = self._records[operation_id]
         if record.complete:
@@ -174,6 +179,7 @@ class History:
         record.result = result
         record.rounds_used = rounds_used
         record.tag = tag
+        record.fast = fast
         return record
 
     # -- snapshot recording -------------------------------------------------

@@ -56,4 +56,5 @@ class HistoryRecorder:
             at=handle.completed_at or 0.0,
             rounds_used=operation.rounds_used,
             tag=getattr(operation, "tag", None),
+            fast=getattr(operation, "fast_hit", False),
         )

@@ -1,0 +1,421 @@
+"""Contention-adaptive fast reads: tag leases, probe validation, fallback.
+
+Covers the lease state machine (:class:`~repro.automata.rounds.TagLease`,
+:class:`~repro.automata.rounds.LeaseValidation`), the service-tier fast
+path end to end (fewer messages than classic, counters, checkers), and
+the invalidation edges the design note calls out: fences, routing flips,
+conditional-write failures, amnesiac (restarted-empty) replicas and a
+Byzantine replica vouching for stale leases.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.byzantine import StaleTagForger
+from repro.automata.rounds import LeaseValidation, TagLease
+from repro.config import SystemConfig
+from repro.core.regular import (CachedRegularStorageProtocol, RegularObject,
+                                RegularStorageProtocol)
+from repro.errors import ConfigurationError
+from repro.messages import LeaseProbe, LeaseProbeAck
+from repro.service import MultiRegisterStore, ShardedKVStore
+from repro.spec import check_fast_read_freshness, check_mwmr_atomicity
+from repro.types import TAG0, BOTTOM, WriterTag
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return SystemConfig.optimal(t=1, b=1, num_readers=2)
+
+
+def fast_store(config, **kwargs) -> MultiRegisterStore:
+    return MultiRegisterStore(CachedRegularStorageProtocol(), config,
+                              fast_reads=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# TagLease: the reader-side cache + backoff automaton
+# ---------------------------------------------------------------------------
+
+
+class TestTagLease:
+    def test_refresh_is_monotone(self):
+        lease = TagLease(tag=WriterTag(3, 1), value="new")
+        lease.refresh(WriterTag(2, 9), "old")
+        assert lease.tag == WriterTag(3, 1) and lease.value == "new"
+        lease.refresh(WriterTag(4, 0), "newer")
+        assert lease.tag == WriterTag(4, 0) and lease.value == "newer"
+
+    def test_fallback_backoff_doubles_and_hit_resets(self):
+        lease = TagLease(tag=WriterTag(1, 0), value="v")
+        skips = []
+        for _ in range(8):
+            lease.record_fallback()
+            skips.append(lease.skips_left)
+        assert skips == [2, 4, 8, 16, 32, 64, 64, 64]  # capped
+        lease.record_hit()
+        assert lease.failures == 0 and lease.skips_left == 0
+
+    def test_should_probe_consumes_skips(self):
+        lease = TagLease(tag=WriterTag(1, 0), value="v")
+        lease.record_fallback()  # 2 skips
+        assert not lease.should_probe()
+        assert not lease.should_probe()
+        assert lease.should_probe()
+
+
+class TestLeaseValidation:
+    @staticmethod
+    def _ack(index, epoch, wid=0, holds=True, fenced=False):
+        return LeaseProbeAck(nonce=7, object_index=index, epoch=epoch,
+                             wid=wid, holds=holds, fenced=fenced)
+
+    def _validation(self, lease_epoch=5):
+        return LeaseValidation(nonce=7, quorum=3, confirmation_threshold=2,
+                               lease_tag=WriterTag(lease_epoch, 0))
+
+    def test_valid_on_quorum_of_holders(self):
+        v = self._validation()
+        for i in range(3):
+            v.offer(i, 7, self._ack(i, epoch=5))
+        assert v.decided() and v.valid()
+
+    def test_any_newer_top_refutes(self):
+        v = self._validation()
+        v.offer(0, 7, self._ack(0, epoch=6))
+        assert v.decided() and v.refuted and not v.valid()
+
+    def test_any_fence_refutes(self):
+        v = self._validation()
+        v.offer(0, 7, self._ack(0, epoch=5, fenced=True))
+        assert v.decided() and not v.valid()
+
+    def test_too_few_holders_is_invalid_but_not_refuted(self):
+        v = self._validation()
+        v.offer(0, 7, self._ack(0, epoch=0, holds=False))
+        v.offer(1, 7, self._ack(1, epoch=0, holds=False))
+        v.offer(2, 7, self._ack(2, epoch=5, holds=True))
+        assert v.decided() and not v.refuted and not v.valid()
+
+    def test_stale_nonce_ignored(self):
+        v = self._validation()
+        assert not v.offer(0, 6, self._ack(0, epoch=9))
+        assert not v.decided()
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 3),          # object index (S = 4)
+                  st.integers(0, 8),          # top epoch
+                  st.booleans(),              # holds
+                  st.booleans()),             # fenced
+        min_size=0, max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_valid_implies_fresh_held_unfenced_quorum(self, acks):
+        """Soundness: ``valid()`` can only hold when a quorum answered,
+        no responder saw a newer tag or a fence, and at least ``b + 1``
+        vouch for holding the leased tuple."""
+        lease_tag = WriterTag(5, 0)
+        v = LeaseValidation(nonce=7, quorum=3, confirmation_threshold=2,
+                            lease_tag=lease_tag)
+        accepted = {}
+        for index, epoch, holds, fenced in acks:
+            ack = self._ack(index, epoch=epoch, holds=holds, fenced=fenced)
+            if v.offer(index, 7, ack):
+                accepted[index] = ack
+        if v.valid():
+            assert len(accepted) >= 3
+            assert all(a.tag <= lease_tag for a in accepted.values())
+            assert not any(a.fenced for a in accepted.values())
+            assert sum(a.holds for a in accepted.values()) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Object-side probe handling
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseProbeReplies:
+    def test_fresh_object_never_vouches(self, config):
+        """A restarted-empty replica answers ``holds=False``: recovered
+        state cannot re-certify leases minted before the crash."""
+        automaton = RegularObject(0, config)
+        probe = LeaseProbe(nonce=1, epoch=3, reader_index=0, wid=1,
+                           register_id="k")
+        (receiver, ack), = automaton.on_message("reader-0", probe)
+        assert isinstance(ack, LeaseProbeAck)
+        assert ack.tag == TAG0 and not ack.holds and not ack.fenced
+
+    def test_fenced_register_reports_fence(self, config):
+        automaton = RegularObject(0, config)
+        automaton.hard_fences.add("k")
+        probe = LeaseProbe(nonce=1, epoch=0, reader_index=0,
+                           register_id="k")
+        (_, ack), = automaton.on_message("reader-0", probe)
+        assert ack.fenced
+
+
+# ---------------------------------------------------------------------------
+# Service tier end to end
+# ---------------------------------------------------------------------------
+
+
+class TestFastReadPath:
+    def test_second_read_goes_fast_with_fewer_messages(self, config):
+        async def scenario():
+            async with fast_store(config, record_history=True) as store:
+                await store.write("k", "v1")
+                before = store.network.messages_sent
+                first = await store.read("k")      # classic, arms lease
+                classic_cost = store.network.messages_sent - before
+                before = store.network.messages_sent
+                second = await store.read("k")     # probe round only
+                fast_cost = store.network.messages_sent - before
+                return (first, second, classic_cost, fast_cost,
+                        store.stats(), store.history)
+
+        first, second, classic_cost, fast_cost, stats, history = \
+            run(scenario())
+        assert (first, second) == ("v1", "v1")
+        assert fast_cost < classic_cost  # the whole point of the probe
+        assert stats["fast_reads_taken"] == 1
+        assert stats["fast_read_fallbacks"] == 0
+        check_mwmr_atomicity(history).assert_ok()
+        freshness = check_fast_read_freshness(history)
+        freshness.assert_ok()
+        assert freshness.checked_reads == 1
+
+    def test_write_refreshes_lease_to_new_value(self, config):
+        async def scenario():
+            async with fast_store(config) as store:
+                await store.write("k", "v1")
+                await store.read("k")
+                await store.write("k", "v2")   # quorum ack re-arms lease
+                value = await store.read("k")
+                return value, store.stats()
+
+        value, stats = run(scenario())
+        assert value == "v2"
+        assert stats["fast_reads_taken"] == 1
+
+    def test_fast_reads_disabled_by_default(self, config):
+        async def scenario():
+            async with MultiRegisterStore(CachedRegularStorageProtocol(),
+                                          config) as store:
+                await store.write("k", "v1")
+                await store.read("k")
+                await store.read("k")
+                return store.stats()
+
+        stats = run(scenario())
+        assert not stats["fast_reads_enabled"]
+        assert stats["fast_reads_taken"] == 0
+
+    def test_incapable_protocol_refused(self, config):
+        from repro.core.safe import SafeStorageProtocol
+        with pytest.raises(ConfigurationError):
+            MultiRegisterStore(SafeStorageProtocol(), config,
+                               fast_reads=True)
+
+    def test_fence_forces_fallback_and_invalidation(self, config):
+        """Mid-reconfiguration fences refute probes: the read falls back
+        to classic rounds and the lease is dropped."""
+        async def scenario():
+            async with fast_store(config) as store:
+                await store.write("k", "v1")
+                await store.read("k")
+                for i in range(config.num_objects):
+                    store.object_automaton(i).hard_fences.add("k")
+                value = await store.read("k")
+                return value, store.stats()
+
+        value, stats = run(scenario())
+        assert value == "v1"  # reads still served; fast path refused
+        assert stats["fast_reads_taken"] == 0
+        assert stats["fast_read_fallbacks"] == 1
+        assert stats["lease_invalidations"] == 1
+
+    def test_recovered_empty_replicas_refuse_pre_crash_lease(self, config):
+        """Crash-restart: replicas that lost their slots answer
+        ``holds=False``, so a pre-crash lease cannot gather ``b + 1``
+        confirmations and the read falls back."""
+        async def scenario():
+            async with fast_store(config) as store:
+                await store.write("k", "v1")
+                await store.read("k")  # lease armed
+                for i in range(config.num_objects):
+                    store.replace_object(i, RegularObject(i, config))
+                await store.read("k")
+                return store.stats()
+
+        stats = run(scenario())
+        assert stats["fast_reads_taken"] == 0
+        assert stats["fast_read_fallbacks"] == 1
+
+    def test_stale_tag_forger_is_outvoted_on_probes(self, config):
+        """A Byzantine replica vouching for a superseded lease loses to
+        the honest quorum: one honest ``top > lease`` ack refutes."""
+        async def scenario():
+            async with fast_store(config, record_history=True) as store:
+                await store.write("k", "v1")
+                await store.read("k")
+                state = store._states.reader("k", 0)
+                stale_tag = state.lease.tag
+                await store.write("k", "v2")
+                # Rewind the reader to a genuinely stale lease (as if it
+                # had missed the second write's grant).
+                state.lease = TagLease(tag=stale_tag, value="v1")
+                store.make_byzantine(0, StaleTagForger(
+                    store.object_automaton(0), config,
+                    forged_tag=stale_tag, forged_value="v1"))
+                value = await store.read("k")
+                return value, store.stats(), store.history
+
+        value, stats, history = run(scenario())
+        assert value == "v2"  # never the stale leased value
+        assert stats["fast_reads_taken"] == 0
+        assert stats["fast_read_fallbacks"] == 1
+        check_mwmr_atomicity(history).assert_ok()
+        check_fast_read_freshness(history).assert_ok()
+
+    def test_repeated_fallbacks_back_off_probing(self, config):
+        async def scenario():
+            async with fast_store(config) as store:
+                await store.write("k", "v1")
+                await store.read("k")
+                for i in range(config.num_objects):
+                    store.replace_object(i, RegularObject(i, config))
+                await store.write("k", "v2")  # re-establish on new state
+                probes_spent = 0
+                for _ in range(6):
+                    before = store.stats()
+                    await store.read("k")
+                    after = store.stats()
+                    probes_spent += (after["fast_read_fallbacks"]
+                                     - before["fast_read_fallbacks"])
+                return probes_spent, store.stats()
+
+        probes_spent, stats = run(scenario())
+        # Backoff: after each failed probe the lease skips a growing
+        # number of reads, so most of the 6 reads never probed at all.
+        assert stats["fast_read_fallbacks"] <= 3
+
+
+class TestShardedLeases:
+    def test_sharded_stats_aggregate(self, config):
+        async def scenario():
+            async with ShardedKVStore(CachedRegularStorageProtocol, config,
+                                      num_shards=2,
+                                      fast_reads=True) as kv:
+                for n in range(8):
+                    await kv.put(f"key:{n}", n)
+                    await kv.get(f"key:{n}")
+                    await kv.get(f"key:{n}")
+                return kv.stats()
+
+        stats = run(scenario())
+        assert stats["fast_reads_enabled"]
+        assert stats["fast_reads_taken"] >= 8  # second get of each key
+        assert set(stats["per_shard"]) == {0, 1}
+
+    def test_routing_flip_drops_all_leases(self, config):
+        async def scenario():
+            async with ShardedKVStore(CachedRegularStorageProtocol, config,
+                                      num_shards=2,
+                                      fast_reads=True) as kv:
+                await kv.put("key:0", "v")
+                await kv.get("key:0")   # arms a lease somewhere
+                kv.apply_reconfiguration(kv.ring, dict(kv.shards))
+                held = [state.lease
+                        for shard in kv.shards.values()
+                        for state in shard._states.all_reader_states()]
+                return held
+
+        assert all(lease is None for lease in run(scenario()))
+
+    def test_fenced_put_retry_invalidates_leases(self, config):
+        async def scenario():
+            async with ShardedKVStore(CachedRegularStorageProtocol, config,
+                                      num_shards=1,
+                                      fast_reads=True) as kv:
+                await kv.put("key:0", "v")
+                await kv.get("key:0")
+                store = kv.store_for("key:0")
+                for i in range(config.num_objects):
+                    store.object_automaton(i).hard_fences.add("key:0")
+                from repro.errors import FencedWriteError
+                with pytest.raises(FencedWriteError):
+                    await kv.put("key:0", "v2")
+                return store.stats()
+
+        stats = run(scenario())
+        assert stats["lease_invalidations"] >= 1
+
+    def test_cluster_forwards_fast_reads_opt_in(self, config):
+        from repro.api.cluster import Cluster
+
+        async def scenario():
+            async with Cluster(CachedRegularStorageProtocol, config,
+                               num_shards=2, fast_reads=True) as cluster:
+                async with cluster.session() as session:
+                    await session.put("key:0", "v")
+                    await session.get("key:0")
+                    await session.get("key:0")
+                return cluster.kv.stats()
+
+        stats = run(scenario())
+        assert stats["fast_reads_enabled"]
+        assert stats["fast_reads_taken"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property: lease freshness under racing writers
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseFreshnessProperty:
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 1),       # writer index
+                      st.integers(0, 99)),     # value
+            min_size=2, max_size=6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fast_reads_never_stale_under_racing_writers(self, plan, seed):
+        """Interleave two writers with a reader probing its lease; every
+        fast read must satisfy the same freshness clauses as classic
+        reads (checker-gated, not value-asserted: with races the set of
+        legal values is exactly what the checker encodes)."""
+        async def scenario():
+            config = SystemConfig.optimal(t=1, b=1, num_readers=2,
+                                          num_writers=2)
+            async with fast_store(config, record_history=True,
+                                  jitter=0.001, seed=seed) as store:
+                await store.write("k", "seed", writer_index=0)
+                await store.read("k")  # arm the lease
+
+                async def write_all():
+                    for writer_index, value in plan:
+                        await store.write("k", value,
+                                          writer_index=writer_index)
+
+                async def read_all():
+                    for _ in range(len(plan) + 2):
+                        await store.read("k")
+
+                await asyncio.gather(write_all(), read_all())
+                await store.read("k")
+                return store.history, store.stats()
+
+        history, stats = run(scenario())
+        check_mwmr_atomicity(history).assert_ok()
+        check_fast_read_freshness(history).assert_ok()
+        # Sanity: the machinery under test actually engaged.
+        assert stats["fast_reads_enabled"]
