@@ -1,0 +1,76 @@
+"""Command-line front-end for ``reprolint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import core
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Protocol-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to analyse (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(core.all_rules().items()):
+            print(f"{rule_id:24s} {rule.description}")
+        return 0
+
+    if args.select:
+        unknown = set(args.select) - set(core.all_rules())
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = core.run_analysis(args.paths, select=args.select)
+    except OSError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(core.render_json(findings))
+    else:
+        print(core.render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

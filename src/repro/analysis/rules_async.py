@@ -1,0 +1,269 @@
+"""Async-safety rules: blocking calls on the loop, await-point races.
+
+``blocking-async``
+    Flags synchronous, potentially long-latency calls made directly in
+    an ``async def`` body: ``os.fsync``/``os.sync``/``os.fdatasync``,
+    ``time.sleep``, ``subprocess.*``, synchronous socket construction,
+    ``shutil.rmtree``/``copytree``, file ``.flush()``/``.fsync()``, and
+    ``.start()``/``.join()`` on multiprocessing handles.  Exempt: work
+    handed to ``loop.run_in_executor`` (callables passed as arguments
+    are not call sites), directly awaited calls (``await proc.start()``
+    is an async method), calls built as arguments to scheduling
+    primitives (``asyncio.gather(proc.start() ...)`` constructs
+    coroutines), and nested sync ``def``s (the usual executor thunks).
+
+``await-race``
+    The asyncio analogue of a race detector.  Inside one async method of
+    a class, a ``self.attr`` read in an ``if``/``while`` guard, followed
+    by an ``await`` (suspension point -- any other task may run), then a
+    write to the *same* ``self.attr`` is a read-check-act sequence whose
+    check can be stale by the time the act lands.  The sequence is
+    considered protected (not flagged) when guard, await and write all
+    sit inside one ``async with <...lock...>`` block, since the lock is
+    held across the suspension.  Writes inside ``except`` handlers are
+    exempt: rolling a flag back on failure is not a check-act sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .core import Finding, SourceFile, register_rule
+
+__all__ = ["BlockingAsyncRule", "AwaitRaceRule"]
+
+
+# (module, function) pairs that block the event loop when called directly.
+_BLOCKING_MODULE_CALLS = {
+    ("os", "fsync"),
+    ("os", "sync"),
+    ("os", "fdatasync"),
+    ("time", "sleep"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("socket", "socket"),
+    ("socket", "create_connection"),
+    ("shutil", "rmtree"),
+    ("shutil", "copytree"),
+}
+
+# Zero/low-arg methods that mean "synchronous I/O barrier" on file-likes.
+_BLOCKING_METHODS = {"flush", "fsync"}
+
+# .start()/.join() on something whose name suggests an OS process handle.
+_PROCESS_METHODS = {"start", "join", "terminate", "kill"}
+_PROCESS_HINTS = ("process", "proc", "child", "worker")
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name for an attribute/name chain ('self._fh.flush')."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _async_function_bodies(tree: ast.Module):
+    """Yield every async function def with nested (sync or async) defs pruned.
+
+    Nested sync defs are executor thunks; nested async defs are analysed
+    as their own async contexts when yielded separately.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _iter_async_statements(fn: ast.AsyncFunctionDef):
+    """Walk ``fn``'s body without descending into nested function defs."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # executor thunks / separately-analysed async contexts
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+@register_rule
+class BlockingAsyncRule:
+    rule_id = "blocking-async"
+    description = "synchronous blocking call executed directly on the event loop"
+
+    _SCHEDULERS = frozenset(
+        {"gather", "create_task", "ensure_future", "shield", "wait_for",
+         "wait", "run_in_executor", "to_thread"}
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in _async_function_bodies(source.tree):
+            exempt: set[int] = set()
+            for node in _iter_async_statements(fn):
+                if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                    # `await x.start()` is an async call, not a block.
+                    exempt.add(id(node.value))
+                if isinstance(node, ast.Call):
+                    callee = node.func
+                    name = callee.attr if isinstance(callee, ast.Attribute) else (
+                        callee.id if isinstance(callee, ast.Name) else None)
+                    if name in self._SCHEDULERS:
+                        # Calls built as arguments to gather()/create_task()
+                        # etc. construct coroutines; they run elsewhere.
+                        for arg in [*node.args, *node.keywords]:
+                            for sub in ast.walk(arg):
+                                exempt.add(id(sub))
+            for node in _iter_async_statements(fn):
+                if not isinstance(node, ast.Call) or id(node) in exempt:
+                    continue
+                msg = self._classify(node)
+                if msg is not None:
+                    findings.append(
+                        Finding(
+                            rule_id=self.rule_id,
+                            path=source.path,
+                            line=node.lineno,
+                            message=f"{msg} in 'async def {fn.name}'; "
+                            "move it to loop.run_in_executor or an async equivalent",
+                        )
+                    )
+        return findings
+
+    def _classify(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            head, _, tail = dotted.partition(".")
+            if (head, tail) in _BLOCKING_MODULE_CALLS:
+                return f"blocking call {dotted}()"
+            if func.attr in _BLOCKING_METHODS and not isinstance(func.value, ast.Name):
+                # self._fh.flush() / self.snapshot_fh.fsync(); bare names
+                # (e.g. a local asyncio object) are too ambiguous to flag.
+                return f"blocking file barrier {dotted}()"
+            if func.attr in _BLOCKING_METHODS and isinstance(func.value, ast.Name):
+                receiver = func.value.id.lower()
+                if any(h in receiver for h in ("fh", "file", "fp", "log")):
+                    return f"blocking file barrier {dotted}()"
+            if func.attr in _PROCESS_METHODS:
+                receiver = _dotted(func.value).lower()
+                if any(h in receiver for h in _PROCESS_HINTS):
+                    return f"blocking process-lifecycle call {dotted}()"
+        return None
+
+
+@dataclass(slots=True)
+class _GuardRead:
+    attr: str
+    line: int
+
+
+@register_rule
+class AwaitRaceRule:
+    rule_id = "await-race"
+    description = "read-check-act on a shared attribute straddling an await"
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in ast.walk(source.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for item in cls.body:
+                if isinstance(item, ast.AsyncFunctionDef):
+                    findings.extend(self._check_method(source, cls, item))
+        return findings
+
+    def _check_method(
+        self, source: SourceFile, cls: ast.ClassDef, fn: ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        guard_reads: list[_GuardRead] = []
+        awaits: list[int] = []
+        writes: list[_GuardRead] = []
+        lock_spans: list[tuple[int, int]] = []
+        handler_spans: list[tuple[int, int]] = []
+
+        for node in _iter_async_statements(fn):
+            if isinstance(node, ast.ExceptHandler):
+                end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                handler_spans.append((node.lineno, end))
+            if isinstance(node, (ast.If, ast.While)):
+                for attr in self._self_attrs(node.test):
+                    guard_reads.append(_GuardRead(attr=attr, line=node.lineno))
+            elif isinstance(node, ast.Await):
+                awaits.append(node.lineno)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for tgt in targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        writes.append(_GuardRead(attr=tgt.attr, line=node.lineno))
+            elif isinstance(node, ast.AsyncWith):
+                for with_item in node.items:
+                    name = _dotted(with_item.context_expr).lower()
+                    if "lock" in name or "mutex" in name or "sem" in name:
+                        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                        lock_spans.append((node.lineno, end))
+
+        if not awaits:
+            return []
+
+        findings: list[Finding] = []
+        seen: set[tuple[str, int]] = set()
+        for read in guard_reads:
+            for write in writes:
+                if write.attr != read.attr or write.line <= read.line:
+                    continue
+                if any(lo <= write.line <= hi for lo, hi in handler_spans):
+                    continue  # rollback-on-failure writes are not check-act
+
+                crossing = [a for a in awaits if read.line <= a <= write.line]
+                if not crossing:
+                    continue
+                if any(
+                    lo <= read.line and write.line <= hi and any(lo <= a <= hi for a in crossing)
+                    for lo, hi in lock_spans
+                ):
+                    continue  # guard, await and write all under one held lock
+                key = (write.attr, write.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=source.path,
+                        line=write.line,
+                        message=(
+                            f"'self.{write.attr}' checked on line {read.line}, "
+                            f"awaited on line {crossing[0]}, then written here in "
+                            f"'{cls.name}.{fn.name}': the check can be stale after the "
+                            "suspension; hold an asyncio.Lock across the sequence or "
+                            "re-validate after the await"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _self_attrs(expr: ast.AST) -> list[str]:
+        out = []
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                out.append(node.attr)
+        return out

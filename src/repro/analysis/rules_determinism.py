@@ -1,0 +1,219 @@
+"""Determinism rules for SimKernel-reachable modules.
+
+Seeded schedules, WAL replay and the recorded ``BENCH_service.json``
+histories are only reproducible if protocol code never consults ambient
+state.  Three rules, all scoped to the module set the simulation kernel
+can reach (``repro/core``, ``repro/sim``, ``repro/automata``,
+``repro/baselines``, ``repro/adversary``, ``repro/spec``,
+``repro/crypto_sim``, ``repro/harness``, the leaf protocol modules, and
+``benchmarks/``):
+
+``det-unseeded-random``
+    Module-level ``random.*`` calls use the process-global RNG;
+    ``random.Random()`` with no seed arms it from the OS.  Protocol code
+    must thread an explicitly seeded ``random.Random(seed)``.
+
+``det-wall-clock``
+    ``time.time()`` / ``datetime.now()`` read the wall clock; two runs
+    of one seeded schedule see different values.  Measurement clocks
+    (``perf_counter``, ``monotonic``) are allowed -- they time the run,
+    they do not steer it.
+
+``det-set-iter``
+    Iterating a ``set``/``frozenset`` yields hash-order, which varies
+    across processes (PYTHONHASHSEED) -- anything derived from that
+    order (message payloads, schedules) diverges.  Wrap in ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from .core import Finding, SourceFile, register_rule
+
+__all__ = ["UnseededRandomRule", "WallClockRule", "SetIterationRule"]
+
+_SCOPE_DIR_MARKERS = (
+    "repro/core/",
+    "repro/sim/",
+    "repro/automata/",
+    "repro/baselines/",
+    "repro/adversary/",
+    "repro/spec/",
+    "repro/crypto_sim/",
+    "repro/harness/",
+    "benchmarks/",
+)
+_SCOPE_FILE_SUFFIXES = (
+    "repro/messages.py",
+    "repro/types.py",
+    "repro/quorums.py",
+)
+
+
+def in_determinism_scope(path: str) -> bool:
+    posix = str(PurePosixPath(*PurePosixPath(path.replace("\\", "/")).parts))
+    return any(marker in posix for marker in _SCOPE_DIR_MARKERS) or any(
+        posix.endswith(suffix) for suffix in _SCOPE_FILE_SUFFIXES
+    )
+
+
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "seed",
+    "getrandbits",
+}
+
+
+def _attr_pair(call: ast.Call) -> tuple[str, str] | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            return (base.id, func.attr)
+        if isinstance(base, ast.Attribute):  # datetime.datetime.now()
+            return (base.attr, func.attr)
+    return None
+
+
+@register_rule
+class UnseededRandomRule:
+    rule_id = "det-unseeded-random"
+    description = "process-global or unseeded RNG in deterministic scope"
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if not in_determinism_scope(source.path):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            pair = _attr_pair(node)
+            if pair is None:
+                continue
+            base, attr = pair
+            if base == "random" and attr in _GLOBAL_RANDOM_FNS:
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=source.path,
+                        line=node.lineno,
+                        message=f"random.{attr}() uses the process-global RNG; "
+                        "thread a seeded random.Random(seed) instead",
+                    )
+                )
+            elif base == "random" and attr == "Random" and not node.args and not node.keywords:
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=source.path,
+                        line=node.lineno,
+                        message="random.Random() without a seed is armed from the OS; "
+                        "pass an explicit seed",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class WallClockRule:
+    rule_id = "det-wall-clock"
+    description = "ambient wall-clock read in deterministic scope"
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if not in_determinism_scope(source.path):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            pair = _attr_pair(node)
+            if pair in _WALL_CLOCK_CALLS:
+                base, attr = pair  # type: ignore[misc]
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=source.path,
+                        line=node.lineno,
+                        message=f"{base}.{attr}() reads the wall clock; use "
+                        "time.perf_counter()/monotonic() for measurement or the "
+                        "SimKernel clock for protocol time",
+                    )
+                )
+        return findings
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+@register_rule
+class SetIterationRule:
+    rule_id = "det-set-iter"
+    description = "iteration over an unordered set in deterministic scope"
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if not in_determinism_scope(source.path):
+            return []
+        findings: list[Finding] = []
+        for fn in ast.walk(source.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                findings.extend(self._check_scope(source, fn))
+        return findings
+
+    def _check_scope(self, source: SourceFile, scope: ast.AST) -> list[Finding]:
+        # Names bound to set-valued expressions inside this one scope.
+        set_names: set[str] = set()
+        body = scope.body if hasattr(scope, "body") else []
+        for node in body:
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not scope:
+                    break
+                if isinstance(sub, ast.Assign) and _is_set_expr(sub.value):
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            set_names.add(tgt.id)
+
+        findings: list[Finding] = []
+        for node in body:
+            for sub in ast.walk(node):
+                iters: list[ast.AST] = []
+                if isinstance(sub, (ast.For, ast.AsyncFor)):
+                    iters.append(sub.iter)
+                elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in sub.generators)
+                for it in iters:
+                    if _is_set_expr(it) or (isinstance(it, ast.Name) and it.id in set_names):
+                        findings.append(
+                            Finding(
+                                rule_id=self.rule_id,
+                                path=source.path,
+                                line=it.lineno,
+                                message="iterating an unordered set; order varies with "
+                                "PYTHONHASHSEED -- wrap in sorted() before anything "
+                                "order-sensitive consumes it",
+                            )
+                        )
+        return findings

@@ -24,7 +24,7 @@ from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, ProcessId,
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdStore(Message):
     """Install <ts, v> (used by the writer and by read write-backs).
 
@@ -41,20 +41,20 @@ class AbdStore(Message):
     write_back: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdStoreAck(Message):
     nonce: int
     ts: int
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdQuery(Message):
     nonce: int
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdQueryAck(Message):
     nonce: int
     tsval: TimestampValue

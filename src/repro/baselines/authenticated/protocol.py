@@ -19,26 +19,26 @@ from ...types import (BOTTOM, DEFAULT_REGISTER, INITIAL_TSVAL, TAG0,
                       _Bottom, obj, reader, writer)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthStore(Message):
     signed: SignedValue  # signed TimestampValue
     nonce: int
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthStoreAck(Message):
     nonce: int
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthQuery(Message):
     nonce: int
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthQueryAck(Message):
     nonce: int
     signed: Optional[SignedValue]

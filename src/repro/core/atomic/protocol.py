@@ -15,7 +15,7 @@ from ..regular import (RegularObject, RegularReaderState,
 from ..regular.reader import PHASE_WRITE_BACK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteBack(Message):
     """Reader-to-object: install tuple ``c`` at slot ``c.ts``.
 
@@ -30,7 +30,7 @@ class WriteBack(Message):
     register_id: str = DEFAULT_REGISTER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteBackAck(Message):
     nonce: int
     object_index: int

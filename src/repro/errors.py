@@ -8,6 +8,8 @@ anomalies detected at runtime.
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -68,7 +70,7 @@ class SpecificationViolation(ReproError):
     human-readable account of the offending operations.
     """
 
-    def __init__(self, explanation: str):
+    def __init__(self, explanation: str) -> None:
         super().__init__(explanation)
         self.explanation = explanation
 
@@ -112,7 +114,7 @@ class RetryExhaustedError(ReproError):
     """
 
     def __init__(self, message: str, attempts: int,
-                 last_error: Exception):
+                 last_error: Exception) -> None:
         super().__init__(message)
         self.attempts = attempts
         self.last_error = last_error
@@ -129,7 +131,7 @@ class SnapshotContentionError(ReproError):
     """
 
     def __init__(self, message: str, rounds: int,
-                 unstable_keys: list):
+                 unstable_keys: list) -> None:
         super().__init__(message)
         self.rounds = rounds
         self.unstable_keys = unstable_keys
@@ -147,7 +149,8 @@ class PreconditionFailedError(ProtocolError):
     :attr:`observed` carry both tags (``None`` for "never written").
     """
 
-    def __init__(self, message: str, expected, observed):
+    def __init__(self, message: str, expected: Any,
+                 observed: Any) -> None:
         super().__init__(message)
         self.expected = expected
         self.observed = observed

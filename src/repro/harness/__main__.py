@@ -15,13 +15,13 @@ from .experiments import run_all
 def main(argv=None) -> int:
     ids = list(argv if argv is not None else sys.argv[1:]) or None
     failures = 0
-    started = time.time()
+    started = time.perf_counter()
     for result in run_all(ids):
         print(result.render())
         print()
         if not result.ok:
             failures += 1
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print(f"ran {'all' if ids is None else len(ids)} experiment(s) in "
           f"{elapsed:.1f}s; {failures} mismatch(es)")
     return failures

@@ -22,7 +22,7 @@ growth of full-history versus suffix-shipping messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 from .types import (DEFAULT_REGISTER, TimestampValue, TsrArray, WriterTag,
                     WriteTuple, _Bottom, as_tag)
@@ -67,9 +67,15 @@ class Message:
     traces and by the asyncio JSON transport.  The base declares empty
     ``__slots__`` so subclasses may opt into slotted layouts (histories
     ship millions of :class:`HistoryEntry` instances).
+
+    ``wire_inline`` marks classes that only ever travel *inside* another
+    message's payload (never as a standalone frame); the static registry
+    check exempts them from codec-vocabulary parity.
     """
 
     __slots__ = ()
+
+    wire_inline: ClassVar[bool] = False
 
     @property
     def kind(self) -> str:
@@ -363,8 +369,12 @@ class HistoryEntry(Message):
     ``w`` may be ``None`` (the paper's ``nil``) when only the PW round of
     the corresponding write has been observed.  Slotted: histories carry
     one instance per write per object per ack, so the per-instance dict
-    is pure overhead on the hottest allocation path.
+    is pure overhead on the hottest allocation path.  ``wire_inline``:
+    entries are encoded as values inside :class:`HistoryReadAck`
+    payloads, never framed standalone.
     """
+
+    wire_inline: ClassVar[bool] = True
 
     pw: Optional[TimestampValue]
     w: Optional[WriteTuple]
@@ -439,7 +449,7 @@ class HistoryReadAck(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch(Message):
     """Several protocol messages between the same pair of processes.
 

@@ -392,6 +392,14 @@ def _register_extras() -> None:
         lambda d: WriteBackAck(nonce=d["nonce"], object_index=d["i"],
                                register_id=_register(d)))
 
+    from ..sim.server_centric import PushUpdate
+
+    register_codec(
+        PushUpdate,
+        lambda m: {"i": m.object_index, "tsval": encode_value(m.tsval)},
+        lambda d: PushUpdate(object_index=d["i"],
+                             tsval=decode_value(d["tsval"])))
+
 
 _register_extras()
 
@@ -1435,6 +1443,19 @@ def _register_binary_extras() -> None:
     register_binary_codec(WriteBack, 72, enc_write_back, dec_write_back)
     register_binary_codec(WriteBackAck, 73, enc_write_back_ack,
                           dec_write_back_ack)
+
+    from ..sim.server_centric import PushUpdate
+
+    def enc_push_update(buf, m, strings):
+        buf += _S_I64.pack(m.object_index)
+        _w_value(buf, m.tsval, strings)
+
+    def dec_push_update(data, pos, strings):
+        (object_index,) = _unpack(_S_I64, data, pos)
+        tsval, pos = _r_value(data, pos + 8, strings)
+        return PushUpdate(object_index=object_index, tsval=tsval), pos
+
+    register_binary_codec(PushUpdate, 74, enc_push_update, dec_push_update)
 
 
 _register_binary_extras()

@@ -165,10 +165,12 @@ class TcpObjectServer:
         return self.port
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server before suspending so concurrent stops cannot
+        # both drive the close sequence against a stale reference.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
@@ -232,6 +234,8 @@ class TcpStorageClient:
             Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._inbox: "asyncio.Queue[Tuple[ProcessId, Any]]" = asyncio.Queue()
         self._pumps: List[asyncio.Task] = []
+        #: per-endpoint reconnect serialization (created on demand).
+        self._reconnect_locks: Dict[int, asyncio.Lock] = {}
 
     async def connect(self) -> None:
         for host, port in self.endpoints:
@@ -263,16 +267,30 @@ class TcpStorageClient:
         except (ConnectionResetError, TransportError, OSError):
             return  # dead peer: the next send reconnects
 
-    async def _reconnect(self, index: int) -> asyncio.StreamWriter:
-        """Re-open one endpoint's connection after a broken pipe."""
-        _, old_writer = self._connections[index]
-        old_writer.close()
-        host, port = self.endpoints[index]
-        reader, writer = await asyncio.open_connection(host, port)
-        self._connections[index] = (reader, writer)
-        self._pumps.append(asyncio.get_running_loop().create_task(
-            self._pump(reader)))
-        return writer
+    async def _reconnect(self, index: int,
+                         broken: asyncio.StreamWriter
+                         ) -> asyncio.StreamWriter:
+        """Re-open one endpoint's connection after a broken pipe.
+
+        Serialized per endpoint: without the lock, two writers hitting
+        the same broken pipe would both open a socket -- one of the two
+        is then orphaned (never closed, its pump task alive) and the
+        replica sees a phantom duplicate connection.  The identity
+        double-check makes the late arrival adopt the winner's socket
+        instead of tearing it down again.
+        """
+        lock = self._reconnect_locks.setdefault(index, asyncio.Lock())
+        async with lock:
+            _, current = self._connections[index]
+            if current is not broken:
+                return current  # a concurrent writer already reconnected
+            broken.close()
+            host, port = self.endpoints[index]
+            reader, writer = await asyncio.open_connection(host, port)
+            self._connections[index] = (reader, writer)
+            self._pumps.append(asyncio.get_running_loop().create_task(
+                self._pump(reader)))
+            return writer
 
     async def _write_frame(self, index: int, frame: bytes) -> None:
         """Write to one endpoint, reconnecting once on a broken pipe.
@@ -293,7 +311,7 @@ class TcpStorageClient:
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
         try:
-            writer = await self._reconnect(index)
+            writer = await self._reconnect(index, writer)
             writer.write(frame)
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError) as exc:

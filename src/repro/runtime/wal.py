@@ -148,7 +148,7 @@ class WriteAheadLog:
         reply until the await returns.
         """
         self._fh.write(_pack_record(payload))
-        self._fh.flush()
+        self._fh.flush()  # reprolint: ok[blocking-async] -- page-cache barrier, microseconds; must precede the ack so record order matches call order and a SIGKILL after return loses nothing
         if self.fsync == "always":
             await asyncio.get_running_loop().run_in_executor(
                 None, os.fsync, self._fh.fileno())

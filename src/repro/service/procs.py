@@ -170,10 +170,13 @@ class ReplicaProcess:
         self.process = ctx.Process(
             target=_replica_child_main, args=(self.spec, child_conn),
             daemon=True)
-        self.process.start()
+        loop = asyncio.get_running_loop()
+        # A "spawn" start forks + execs a fresh interpreter (~0.5s); off
+        # the loop so gather()ed sibling spawns overlap instead of
+        # serializing behind each other's exec.
+        await loop.run_in_executor(None, self.process.start)
         child_conn.close()
         self.conn = parent_conn
-        loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while not parent_conn.poll():
             if not self.process.is_alive():
@@ -182,7 +185,7 @@ class ReplicaProcess:
                     f"during startup (exit code "
                     f"{self.process.exitcode})")
             if loop.time() > deadline:
-                self.process.kill()
+                self.process.kill()  # reprolint: ok[blocking-async] -- one SIGKILL syscall, no wait
                 raise TransportError(
                     f"replica child for objects {self.spec.indices} did "
                     f"not report ports within {timeout}s")
@@ -203,23 +206,27 @@ class ReplicaProcess:
 
     async def stop(self, timeout: float = 5.0) -> None:
         """Graceful stop: the child snapshots and exits on its own."""
-        if self.process is None:
+        process = self.process
+        if process is None:
             return
+        # Claim the pipe before the first suspension: a concurrent stop
+        # then sees None and cannot double-send or double-close it.
+        conn, self.conn = self.conn, None
         try:
-            if self.conn is not None:
-                self.conn.send("stop")
+            if conn is not None:
+                conn.send("stop")
         except (BrokenPipeError, OSError):
             pass
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
-        while self.process.is_alive() and loop.time() < deadline:
+        while process.is_alive() and loop.time() < deadline:
             await asyncio.sleep(0.01)
-        if self.process.is_alive():
-            self.process.kill()
-        self.process.join(timeout=1.0)
-        if self.conn is not None:
-            self.conn.close()
-            self.conn = None
+        if process.is_alive():
+            process.kill()  # reprolint: ok[blocking-async] -- one SIGKILL syscall, no wait
+        # join() blocks until the child is reaped; off the loop.
+        await loop.run_in_executor(None, process.join, 1.0)
+        if conn is not None:
+            conn.close()
 
 
 class ReplicaProcessSupervisor:
@@ -284,8 +291,15 @@ class ReplicaProcessSupervisor:
     async def start(self) -> "ReplicaProcessSupervisor":
         if self._started:
             return self
-        await asyncio.gather(*(proc.start() for proc in self._procs))
+        # Claim the flag before suspending: a second start() arriving
+        # while the spawns are in flight must not spawn a duplicate
+        # fleet of children.
         self._started = True
+        try:
+            await asyncio.gather(*(proc.start() for proc in self._procs))
+        except BaseException:
+            self._started = False
+            raise
         self._monitor_task = asyncio.get_running_loop().create_task(
             self._monitor())
         return self
@@ -386,10 +400,11 @@ class ReplicaProcessSupervisor:
             self._ping_failures[index] = failures
             if failures >= PING_FAILURE_THRESHOLD:
                 self._ping_failures[index] = 0
-                proc.kill()  # wedged: the liveness sweep restarts it
+                # wedged: the liveness sweep restarts it
+                proc.kill()  # reprolint: ok[blocking-async] -- one SIGKILL syscall, no wait
 
     async def _restart(self, proc: ReplicaProcess) -> None:
-        proc.process.join(timeout=0)  # reap the corpse
+        proc.process.join(timeout=0)  # reprolint: ok[blocking-async] -- timeout=0 reaps the corpse without waiting
         if proc.conn is not None:
             proc.conn.close()
         await proc.start()
@@ -601,9 +616,16 @@ class ProcMultiRegisterStore(MultiRegisterStore):
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "ProcMultiRegisterStore":
-        if not self._started:
+        if self._started:
+            return self
+        # Claim-first, as in the supervisor: a concurrent start() during
+        # the spawn await must not drive a second supervisor.start().
+        self._started = True
+        try:
             await self.supervisor.start()
-            self._started = True
+        except BaseException:
+            self._started = False
+            raise
         return self
 
     async def stop(self) -> None:

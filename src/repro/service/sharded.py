@@ -194,10 +194,18 @@ class ShardedKVStore:
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "ShardedKVStore":
-        if not self._started:
+        if self._started:
+            return self
+        # Claim the flag before the first await: a concurrent start()
+        # must not double-start the shard stores (each spawns hosts,
+        # and under multiproc deployment, child processes).
+        self._started = True
+        try:
             for shard in self.shards.values():
                 await shard.start()
-            self._started = True
+        except BaseException:
+            self._started = False
+            raise
         return self
 
     async def stop(self) -> None:
@@ -209,8 +217,11 @@ class ShardedKVStore:
         if self._owns_data_dir and self.data_dir is not None:
             # We created this temp dir; a stopped store's WAL/snapshots
             # have no further reader (restart recreates per-replica
-            # dirs on demand).
-            shutil.rmtree(self.data_dir, ignore_errors=True)
+            # dirs on demand).  Deleting a tree of WAL segments can take
+            # hundreds of milliseconds -- off the loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: shutil.rmtree(self.data_dir,
+                                            ignore_errors=True))
 
     async def __aenter__(self) -> "ShardedKVStore":
         return await self.start()

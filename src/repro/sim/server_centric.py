@@ -32,7 +32,7 @@ from ..messages import Message, ReadAck, W
 from ..types import ProcessId, TimestampValue, reader
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushUpdate(Message):
     """Unsolicited notification: "I now hold <ts, v>"."""
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 import functools
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator, NamedTuple, Optional, Tuple, Union
+from typing import (Any, Dict, Iterable, Iterator, NamedTuple, Optional,
+                    Tuple, Union)
 
 
 class _Bottom:
@@ -44,7 +45,7 @@ class _Bottom:
     def __repr__(self) -> str:
         return "⊥"
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, tuple]:
         return (_Bottom, ())
 
 
@@ -162,7 +163,7 @@ class ProcessId:
             object.__setattr__(self, "_hash", cached)
         return cached
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # Never pickle the lazily cached hash: state fingerprints compare
         # pickled bytes, and equal ids must pickle identically.
         return {k: v for k, v in self.__dict__.items() if k != "_hash"}
@@ -269,7 +270,7 @@ class TimestampValue:
             object.__setattr__(self, "_hash", cached)
         return cached
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # Cached fields are lazily populated and process-local (string
         # hashing is seeded) and must not leak into pickles: state
         # fingerprints compare pickled bytes, so lazily cached fields
@@ -301,7 +302,8 @@ class TsrArray:
 
     __slots__ = ("_rows", "_hash")
 
-    def __init__(self, rows: Tuple[Tuple[Optional[int], ...], ...]):
+    def __init__(self,
+                 rows: Tuple[Tuple[Optional[int], ...], ...]) -> None:
         self._rows = rows
         self._hash: Optional[int] = None
 
@@ -313,7 +315,8 @@ class TsrArray:
         return cls(tuple(row for _ in range(num_objects)))
 
     @classmethod
-    def from_lists(cls, rows) -> "TsrArray":
+    def from_lists(
+            cls, rows: Iterable[Iterable[Optional[int]]]) -> "TsrArray":
         return cls(tuple(tuple(r) for r in rows))
 
     # -- accessors ---------------------------------------------------------
@@ -368,12 +371,15 @@ class TsrArray:
             self._hash = hash(self._rows)
         return self._hash
 
-    def __getstate__(self):
+    def __getstate__(
+            self) -> Tuple[Tuple[Tuple[Optional[int], ...], ...]]:
         # Wrapped in a 1-tuple (a bare empty rows tuple would be falsy and
         # skip __setstate__); never pickle the process-local hash cache.
         return (self._rows,)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+            self,
+            state: Tuple[Tuple[Tuple[Optional[int], ...], ...]]) -> None:
         (self._rows,) = state
         self._hash = None
 
@@ -423,7 +429,7 @@ class WriteTuple:
             object.__setattr__(self, "_hash", cached)
         return cached
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         return {k: v for k, v in self.__dict__.items() if k != "_hash"}
 
     def __repr__(self) -> str:
