@@ -1,0 +1,75 @@
+"""Chaos-harness exhaustiveness: every wrapper is a named strategy.
+
+``chaos-strategy-registry`` (dynamic, whole project)
+    Every concrete :class:`~repro.adversary.byzantine.ByzantineWrapper`
+    subclass in the tree must be reachable from the chaos strategy
+    registry (:data:`repro.chaos.strategies.STRATEGIES`, via each
+    entry's ``wrappers`` tuple).  The registry is what the schedule DSL,
+    the explorer's random walks, and the README strategy table all
+    enumerate -- an unregistered wrapper is a behaviour the chaos sweep
+    silently never exercises.  Register it with
+    :func:`repro.chaos.strategies.register_strategy` (or list it in an
+    existing entry's ``wrappers``); test-only wrappers acknowledge the
+    gap with a suppression on their ``class`` line.
+
+Like the other dynamic rules, findings anchor at the offending
+``class`` statement and the rule silently skips when the analyzed file
+set does not contain the live package sources (fixture runs in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .core import Finding, SourceFile, register_rule
+from .rules_registry import _live_subclasses, _ProjectAnchors
+
+__all__ = ["ChaosStrategyRegistryRule", "strategy_registry_findings"]
+
+
+def strategy_registry_findings(
+    rule_id: str,
+    wrappers: Iterable[type],
+    registered_names: Iterable[str],
+    anchor: Callable[[type], tuple[str, int] | None],
+) -> list[Finding]:
+    """Pure comparison logic, separated from live-package loading so
+    tests can feed synthetic wrapper sets."""
+    findings: list[Finding] = []
+    known = set(registered_names)
+    for cls in sorted(wrappers, key=lambda c: c.__name__):
+        if cls.__name__ in known:
+            continue
+        at = anchor(cls)
+        if at is None:
+            continue  # defined outside the analyzed set (e.g. fixtures)
+        findings.append(Finding(
+            rule_id=rule_id,
+            path=at[0],
+            line=at[1],
+            message=f"ByzantineWrapper subclass '{cls.__name__}' is not "
+            "reachable from the chaos strategy registry; register it via "
+            "repro.chaos.strategies.register_strategy (or add it to an "
+            "entry's wrappers) so schedule generation can exercise it",
+        ))
+    return findings
+
+
+@register_rule
+class ChaosStrategyRegistryRule:
+    rule_id = "chaos-strategy-registry"
+    description = "ByzantineWrapper subclass missing from the strategy registry"
+
+    def check_project(self, sources: list[SourceFile]) -> list[Finding]:
+        try:
+            from ..adversary.byzantine import ByzantineWrapper
+            from ..chaos.strategies import registered_wrapper_names
+        except Exception:
+            return []  # live package unavailable in this interpreter
+        anchors = _ProjectAnchors(sources)
+        return strategy_registry_findings(
+            self.rule_id,
+            _live_subclasses(ByzantineWrapper),
+            registered_wrapper_names(),
+            anchors.anchor,
+        )

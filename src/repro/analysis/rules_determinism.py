@@ -40,6 +40,7 @@ _SCOPE_DIR_MARKERS = (
     "repro/automata/",
     "repro/baselines/",
     "repro/adversary/",
+    "repro/chaos/",
     "repro/spec/",
     "repro/crypto_sim/",
     "repro/harness/",

@@ -1,0 +1,463 @@
+"""Composable Byzantine strategy library.
+
+:mod:`repro.adversary.byzantine` ships the raw behaviours -- each one a
+:class:`~repro.adversary.byzantine.ByzantineWrapper` distorting an honest
+automaton.  This module makes them *data*:
+
+* every behaviour gets a **registered name** with a parameter schema, so
+  a :class:`~repro.chaos.schedule.FaultSchedule` (and its JSON form) can
+  say ``{"name": "forger", "params": {"ts_boost": 77}}``;
+* **combinators** (:func:`sequence`, :func:`after_step`,
+  :func:`probabilistic`) compose behaviours over the existing
+  ``StrategyFactory`` type, so a ``FaultPlan`` can express time-varying
+  conduct ("honest for 10 deliveries, then equivocate");
+* all strategy randomness threads through :func:`~repro.chaos.seeds.
+  derive_seed`, so a schedule's master seed determines every forged bit.
+
+The registry doubles as the ground truth for the ``chaos-strategy-
+registry`` reprolint rule: a ``ByzantineWrapper`` subclass anywhere in
+the tree that is not reachable from here fails the sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, FrozenSet, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..adversary.byzantine import (AckFlooder, ByzantineWrapper, Equivocator,
+                                   GarbageByzantine, HistoryForger,
+                                   MuteByzantine, StaleReplier,
+                                   StaleTagForger, TsrInflater, TwoFaced,
+                                   ValueForger)
+from ..adversary.plans import StrategyFactory
+from ..automata.base import ObjectAutomaton, Outgoing
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..types import ProcessId, WriterTag
+from .seeds import derive_seed
+
+#: A strategy spec: a registered name, or a mapping with ``name`` and
+#: optional ``params`` (which may nest further specs for combinators).
+StrategySpec = Union[str, Mapping[str, Any]]
+
+
+# ---------------------------------------------------------------------------
+# Combinator wrappers
+# ---------------------------------------------------------------------------
+
+
+class SwitchingByzantine(ByzantineWrapper):
+    """Time-varying conduct: switch behaviour at delivery thresholds.
+
+    ``stages`` maps a 0-based delivery index to the automaton that
+    handles messages from that delivery on; the last stage whose
+    threshold has been reached is active.  Stage automata share the
+    wrapped honest ``inner`` (each is a wrapper around the same state),
+    so state learned while honest carries into the corrupt phase.
+    """
+
+    def __init__(self, inner: ObjectAutomaton,
+                 stages: Sequence[Tuple[int, ObjectAutomaton]]):
+        super().__init__(inner)
+        if not stages:
+            raise ConfigurationError("SwitchingByzantine needs >= 1 stage")
+        self.stages = sorted(stages, key=lambda pair: pair[0])
+        self.deliveries = 0
+
+    def _active(self) -> ObjectAutomaton:
+        chosen = self.inner
+        for threshold, automaton in self.stages:
+            if self.deliveries >= threshold:
+                chosen = automaton
+        return chosen
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        automaton = self._active()
+        self.deliveries += 1
+        return automaton.on_message(sender, message)
+
+
+class ProbabilisticByzantine(ByzantineWrapper):
+    """Flips a seeded coin per delivery: corrupt with probability ``p``.
+
+    Models intermittent corruption -- a replica that only sometimes
+    lies is harder to vote out and exercises per-message (rather than
+    per-process) fault absorption.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, corrupt: ObjectAutomaton,
+                 p: float, seed: int):
+        super().__init__(inner)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"probability {p} outside [0, 1]")
+        self.corrupt = corrupt
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def on_message(self, sender: ProcessId, message: Any) -> Outgoing:
+        if self._rng.random() < self.p:
+            return self.corrupt.on_message(sender, message)
+        return self.inner.on_message(sender, message)
+
+
+class DelayThenForge(ByzantineWrapper):
+    """Withholds its first ``quiet`` replies, then releases them forged.
+
+    The paper's adversary controls *when* a corrupt object speaks as
+    much as *what* it says: withheld acks make the object look slow (so
+    clients settle on the remaining quorum), then the backlog arrives
+    carrying an inflated-timestamp forgery.  A correct reader must still
+    demand ``b + 1`` confirmations before believing the late wave.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 quiet: int = 3, forged_value: Any = "LATE-FORGE",
+                 ts_boost: int = 500):
+        super().__init__(inner)
+        self.quiet = quiet
+        self._forger = ValueForger(inner, config, forged_value, ts_boost)
+        self._held: List[Tuple[ProcessId, Any]] = []
+        self._seen = 0
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        self._seen += 1
+        if self._seen <= self.quiet:
+            self._held.extend(replies)
+            return []
+        backlog = self._held + list(replies)
+        self._held = []
+        return self._forger.transform(sender, message, backlog)
+
+
+class BadAggregator(ByzantineWrapper):
+    """Mangles multi-reply responses: drops and duplicates reply parts.
+
+    Batched rounds expect each object to contribute one coherent bundle
+    of acks; a bad aggregator breaks the bundle invariant -- some parts
+    vanish, others arrive twice -- without forging any individual
+    payload.  Readers' set semantics (count evidence per object, not per
+    message) are what must absorb this.
+    """
+
+    def __init__(self, inner: ObjectAutomaton, config: SystemConfig,
+                 seed: int, drop_p: float = 0.3, dup_p: float = 0.3):
+        super().__init__(inner)
+        self.config = config
+        self.drop_p = drop_p
+        self.dup_p = dup_p
+        self._rng = random.Random(seed)
+
+    def transform(self, sender: ProcessId, message: Any,
+                  replies: Outgoing) -> Outgoing:
+        out: Outgoing = []
+        for pair in replies:
+            roll = self._rng.random()
+            if roll < self.drop_p:
+                continue
+            out.append(pair)
+            if roll > 1.0 - self.dup_p:
+                out.append(pair)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Functional combinators over StrategyFactory
+# ---------------------------------------------------------------------------
+
+
+def sequence(*stages: Tuple[int, Optional[StrategyFactory]]
+             ) -> StrategyFactory:
+    """Compose factories into time-varying conduct.
+
+    Each ``(threshold, factory)`` stage activates once the object has
+    handled ``threshold`` deliveries; ``factory=None`` means honest.
+    Usable directly as a ``FaultPlan.byzantine`` value.
+    """
+
+    def build(inner: ObjectAutomaton,
+              config: SystemConfig) -> ObjectAutomaton:
+        built = [(threshold,
+                  inner if factory is None else factory(inner, config))
+                 for threshold, factory in stages]
+        return SwitchingByzantine(inner, built)
+
+    return build
+
+
+def after_step(threshold: int, factory: StrategyFactory) -> StrategyFactory:
+    """Honest until ``threshold`` deliveries, then ``factory``'s conduct."""
+    return sequence((0, None), (threshold, factory))
+
+
+def probabilistic(p: float, factory: StrategyFactory,
+                  seed: int = 0) -> StrategyFactory:
+    """Apply ``factory``'s conduct to each delivery with probability ``p``."""
+
+    def build(inner: ObjectAutomaton,
+              config: SystemConfig) -> ObjectAutomaton:
+        return ProbabilisticByzantine(inner, factory(inner, config), p, seed)
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+#: A builder: (params, seed) -> StrategyFactory.  ``seed`` is already
+#: derived for this strategy instance; builders derive further for
+#: sub-strategies.
+_Builder = Callable[[Mapping[str, Any], int], StrategyFactory]
+
+
+@dataclass(frozen=True)
+class StrategyEntry:
+    """One named, parameterizable Byzantine behaviour."""
+
+    name: str
+    description: str
+    build: _Builder
+    #: Wrapper classes this strategy may install (for the lint sweep).
+    wrappers: Tuple[type, ...]
+
+
+STRATEGIES: Dict[str, StrategyEntry] = {}
+
+
+def register_strategy(name: str, description: str,
+                      wrappers: Tuple[type, ...]
+                      ) -> Callable[[_Builder], _Builder]:
+    def decorate(build: _Builder) -> _Builder:
+        if name in STRATEGIES:
+            raise ConfigurationError(f"duplicate strategy name {name!r}")
+        STRATEGIES[name] = StrategyEntry(name, description, build, wrappers)
+        return build
+
+    return decorate
+
+
+def strategy_names() -> List[str]:
+    return sorted(STRATEGIES)
+
+
+def registered_wrapper_names() -> FrozenSet[str]:
+    """Class names of every wrapper reachable from the registry.
+
+    The ``chaos-strategy-registry`` reprolint rule diffs this set
+    against the ``ByzantineWrapper`` subclasses found in the source
+    tree.
+    """
+    names = {ByzantineWrapper.__name__}
+    for entry in STRATEGIES.values():
+        names.update(cls.__name__ for cls in entry.wrappers)
+    return frozenset(names)
+
+
+def _normalize(spec: StrategySpec) -> Tuple[str, Mapping[str, Any]]:
+    if isinstance(spec, str):
+        return spec, {}
+    name = spec.get("name")
+    if not isinstance(name, str):
+        raise ConfigurationError(f"strategy spec {spec!r} lacks a name")
+    params = spec.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ConfigurationError(f"strategy params must be a mapping: {spec!r}")
+    return name, params
+
+
+def build_strategy(spec: StrategySpec, seed: int = 0) -> StrategyFactory:
+    """Resolve a (possibly nested) spec into a ``StrategyFactory``.
+
+    ``seed`` is the master chaos seed scope for this strategy; every
+    random choice the built strategy makes derives from it.
+    """
+    name, params = _normalize(spec)
+    entry = STRATEGIES.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; known: {', '.join(strategy_names())}")
+    return entry.build(params, derive_seed(seed, "strategy", name))
+
+
+def spec_of(name: str, **params: Any) -> Dict[str, Any]:
+    """Convenience spec constructor: ``spec_of('forger', ts_boost=7)``."""
+    return {"name": name, "params": params}
+
+
+# -- omission-flavoured ------------------------------------------------------
+
+
+@register_strategy("silent", "never answers (NBFT: silent)",
+                   (MuteByzantine,))
+def _build_silent(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    return lambda inner, config: MuteByzantine(inner)
+
+
+@register_strategy("stale", "serves reads from a frozen pre-write state",
+                   (StaleReplier,))
+def _build_stale(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    return lambda inner, config: StaleReplier(inner)
+
+
+@register_strategy("two-faced",
+                   "acks the writer honestly, serves readers stale state",
+                   (TwoFaced,))
+def _build_two_faced(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    return lambda inner, config: TwoFaced(inner)
+
+
+# -- fabrication-flavoured ---------------------------------------------------
+
+
+@register_strategy("forger",
+                   "invents a high-timestamp never-written value",
+                   (ValueForger,))
+def _build_forger(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    value = params.get("value", "FORGED")
+    ts_boost = int(params.get("ts_boost", 1000))
+    return lambda inner, config: ValueForger(inner, config, value, ts_boost)
+
+
+@register_strategy("history-forger",
+                   "rewrites a specific history slot in regular-protocol acks",
+                   (HistoryForger,))
+def _build_history_forger(params: Mapping[str, Any],
+                          seed: int) -> StrategyFactory:
+    target_ts = int(params.get("target_ts", 1))
+    value = params.get("value", "REWRITTEN")
+    return lambda inner, config: HistoryForger(inner, config, target_ts,
+                                               value)
+
+
+@register_strategy("random-noise",
+                   "seeded type-correct junk in every reply (NBFT: noise)",
+                   (GarbageByzantine,))
+def _build_random_noise(params: Mapping[str, Any],
+                        seed: int) -> StrategyFactory:
+    return lambda inner, config: GarbageByzantine(inner, config, seed)
+
+
+@register_strategy("ack-flooder",
+                   "spams conflicting acknowledgments per read",
+                   (AckFlooder,))
+def _build_ack_flooder(params: Mapping[str, Any],
+                       seed: int) -> StrategyFactory:
+    copies = int(params.get("copies", 3))
+    return lambda inner, config: AckFlooder(inner, config, copies)
+
+
+# -- protocol-aware ----------------------------------------------------------
+
+
+@register_strategy("equivocation",
+                   "shows different states to different readers "
+                   "(NBFT: equivocation)",
+                   (Equivocator,))
+def _build_equivocation(params: Mapping[str, Any],
+                        seed: int) -> StrategyFactory:
+    return lambda inner, config: Equivocator(inner)
+
+
+@register_strategy("tsr-inflater",
+                   "accuses honest objects via fabricated tsrarray entries",
+                   (TsrInflater,))
+def _build_tsr_inflater(params: Mapping[str, Any],
+                        seed: int) -> StrategyFactory:
+    accused = params.get("accused")
+    accused_list = [int(i) for i in accused] if accused is not None else None
+    return lambda inner, config: TsrInflater(inner, config, accused_list)
+
+
+@register_strategy("stale-tag",
+                   "forges MWMR write tags and vouches for dead leases",
+                   (StaleTagForger,))
+def _build_stale_tag(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    tag = WriterTag(int(params.get("epoch", 0)),
+                    int(params.get("writer_id", 0)))
+    value = params.get("value", "STALE-TAG")
+    return lambda inner, config: StaleTagForger(inner, config, tag, value)
+
+
+@register_strategy("delay-then-forge",
+                   "withholds replies, then releases them forged",
+                   (DelayThenForge, ValueForger))
+def _build_delay_then_forge(params: Mapping[str, Any],
+                            seed: int) -> StrategyFactory:
+    quiet = int(params.get("quiet", 3))
+    value = params.get("value", "LATE-FORGE")
+    ts_boost = int(params.get("ts_boost", 500))
+    return lambda inner, config: DelayThenForge(inner, config, quiet, value,
+                                                ts_boost)
+
+
+@register_strategy("bad-aggregator",
+                   "drops and duplicates reply parts within a bundle",
+                   (BadAggregator,))
+def _build_bad_aggregator(params: Mapping[str, Any],
+                          seed: int) -> StrategyFactory:
+    drop_p = float(params.get("drop_p", 0.3))
+    dup_p = float(params.get("dup_p", 0.3))
+    return lambda inner, config: BadAggregator(
+        inner, config, derive_seed(seed, "rolls"), drop_p, dup_p)
+
+
+# -- combinators -------------------------------------------------------------
+
+
+@register_strategy("sequence",
+                   "switch behaviour at delivery thresholds",
+                   (SwitchingByzantine,))
+def _build_sequence(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    stages = params.get("stages")
+    if not stages:
+        raise ConfigurationError("sequence strategy needs 'stages'")
+    built: List[Tuple[int, Optional[StrategyFactory]]] = []
+    for index, stage in enumerate(stages):
+        threshold = int(stage.get("after", 0))
+        sub = stage.get("strategy")
+        factory = (None if sub is None
+                   else build_strategy(sub, derive_seed(seed, "stage", index)))
+        built.append((threshold, factory))
+    return sequence(*built)
+
+
+@register_strategy("after-step",
+                   "honest until a delivery threshold, then corrupt",
+                   (SwitchingByzantine,))
+def _build_after_step(params: Mapping[str, Any], seed: int) -> StrategyFactory:
+    threshold = int(params.get("after", 5))
+    sub = params.get("strategy", "forger")
+    return after_step(threshold, build_strategy(sub, derive_seed(seed, "sub")))
+
+
+@register_strategy("probabilistic",
+                   "corrupt each delivery with probability p",
+                   (ProbabilisticByzantine,))
+def _build_probabilistic(params: Mapping[str, Any],
+                         seed: int) -> StrategyFactory:
+    p = float(params.get("p", 0.5))
+    sub = params.get("strategy", "forger")
+    return probabilistic(p, build_strategy(sub, derive_seed(seed, "sub")),
+                         derive_seed(seed, "coin"))
+
+
+__all__ = [
+    "BadAggregator",
+    "DelayThenForge",
+    "ProbabilisticByzantine",
+    "STRATEGIES",
+    "StrategyEntry",
+    "StrategySpec",
+    "SwitchingByzantine",
+    "after_step",
+    "build_strategy",
+    "probabilistic",
+    "register_strategy",
+    "registered_wrapper_names",
+    "sequence",
+    "spec_of",
+    "strategy_names",
+]

@@ -203,10 +203,27 @@ class ReconfigCoordinator:
     reconfiguration is **retried to completion** (every step is safe to
     repeat: fences ratchet, snapshots are reads, replays just write
     again).  Reads are never affected by a partial reconfiguration.
+
+    ``chaos_hook`` is the chaos harness's entry point: a callable (sync
+    or async) invoked as ``hook(stage, key)`` at every handoff stage --
+    ``"fenced"``, ``"snapshotted"``, ``"replayed"`` per key, ``"flip"``
+    once before routing flips.  The hook may crash replicas, delay, or
+    raise; the coordinator makes no attempt to survive hook exceptions
+    beyond its normal failure semantics above.  Production code leaves
+    it ``None`` (a no-op).
     """
 
-    def __init__(self, kv: ShardedKVStore):
+    def __init__(self, kv: ShardedKVStore,
+                 chaos_hook: Optional[Any] = None):
         self.kv = kv
+        self.chaos_hook = chaos_hook
+
+    async def _maybe_hook(self, stage: str, key: Optional[str]) -> None:
+        if self.chaos_hook is None:
+            return
+        result = self.chaos_hook(stage, key)
+        if asyncio.iscoroutine(result):
+            await result
 
     # -- shard-set changes --------------------------------------------------
     async def add_shard(self, shard_id: Optional[int] = None,
@@ -238,6 +255,7 @@ class ReconfigCoordinator:
             if created:  # don't leak the replica tasks we spawned
                 await store.stop()
             raise
+        await self._maybe_hook("flip", None)
         kv.apply_reconfiguration(new_ring, shards_after)
         return report
 
@@ -255,6 +273,7 @@ class ReconfigCoordinator:
                         if sid != shard_id}
         report = ReconfigReport(operation="remove-shard", shard_id=shard_id)
         await self._migrate(new_ring, shards_after, report)
+        await self._maybe_hook("flip", None)
         drained = kv.shards[shard_id]
         kv.apply_reconfiguration(new_ring, shards_after)
         # Operations admitted to the drained group before the flip must
@@ -299,12 +318,15 @@ class ReconfigCoordinator:
                 continue
             fence_epoch = await self._fence(store, key)
             report.fence_epochs[key] = fence_epoch
+            await self._maybe_hook("fenced", key)
             # Authoritative snapshot *after* the fence: it captures every
             # write that completed, and none can complete anymore.
             value, pre_tag = await self._with_retry(
                 lambda: store.read_tagged(key))
+            await self._maybe_hook("snapshotted", key)
             store.seed_writer_epoch(key, fence_epoch - 1)
             await self._replay(store, key, value, pre_tag)
+            await self._maybe_hook("replayed", key)
             report.moved[key] = (shard_id, shard_id)
         return report
 
@@ -344,6 +366,7 @@ class ReconfigCoordinator:
                 # concurrent tag discoveries, silently losing a write.
                 fence_epoch = await self._fence(source, key, hard=True)
                 report.fence_epochs[key] = fence_epoch
+                await self._maybe_hook("fenced", key)
                 # The target may have fenced this key itself when an
                 # earlier reconfiguration moved it *away*; lift that
                 # fence or the hand-back replay (and all later writes)
@@ -351,6 +374,7 @@ class ReconfigCoordinator:
                 await self._lift(target, key)
                 value, pre_tag = await self._with_retry(
                     lambda: source.read_tagged(key))
+                await self._maybe_hook("snapshotted", key)
                 if isinstance(value, _Bottom):
                     # Fenced while unwritten: it can never gain a value
                     # at the source, so one visit is enough.
@@ -358,6 +382,7 @@ class ReconfigCoordinator:
                     continue
                 target.seed_writer_epoch(key, fence_epoch - 1)
                 await self._replay(target, key, value, pre_tag)
+                await self._maybe_hook("replayed", key)
                 report.moved[key] = (src, dst)
 
     async def _replay(self, target: MultiRegisterStore, key: str,

@@ -126,6 +126,13 @@ class SimKernel:
                                    Tuple[ObjectAutomaton, Callable]] = {}
         self._crashed: Set[ProcessId] = set()
         self._byzantine: Set[ProcessId] = set()
+        #: per-process strategy note (class name) recorded at corruption
+        #: time, and deliveries intercepted by each Byzantine process --
+        #: the chaos harness surfaces both in its run verdicts.
+        self._byzantine_notes: Dict[ProcessId, str] = {}
+        self._byzantine_deliveries: Dict[ProcessId, int] = {}
+        #: envelopes removed through the adversary's drop privilege.
+        self.dropped_adversarially = 0
         #: pending operations, keyed (client, register): one client may run
         #: one operation per register concurrently (the multiplexing model),
         #: which degenerates to the classic one-op-per-client rule when
@@ -168,11 +175,42 @@ class SimKernel:
         self._crashed.add(pid)
         self.trace.append(time=self.now, kind=tracing.CRASH, process=pid)
 
+    def restore(self, pid: ProcessId) -> None:
+        """Lift a crash: the process resumes taking steps.
+
+        Models a crash-*recovery* restart whose state survived (the
+        multiproc tier's WAL replay brings a replica back exactly like
+        this): the automaton's state is untouched and every envelope
+        that stayed in transit while the process was down becomes
+        deliverable again.  A restart that *lost* state is not a crash
+        fault -- model it as a Byzantine replacement
+        (:meth:`make_byzantine` with a fresh automaton), which the
+        chaos harness counts against ``b``.
+        """
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        self.trace.append(time=self.now, kind=tracing.RECOVER, process=pid,
+                          detail="state intact")
+
     def is_alive(self, pid: ProcessId) -> bool:
         return pid not in self._crashed
 
     def crashed_processes(self) -> Set[ProcessId]:
         return set(self._crashed)
+
+    def advance_clock(self, delta: float) -> None:
+        """Skew the virtual clock forward (chaos ``clock_skew`` events).
+
+        Only forward: the kernel's invariant is that ``now`` never
+        decreases.  Every in-transit envelope whose ``available_at``
+        falls inside the skipped window becomes immediately deliverable
+        -- the discrete-event analogue of a clock jumping over pending
+        timers.
+        """
+        if delta < 0:
+            raise SimulationError("clock skew must be non-negative")
+        self.now += delta
 
     def make_byzantine(self, pid: ProcessId,
                        automaton: ObjectAutomaton,
@@ -185,11 +223,22 @@ class SimKernel:
             raise SimulationError(f"unknown object {pid!r}")
         self._objects[pid] = automaton
         self._byzantine.add(pid)
+        self._byzantine_notes[pid] = note or type(automaton).__name__
+        self._byzantine_deliveries.setdefault(pid, 0)
         self.trace.append(time=self.now, kind=tracing.BYZANTINE, process=pid,
                           detail=note or type(automaton).__name__)
 
     def byzantine_processes(self) -> Set[ProcessId]:
         return set(self._byzantine)
+
+    def byzantine_intercepts(self) -> Dict[str, int]:
+        """Deliveries intercepted per Byzantine process, keyed
+        ``"<pid>:<strategy note>"`` -- the per-strategy counters the
+        chaos harness folds into its run verdicts."""
+        return {
+            f"{pid!r}:{self._byzantine_notes.get(pid, '?')}": count
+            for pid, count in sorted(self._byzantine_deliveries.items())
+        }
 
     def inject(self, sender: ProcessId, receiver: ProcessId,
                payload: Any) -> Envelope:
@@ -214,7 +263,9 @@ class SimKernel:
                         or env.receiver in self._byzantine)
             return involved and predicate(env)
 
-        return self.network.drop_matching(guarded)
+        dropped = self.network.drop_matching(guarded)
+        self.dropped_adversarially += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     # client operations
@@ -475,6 +526,9 @@ class SimKernel:
             automaton = self._objects.get(receiver)
             if automaton is None:
                 raise SimulationError(f"no automaton for {receiver!r}")
+            if receiver in self._byzantine:
+                self._byzantine_deliveries[receiver] = (
+                    self._byzantine_deliveries.get(receiver, 0) + 1)
             if isinstance(envelope.payload, Batch):
                 # A batched envelope is one atomic delivery step -- and
                 # its acks leave the same way: every reply to the sender
@@ -570,4 +624,5 @@ class SimKernel:
             "in_transit": self.network.pending_count(),
             "crashed": len(self._crashed),
             "byzantine": len(self._byzantine),
+            "dropped_adversarially": self.dropped_adversarially,
         }

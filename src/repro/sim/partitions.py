@@ -44,6 +44,11 @@ class Partition:
                         f"{pid!r} appears in two partition groups")
                 self._group_of[pid] = index
         self.healed = False
+        #: times this cut held an envelope back (eligibility checks that
+        #: matched, not distinct envelopes -- the kernel re-polls holds
+        #: every step).  Chaos verdicts surface it as evidence the
+        #: partition actually bit.
+        self.blocked = 0
         network.hold(self.tag, self._blocks)
 
     def _blocks(self, envelope) -> bool:
@@ -51,7 +56,10 @@ class Partition:
         receiver_group = self._group_of.get(envelope.receiver)
         if sender_group is None or receiver_group is None:
             return False
-        return sender_group != receiver_group
+        if sender_group != receiver_group:
+            self.blocked += 1
+            return True
+        return False
 
     def heal(self) -> None:
         """Remove the cut; everything held becomes deliverable again."""

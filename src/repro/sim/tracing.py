@@ -24,6 +24,7 @@ DELIVER = "deliver"
 INVOKE = "invoke"
 RESPOND = "respond"
 CRASH = "crash"
+RECOVER = "recover"
 BYZANTINE = "byzantine"
 NOTE = "note"
 
@@ -56,6 +57,8 @@ class TraceEvent:
             return f"{clock} {self.process!r} completes {self.detail}"
         if self.kind == CRASH:
             return f"{clock} {self.process!r} CRASHES"
+        if self.kind == RECOVER:
+            return f"{clock} {self.process!r} RECOVERS: {self.detail}"
         if self.kind == BYZANTINE:
             return f"{clock} {self.process!r} BYZANTINE: {self.detail}"
         return f"{clock} {self.detail}"

@@ -474,3 +474,19 @@ _op_counter = itertools.count(1)
 def fresh_operation_id() -> int:
     """Process-wide unique operation identifiers for tracing."""
     return next(_op_counter)
+
+
+def reset_operation_ids(start: int = 1) -> None:
+    """Restart the operation-id stream (chaos-harness replay only).
+
+    Operation ids double as protocol nonces, so they end up inside
+    automaton and client state; two otherwise identical runs in one
+    process would differ just because the global stream advanced.  The
+    chaos harness resets the stream before each run so that the same
+    ``(seed, scenario)`` pair produces a bit-identical state
+    fingerprint.  Never call this while a system built earlier in the
+    process is still running: id reuse *within* one system could
+    cross-match a stale in-flight nonce.
+    """
+    global _op_counter
+    _op_counter = itertools.count(start)

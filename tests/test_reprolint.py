@@ -19,6 +19,7 @@ import pytest
 
 from repro.analysis import core as lint_core
 from repro.analysis import cli as lint_cli
+from repro.analysis.rules_chaos import strategy_registry_findings
 from repro.analysis.rules_registry import (_is_canonical, _live_subclasses,
                                            batch_parity_findings,
                                            vocab_findings)
@@ -307,6 +308,17 @@ class TestDeterminism:
         ), select=["det-set-iter"])
         assert findings == []
 
+    def test_chaos_package_is_in_scope(self, tmp_path):
+        # The chaos harness promises seed -> bit-identical runs, so it
+        # lives under the same determinism rules as the kernel.
+        findings = lint_file(tmp_path, "repro/chaos/mod.py", (
+            "import random, time\n"
+            "x = random.random()\n"
+            "t = time.time()\n"
+        ), select=["det-unseeded-random", "det-wall-clock"])
+        assert sorted(rule_ids(findings)) == [
+            "det-unseeded-random", "det-wall-clock"]
+
 
 # ---------------------------------------------------------------------------
 # registry rules
@@ -409,6 +421,55 @@ class TestVocabFindings:
         found = vocab_findings("registry-vocab", set(), {Stranger},
                                {"Stranger"}, {Stranger: 5}, self._anchor)
         assert any("not a Message subclass" in f.message for f in found)
+
+
+class TestChaosStrategyFindings:
+    """The chaos-strategy-registry check against synthetic wrapper sets."""
+
+    def _anchor(self, cls):
+        return ("repro/adversary/rogue.py", 3)
+
+    def test_unregistered_wrapper_flagged(self):
+        class RogueWrapper:
+            pass
+
+        found = strategy_registry_findings(
+            "chaos-strategy-registry", {RogueWrapper}, {"MuteByzantine"},
+            self._anchor)
+        assert len(found) == 1
+        assert "RogueWrapper" in found[0].message
+        assert "register_strategy" in found[0].message
+        assert found[0].path == "repro/adversary/rogue.py"
+
+    def test_registered_wrapper_passes(self):
+        class KnownWrapper:
+            pass
+
+        found = strategy_registry_findings(
+            "chaos-strategy-registry", {KnownWrapper}, {"KnownWrapper"},
+            self._anchor)
+        assert found == []
+
+    def test_wrapper_outside_analyzed_set_skipped(self):
+        # Test fixtures and scratch files anchor to None: the rule only
+        # polices wrappers that live in the analyzed tree.
+        class FixtureWrapper:
+            pass
+
+        found = strategy_registry_findings(
+            "chaos-strategy-registry", {FixtureWrapper}, set(),
+            lambda cls: None)
+        assert found == []
+
+    def test_live_registry_covers_shipped_wrappers(self):
+        # The shipped tree must be clean under the live rule inputs.
+        from repro.adversary.byzantine import ByzantineWrapper
+        from repro.chaos.strategies import registered_wrapper_names
+        shipped = {cls for cls in _live_subclasses(ByzantineWrapper)
+                   if cls.__module__.startswith("repro.")}
+        missing = {cls.__name__ for cls in shipped} - set(
+            registered_wrapper_names())
+        assert missing == set()
 
 
 class TestBatchParityFindings:
